@@ -1,0 +1,45 @@
+//! Micro-benchmarks: workload generation primitives.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use scp_workload::alias::AliasSampler;
+use scp_workload::permute::FeistelPermutation;
+use scp_workload::rng::{next_below, Xoshiro256StarStar};
+use scp_workload::zipf::ZipfSampler;
+use std::hint::black_box;
+
+fn bench_samplers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workload/sample");
+    group.throughput(Throughput::Elements(1));
+
+    group.bench_function("zipf_rejection_inversion", |b| {
+        let zipf = ZipfSampler::new(1.01, 1_000_000).unwrap();
+        let mut rng = Xoshiro256StarStar::seed_from_u64(1);
+        b.iter(|| black_box(zipf.sample(&mut rng)));
+    });
+
+    group.bench_function("alias_table", |b| {
+        let weights: Vec<f64> = (1..=10_000).map(|i| 1.0 / i as f64).collect();
+        let alias = AliasSampler::new(&weights).unwrap();
+        let mut rng = Xoshiro256StarStar::seed_from_u64(2);
+        b.iter(|| black_box(alias.sample(&mut rng)));
+    });
+
+    group.bench_function("uniform_below", |b| {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(3);
+        b.iter(|| black_box(next_below(&mut rng, 1_000_000)));
+    });
+
+    group.bench_function("feistel_apply", |b| {
+        let perm = FeistelPermutation::new(1_000_000, 4).unwrap();
+        let mut rank = 0u64;
+        b.iter(|| {
+            rank = (rank + 1) % 1_000_000;
+            black_box(perm.apply(black_box(rank)))
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_samplers);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Shared fixtures for the Criterion benchmark suite.
+//!
+//! Each `benches/*.rs` target either micro-benchmarks one substrate
+//! (partitioners, cache policies, samplers) or macro-benchmarks the hot
+//! path of one paper experiment (`fig3_engine`, `fig4_engine`,
+//! `fig5_engine`) so `cargo bench` exercises every figure's pipeline.
+//!
+//! Benchmark sizes are scaled down from the paper's full configuration
+//! (1e6-key sweeps, 200 repetitions) to keep one Criterion sample in the
+//! tens of milliseconds; the `repro` binaries run the full-size versions.
+
+#![warn(missing_docs)]
+
+use scp_sim::config::{CacheKind, PartitionerKind, SelectorKind, SimConfig};
+use scp_workload::AccessPattern;
+
+/// Scaled-down paper baseline shared by the engine benches: 1000 nodes,
+/// d = 3, 100k keys, perfect cache.
+pub fn bench_baseline(cache: usize, pattern: AccessPattern) -> SimConfig {
+    SimConfig {
+        nodes: 1000,
+        replication: 3,
+        cache_kind: CacheKind::Perfect,
+        cache_capacity: cache,
+        items: 100_000,
+        rate: 1e5,
+        pattern,
+        partitioner: PartitionerKind::Hash,
+        selector: SelectorKind::LeastLoaded,
+        seed: 0xBEAC4,
+    }
+}
+
+/// The adversarial `x = c + 1` pattern over the bench key space.
+pub fn adversarial_pattern(cache: usize) -> AccessPattern {
+    AccessPattern::uniform_subset(cache as u64 + 1, 100_000).expect("valid subset")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_valid() {
+        let cfg = bench_baseline(200, adversarial_pattern(200));
+        cfg.validate().unwrap();
+    }
+}

@@ -1,0 +1,167 @@
+//! Least-recently-used replacement.
+
+use crate::lru_core::LruCore;
+use crate::stats::CacheStats;
+use crate::{Cache, CacheOutcome};
+use std::hash::Hash;
+
+/// Classic LRU: every miss admits the key at the MRU position, evicting the
+/// LRU key when full.
+///
+/// Under the paper's adversarial pattern (x > c equally popular keys) LRU
+/// degenerates to near-zero hit rate — every key is evicted before its next
+/// reference — which is exactly why the analysis assumes a *popularity*
+/// cache rather than a recency one. The ablation experiments quantify this
+/// gap.
+#[derive(Debug, Clone)]
+pub struct LruCache<K> {
+    core: LruCore<K>,
+    stats: CacheStats,
+}
+
+impl<K: Copy + Eq + Hash> LruCache<K> {
+    /// Creates an LRU cache holding at most `capacity` items.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            core: LruCore::new(capacity),
+            stats: CacheStats::new(),
+        }
+    }
+}
+
+impl<K: Copy + Eq + Hash + std::fmt::Debug> Cache<K> for LruCache<K> {
+    fn request(&mut self, key: K) -> CacheOutcome {
+        if self.core.touch(&key) {
+            self.stats.record_hit();
+            return CacheOutcome::Hit;
+        }
+        self.stats.record_miss();
+        if self.core.capacity() > 0 {
+            self.stats.record_insertion();
+            if self.core.insert(key).is_some() {
+                self.stats.record_eviction();
+            }
+        }
+        CacheOutcome::Miss
+    }
+
+    fn contains(&self, key: &K) -> bool {
+        self.core.contains(key)
+    }
+
+    fn capacity(&self) -> usize {
+        self.core.capacity()
+    }
+
+    fn len(&self) -> usize {
+        self.core.len()
+    }
+
+    fn clear(&mut self) {
+        self.core.clear();
+    }
+
+    fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+
+    fn name(&self) -> &'static str {
+        "lru"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = LruCache::new(2);
+        c.request(1);
+        c.request(2);
+        c.request(1); // 1 is now MRU
+        c.request(3); // evicts 2
+        assert!(c.contains(&1));
+        assert!(!c.contains(&2));
+        assert!(c.contains(&3));
+    }
+
+    #[test]
+    fn repeated_requests_hit() {
+        let mut c = LruCache::new(1);
+        assert!(!c.request(7).is_hit());
+        for _ in 0..5 {
+            assert!(c.request(7).is_hit());
+        }
+        assert_eq!(c.stats().hits(), 5);
+        assert_eq!(c.stats().misses(), 1);
+        assert_eq!(c.stats().insertions(), 1);
+        assert_eq!(c.stats().evictions(), 0);
+    }
+
+    #[test]
+    fn eviction_counter_tracks() {
+        let mut c = LruCache::new(2);
+        for k in 0..5u32 {
+            c.request(k);
+        }
+        assert_eq!(c.stats().evictions(), 3);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_never_admits() {
+        let mut c = LruCache::new(0);
+        assert!(!c.request(1).is_hit());
+        assert!(!c.request(1).is_hit());
+        assert_eq!(c.len(), 0);
+        assert_eq!(c.stats().insertions(), 0);
+    }
+
+    #[test]
+    fn scan_larger_than_capacity_thrashes() {
+        // The adversarial degenerate case: cycling over x > c keys gives 0
+        // hits after the first pass.
+        let mut c = LruCache::new(10);
+        for _ in 0..5 {
+            for k in 0..11u32 {
+                c.request(k);
+            }
+        }
+        assert_eq!(c.stats().hits(), 0, "LRU must thrash on cyclic scans");
+    }
+
+    #[test]
+    fn clear_preserves_stats() {
+        let mut c = LruCache::new(2);
+        c.request(1);
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.stats().misses(), 1);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_len_never_exceeds_capacity(ops in proptest::collection::vec(0u32..50, 1..500), cap in 0usize..20) {
+            let mut c = LruCache::new(cap);
+            for k in ops {
+                c.request(k);
+                prop_assert!(c.len() <= cap);
+            }
+        }
+
+        #[test]
+        fn prop_most_recent_key_is_resident(ops in proptest::collection::vec(0u32..50, 1..200), cap in 1usize..20) {
+            let mut c = LruCache::new(cap);
+            for k in &ops {
+                c.request(*k);
+                prop_assert!(c.contains(k), "just-requested key must be resident");
+            }
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! The degenerate "no front-end cache" policy.
+
+use crate::stats::CacheStats;
+use crate::{Cache, CacheOutcome};
+use std::hash::Hash;
+use std::marker::PhantomData;
+
+/// A cache that never stores anything: every request misses.
+///
+/// Baseline for experiments measuring raw back-end load, and the `c = 0`
+/// corner of cache-size sweeps.
+#[derive(Debug, Clone, Default)]
+pub struct NoCache<K> {
+    stats: CacheStats,
+    _marker: PhantomData<K>,
+}
+
+impl<K: Copy + Eq + Hash> NoCache<K> {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        Self {
+            stats: CacheStats::new(),
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<K: Copy + Eq + Hash + std::fmt::Debug> Cache<K> for NoCache<K> {
+    fn request(&mut self, _key: K) -> CacheOutcome {
+        self.stats.record_miss();
+        CacheOutcome::Miss
+    }
+
+    fn contains(&self, _key: &K) -> bool {
+        false
+    }
+
+    fn capacity(&self) -> usize {
+        0
+    }
+
+    fn len(&self) -> usize {
+        0
+    }
+
+    fn clear(&mut self) {}
+
+    fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+
+    fn name(&self) -> &'static str {
+        "none"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn always_misses() {
+        let mut c: NoCache<u64> = NoCache::new();
+        for k in 0..10 {
+            assert_eq!(c.request(k), CacheOutcome::Miss);
+            assert!(!c.contains(&k));
+        }
+        assert_eq!(c.stats().misses(), 10);
+        assert_eq!(c.stats().hit_rate(), 0.0);
+        assert!(c.is_empty());
+        assert_eq!(c.capacity(), 0);
+    }
+}

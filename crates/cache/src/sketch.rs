@@ -1,0 +1,255 @@
+//! Frequency sketches for TinyLFU admission.
+
+use scp_workload::rng::mix;
+use std::hash::{Hash, Hasher};
+
+fn hash_key<K: Hash>(key: &K, seed: u64) -> u64 {
+    // FxHash-style accumulation via std hasher, then a strong finalizer.
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    key.hash(&mut hasher);
+    mix(&[hasher.finish(), seed])
+}
+
+/// A count-min sketch with 4-bit saturating counters and periodic halving,
+/// as used by W-TinyLFU's frequency filter.
+///
+/// Counters saturate at 15; [`CountMinSketch::increment`] returns the new
+/// estimate. After `sample_size` increments every counter is halved (the
+/// "reset" operation), keeping estimates fresh under drifting popularity.
+#[derive(Debug, Clone)]
+pub struct CountMinSketch {
+    /// Packed 4-bit counters: `depth` rows of `width` counters.
+    table: Vec<u64>,
+    width: usize, // counters per row, power of two
+    depth: usize,
+    increments: u64,
+    sample_size: u64,
+    resets: u64,
+}
+
+impl CountMinSketch {
+    /// Depth (number of hash rows).
+    pub const DEPTH: usize = 4;
+    /// Counter ceiling (4-bit).
+    pub const MAX_COUNT: u8 = 15;
+
+    /// Creates a sketch sized for roughly `capacity` distinct hot items.
+    ///
+    /// Width is the next power of two at or above `8 * capacity` counters
+    /// per row (min 64); the halving period is `10 * capacity` increments.
+    pub fn for_capacity(capacity: usize) -> Self {
+        let width = (8 * capacity.max(8)).next_power_of_two();
+        let counters_per_word = 16; // 64 bits / 4 bits
+        let words_per_row = width / counters_per_word;
+        Self {
+            table: vec![0u64; words_per_row * Self::DEPTH],
+            width,
+            depth: Self::DEPTH,
+            increments: 0,
+            sample_size: (10 * capacity.max(1)) as u64,
+            resets: 0,
+        }
+    }
+
+    fn slot(&self, row: usize, index: usize) -> (usize, u32) {
+        let words_per_row = self.width / 16;
+        let word = row * words_per_row + index / 16;
+        let shift = ((index % 16) * 4) as u32;
+        (word, shift)
+    }
+
+    fn get(&self, row: usize, index: usize) -> u8 {
+        let (word, shift) = self.slot(row, index);
+        ((self.table[word] >> shift) & 0xF) as u8
+    }
+
+    fn bump(&mut self, row: usize, index: usize) {
+        let current = self.get(row, index);
+        if current < Self::MAX_COUNT {
+            let (word, shift) = self.slot(row, index);
+            self.table[word] += 1u64 << shift;
+        }
+    }
+
+    fn index_for<K: Hash>(&self, key: &K, row: usize) -> usize {
+        (hash_key(key, row as u64 ^ 0xC0FF_EE00) as usize) & (self.width - 1)
+    }
+
+    /// Estimated frequency of `key` (minimum over rows).
+    pub fn estimate<K: Hash>(&self, key: &K) -> u8 {
+        (0..self.depth)
+            .map(|row| self.get(row, self.index_for(key, row)))
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Records one occurrence; returns the updated estimate. Triggers a
+    /// halving reset when the sample period elapses.
+    pub fn increment<K: Hash>(&mut self, key: &K) -> u8 {
+        for row in 0..self.depth {
+            let index = self.index_for(key, row);
+            self.bump(row, index);
+        }
+        self.increments += 1;
+        if self.increments >= self.sample_size {
+            self.halve();
+        }
+        self.estimate(key)
+    }
+
+    fn halve(&mut self) {
+        for word in &mut self.table {
+            // Halve each 4-bit lane: shift right then mask out bits that
+            // crossed lane boundaries.
+            *word = (*word >> 1) & 0x7777_7777_7777_7777;
+        }
+        self.increments /= 2;
+        self.resets += 1;
+    }
+
+    /// Number of halving resets performed (for tests/telemetry).
+    pub fn resets(&self) -> u64 {
+        self.resets
+    }
+
+    /// Clears all counters.
+    pub fn clear(&mut self) {
+        self.table.fill(0);
+        self.increments = 0;
+    }
+}
+
+/// A small Bloom-filter "doorkeeper": absorbs the first occurrence of each
+/// key so one-hit wonders never reach the main sketch.
+#[derive(Debug, Clone)]
+pub struct Doorkeeper {
+    bits: Vec<u64>,
+    mask: usize,
+}
+
+impl Doorkeeper {
+    /// Creates a doorkeeper sized for roughly `capacity` distinct items.
+    pub fn for_capacity(capacity: usize) -> Self {
+        let bits = (8 * capacity.max(8)).next_power_of_two();
+        Self {
+            bits: vec![0u64; bits / 64],
+            mask: bits - 1,
+        }
+    }
+
+    fn positions<K: Hash>(&self, key: &K) -> [usize; 3] {
+        let h = hash_key(key, 0xD00B_1EE7_0000_1111);
+        let a = (h as usize) & self.mask;
+        let b = ((h >> 21) as usize) & self.mask;
+        let c = ((h >> 42) as usize) & self.mask;
+        [a, b, c]
+    }
+
+    /// Whether the key has (probably) been seen since the last reset.
+    pub fn contains<K: Hash>(&self, key: &K) -> bool {
+        self.positions(key)
+            .iter()
+            .all(|&p| self.bits[p / 64] >> (p % 64) & 1 == 1)
+    }
+
+    /// Marks the key as seen; returns whether it was already present.
+    pub fn insert<K: Hash>(&mut self, key: &K) -> bool {
+        let mut present = true;
+        for p in self.positions(key) {
+            let word = &mut self.bits[p / 64];
+            if *word >> (p % 64) & 1 == 0 {
+                present = false;
+                *word |= 1 << (p % 64);
+            }
+        }
+        present
+    }
+
+    /// Clears the filter.
+    pub fn clear(&mut self) {
+        self.bits.fill(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn estimate_tracks_increments() {
+        let mut s = CountMinSketch::for_capacity(100);
+        assert_eq!(s.estimate(&42u64), 0);
+        for i in 1..=10u8 {
+            assert_eq!(s.increment(&42u64), i);
+        }
+        assert_eq!(s.estimate(&42u64), 10);
+    }
+
+    #[test]
+    fn counters_saturate_at_fifteen() {
+        let mut s = CountMinSketch::for_capacity(100);
+        for _ in 0..100 {
+            s.increment(&7u64);
+        }
+        assert_eq!(s.estimate(&7u64), CountMinSketch::MAX_COUNT);
+    }
+
+    #[test]
+    fn estimates_never_undercount() {
+        let mut s = CountMinSketch::for_capacity(64);
+        let mut truth = std::collections::HashMap::new();
+        for k in 0..200u64 {
+            let times = (k % 5) + 1;
+            for _ in 0..times {
+                s.increment(&k);
+            }
+            truth.insert(k, times.min(15) as u8);
+        }
+        // No halving occurred (600 increments < 640 sample)?
+        // Increment count: sum(1..=5)*40 = 600 < 640, safe.
+        for (k, &t) in &truth {
+            assert!(s.estimate(k) >= t, "undercount for {k}");
+        }
+    }
+
+    #[test]
+    fn halving_halves() {
+        let mut s = CountMinSketch::for_capacity(1); // sample size 10
+        for _ in 0..9 {
+            s.increment(&1u64);
+        }
+        assert_eq!(s.estimate(&1u64), 9);
+        s.increment(&1u64); // 10th increment triggers halving of 10
+        assert_eq!(s.resets(), 1);
+        assert_eq!(s.estimate(&1u64), 5);
+    }
+
+    #[test]
+    fn clear_zeroes() {
+        let mut s = CountMinSketch::for_capacity(10);
+        s.increment(&1u64);
+        s.clear();
+        assert_eq!(s.estimate(&1u64), 0);
+    }
+
+    #[test]
+    fn doorkeeper_remembers_and_clears() {
+        let mut d = Doorkeeper::for_capacity(100);
+        assert!(!d.contains(&5u64));
+        assert!(!d.insert(&5u64));
+        assert!(d.contains(&5u64));
+        assert!(d.insert(&5u64));
+        d.clear();
+        assert!(!d.contains(&5u64));
+    }
+
+    #[test]
+    fn doorkeeper_false_positive_rate_is_low() {
+        let mut d = Doorkeeper::for_capacity(1000);
+        for k in 0..1000u64 {
+            d.insert(&k);
+        }
+        let fp = (10_000..20_000u64).filter(|k| d.contains(k)).count();
+        assert!(fp < 800, "false positive rate too high: {fp}/10000");
+    }
+}

@@ -1,0 +1,136 @@
+//! Hit/miss accounting shared by every cache policy.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters describing cache effectiveness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CacheStats {
+    hits: u64,
+    misses: u64,
+    insertions: u64,
+    evictions: u64,
+    rejections: u64,
+}
+
+impl CacheStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a hit.
+    pub fn record_hit(&mut self) {
+        self.hits += 1;
+    }
+
+    /// Records a miss.
+    pub fn record_miss(&mut self) {
+        self.misses += 1;
+    }
+
+    /// Records an admission of a new item.
+    pub fn record_insertion(&mut self) {
+        self.insertions += 1;
+    }
+
+    /// Records an eviction of a resident item.
+    pub fn record_eviction(&mut self) {
+        self.evictions += 1;
+    }
+
+    /// Records an admission refusal (TinyLFU-style policies).
+    pub fn record_rejection(&mut self) {
+        self.rejections += 1;
+    }
+
+    /// Number of hits.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of misses.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Number of admissions.
+    pub fn insertions(&self) -> u64 {
+        self.insertions
+    }
+
+    /// Number of evictions.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Number of admission refusals.
+    pub fn rejections(&self) -> u64 {
+        self.rejections
+    }
+
+    /// Total requests observed.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Fraction of requests served from cache (0 if none seen).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.lookups();
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Zeroes every counter.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut s = CacheStats::new();
+        s.record_hit();
+        s.record_hit();
+        s.record_miss();
+        s.record_insertion();
+        s.record_eviction();
+        s.record_rejection();
+        assert_eq!(s.hits(), 2);
+        assert_eq!(s.misses(), 1);
+        assert_eq!(s.insertions(), 1);
+        assert_eq!(s.evictions(), 1);
+        assert_eq!(s.rejections(), 1);
+        assert_eq!(s.lookups(), 3);
+        assert!((s.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_hit_rate_is_zero() {
+        assert_eq!(CacheStats::new().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let mut s = CacheStats::new();
+        s.record_hit();
+        s.record_miss();
+        s.reset();
+        assert_eq!(s, CacheStats::new());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut s = CacheStats::new();
+        s.record_hit();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: CacheStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+}

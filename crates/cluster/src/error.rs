@@ -1,0 +1,55 @@
+//! Error type for cluster construction and routing.
+
+use crate::ids::{KeyId, NodeId};
+use std::fmt;
+
+/// Errors produced while building or operating a cluster.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClusterError {
+    /// A construction parameter was outside its legal range.
+    InvalidParameter {
+        /// Name of the parameter.
+        name: &'static str,
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+    /// A node id referenced a node outside the cluster.
+    UnknownNode(NodeId),
+    /// No live replica could serve the key (all group members failed).
+    NoLiveReplica(KeyId),
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            ClusterError::UnknownNode(node) => write!(f, "unknown node {node}"),
+            ClusterError::NoLiveReplica(key) => {
+                write!(f, "no live replica can serve key {key}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ClusterError::NoLiveReplica(KeyId::new(9));
+        assert!(e.to_string().contains('9'));
+        let e = ClusterError::UnknownNode(NodeId::new(3));
+        assert!(e.to_string().contains('3'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ClusterError>();
+    }
+}

@@ -1,0 +1,128 @@
+//! Strongly typed identifiers for keys and nodes.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a `(key, value)` item stored in the service.
+///
+/// Keys are opaque 64-bit values; the partitioner hashes them, so their
+/// numeric structure carries no placement information (except under the
+/// deliberately correlated [`crate::partition::RangePartitioner`]).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct KeyId(u64);
+
+impl KeyId {
+    /// Wraps a raw key value.
+    pub const fn new(value: u64) -> Self {
+        Self(value)
+    }
+
+    /// The raw key value.
+    pub const fn value(self) -> u64 {
+        self.0
+    }
+}
+
+impl From<u64> for KeyId {
+    fn from(value: u64) -> Self {
+        Self(value)
+    }
+}
+
+impl From<KeyId> for u64 {
+    fn from(value: KeyId) -> Self {
+        value.0
+    }
+}
+
+impl fmt::Display for KeyId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "key#{}", self.0)
+    }
+}
+
+/// Identifier of a back-end node, indexing into the cluster's load vector.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Wraps a raw node index.
+    pub const fn new(index: u32) -> Self {
+        Self(index)
+    }
+
+    /// The node index as `usize`, for indexing load vectors.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The raw node index.
+    pub const fn value(self) -> u32 {
+        self.0
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(value: u32) -> Self {
+        Self(value)
+    }
+}
+
+impl From<NodeId> for u32 {
+    fn from(value: NodeId) -> Self {
+        value.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node#{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_roundtrip() {
+        let k = KeyId::new(123);
+        assert_eq!(k.value(), 123);
+        assert_eq!(u64::from(k), 123);
+        assert_eq!(KeyId::from(123u64), k);
+        assert_eq!(k.to_string(), "key#123");
+    }
+
+    #[test]
+    fn node_roundtrip() {
+        let n = NodeId::new(7);
+        assert_eq!(n.index(), 7);
+        assert_eq!(n.value(), 7);
+        assert_eq!(u32::from(n), 7);
+        assert_eq!(NodeId::from(7u32), n);
+        assert_eq!(n.to_string(), "node#7");
+    }
+
+    #[test]
+    fn ids_order_and_hash() {
+        assert!(NodeId::new(1) < NodeId::new(2));
+        assert!(KeyId::new(1) < KeyId::new(2));
+        let mut set = std::collections::HashSet::new();
+        set.insert(KeyId::new(5));
+        assert!(set.contains(&KeyId::new(5)));
+    }
+
+    #[test]
+    fn serde_is_transparent() {
+        let json = serde_json::to_string(&NodeId::new(4)).unwrap();
+        assert_eq!(json, "4");
+        let k: KeyId = serde_json::from_str("99").unwrap();
+        assert_eq!(k, KeyId::new(99));
+    }
+}

@@ -1,0 +1,48 @@
+//! Cluster substrate for the secure-cache-provision project.
+//!
+//! Models the back end of Figure 1 in the paper: `n` nodes serving a
+//! randomly partitioned key space with replication factor `d`. Each key
+//! maps to a *replica group* of `d` distinct nodes through a
+//! [`partition::Partitioner`]; each query (or steady per-key rate) is then
+//! attributed to one node of the group by a [`select::ReplicaSelector`].
+//!
+//! The substrate deliberately implements **both** the properties the
+//! paper's analysis requires (opaque randomized partitioning, equal
+//! replication, stable assignment) and one property it excludes
+//! (correlated range partitioning) so the boundary of the theorem can be
+//! demonstrated empirically.
+//!
+//! # Example
+//!
+//! ```
+//! use scp_cluster::partition::HashPartitioner;
+//! use scp_cluster::select::LeastLoadedSelector;
+//! use scp_cluster::cluster::Cluster;
+//! use scp_cluster::ids::KeyId;
+//!
+//! let partitioner = HashPartitioner::new(100, 3, 42)?;
+//! let mut cluster = Cluster::new(Box::new(partitioner), Box::new(LeastLoadedSelector::new()));
+//! cluster.apply_rate(KeyId::new(7), 10.0)?;
+//! assert!((cluster.snapshot().total() - 10.0).abs() < 1e-9);
+//! # Ok::<(), scp_cluster::ClusterError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod capacity;
+pub mod cluster;
+pub mod error;
+pub mod ids;
+pub mod load;
+pub mod partition;
+pub mod rebalance;
+pub mod select;
+
+pub use cluster::Cluster;
+pub use error::ClusterError;
+pub use ids::{KeyId, NodeId};
+pub use partition::{Partitioner, ReplicaGroup, MAX_REPLICATION};
+pub use select::ReplicaSelector;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, ClusterError>;

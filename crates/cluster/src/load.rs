@@ -1,0 +1,174 @@
+//! Load accounting and imbalance statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// An immutable snapshot of per-node loads with derived statistics.
+///
+/// Loads are in whatever unit the producer used — queries/second for the
+/// rate-propagation engine, query counts for the sampling engine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoadSnapshot {
+    loads: Vec<f64>,
+}
+
+impl LoadSnapshot {
+    /// Wraps a load vector.
+    pub fn new(loads: Vec<f64>) -> Self {
+        Self { loads }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.loads.len()
+    }
+
+    /// Per-node loads.
+    pub fn loads(&self) -> &[f64] {
+        &self.loads
+    }
+
+    /// Total load across nodes.
+    pub fn total(&self) -> f64 {
+        scp_workload::pmf::kahan_sum(&self.loads)
+    }
+
+    /// Mean load per node (0 for an empty snapshot).
+    pub fn mean(&self) -> f64 {
+        if self.loads.is_empty() {
+            0.0
+        } else {
+            self.total() / self.loads.len() as f64
+        }
+    }
+
+    /// Maximum per-node load (0 for an empty snapshot).
+    pub fn max(&self) -> f64 {
+        self.loads.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Index of the most loaded node, if any.
+    pub fn argmax(&self) -> Option<usize> {
+        self.loads
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("loads are finite"))
+            .map(|(i, _)| i)
+    }
+
+    /// Load of the most loaded node normalized by the even share
+    /// `offered_total / n`.
+    ///
+    /// With `offered_total` set to the full client rate `R` this is the
+    /// paper's *attack gain* (Definition 1): values above 1 mean some node
+    /// carries more than the fair share of all offered traffic.
+    ///
+    /// Returns 0 when the snapshot is empty or nothing was offered.
+    pub fn normalized_max(&self, offered_total: f64) -> f64 {
+        if self.loads.is_empty() || offered_total <= 0.0 {
+            return 0.0;
+        }
+        self.max() / (offered_total / self.loads.len() as f64)
+    }
+
+    /// Coefficient of variation (stddev / mean); 0 for perfectly even load.
+    pub fn coefficient_of_variation(&self) -> f64 {
+        let mean = self.mean();
+        if mean == 0.0 || self.loads.len() < 2 {
+            return 0.0;
+        }
+        let var = self
+            .loads
+            .iter()
+            .map(|&l| (l - mean) * (l - mean))
+            .sum::<f64>()
+            / self.loads.len() as f64;
+        var.sqrt() / mean
+    }
+
+    /// Gini coefficient of the load distribution in `[0, 1)`;
+    /// 0 for perfectly even load, near 1 for all load on one node.
+    pub fn gini(&self) -> f64 {
+        let n = self.loads.len();
+        let total = self.total();
+        if n < 2 || total <= 0.0 {
+            return 0.0;
+        }
+        let mut sorted = self.loads.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("loads are finite"));
+        // Gini = (2 * sum_i i*x_i) / (n * total) - (n + 1) / n, i is 1-based.
+        let weighted: f64 = sorted
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| (i as f64 + 1.0) * x)
+            .sum();
+        (2.0 * weighted) / (n as f64 * total) - (n as f64 + 1.0) / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_snapshot_is_all_zeros() {
+        let s = LoadSnapshot::new(vec![]);
+        assert_eq!(s.total(), 0.0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.max(), 0.0);
+        assert_eq!(s.argmax(), None);
+        assert_eq!(s.normalized_max(10.0), 0.0);
+        assert_eq!(s.gini(), 0.0);
+        assert_eq!(s.coefficient_of_variation(), 0.0);
+    }
+
+    #[test]
+    fn basic_statistics() {
+        let s = LoadSnapshot::new(vec![1.0, 3.0, 2.0]);
+        assert_eq!(s.node_count(), 3);
+        assert!((s.total() - 6.0).abs() < 1e-12);
+        assert!((s.mean() - 2.0).abs() < 1e-12);
+        assert_eq!(s.max(), 3.0);
+        assert_eq!(s.argmax(), Some(1));
+    }
+
+    #[test]
+    fn normalized_max_is_attack_gain() {
+        // 4 nodes, offered 8 total, max node carries 4 => gain 2.
+        let s = LoadSnapshot::new(vec![4.0, 2.0, 1.0, 1.0]);
+        assert!((s.normalized_max(8.0) - 2.0).abs() < 1e-12);
+        // If a cache absorbed half the offered 16, backend max 4 vs 16/4 => 1.
+        assert!((s.normalized_max(16.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn even_load_has_zero_imbalance() {
+        let s = LoadSnapshot::new(vec![2.5; 10]);
+        assert!(s.coefficient_of_variation() < 1e-12);
+        assert!(s.gini().abs() < 1e-12);
+        assert!((s.normalized_max(25.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn concentrated_load_has_high_gini() {
+        let mut loads = vec![0.0; 100];
+        loads[0] = 100.0;
+        let s = LoadSnapshot::new(loads);
+        assert!(s.gini() > 0.98);
+        assert!(s.coefficient_of_variation() > 9.0);
+    }
+
+    #[test]
+    fn gini_of_linear_ramp() {
+        // Loads 1..=n has Gini = (n-1)/(3n) for large n ~ 1/3.
+        let s = LoadSnapshot::new((1..=1000).map(|i| i as f64).collect());
+        assert!((s.gini() - 0.333).abs() < 0.01);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let s = LoadSnapshot::new(vec![1.0, 2.0]);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: LoadSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+}

@@ -1,0 +1,602 @@
+//! Key-to-replica-group partitioning schemes.
+//!
+//! The paper's analysis assumes *randomized partitioning*: the mapping of
+//! keys to replica groups is opaque to clients, and any two keys map
+//! independently. [`HashPartitioner`], [`ConsistentHashRing`] and
+//! [`RendezvousPartitioner`] satisfy this; [`RangePartitioner`] does not
+//! (lexicographically close keys share groups, the BigTable/HBase case the
+//! paper explicitly excludes) and exists to demonstrate why that exclusion
+//! matters.
+
+use crate::error::ClusterError;
+use crate::ids::{KeyId, NodeId};
+use crate::Result;
+use scp_workload::rng::mix;
+use std::fmt;
+
+/// Maximum supported replication factor.
+///
+/// Real clusters use `d` of 2–5; 16 leaves generous head-room while letting
+/// [`ReplicaGroup`] live on the stack.
+pub const MAX_REPLICATION: usize = 16;
+
+/// A replica group: the `d` distinct nodes able to serve one key.
+///
+/// A small fixed-capacity vector (no heap allocation) since
+/// `d <= MAX_REPLICATION`.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct ReplicaGroup {
+    nodes: [NodeId; MAX_REPLICATION],
+    len: u8,
+}
+
+impl ReplicaGroup {
+    /// Creates an empty group.
+    pub const fn new() -> Self {
+        Self {
+            nodes: [NodeId::new(0); MAX_REPLICATION],
+            len: 0,
+        }
+    }
+
+    /// Appends a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the group is already at [`MAX_REPLICATION`].
+    pub fn push(&mut self, node: NodeId) {
+        assert!(
+            (self.len as usize) < MAX_REPLICATION,
+            "replica group overflow"
+        );
+        self.nodes[self.len as usize] = node;
+        self.len += 1;
+    }
+
+    /// Number of replicas in the group.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the group is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The group as a slice of node ids.
+    pub fn as_slice(&self) -> &[NodeId] {
+        &self.nodes[..self.len as usize]
+    }
+
+    /// Iterates over member nodes.
+    pub fn iter(&self) -> std::slice::Iter<'_, NodeId> {
+        self.as_slice().iter()
+    }
+
+    /// Whether `node` belongs to the group.
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.as_slice().contains(&node)
+    }
+
+    /// Returns a copy containing only the nodes for which `keep` is true
+    /// (used to drop failed nodes while preserving order).
+    pub fn filtered<F: Fn(NodeId) -> bool>(&self, keep: F) -> ReplicaGroup {
+        let mut out = ReplicaGroup::new();
+        for &n in self.as_slice() {
+            if keep(n) {
+                out.push(n);
+            }
+        }
+        out
+    }
+}
+
+impl Default for ReplicaGroup {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for ReplicaGroup {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.as_slice()).finish()
+    }
+}
+
+impl FromIterator<NodeId> for ReplicaGroup {
+    fn from_iter<T: IntoIterator<Item = NodeId>>(iter: T) -> Self {
+        let mut g = ReplicaGroup::new();
+        for n in iter {
+            g.push(n);
+        }
+        g
+    }
+}
+
+impl<'a> IntoIterator for &'a ReplicaGroup {
+    type Item = &'a NodeId;
+    type IntoIter = std::slice::Iter<'a, NodeId>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+/// A deterministic mapping from keys to replica groups.
+///
+/// Implementations must be pure functions of `(self, key)`: the same key
+/// always yields the same group ("costly to shift results" — partitioning
+/// is stable on the timescale of an experiment).
+pub trait Partitioner: Send + Sync + fmt::Debug {
+    /// The replica group serving `key`. Always returns exactly
+    /// [`Partitioner::replication_factor`] distinct nodes.
+    fn replica_group(&self, key: KeyId) -> ReplicaGroup;
+
+    /// Number of back-end nodes `n`.
+    fn node_count(&self) -> usize;
+
+    /// Replication factor `d`.
+    fn replication_factor(&self) -> usize;
+}
+
+fn validate_n_d(n: usize, d: usize) -> Result<()> {
+    if n == 0 {
+        return Err(ClusterError::InvalidParameter {
+            name: "n",
+            reason: "cluster must have at least one node".to_owned(),
+        });
+    }
+    if n > u32::MAX as usize {
+        return Err(ClusterError::InvalidParameter {
+            name: "n",
+            reason: format!("{n} nodes exceeds u32 indexing"),
+        });
+    }
+    if d == 0 || d > MAX_REPLICATION || d > n {
+        return Err(ClusterError::InvalidParameter {
+            name: "d",
+            reason: format!("need 1 <= d <= min(n, {MAX_REPLICATION}), got d={d}, n={n}"),
+        });
+    }
+    Ok(())
+}
+
+/// Maps a 64-bit hash to `[0, n)` without modulo bias
+/// (fixed-point multiply).
+#[inline]
+fn hash_to_index(hash: u64, n: usize) -> u32 {
+    (((hash as u128) * (n as u128)) >> 64) as u32
+}
+
+/// Independent random placement: each key's group is `d` distinct nodes
+/// chosen by iterated seeded hashing.
+///
+/// This is the partitioner the paper's model assumes — every key maps
+/// independently and uniformly, like GFS chunk placement or a hashed
+/// key-value store.
+#[derive(Debug, Clone)]
+pub struct HashPartitioner {
+    n: usize,
+    d: usize,
+    seed: u64,
+}
+
+impl HashPartitioner {
+    /// Creates the partitioner for `n` nodes with replication `d`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless `1 <= d <= min(n, MAX_REPLICATION)`.
+    pub fn new(n: usize, d: usize, seed: u64) -> Result<Self> {
+        validate_n_d(n, d)?;
+        Ok(Self { n, d, seed })
+    }
+}
+
+impl Partitioner for HashPartitioner {
+    fn replica_group(&self, key: KeyId) -> ReplicaGroup {
+        let mut group = ReplicaGroup::new();
+        let mut attempt = 0u64;
+        while group.len() < self.d {
+            let h = mix(&[self.seed, key.value(), attempt]);
+            let node = NodeId::new(hash_to_index(h, self.n));
+            if !group.contains(node) {
+                group.push(node);
+            }
+            attempt += 1;
+        }
+        group
+    }
+
+    fn node_count(&self) -> usize {
+        self.n
+    }
+
+    fn replication_factor(&self) -> usize {
+        self.d
+    }
+}
+
+/// Consistent-hashing ring with virtual nodes; replicas are the `d`
+/// distinct successors of the key's hash (the Dynamo/Chord scheme).
+#[derive(Debug, Clone)]
+pub struct ConsistentHashRing {
+    // (point, owner), sorted by point.
+    points: Vec<(u64, NodeId)>,
+    n: usize,
+    d: usize,
+    seed: u64,
+}
+
+impl ConsistentHashRing {
+    /// Default number of virtual nodes per physical node.
+    pub const DEFAULT_VNODES: usize = 64;
+
+    /// Creates a ring with [`Self::DEFAULT_VNODES`] virtual nodes per node.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless `1 <= d <= min(n, MAX_REPLICATION)`.
+    pub fn new(n: usize, d: usize, seed: u64) -> Result<Self> {
+        Self::with_vnodes(n, d, Self::DEFAULT_VNODES, seed)
+    }
+
+    /// Creates a ring with an explicit number of virtual nodes per node.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on invalid `n`/`d` or `vnodes == 0`.
+    pub fn with_vnodes(n: usize, d: usize, vnodes: usize, seed: u64) -> Result<Self> {
+        validate_n_d(n, d)?;
+        if vnodes == 0 {
+            return Err(ClusterError::InvalidParameter {
+                name: "vnodes",
+                reason: "need at least one virtual node per node".to_owned(),
+            });
+        }
+        let mut points = Vec::with_capacity(n * vnodes);
+        for node in 0..n {
+            for v in 0..vnodes {
+                points.push((mix(&[seed, node as u64, v as u64]), NodeId::new(node as u32)));
+            }
+        }
+        points.sort_unstable();
+        points.dedup_by_key(|p| p.0);
+        Ok(Self { points, n, d, seed })
+    }
+}
+
+impl Partitioner for ConsistentHashRing {
+    fn replica_group(&self, key: KeyId) -> ReplicaGroup {
+        let h = mix(&[self.seed, key.value()]);
+        let start = self.points.partition_point(|&(p, _)| p < h) % self.points.len();
+        let mut group = ReplicaGroup::new();
+        for offset in 0..self.points.len() {
+            let (_, node) = self.points[(start + offset) % self.points.len()];
+            if !group.contains(node) {
+                group.push(node);
+                if group.len() == self.d {
+                    break;
+                }
+            }
+        }
+        group
+    }
+
+    fn node_count(&self) -> usize {
+        self.n
+    }
+
+    fn replication_factor(&self) -> usize {
+        self.d
+    }
+}
+
+/// Rendezvous (highest-random-weight) hashing: the group is the `d` nodes
+/// with the highest `hash(key, node)` scores. O(n) per lookup but with
+/// perfectly balanced group membership.
+#[derive(Debug, Clone)]
+pub struct RendezvousPartitioner {
+    n: usize,
+    d: usize,
+    seed: u64,
+}
+
+impl RendezvousPartitioner {
+    /// Creates the partitioner.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless `1 <= d <= min(n, MAX_REPLICATION)`.
+    pub fn new(n: usize, d: usize, seed: u64) -> Result<Self> {
+        validate_n_d(n, d)?;
+        Ok(Self { n, d, seed })
+    }
+}
+
+impl Partitioner for RendezvousPartitioner {
+    fn replica_group(&self, key: KeyId) -> ReplicaGroup {
+        // Keep the d best (score, node) pairs; d is tiny so insertion into
+        // a sorted array beats a heap.
+        let mut best: [(u64, u32); MAX_REPLICATION] = [(0, 0); MAX_REPLICATION];
+        let mut filled = 0usize;
+        for node in 0..self.n as u32 {
+            let score = mix(&[self.seed, key.value(), node as u64]);
+            if filled < self.d {
+                best[filled] = (score, node);
+                filled += 1;
+                if filled == self.d {
+                    best[..filled].sort_unstable_by(|a, b| b.cmp(a));
+                }
+            } else if score > best[self.d - 1].0 {
+                // Insert into the sorted prefix.
+                let mut i = self.d - 1;
+                best[i] = (score, node);
+                while i > 0 && best[i].0 > best[i - 1].0 {
+                    best.swap(i, i - 1);
+                    i -= 1;
+                }
+            }
+        }
+        best[..filled].iter().map(|&(_, n)| NodeId::new(n)).collect()
+    }
+
+    fn node_count(&self) -> usize {
+        self.n
+    }
+
+    fn replication_factor(&self) -> usize {
+        self.d
+    }
+}
+
+/// Contiguous range partitioning (BigTable/HBase style): key `k` of an
+/// `m`-key space lands on node `floor(k·n/m)` and its `d-1` ring
+/// successors.
+///
+/// **This violates the paper's randomized-partitioning assumption**: an
+/// adversary who queries a contiguous key range concentrates all load on
+/// one replica group. Included as the counter-example the paper calls out
+/// in Section II.A.
+#[derive(Debug, Clone)]
+pub struct RangePartitioner {
+    n: usize,
+    d: usize,
+    m: u64,
+}
+
+impl RangePartitioner {
+    /// Creates the partitioner for an `m`-key space.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on invalid `n`/`d` or `m == 0`.
+    pub fn new(n: usize, d: usize, m: u64) -> Result<Self> {
+        validate_n_d(n, d)?;
+        if m == 0 {
+            return Err(ClusterError::InvalidParameter {
+                name: "m",
+                reason: "key space must be non-empty".to_owned(),
+            });
+        }
+        Ok(Self { n, d, m })
+    }
+}
+
+impl Partitioner for RangePartitioner {
+    fn replica_group(&self, key: KeyId) -> ReplicaGroup {
+        let k = key.value().min(self.m - 1);
+        let primary = ((k as u128 * self.n as u128) / self.m as u128) as usize;
+        (0..self.d)
+            .map(|i| NodeId::new(((primary + i) % self.n) as u32))
+            .collect()
+    }
+
+    fn node_count(&self) -> usize {
+        self.n
+    }
+
+    fn replication_factor(&self) -> usize {
+        self.d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn all_partitioners(n: usize, d: usize, m: u64) -> Vec<Box<dyn Partitioner>> {
+        vec![
+            Box::new(HashPartitioner::new(n, d, 1).unwrap()),
+            Box::new(ConsistentHashRing::new(n, d, 1).unwrap()),
+            Box::new(RendezvousPartitioner::new(n, d, 1).unwrap()),
+            Box::new(RangePartitioner::new(n, d, m).unwrap()),
+        ]
+    }
+
+    #[test]
+    fn replica_group_basics() {
+        let mut g = ReplicaGroup::new();
+        assert!(g.is_empty());
+        g.push(NodeId::new(3));
+        g.push(NodeId::new(5));
+        assert_eq!(g.len(), 2);
+        assert!(g.contains(NodeId::new(3)));
+        assert!(!g.contains(NodeId::new(4)));
+        assert_eq!(g.as_slice(), &[NodeId::new(3), NodeId::new(5)]);
+        let f = g.filtered(|n| n != NodeId::new(3));
+        assert_eq!(f.as_slice(), &[NodeId::new(5)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "replica group overflow")]
+    fn replica_group_overflow_panics() {
+        let mut g = ReplicaGroup::new();
+        for i in 0..=MAX_REPLICATION as u32 {
+            g.push(NodeId::new(i));
+        }
+    }
+
+    #[test]
+    fn validation_rejects_bad_parameters() {
+        assert!(HashPartitioner::new(0, 1, 0).is_err());
+        assert!(HashPartitioner::new(10, 0, 0).is_err());
+        assert!(HashPartitioner::new(10, 11, 0).is_err());
+        assert!(HashPartitioner::new(10, MAX_REPLICATION + 1, 0).is_err());
+        assert!(ConsistentHashRing::with_vnodes(10, 2, 0, 0).is_err());
+        assert!(RangePartitioner::new(10, 2, 0).is_err());
+    }
+
+    #[test]
+    fn groups_have_d_distinct_nodes() {
+        for p in all_partitioners(50, 3, 1000) {
+            for k in 0..200u64 {
+                let g = p.replica_group(KeyId::new(k));
+                assert_eq!(g.len(), 3, "{p:?} wrong group size");
+                let mut nodes: Vec<NodeId> = g.as_slice().to_vec();
+                nodes.sort();
+                nodes.dedup();
+                assert_eq!(nodes.len(), 3, "{p:?} produced duplicate nodes");
+                assert!(nodes.iter().all(|n| n.index() < 50));
+            }
+        }
+    }
+
+    #[test]
+    fn groups_are_stable() {
+        for p in all_partitioners(50, 3, 1000) {
+            for k in [0u64, 17, 999] {
+                assert_eq!(
+                    p.replica_group(KeyId::new(k)).as_slice(),
+                    p.replica_group(KeyId::new(k)).as_slice(),
+                    "{p:?} not deterministic"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn d_equals_n_uses_every_node() {
+        for p in all_partitioners(4, 4, 100) {
+            let g = p.replica_group(KeyId::new(5));
+            let mut nodes: Vec<usize> = g.iter().map(|n| n.index()).collect();
+            nodes.sort_unstable();
+            assert_eq!(nodes, vec![0, 1, 2, 3], "{p:?}");
+        }
+    }
+
+    #[test]
+    fn hash_partitioner_spreads_primaries_uniformly() {
+        let p = HashPartitioner::new(20, 1, 7).unwrap();
+        let mut counts = vec![0usize; 20];
+        let keys = 40_000u64;
+        for k in 0..keys {
+            counts[p.replica_group(KeyId::new(k)).as_slice()[0].index()] += 1;
+        }
+        let expected = keys as f64 / 20.0;
+        for &c in &counts {
+            let dev = (c as f64 - expected).abs() / expected;
+            assert!(dev < 0.08, "node load deviates {dev:.3}");
+        }
+    }
+
+    #[test]
+    fn different_seeds_change_hash_groups() {
+        let a = HashPartitioner::new(100, 3, 1).unwrap();
+        let b = HashPartitioner::new(100, 3, 2).unwrap();
+        let same = (0..500u64)
+            .filter(|&k| {
+                a.replica_group(KeyId::new(k)).as_slice()
+                    == b.replica_group(KeyId::new(k)).as_slice()
+            })
+            .count();
+        assert!(same < 10, "{same} identical groups across seeds");
+    }
+
+    #[test]
+    fn ring_membership_is_balanced_within_factor() {
+        let p = ConsistentHashRing::with_vnodes(10, 1, 256, 3).unwrap();
+        let mut counts = [0usize; 10];
+        for k in 0..20_000u64 {
+            counts[p.replica_group(KeyId::new(k)).as_slice()[0].index()] += 1;
+        }
+        let max = *counts.iter().max().unwrap() as f64;
+        let min = *counts.iter().min().unwrap() as f64;
+        assert!(max / min < 2.0, "ring imbalance {max}/{min}");
+    }
+
+    #[test]
+    fn rendezvous_matches_naive_top_d() {
+        let p = RendezvousPartitioner::new(30, 4, 9).unwrap();
+        for k in 0..100u64 {
+            let got = p.replica_group(KeyId::new(k));
+            let mut scored: Vec<(u64, u32)> = (0..30u32)
+                .map(|node| (mix(&[9, k, node as u64]), node))
+                .collect();
+            scored.sort_unstable_by(|a, b| b.cmp(a));
+            let want: Vec<NodeId> = scored[..4].iter().map(|&(_, n)| NodeId::new(n)).collect();
+            assert_eq!(got.as_slice(), want.as_slice(), "key {k}");
+        }
+    }
+
+    #[test]
+    fn rendezvous_minimal_disruption_on_node_add() {
+        // Hallmark of HRW: adding a node only steals keys for that node.
+        let small = RendezvousPartitioner::new(10, 1, 5).unwrap();
+        let large = RendezvousPartitioner::new(11, 1, 5).unwrap();
+        for k in 0..500u64 {
+            let before = small.replica_group(KeyId::new(k)).as_slice()[0];
+            let after = large.replica_group(KeyId::new(k)).as_slice()[0];
+            assert!(
+                after == before || after == NodeId::new(10),
+                "key {k} moved {before} -> {after}"
+            );
+        }
+    }
+
+    #[test]
+    fn range_partitioner_is_contiguous_and_correlated() {
+        let p = RangePartitioner::new(10, 2, 1000).unwrap();
+        // Keys 0..99 all live on node 0 (plus successor 1).
+        for k in 0..100u64 {
+            assert_eq!(
+                p.replica_group(KeyId::new(k)).as_slice(),
+                &[NodeId::new(0), NodeId::new(1)]
+            );
+        }
+        // Last range wraps its successor to node 0.
+        let g = p.replica_group(KeyId::new(999));
+        assert_eq!(g.as_slice(), &[NodeId::new(9), NodeId::new(0)]);
+        // Out-of-range keys are clamped rather than out-of-bounds.
+        let g = p.replica_group(KeyId::new(5000));
+        assert_eq!(g.as_slice()[0], NodeId::new(9));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_hash_groups_valid(n in 1usize..200, key in any::<u64>(), seed in any::<u64>()) {
+            let d = 1 + (seed as usize % n.min(MAX_REPLICATION));
+            let p = HashPartitioner::new(n, d, seed).unwrap();
+            let g = p.replica_group(KeyId::new(key));
+            prop_assert_eq!(g.len(), d);
+            let mut v: Vec<usize> = g.iter().map(|x| x.index()).collect();
+            v.sort_unstable();
+            v.dedup();
+            prop_assert_eq!(v.len(), d);
+            prop_assert!(v.iter().all(|&i| i < n));
+        }
+
+        #[test]
+        fn prop_ring_groups_valid(n in 1usize..60, key in any::<u64>(), seed in any::<u64>()) {
+            let d = 1 + (key as usize % n.min(4));
+            let p = ConsistentHashRing::with_vnodes(n, d, 8, seed).unwrap();
+            let g = p.replica_group(KeyId::new(key));
+            prop_assert_eq!(g.len(), d);
+            let mut v: Vec<usize> = g.iter().map(|x| x.index()).collect();
+            v.sort_unstable();
+            v.dedup();
+            prop_assert_eq!(v.len(), d);
+        }
+    }
+}

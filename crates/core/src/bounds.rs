@@ -1,0 +1,477 @@
+//! The paper's load bounds (Section III.B).
+//!
+//! With keys randomly partitioned and each key served by the least loaded
+//! of its `d` replicas, assigning the `x - c` uncached keys to `n` nodes is
+//! the heavily-loaded balls-into-bins process of Berenbrink et al.
+//! (STOC'00): the fullest bin holds
+//!
+//! ```text
+//! M/N + ln ln N / ln d ± Θ(1)        (d >= 2, Eq. 5)
+//! ```
+//!
+//! balls with high probability. Each queried key carries rate at most
+//! `R/(x-1)`, giving the expected-max-load bound (Eq. 7) and, after
+//! normalizing by the even share `R/n`, the attack-gain bound (Eq. 10):
+//!
+//! ```text
+//! E[L_max] / (R/n)  <=  1 + (1 - c + n·k) / (x - 1),
+//!     k = ln ln n / ln d + k'.
+//! ```
+//!
+//! The sign of `1 - c + n·k` decides everything: positive (small cache)
+//! means the adversary should query as *few* keys as the cache allows
+//! (`x = c + 1`) and always wins; non-positive (provisioned cache,
+//! `c >= c* = n·k + 1`) means the best the adversary can do is query
+//! everything and still stay below gain 1.
+//!
+//! The `d = 1` functions implement the Fan et al. (SoCC'11) baseline the
+//! paper extends, where the deviation term is `Θ(sqrt(M ln N / N))` and an
+//! *interior* `x*` maximizes the gain.
+
+use crate::gain::AttackGain;
+use crate::params::SystemParams;
+use serde::{Deserialize, Serialize};
+
+/// The fitted constant the paper uses for its Figure 3 bound curves
+/// (`k = 1.2` at `n = 1000`, `d = 3`).
+pub const DEFAULT_FITTED_K: f64 = 1.2;
+
+/// Default additive constant `k'` for the theoretical form
+/// `k = ln ln n / ln d + k'`.
+///
+/// The paper's fit of `k = 1.2` at `n = 1000, d = 3` (where
+/// `ln ln n / ln d ≈ 1.76`) corresponds to `k' ≈ -0.56`; we keep the
+/// theory default at `0` — conservative for provisioning.
+pub const DEFAULT_K_PRIME: f64 = 0.0;
+
+/// How the bound's `k = ln ln n / ln d ± Θ(1)` constant is chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum KParam {
+    /// A single fitted value used verbatim (the paper fits 1.2 for its
+    /// simulations at `n = 1000, d = 3`).
+    Fitted(f64),
+    /// The theoretical form `ln ln n / ln d + k_prime`.
+    Theory {
+        /// The additive `Θ(1)` correction.
+        k_prime: f64,
+    },
+}
+
+impl KParam {
+    /// Resolves `k` for a concrete `(n, d)`.
+    ///
+    /// For `d = 1` the theoretical form is undefined (no power of choices)
+    /// and resolves to `+∞` — consistent with Fan et al.: without
+    /// replication no finite `O(n)` cache yields a sub-1 gain guarantee of
+    /// this form.
+    pub fn value(&self, n: usize, d: usize) -> f64 {
+        match *self {
+            KParam::Fitted(k) => k,
+            KParam::Theory { k_prime } => ball_bin_gap(n, d) + k_prime,
+        }
+    }
+
+    /// The paper's fitted Figure-3 constant.
+    pub fn paper_fitted() -> Self {
+        KParam::Fitted(DEFAULT_FITTED_K)
+    }
+
+    /// The theoretical form with the default correction.
+    pub fn theory() -> Self {
+        KParam::Theory {
+            k_prime: DEFAULT_K_PRIME,
+        }
+    }
+}
+
+impl Default for KParam {
+    fn default() -> Self {
+        Self::paper_fitted()
+    }
+}
+
+/// The `ln ln n / ln d` gap term of Eq. (5) — how far above the average
+/// the fullest bin sits under `d`-choice allocation, independent of the
+/// number of balls.
+///
+/// Returns `+∞` for `d = 1` (single choice has a diverging, ball-count
+/// dependent gap; see [`max_load_gap_single_choice`]) and 0 for `n <= 2`
+/// where the asymptotic expression is meaningless.
+pub fn ball_bin_gap(n: usize, d: usize) -> f64 {
+    if d <= 1 {
+        return f64::INFINITY;
+    }
+    if n <= 2 {
+        return 0.0;
+    }
+    (n as f64).ln().ln() / (d as f64).ln()
+}
+
+/// The deviation term for single-choice allocation (`d = 1`, Fan et al.):
+/// `beta * sqrt(balls * ln n / n)` — grows with the number of balls,
+/// unlike the replicated case.
+pub fn max_load_gap_single_choice(balls: f64, n: usize, beta: f64) -> f64 {
+    if n <= 1 || balls <= 0.0 {
+        return 0.0;
+    }
+    beta * (balls * (n as f64).ln() / n as f64).sqrt()
+}
+
+/// Eq. (6): bound on the number of distinct uncached keys landing on the
+/// fullest node when the adversary queries `x` keys (`x > c`).
+pub fn keys_per_node_bound(x: u64, c: usize, n: usize, d: usize, k: &KParam) -> f64 {
+    debug_assert!(x > c as u64);
+    (x - c as u64) as f64 / n as f64 + k.value(n, d)
+}
+
+/// Eq. (7)–(9): bound on the expected maximum per-node load (queries per
+/// second) when the adversary spreads rate `R` over `x` keys.
+///
+/// # Panics
+///
+/// Panics if `x <= max(c, 1)` — the adversary must query more keys than
+/// the cache holds for any query to reach the back ends.
+pub fn expected_max_load_bound(params: &SystemParams, x: u64, k: &KParam) -> f64 {
+    let c = params.cache_size();
+    assert!(
+        x > c as u64 && x >= 2,
+        "need x > max(c, 1) for backend load, got x={x}, c={c}"
+    );
+    let per_key_rate = params.rate() / (x - 1) as f64;
+    keys_per_node_bound(x, c, params.nodes(), params.replication(), k) * per_key_rate
+}
+
+/// Eq. (10): bound on the attack gain `E[L_max] / (R/n)`:
+/// `1 + (1 - c + n·k) / (x - 1)`.
+///
+/// # Panics
+///
+/// Panics if `x <= max(c, 1)`.
+pub fn attack_gain_bound(params: &SystemParams, x: u64, k: &KParam) -> AttackGain {
+    let c = params.cache_size();
+    assert!(
+        x > c as u64 && x >= 2,
+        "need x > max(c, 1) for backend load, got x={x}, c={c}"
+    );
+    let n = params.nodes();
+    let kv = k.value(n, params.replication());
+    let gain = 1.0 + (1.0 - c as f64 + n as f64 * kv) / (x - 1) as f64;
+    AttackGain::new(gain.max(0.0))
+}
+
+/// The Fan et al. baseline gain bound for `d = 1`:
+/// `(x-c)/(x-1) + n·beta·sqrt((x-c)·ln n / n) / (x-1)`.
+///
+/// # Panics
+///
+/// Panics if `x <= max(c, 1)`.
+pub fn attack_gain_bound_single_choice(n: usize, c: usize, x: u64, beta: f64) -> AttackGain {
+    assert!(
+        x > c as u64 && x >= 2,
+        "need x > max(c, 1) for backend load, got x={x}, c={c}"
+    );
+    let balls = (x - c as u64) as f64;
+    let max_keys = balls / n as f64 + max_load_gap_single_choice(balls, n, beta);
+    AttackGain::new((max_keys * n as f64 / (x - 1) as f64).max(0.0))
+}
+
+/// The critical cache size `c* = ⌈n·k + 1⌉`: the smallest cache for which
+/// `1 - c + n·k <= 0`, i.e. for which **no** choice of `x` yields an
+/// effective attack.
+///
+/// Returns `usize::MAX` when `k` resolves to `+∞` (the `d = 1` case: no
+/// finite cache of this form protects the cluster).
+pub fn critical_cache_size(n: usize, d: usize, k: &KParam) -> usize {
+    let kv = k.value(n, d);
+    if kv.is_infinite() {
+        return usize::MAX;
+    }
+    let c = n as f64 * kv + 1.0;
+    if c <= 0.0 {
+        0
+    } else {
+        c.ceil() as usize
+    }
+}
+
+/// The adversary's two candidate subset sizes and which is optimal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BestSubsetSize {
+    /// Small cache (`c < c*`): query the fewest keys that bypass the
+    /// cache, `x = c + 1`.
+    JustAboveCache(u64),
+    /// Provisioned cache (`c >= c*`): the best remaining play is the whole
+    /// key space, `x = m` (and it still fails).
+    EntireKeySpace(u64),
+}
+
+impl BestSubsetSize {
+    /// The chosen number of keys to query.
+    pub fn x(&self) -> u64 {
+        match *self {
+            BestSubsetSize::JustAboveCache(x) | BestSubsetSize::EntireKeySpace(x) => x,
+        }
+    }
+}
+
+/// Case analysis of Section III.B: the optimal number of keys for the
+/// adversary to query, given the cache size relative to `c*`.
+///
+/// When `c = m` (everything cached) there is no `x > c`; the adversary has
+/// no move and we report `EntireKeySpace(m)` with the convention that the
+/// attack degenerates to zero backend load.
+pub fn optimal_subset_size(params: &SystemParams, k: &KParam) -> BestSubsetSize {
+    let c = params.cache_size();
+    let m = params.items();
+    let c_star = critical_cache_size(params.nodes(), params.replication(), k);
+    if c >= c_star || (c as u64) + 1 > m {
+        BestSubsetSize::EntireKeySpace(m)
+    } else {
+        BestSubsetSize::JustAboveCache(c as u64 + 1)
+    }
+}
+
+/// The Fan et al. interior optimum for `d = 1`: the `x` in `(c, m]`
+/// maximizing [`attack_gain_bound_single_choice`], found by ternary search
+/// (the bound is unimodal in `x`).
+pub fn optimal_subset_size_single_choice(n: usize, c: usize, m: u64, beta: f64) -> u64 {
+    let lo = (c as u64 + 1).max(2);
+    if lo >= m {
+        return m.max(lo.min(m));
+    }
+    let gain = |x: u64| attack_gain_bound_single_choice(n, c, x, beta).value();
+    let (mut lo, mut hi) = (lo, m);
+    while hi - lo > 2 {
+        let third = (hi - lo) / 3;
+        let m1 = lo + third;
+        let m2 = hi - third;
+        if gain(m1) < gain(m2) {
+            lo = m1 + 1;
+        } else {
+            hi = m2 - 1;
+        }
+    }
+    (lo..=hi)
+        .max_by(|&a, &b| gain(a).partial_cmp(&gain(b)).expect("gains are finite"))
+        .expect("non-empty range")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_params(c: usize) -> SystemParams {
+        SystemParams::new(1000, 3, c, 1_000_000, 1e5).unwrap()
+    }
+
+    #[test]
+    fn ball_bin_gap_matches_formula() {
+        let gap = ball_bin_gap(1000, 3);
+        let expected = (1000f64).ln().ln() / 3f64.ln();
+        assert!((gap - expected).abs() < 1e-12);
+        assert!((expected - 1.7589).abs() < 1e-3, "sanity: {expected}");
+    }
+
+    #[test]
+    fn ball_bin_gap_edge_cases() {
+        assert!(ball_bin_gap(1000, 1).is_infinite());
+        assert_eq!(ball_bin_gap(1, 3), 0.0);
+        assert_eq!(ball_bin_gap(2, 3), 0.0);
+        // Larger d shrinks the gap.
+        assert!(ball_bin_gap(1000, 4) < ball_bin_gap(1000, 2));
+    }
+
+    #[test]
+    fn single_choice_gap_grows_with_balls() {
+        let g1 = max_load_gap_single_choice(1000.0, 100, 1.0);
+        let g2 = max_load_gap_single_choice(4000.0, 100, 1.0);
+        assert!((g2 / g1 - 2.0).abs() < 1e-9, "sqrt scaling");
+        assert_eq!(max_load_gap_single_choice(0.0, 100, 1.0), 0.0);
+        assert_eq!(max_load_gap_single_choice(10.0, 1, 1.0), 0.0);
+    }
+
+    #[test]
+    fn kparam_resolution() {
+        assert_eq!(KParam::Fitted(1.2).value(1000, 3), 1.2);
+        let t = KParam::Theory { k_prime: 0.5 }.value(1000, 3);
+        assert!((t - (ball_bin_gap(1000, 3) + 0.5)).abs() < 1e-12);
+        assert_eq!(KParam::default(), KParam::paper_fitted());
+        assert!(KParam::theory().value(1000, 1).is_infinite());
+    }
+
+    #[test]
+    fn gain_bound_matches_equation_ten() {
+        // gain <= 1 + (1 - c + n k)/(x - 1), paper's fitted k = 1.2.
+        let p = paper_params(200);
+        let k = KParam::Fitted(1.2);
+        let g = attack_gain_bound(&p, 201, &k).value();
+        let expected = 1.0 + (1.0 - 200.0 + 1000.0 * 1.2) / 200.0;
+        assert!((g - expected).abs() < 1e-9);
+        assert!(g > 5.9 && g < 6.1, "paper ballpark: {g}");
+    }
+
+    #[test]
+    fn gain_bound_decreases_in_x_below_critical() {
+        let p = paper_params(200);
+        let k = KParam::default();
+        let mut prev = f64::INFINITY;
+        for x in [201u64, 500, 1000, 10_000, 1_000_000] {
+            let g = attack_gain_bound(&p, x, &k).value();
+            assert!(g < prev, "gain must decrease with x when c < c*");
+            prev = g;
+        }
+        // With c < c* the attack stays effective all the way to x = m.
+        assert!(prev > 1.0);
+    }
+
+    #[test]
+    fn gain_bound_increases_in_x_above_critical() {
+        let p = paper_params(2000);
+        let k = KParam::default();
+        let mut prev = 0.0;
+        for x in [2001u64, 5000, 50_000, 1_000_000] {
+            let g = attack_gain_bound(&p, x, &k).value();
+            assert!(g > prev, "gain must increase with x when c > c*");
+            assert!(g < 1.0, "and never become effective");
+            prev = g;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "need x > max(c, 1)")]
+    fn gain_bound_requires_x_beyond_cache() {
+        let p = paper_params(200);
+        let _ = attack_gain_bound(&p, 200, &KParam::default());
+    }
+
+    #[test]
+    fn expected_max_load_consistent_with_gain() {
+        let p = paper_params(200);
+        let k = KParam::default();
+        let x = 201u64;
+        let load = expected_max_load_bound(&p, x, &k);
+        // Load/(R/n) should equal gain up to the (x-c)/x vs 1-(c-1)/(x-1)
+        // algebra of Eq. (8): both derived from the same expression.
+        let gain = attack_gain_bound(&p, x, &k).value();
+        assert!((load / p.even_share() - gain).abs() < 1e-9);
+    }
+
+    #[test]
+    fn critical_cache_size_formula() {
+        // c* = ceil(n k + 1).
+        assert_eq!(
+            critical_cache_size(1000, 3, &KParam::Fitted(1.2)),
+            1201
+        );
+        let theory = critical_cache_size(1000, 3, &KParam::theory());
+        assert_eq!(theory, (1000.0 * ball_bin_gap(1000, 3) + 1.0).ceil() as usize);
+        assert_eq!(critical_cache_size(1000, 1, &KParam::theory()), usize::MAX);
+        // Strongly negative k' clamps at zero.
+        assert_eq!(
+            critical_cache_size(10, 3, &KParam::Theory { k_prime: -100.0 }),
+            0
+        );
+    }
+
+    #[test]
+    fn critical_size_is_linear_in_n_for_fixed_k() {
+        let k = KParam::Fitted(1.2);
+        let c1 = critical_cache_size(1000, 3, &k);
+        let c2 = critical_cache_size(2000, 3, &k);
+        assert_eq!(c2 - 1, 2 * (c1 - 1), "O(n) scaling");
+    }
+
+    #[test]
+    fn critical_size_independent_of_items() {
+        // The headline claim: c* does not involve m at all. (The function
+        // signature proves it, but pin the behaviour for the README claim.)
+        let k = KParam::default();
+        assert_eq!(
+            critical_cache_size(500, 3, &k),
+            critical_cache_size(500, 3, &k)
+        );
+    }
+
+    #[test]
+    fn gain_at_critical_size_is_at_most_one() {
+        for (n, d) in [(100, 2), (1000, 3), (5000, 4)] {
+            let k = KParam::theory();
+            let c_star = critical_cache_size(n, d, &k);
+            let p = SystemParams::new(n, d, c_star, 10_000_000, 1e5).unwrap();
+            for x in [c_star as u64 + 1, 1_000_000, 10_000_000] {
+                let g = attack_gain_bound(&p, x, &k).value();
+                assert!(g <= 1.0 + 1e-9, "gain {g} above 1 at c* (n={n}, d={d})");
+            }
+        }
+    }
+
+    #[test]
+    fn gain_just_below_critical_is_effective() {
+        let k = KParam::theory();
+        let c_star = critical_cache_size(1000, 3, &k);
+        let p = SystemParams::new(1000, 3, c_star - 2, 1_000_000, 1e5).unwrap();
+        let g = attack_gain_bound(&p, (c_star - 1) as u64, &k);
+        assert!(g.is_effective());
+    }
+
+    #[test]
+    fn optimal_subset_case_analysis() {
+        let k = KParam::default(); // c* = 1201
+        let below = paper_params(200);
+        assert_eq!(
+            optimal_subset_size(&below, &k),
+            BestSubsetSize::JustAboveCache(201)
+        );
+        let above = paper_params(2000);
+        assert_eq!(
+            optimal_subset_size(&above, &k),
+            BestSubsetSize::EntireKeySpace(1_000_000)
+        );
+        assert_eq!(optimal_subset_size(&below, &k).x(), 201);
+    }
+
+    #[test]
+    fn optimal_subset_whole_space_cached() {
+        let p = SystemParams::new(10, 2, 100, 100, 1.0).unwrap();
+        assert_eq!(
+            optimal_subset_size(&p, &KParam::default()),
+            BestSubsetSize::EntireKeySpace(100)
+        );
+    }
+
+    #[test]
+    fn single_choice_gain_has_interior_maximum() {
+        let (n, c, m, beta) = (1000, 200, 1_000_000u64, 1.0);
+        let x_star = optimal_subset_size_single_choice(n, c, m, beta);
+        assert!(x_star > c as u64 + 1, "optimum should be interior, got {x_star}");
+        assert!(x_star < m, "optimum should be interior, got {x_star}");
+        let g_star = attack_gain_bound_single_choice(n, c, x_star, beta).value();
+        for x in [c as u64 + 1, x_star / 2, x_star * 2, m] {
+            if x > c as u64 {
+                let g = attack_gain_bound_single_choice(n, c, x, beta).value();
+                assert!(g <= g_star + 1e-9, "x={x} beats x*");
+            }
+        }
+        // Fan et al.: without replication the adversary is ALWAYS effective.
+        assert!(g_star > 1.0);
+    }
+
+    #[test]
+    fn single_choice_optimum_moves_with_cache_size() {
+        let m = 1_000_000u64;
+        let x_small = optimal_subset_size_single_choice(1000, 100, m, 1.0);
+        let x_large = optimal_subset_size_single_choice(1000, 10_000, m, 1.0);
+        assert!(
+            x_large > x_small,
+            "bigger caches force the d=1 adversary to spread wider"
+        );
+    }
+
+    #[test]
+    fn serde_kparam() {
+        let k = KParam::Theory { k_prime: 0.5 };
+        let json = serde_json::to_string(&k).unwrap();
+        let back: KParam = serde_json::from_str(&json).unwrap();
+        assert_eq!(k, back);
+    }
+}

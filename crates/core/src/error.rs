@@ -1,0 +1,66 @@
+//! Error type for the theory layer.
+
+use std::fmt;
+
+/// Errors produced while constructing models or strategies.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A model parameter was outside its legal range.
+    InvalidParameter {
+        /// Name of the parameter.
+        name: &'static str,
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+    /// An underlying workload object could not be built.
+    Workload(scp_workload::WorkloadError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            CoreError::Workload(e) => write!(f, "workload error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Workload(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<scp_workload::WorkloadError> for CoreError {
+    fn from(value: scp_workload::WorkloadError) -> Self {
+        CoreError::Workload(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = CoreError::InvalidParameter {
+            name: "d",
+            reason: "zero".into(),
+        };
+        assert!(e.to_string().contains('d'));
+        let w = CoreError::from(scp_workload::WorkloadError::EmptyDistribution);
+        assert!(w.to_string().contains("workload"));
+        assert!(std::error::Error::source(&w).is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

@@ -1,0 +1,137 @@
+//! Attack gain and effectiveness (Definitions 1 and 2).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The paper's *Attack Gain* (Definition 1): the load of the most loaded
+/// node normalized by the even share `R/n`.
+///
+/// Gains above 1 mean the adversary made some node carry more than its
+/// fair share of **all** offered traffic — an *effective* DDOS
+/// (Definition 2). Gains at or below 1 mean the front-end cache absorbed
+/// enough traffic that even the hottest node is no worse off than under
+/// perfect balancing.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct AttackGain(f64);
+
+impl AttackGain {
+    /// Wraps a raw normalized-max-load value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is NaN or negative (gains are ratios of loads).
+    pub fn new(value: f64) -> Self {
+        assert!(
+            !value.is_nan() && value >= 0.0,
+            "attack gain must be a non-negative ratio, got {value}"
+        );
+        Self(value)
+    }
+
+    /// The raw ratio.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Whether the attack is *effective* (gain strictly above 1).
+    pub fn is_effective(self) -> bool {
+        self.0 > 1.0
+    }
+
+    /// Classifies per Definition 2.
+    pub fn effectiveness(self) -> Effectiveness {
+        if self.is_effective() {
+            Effectiveness::Effective
+        } else {
+            Effectiveness::Ineffective
+        }
+    }
+}
+
+impl From<AttackGain> for f64 {
+    fn from(value: AttackGain) -> Self {
+        value.0
+    }
+}
+
+impl fmt::Display for AttackGain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.4}x", self.0)
+    }
+}
+
+/// Definition 2: classification of a DDOS attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Effectiveness {
+    /// Attack gain above 1: some node is overloaded relative to fair share.
+    Effective,
+    /// Attack gain at or below 1: the cluster absorbs the attack.
+    Ineffective,
+}
+
+impl fmt::Display for Effectiveness {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Effectiveness::Effective => write!(f, "effective"),
+            Effectiveness::Ineffective => write!(f, "ineffective"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_threshold_is_one() {
+        assert!(AttackGain::new(1.0001).is_effective());
+        assert!(!AttackGain::new(1.0).is_effective());
+        assert!(!AttackGain::new(0.5).is_effective());
+        assert_eq!(
+            AttackGain::new(2.0).effectiveness(),
+            Effectiveness::Effective
+        );
+        assert_eq!(
+            AttackGain::new(0.9).effectiveness(),
+            Effectiveness::Ineffective
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative() {
+        let _ = AttackGain::new(-0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_nan() {
+        let _ = AttackGain::new(f64::NAN);
+    }
+
+    #[test]
+    fn infinity_is_effective() {
+        // d=1 theory yields unbounded gains; they classify as effective.
+        assert!(AttackGain::new(f64::INFINITY).is_effective());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(AttackGain::new(1.5).to_string(), "1.5000x");
+        assert_eq!(Effectiveness::Effective.to_string(), "effective");
+        assert_eq!(Effectiveness::Ineffective.to_string(), "ineffective");
+    }
+
+    #[test]
+    fn ordering_and_conversion() {
+        assert!(AttackGain::new(2.0) > AttackGain::new(1.0));
+        assert_eq!(f64::from(AttackGain::new(2.0)), 2.0);
+    }
+
+    #[test]
+    fn serde_is_transparent() {
+        let g = AttackGain::new(1.25);
+        assert_eq!(serde_json::to_string(&g).unwrap(), "1.25");
+    }
+}

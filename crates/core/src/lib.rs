@@ -1,0 +1,57 @@
+//! The paper's contribution: provable DDOS prevention through cache
+//! provisioning.
+//!
+//! This crate is a faithful, executable rendition of the analysis in
+//! *"Secure Cache Provision: Provable DDOS Prevention for Randomly
+//! Partitioned Services with Replication"* (ICDCS Workshops 2013):
+//!
+//! * [`params`] — the system model `(n, d, c, m, R)` of Table I.
+//! * [`bounds`] — the balls-into-bins maximum-load bounds (Eq. 5–6), the
+//!   expected-max-load bound (Eq. 7–9) and the normalized attack-gain
+//!   bound (Eq. 10), for both the replicated case (`d >= 2`) and the
+//!   Fan et al. SoCC'11 baseline (`d = 1`).
+//! * [`gain`] — attack gain and effectiveness (Definitions 1–2).
+//! * [`theorem`] — the executable Theorem-1 load-shifting transformation
+//!   proving equal-rate subsets optimal.
+//! * [`adversary`] — strategies that turn the theory into concrete access
+//!   patterns: the paper's optimal adversary (`x = c+1` or `x = m`), the
+//!   no-replication baseline (interior-optimal `x*`), and fixed subsets.
+//! * [`provision`] — the defender's side: critical cache size
+//!   `c* = n·(ln ln n / ln d) + n·k' + 1`, protection verdicts, capacity
+//!   head-room.
+//!
+//! # Example
+//!
+//! ```
+//! use scp_core::bounds::{attack_gain_bound, critical_cache_size, KParam};
+//! use scp_core::params::SystemParams;
+//!
+//! let params = SystemParams::new(1000, 3, 200, 1_000_000, 1e5)?;
+//! let k = KParam::default();
+//!
+//! // A 200-entry cache is below the critical size ...
+//! let c_star = critical_cache_size(1000, 3, &k);
+//! assert!(params.cache_size() < c_star);
+//!
+//! // ... so querying x = c+1 keys overloads some node (gain > 1).
+//! let gain = attack_gain_bound(&params, 201, &k);
+//! assert!(gain.is_effective());
+//! # Ok::<(), scp_core::CoreError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod adversary;
+pub mod bounds;
+pub mod error;
+pub mod gain;
+pub mod params;
+pub mod provision;
+pub mod theorem;
+
+pub use error::CoreError;
+pub use gain::{AttackGain, Effectiveness};
+pub use params::SystemParams;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, CoreError>;

@@ -1,0 +1,177 @@
+//! The system model of Table I.
+
+use crate::error::CoreError;
+use crate::Result;
+use serde::{Deserialize, Serialize};
+
+/// Largest replication factor accepted by the model (matches the cluster
+/// substrate's `MAX_REPLICATION`).
+pub const MAX_REPLICATION: usize = 16;
+
+/// The `(n, d, c, m, R)` tuple of the paper's Table I.
+///
+/// * `n` — number of back-end nodes,
+/// * `d` — replication factor (nodes able to serve each item),
+/// * `c` — front-end cache capacity in items,
+/// * `m` — number of `(key, value)` items stored by the service,
+/// * `rate` — aggregate client query rate `R` in queries/second.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SystemParams {
+    n: usize,
+    d: usize,
+    c: usize,
+    m: u64,
+    rate: f64,
+}
+
+impl SystemParams {
+    /// Validates and builds a parameter set.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless `n >= 1`, `1 <= d <= min(n, 16)`,
+    /// `c <= m`, `m >= 1` and `rate` is finite and positive.
+    pub fn new(n: usize, d: usize, c: usize, m: u64, rate: f64) -> Result<Self> {
+        if n == 0 {
+            return Err(CoreError::InvalidParameter {
+                name: "n",
+                reason: "need at least one back-end node".to_owned(),
+            });
+        }
+        if d == 0 || d > MAX_REPLICATION || d > n {
+            return Err(CoreError::InvalidParameter {
+                name: "d",
+                reason: format!("need 1 <= d <= min(n, {MAX_REPLICATION}), got d={d}, n={n}"),
+            });
+        }
+        if m == 0 {
+            return Err(CoreError::InvalidParameter {
+                name: "m",
+                reason: "the service must store at least one item".to_owned(),
+            });
+        }
+        if c as u64 > m {
+            return Err(CoreError::InvalidParameter {
+                name: "c",
+                reason: format!("cache size {c} exceeds the {m} stored items"),
+            });
+        }
+        if !rate.is_finite() || rate <= 0.0 {
+            return Err(CoreError::InvalidParameter {
+                name: "rate",
+                reason: format!("query rate must be finite and positive, got {rate}"),
+            });
+        }
+        Ok(Self { n, d, c, m, rate })
+    }
+
+    /// Number of back-end nodes `n`.
+    pub fn nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Replication factor `d`.
+    pub fn replication(&self) -> usize {
+        self.d
+    }
+
+    /// Front-end cache capacity `c`.
+    pub fn cache_size(&self) -> usize {
+        self.c
+    }
+
+    /// Number of stored items `m`.
+    pub fn items(&self) -> u64 {
+        self.m
+    }
+
+    /// Aggregate client query rate `R` (queries/second).
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// The even-share load `R / n` — the best case where traffic spreads
+    /// perfectly over the back ends; the paper's normalization baseline.
+    pub fn even_share(&self) -> f64 {
+        self.rate / self.n as f64
+    }
+
+    /// Copy with a different cache size.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the new size exceeds `m`.
+    pub fn with_cache_size(&self, c: usize) -> Result<Self> {
+        Self::new(self.n, self.d, c, self.m, self.rate)
+    }
+
+    /// Copy with a different node count.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the new count is invalid for the current `d`.
+    pub fn with_nodes(&self, n: usize) -> Result<Self> {
+        Self::new(n, self.d, self.c, self.m, self.rate)
+    }
+
+    /// Copy with a different replication factor.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the new factor is invalid.
+    pub fn with_replication(&self, d: usize) -> Result<Self> {
+        Self::new(self.n, d, self.c, self.m, self.rate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_paper_configuration() {
+        // The simulation setup of Section IV.
+        let p = SystemParams::new(1000, 3, 200, 1_000_000, 1e5).unwrap();
+        assert_eq!(p.nodes(), 1000);
+        assert_eq!(p.replication(), 3);
+        assert_eq!(p.cache_size(), 200);
+        assert_eq!(p.items(), 1_000_000);
+        assert!((p.even_share() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_invalid_parameters() {
+        assert!(SystemParams::new(0, 1, 0, 1, 1.0).is_err());
+        assert!(SystemParams::new(10, 0, 0, 1, 1.0).is_err());
+        assert!(SystemParams::new(10, 11, 0, 1, 1.0).is_err());
+        assert!(SystemParams::new(10, 17, 0, 100, 1.0).is_err());
+        assert!(SystemParams::new(10, 2, 0, 0, 1.0).is_err());
+        assert!(SystemParams::new(10, 2, 101, 100, 1.0).is_err());
+        assert!(SystemParams::new(10, 2, 0, 100, 0.0).is_err());
+        assert!(SystemParams::new(10, 2, 0, 100, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn cache_may_cover_whole_key_space() {
+        let p = SystemParams::new(10, 2, 100, 100, 1.0).unwrap();
+        assert_eq!(p.cache_size(), 100);
+    }
+
+    #[test]
+    fn with_methods_revalidate() {
+        let p = SystemParams::new(10, 2, 5, 100, 1.0).unwrap();
+        assert_eq!(p.with_cache_size(7).unwrap().cache_size(), 7);
+        assert!(p.with_cache_size(101).is_err());
+        assert_eq!(p.with_nodes(50).unwrap().nodes(), 50);
+        assert!(p.with_nodes(1).is_err(), "d=2 needs n >= 2");
+        assert_eq!(p.with_replication(1).unwrap().replication(), 1);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let p = SystemParams::new(10, 2, 5, 100, 1.5).unwrap();
+        let json = serde_json::to_string(&p).unwrap();
+        let back: SystemParams = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+    }
+}

@@ -1,0 +1,370 @@
+//! The defender's side: sizing the front-end cache.
+//!
+//! The paper's operational take-away (Section III.B): provision
+//! `c >= c* = n·k + 1` cache entries and no access pattern — adversarial
+//! or organic — can push any back-end node above the even share `R/n`.
+//! Since `k = ln ln n / ln d + k' < 2` for every realistic cluster
+//! (`n < 1e5`, `d >= 3`), this is an **O(n)** cache independent of the
+//! number of stored items.
+
+use crate::bounds::{attack_gain_bound, critical_cache_size, optimal_subset_size, KParam};
+use crate::error::CoreError;
+use crate::params::SystemParams;
+use crate::Result;
+use serde::{Deserialize, Serialize};
+
+/// Sizes caches and issues protection verdicts for concrete systems.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Provisioner {
+    k: KParam,
+}
+
+impl Provisioner {
+    /// A provisioner using the paper's fitted `k = 1.2`.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A provisioner with an explicit `k` parameterization. Use
+    /// [`KParam::theory`] for the conservative
+    /// `k = ln ln n / ln d` form.
+    pub fn with_k(k: KParam) -> Self {
+        Self { k }
+    }
+
+    /// The `k` parameterization in use.
+    pub fn k(&self) -> &KParam {
+        &self.k
+    }
+
+    /// The minimum cache size `c*` guaranteeing DDOS prevention for an
+    /// `n`-node cluster with replication `d`.
+    ///
+    /// Returns `usize::MAX` for `d = 1` with a theoretical `k` — no finite
+    /// cache of this form protects an unreplicated cluster.
+    pub fn min_cache_size(&self, n: usize, d: usize) -> usize {
+        critical_cache_size(n, d, &self.k)
+    }
+
+    /// Whether a system's cache meets the critical size.
+    pub fn is_protected(&self, params: &SystemParams) -> bool {
+        params.cache_size() >= self.min_cache_size(params.nodes(), params.replication())
+    }
+
+    /// The largest cluster (node count) a cache of `c` entries can
+    /// protect at replication `d`, found by binary search on the
+    /// monotone `n -> c*(n)` map. Returns 0 if even one node needs more.
+    pub fn max_protectable_nodes(&self, c: usize, d: usize) -> usize {
+        if d <= 1 {
+            return 0;
+        }
+        let fits = |n: usize| critical_cache_size(n, d, &self.k) <= c;
+        if !fits(1) {
+            return 0;
+        }
+        let (mut lo, mut hi) = (1usize, 1usize);
+        while fits(hi) {
+            if hi >= usize::MAX / 2 {
+                return usize::MAX;
+            }
+            lo = hi;
+            hi *= 2;
+        }
+        while hi - lo > 1 {
+            let mid = lo + (hi - lo) / 2;
+            if fits(mid) {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    /// The smallest cache holding the worst-case gain at or below
+    /// `target_gain` (a service-level objective looser or tighter than
+    /// the DDOS threshold 1.0).
+    ///
+    /// Below `c*` the adversary's best play is `x = c + 1`, where
+    /// Eq. (10) collapses to `gain = (n·k + 1)/c`; solving for `c` gives
+    /// `c >= (n·k + 1)/target`. Targets at or above that point are served
+    /// by `c*` itself.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless `target_gain` is finite and positive.
+    pub fn cache_for_target_gain(
+        &self,
+        n: usize,
+        d: usize,
+        target_gain: f64,
+    ) -> Result<usize> {
+        if !target_gain.is_finite() || target_gain <= 0.0 {
+            return Err(CoreError::InvalidParameter {
+                name: "target_gain",
+                reason: format!("must be finite and positive, got {target_gain}"),
+            });
+        }
+        let kv = self.k.value(n, d);
+        if kv.is_infinite() {
+            return Ok(usize::MAX);
+        }
+        if target_gain <= 1.0 {
+            // At gain <= 1 the x = m play binds too; c* settles both.
+            return Ok(self.min_cache_size(n, d));
+        }
+        let c = ((n as f64 * kv + 1.0) / target_gain).ceil().max(0.0) as usize;
+        Ok(c.min(self.min_cache_size(n, d)))
+    }
+
+    /// The smallest replication factor for which a cache of `c` entries
+    /// protects an `n`-node cluster (theoretical `k` form), or `None` if
+    /// no `d <= 16` suffices.
+    ///
+    /// Inverts `c >= n·(ln ln n / ln d + k') + 1` in `d`.
+    pub fn min_replication(&self, n: usize, c: usize) -> Option<usize> {
+        (2..=crate::params::MAX_REPLICATION)
+            .find(|&d| critical_cache_size(n, d, &self.k) <= c)
+    }
+
+    /// Full provisioning report for a concrete system.
+    pub fn report(&self, params: &SystemParams) -> ProvisionReport {
+        let n = params.nodes();
+        let d = params.replication();
+        let c = params.cache_size();
+        let critical = self.min_cache_size(n, d);
+        let worst_x = optimal_subset_size(params, &self.k).x();
+        // When everything is cached the backend sees nothing.
+        let (worst_gain, worst_load, cache_fraction) = if worst_x <= c as u64 {
+            (0.0, 0.0, 1.0)
+        } else {
+            let g = attack_gain_bound(params, worst_x, &self.k).value();
+            (
+                g,
+                g * params.even_share(),
+                (c as f64 / worst_x as f64).min(1.0),
+            )
+        };
+        ProvisionReport {
+            nodes: n,
+            replication: d,
+            items: params.items(),
+            cache_size: c,
+            critical_cache_size: critical,
+            is_protected: c >= critical,
+            worst_case_x: worst_x,
+            worst_case_gain: worst_gain,
+            required_node_capacity: worst_load,
+            cache_absorbed_fraction: cache_fraction,
+        }
+    }
+
+    /// Checks whether uniform per-node capacity `r` survives the worst
+    /// case: `r >= E[L_max]` bound ("with high probability the adversary
+    /// will never saturate any node").
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `r` is not finite and positive.
+    pub fn survives_worst_case(&self, params: &SystemParams, r: f64) -> Result<bool> {
+        if !r.is_finite() || r <= 0.0 {
+            return Err(CoreError::InvalidParameter {
+                name: "r",
+                reason: format!("node capacity must be finite and positive, got {r}"),
+            });
+        }
+        Ok(r >= self.report(params).required_node_capacity)
+    }
+}
+
+/// Everything a cluster operator needs to know about one configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProvisionReport {
+    /// Number of back-end nodes `n`.
+    pub nodes: usize,
+    /// Replication factor `d`.
+    pub replication: usize,
+    /// Stored items `m`.
+    pub items: u64,
+    /// Provisioned cache entries `c`.
+    pub cache_size: usize,
+    /// The bound's critical size `c*`.
+    pub critical_cache_size: usize,
+    /// Whether `c >= c*`.
+    pub is_protected: bool,
+    /// The optimal adversary's subset size against this configuration.
+    pub worst_case_x: u64,
+    /// Upper bound on the attack gain the optimal adversary achieves.
+    pub worst_case_gain: f64,
+    /// Upper bound on the most loaded node's rate (queries/second) under
+    /// the optimal attack; node capacities `r_i` above this are safe.
+    pub required_node_capacity: f64,
+    /// Fraction of attack traffic the front-end cache absorbs in the
+    /// worst case.
+    pub cache_absorbed_fraction: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_params(c: usize) -> SystemParams {
+        SystemParams::new(1000, 3, c, 1_000_000, 1e5).unwrap()
+    }
+
+    #[test]
+    fn min_cache_size_matches_bounds() {
+        let p = Provisioner::new(); // fitted k = 1.2
+        assert_eq!(p.min_cache_size(1000, 3), 1201);
+        let theory = Provisioner::with_k(KParam::theory());
+        assert!(theory.min_cache_size(1000, 3) > 1201, "theory k is larger");
+        assert_eq!(theory.min_cache_size(1000, 1), usize::MAX);
+    }
+
+    #[test]
+    fn protection_verdicts() {
+        let prov = Provisioner::new();
+        assert!(!prov.is_protected(&paper_params(200)));
+        assert!(!prov.is_protected(&paper_params(1200)));
+        assert!(prov.is_protected(&paper_params(1201)));
+        assert!(prov.is_protected(&paper_params(5000)));
+    }
+
+    #[test]
+    fn report_below_critical() {
+        let r = Provisioner::new().report(&paper_params(200));
+        assert!(!r.is_protected);
+        assert_eq!(r.critical_cache_size, 1201);
+        assert_eq!(r.worst_case_x, 201);
+        assert!(r.worst_case_gain > 1.0);
+        // Required capacity = gain * R/n.
+        assert!((r.required_node_capacity - r.worst_case_gain * 100.0).abs() < 1e-9);
+        // Cache absorbs c/x of the attack.
+        assert!((r.cache_absorbed_fraction - 200.0 / 201.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_above_critical() {
+        let r = Provisioner::new().report(&paper_params(2000));
+        assert!(r.is_protected);
+        assert_eq!(r.worst_case_x, 1_000_000);
+        assert!(r.worst_case_gain < 1.0);
+        assert!(r.required_node_capacity < 100.0, "below even share");
+    }
+
+    #[test]
+    fn report_fully_cached_key_space() {
+        let p = SystemParams::new(10, 2, 100, 100, 1e3).unwrap();
+        let r = Provisioner::with_k(KParam::Fitted(0.0)).report(&p);
+        assert_eq!(r.worst_case_gain, 0.0);
+        assert_eq!(r.required_node_capacity, 0.0);
+        assert_eq!(r.cache_absorbed_fraction, 1.0);
+        assert!(r.is_protected);
+    }
+
+    #[test]
+    fn max_protectable_nodes_inverts_min_cache_size() {
+        let prov = Provisioner::new(); // c*(n) = ceil(1.2 n + 1)
+        for c in [100usize, 1201, 10_000] {
+            let n = prov.max_protectable_nodes(c, 3);
+            assert!(prov.min_cache_size(n, 3) <= c, "n={n} not protectable");
+            assert!(
+                prov.min_cache_size(n + 1, 3) > c,
+                "n+1={} still protectable",
+                n + 1
+            );
+        }
+        assert_eq!(prov.max_protectable_nodes(1201, 3), 1000);
+    }
+
+    #[test]
+    fn max_protectable_nodes_edge_cases() {
+        let prov = Provisioner::new();
+        assert_eq!(prov.max_protectable_nodes(0, 3), 0, "c=0 protects nothing");
+        assert_eq!(prov.max_protectable_nodes(1000, 1), 0, "d=1 unprotectable");
+        // Theory k with negative k' can make c* tiny but never free.
+        let generous = Provisioner::with_k(KParam::Theory { k_prime: -10.0 });
+        assert!(generous.max_protectable_nodes(10, 3) > 0);
+    }
+
+    #[test]
+    fn survives_worst_case_capacity_check() {
+        let prov = Provisioner::new();
+        let p = paper_params(200);
+        let needed = prov.report(&p).required_node_capacity;
+        assert!(prov.survives_worst_case(&p, needed * 1.01).unwrap());
+        assert!(!prov.survives_worst_case(&p, needed * 0.99).unwrap());
+        assert!(prov.survives_worst_case(&p, 0.0).is_err());
+        assert!(prov.survives_worst_case(&p, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn bigger_replication_needs_smaller_cache() {
+        let prov = Provisioner::with_k(KParam::theory());
+        let c2 = prov.min_cache_size(1000, 2);
+        let c3 = prov.min_cache_size(1000, 3);
+        let c5 = prov.min_cache_size(1000, 5);
+        assert!(c2 > c3 && c3 > c5, "c* must shrink with d: {c2} {c3} {c5}");
+    }
+
+    #[test]
+    fn cache_for_target_gain_inverts_the_bound() {
+        let prov = Provisioner::new(); // k = 1.2, so n k + 1 = 1201 at n=1000
+        // Tolerating 2x the fair share halves the cache bill.
+        assert_eq!(prov.cache_for_target_gain(1000, 3, 2.0).unwrap(), 601);
+        assert_eq!(prov.cache_for_target_gain(1000, 3, 4.0).unwrap(), 301);
+        // Targets at/below 1.0 are the plain critical size.
+        assert_eq!(prov.cache_for_target_gain(1000, 3, 1.0).unwrap(), 1201);
+        assert_eq!(prov.cache_for_target_gain(1000, 3, 0.5).unwrap(), 1201);
+        // Very loose targets never exceed c*.
+        assert!(prov.cache_for_target_gain(1000, 3, 1.0001).unwrap() <= 1201);
+        // Validation and the d = 1 wall.
+        assert!(prov.cache_for_target_gain(1000, 3, f64::NAN).is_err());
+        assert!(prov.cache_for_target_gain(1000, 3, 0.0).is_err());
+        assert_eq!(
+            Provisioner::with_k(KParam::theory())
+                .cache_for_target_gain(1000, 1, 2.0)
+                .unwrap(),
+            usize::MAX
+        );
+    }
+
+    #[test]
+    fn target_gain_cache_actually_meets_the_target() {
+        let prov = Provisioner::new();
+        for target in [1.5f64, 2.0, 5.0] {
+            let c = prov.cache_for_target_gain(1000, 3, target).unwrap();
+            let p = SystemParams::new(1000, 3, c, 1_000_000, 1e5).unwrap();
+            let worst = prov.report(&p).worst_case_gain;
+            assert!(
+                worst <= target + 1e-9,
+                "c={c} gives worst gain {worst} above target {target}"
+            );
+            // And one entry less would miss it (minimality).
+            if c > 1 {
+                let p = SystemParams::new(1000, 3, c - 1, 1_000_000, 1e5).unwrap();
+                let worst = prov.report(&p).worst_case_gain;
+                assert!(worst > target, "c-1 already meets {target}: {worst}");
+            }
+        }
+    }
+
+    #[test]
+    fn min_replication_inverts_critical_size() {
+        let prov = Provisioner::with_k(KParam::theory());
+        // c* at n=1000: d=2 -> 2790, d=3 -> 1761, d=4 -> 1396 ...
+        assert_eq!(prov.min_replication(1000, 3000), Some(2));
+        assert_eq!(prov.min_replication(1000, 2000), Some(3));
+        assert_eq!(prov.min_replication(1000, 1400), Some(4));
+        // A cache too small for even d = 16.
+        assert_eq!(prov.min_replication(1000, 100), None);
+    }
+
+    #[test]
+    fn report_serde_roundtrip() {
+        let r = Provisioner::new().report(&paper_params(300));
+        let json = serde_json::to_string(&r).unwrap();
+        let back: ProvisionReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(r, back);
+    }
+}

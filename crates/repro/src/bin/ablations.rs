@@ -1,0 +1,22 @@
+//! Runs ablations A1–A8 (selection, partitioning, replication, caches,
+//! front-end fleets, operation costs, Zipf skew, rebalancing).
+
+use scp_repro::ablation::run_all;
+use scp_repro::Opts;
+
+fn main() {
+    let opts = Opts::from_env();
+    let tables = run_all(&opts).unwrap_or_else(|e| {
+        eprintln!("ablations failed: {e}");
+        std::process::exit(1);
+    });
+    for (i, t) in tables.iter().enumerate() {
+        t.print();
+        println!();
+        let name = format!("ablation_a{}", i + 1);
+        match t.save_csv(&opts.out, &name) {
+            Ok(path) => println!("wrote {}", path.display()),
+            Err(e) => eprintln!("could not write CSV: {e}"),
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! Reproduces Figure 3(b): x-sweep with a provisioned (c = 2000) cache.
+
+use scp_repro::fig3::{run, table, Fig3Config};
+use scp_repro::Opts;
+
+fn main() {
+    let opts = Opts::from_env();
+    let cfg = Fig3Config::paper(2000, &opts);
+    let rows = run(&cfg).unwrap_or_else(|e| {
+        eprintln!("fig3b failed: {e}");
+        std::process::exit(1);
+    });
+    let t = table(&cfg, &rows);
+    t.print();
+    match t.save_csv(&opts.out, "fig3b") {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("could not write CSV: {e}"),
+    }
+}

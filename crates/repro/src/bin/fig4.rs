@@ -1,0 +1,19 @@
+//! Reproduces Figure 4: access-pattern comparison across cluster sizes.
+
+use scp_repro::fig4::{run, table, Fig4Config};
+use scp_repro::Opts;
+
+fn main() {
+    let opts = Opts::from_env();
+    let cfg = Fig4Config::paper(&opts);
+    let rows = run(&cfg).unwrap_or_else(|e| {
+        eprintln!("fig4 failed: {e}");
+        std::process::exit(1);
+    });
+    let t = table(&cfg, &rows);
+    t.print();
+    match t.save_csv(&opts.out, "fig4") {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("could not write CSV: {e}"),
+    }
+}

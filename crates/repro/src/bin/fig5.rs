@@ -1,0 +1,25 @@
+//! Reproduces Figure 5(a) and 5(b): the best attack vs. cache size, the
+//! empirical critical point, and the paper's bound.
+
+use scp_repro::fig5::{run, table_panel_a, table_panel_b, Fig5Config};
+use scp_repro::Opts;
+
+fn main() {
+    let opts = Opts::from_env();
+    let cfg = Fig5Config::paper(&opts);
+    let outcome = run(&cfg).unwrap_or_else(|e| {
+        eprintln!("fig5 failed: {e}");
+        std::process::exit(1);
+    });
+    let a = table_panel_a(&cfg, &outcome);
+    let b = table_panel_b(&cfg, &outcome);
+    a.print();
+    println!();
+    b.print();
+    for (t, name) in [(&a, "fig5a"), (&b, "fig5b")] {
+        match t.save_csv(&opts.out, name) {
+            Ok(path) => println!("wrote {}", path.display()),
+            Err(e) => eprintln!("could not write CSV: {e}"),
+        }
+    }
+}

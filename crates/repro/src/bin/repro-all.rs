@@ -1,0 +1,68 @@
+//! Regenerates every figure of the paper plus the ablations in one go.
+
+use scp_repro::{ablation, fig3, fig4, fig5, Opts};
+
+fn main() {
+    let opts = Opts::from_env();
+    let started = std::time::Instant::now();
+
+    let mut failures = 0usize;
+    let save = |table: &scp_repro::output::Table, name: &str| {
+        table.print();
+        println!();
+        match table.save_csv(&opts.out, name) {
+            Ok(path) => println!("wrote {}\n", path.display()),
+            Err(e) => eprintln!("could not write {name}.csv: {e}"),
+        }
+    };
+
+    for (cache, name) in [(200usize, "fig3a"), (2000, "fig3b")] {
+        let cfg = fig3::Fig3Config::paper(cache, &opts);
+        match fig3::run(&cfg) {
+            Ok(rows) => save(&fig3::table(&cfg, &rows), name),
+            Err(e) => {
+                eprintln!("{name} failed: {e}");
+                failures += 1;
+            }
+        }
+    }
+
+    let cfg4 = fig4::Fig4Config::paper(&opts);
+    match fig4::run(&cfg4) {
+        Ok(rows) => save(&fig4::table(&cfg4, &rows), "fig4"),
+        Err(e) => {
+            eprintln!("fig4 failed: {e}");
+            failures += 1;
+        }
+    }
+
+    let cfg5 = fig5::Fig5Config::paper(&opts);
+    match fig5::run(&cfg5) {
+        Ok(outcome) => {
+            save(&fig5::table_panel_a(&cfg5, &outcome), "fig5a");
+            save(&fig5::table_panel_b(&cfg5, &outcome), "fig5b");
+        }
+        Err(e) => {
+            eprintln!("fig5 failed: {e}");
+            failures += 1;
+        }
+    }
+
+    match ablation::run_all(&opts) {
+        Ok(tables) => {
+            for (i, t) in tables.iter().enumerate() {
+                save(t, &format!("ablation_a{}", i + 1));
+            }
+        }
+        Err(e) => {
+            eprintln!("ablations failed: {e}");
+            failures += 1;
+        }
+    }
+
+    println!("done in {:.1}s", started.elapsed().as_secs_f64());
+    if failures > 0 {
+        eprintln!("{failures} experiment group(s) failed");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,253 @@
+//! Figure 3: normalized max workload vs. number of queried keys.
+//!
+//! Paper setup: 1000 back-end nodes, replication 3, 1e6 stored keys,
+//! clients at 1e5 qps; for each `x > c` the adversary queries `x` keys at
+//! equal rates; 200 repetitions; the plot shows the max over runs of the
+//! maximum normalized node load together with the Eq. (10) bound at
+//! `k = 1.2`. Panel (a) uses `c = 200` (below the critical size), panel
+//! (b) `c = 2000` (above it).
+
+use crate::opts::Opts;
+use crate::output::{fmt_f, Table};
+use crate::Result;
+use scp_core::bounds::{attack_gain_bound, KParam};
+use scp_sim::config::SimConfig;
+use scp_sim::runner::repeat_rate_simulation;
+use scp_workload::AccessPattern;
+
+/// Configuration of an x-sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig3Config {
+    /// Back-end nodes `n`.
+    pub nodes: usize,
+    /// Replication factor `d`.
+    pub replication: usize,
+    /// Stored items `m`.
+    pub items: u64,
+    /// Client rate `R`.
+    pub rate: f64,
+    /// Cache size `c`.
+    pub cache: usize,
+    /// Sweep points (all must exceed `cache`).
+    pub x_values: Vec<u64>,
+    /// Repetitions per point.
+    pub runs: usize,
+    /// Worker threads (0 = all).
+    pub threads: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Bound constant for the reference curve.
+    pub k: KParam,
+}
+
+impl Fig3Config {
+    /// The paper's configuration for the given cache size (`--fast`
+    /// shrinks the cluster and key space by 10x).
+    pub fn paper(cache: usize, opts: &Opts) -> Self {
+        let (nodes, items, cache) = if opts.fast {
+            (100, 100_000, cache / 10)
+        } else {
+            (1000, 1_000_000, cache)
+        };
+        Self {
+            nodes,
+            replication: 3,
+            items,
+            rate: 1e5,
+            x_values: log_spaced(cache as u64 + 1, items, 15),
+            cache,
+            runs: opts.effective_runs(200),
+            threads: opts.threads,
+            seed: opts.seed,
+            k: KParam::paper_fitted(),
+        }
+    }
+}
+
+/// One sweep point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig3Row {
+    /// Number of queried keys.
+    pub x: u64,
+    /// Max over runs of the normalized max load (the paper's statistic).
+    pub sim_max_gain: f64,
+    /// Mean over runs.
+    pub sim_mean_gain: f64,
+    /// The Eq. (10) bound with the configured (fitted) `k`.
+    pub bound: f64,
+    /// The Eq. (10) bound with the theoretical `k = ln ln n / ln d`.
+    pub bound_theory: f64,
+}
+
+/// Log-spaced integer grid from `lo` to `hi` inclusive (deduplicated).
+pub fn log_spaced(lo: u64, hi: u64, points: usize) -> Vec<u64> {
+    assert!(lo >= 1 && hi >= lo && points >= 2);
+    let (flo, fhi) = (lo as f64, hi as f64);
+    let mut out: Vec<u64> = (0..points)
+        .map(|i| {
+            let t = i as f64 / (points - 1) as f64;
+            (flo * (fhi / flo).powf(t)).round() as u64
+        })
+        .collect();
+    out[0] = lo;
+    *out.last_mut().expect("non-empty") = hi;
+    out.dedup();
+    out
+}
+
+/// Runs the sweep.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn run(cfg: &Fig3Config) -> Result<Vec<Fig3Row>> {
+    let mut rows = Vec::with_capacity(cfg.x_values.len());
+    for &x in &cfg.x_values {
+        let sim = SimConfig {
+            nodes: cfg.nodes,
+            replication: cfg.replication,
+            cache_kind: scp_sim::config::CacheKind::Perfect,
+            cache_capacity: cfg.cache,
+            items: cfg.items,
+            rate: cfg.rate,
+            pattern: AccessPattern::uniform_subset(x, cfg.items)?,
+            partitioner: scp_sim::config::PartitionerKind::Hash,
+            selector: scp_sim::config::SelectorKind::LeastLoaded,
+            seed: cfg.seed ^ x,
+        };
+        let (_, agg) = repeat_rate_simulation(&sim, cfg.runs, cfg.threads)?;
+        let params = sim.system_params()?;
+        rows.push(Fig3Row {
+            x,
+            sim_max_gain: agg.max_gain(),
+            sim_mean_gain: agg.mean_gain(),
+            bound: attack_gain_bound(&params, x, &cfg.k).value(),
+            bound_theory: attack_gain_bound(&params, x, &KParam::theory()).value(),
+        });
+    }
+    Ok(rows)
+}
+
+/// Renders the sweep as a table.
+pub fn table(cfg: &Fig3Config, rows: &[Fig3Row]) -> Table {
+    let mut t = Table::new(
+        format!(
+            "Figure 3 (cache={}): normalized max load vs x (n={}, d={}, m={}, {} runs)",
+            cfg.cache, cfg.nodes, cfg.replication, cfg.items, cfg.runs
+        ),
+        &[
+            "x",
+            "sim_max_gain",
+            "sim_mean_gain",
+            "bound_k1.2",
+            "bound_theory",
+            "effective",
+        ],
+    );
+    for r in rows {
+        t.push_row(vec![
+            r.x.to_string(),
+            fmt_f(r.sim_max_gain),
+            fmt_f(r.sim_mean_gain),
+            fmt_f(r.bound),
+            fmt_f(r.bound_theory),
+            (r.sim_max_gain > 1.0).to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(cache: usize) -> Fig3Config {
+        Fig3Config {
+            nodes: 50,
+            replication: 3,
+            items: 20_000,
+            rate: 1e4,
+            cache,
+            x_values: log_spaced(cache as u64 + 1, 20_000, 6),
+            runs: 8,
+            threads: 0,
+            seed: 1,
+            k: KParam::paper_fitted(),
+        }
+    }
+
+    #[test]
+    fn log_spaced_grid_properties() {
+        let g = log_spaced(201, 1_000_000, 15);
+        assert_eq!(*g.first().unwrap(), 201);
+        assert_eq!(*g.last().unwrap(), 1_000_000);
+        assert!(g.windows(2).all(|w| w[0] < w[1]));
+        assert!(g.len() <= 15);
+    }
+
+    #[test]
+    fn small_cache_panel_shape() {
+        // c far below c* (1.2*50+1 = 61): decreasing gains, effective at
+        // x = c+1.
+        let cfg = tiny(20);
+        let rows = run(&cfg).unwrap();
+        assert!(rows[0].sim_max_gain > 1.0, "x=c+1 must be effective");
+        let last = rows.last().unwrap();
+        assert!(
+            rows[0].sim_max_gain > last.sim_max_gain,
+            "gain should fall with x"
+        );
+    }
+
+    #[test]
+    fn large_cache_panel_shape() {
+        // c above c*: gain below 1 everywhere, increasing toward x=m.
+        let cfg = tiny(100);
+        let rows = run(&cfg).unwrap();
+        for r in &rows {
+            assert!(r.sim_max_gain <= 1.05, "x={} gain {}", r.x, r.sim_max_gain);
+        }
+        assert!(rows.last().unwrap().sim_max_gain >= rows[0].sim_max_gain * 0.9);
+    }
+
+    #[test]
+    fn theory_bound_dominates_mean_gain() {
+        // Eq. (10) bounds the *expected* max load; the fitted k = 1.2 is
+        // the paper's visual fit, the theoretical k must dominate the
+        // mean across runs (the max-over-runs can poke slightly above).
+        for cache in [20usize, 100] {
+            let cfg = tiny(cache);
+            for r in run(&cfg).unwrap() {
+                assert!(
+                    r.bound_theory >= r.sim_mean_gain - 0.1,
+                    "theory bound {} below mean {} at x={} (c={cache})",
+                    r.bound_theory,
+                    r.sim_mean_gain,
+                    r.x
+                );
+                assert!(r.bound_theory >= r.bound * 0.8, "sanity: theory vs fitted");
+            }
+        }
+    }
+
+    #[test]
+    fn table_has_row_per_point() {
+        let cfg = tiny(20);
+        let rows = run(&cfg).unwrap();
+        let t = table(&cfg, &rows);
+        assert_eq!(t.len(), rows.len());
+    }
+
+    #[test]
+    fn paper_config_respects_fast_flag() {
+        let fast = Fig3Config::paper(200, &Opts {
+            fast: true,
+            ..Opts::default()
+        });
+        assert_eq!(fast.nodes, 100);
+        assert_eq!(fast.cache, 20);
+        let full = Fig3Config::paper(200, &Opts::default());
+        assert_eq!(full.nodes, 1000);
+        assert_eq!(full.runs, 200);
+    }
+}

@@ -1,0 +1,231 @@
+//! Figure 4: normalized max workload under uniform / Zipf(1.01) /
+//! adversarial access patterns as the cluster grows.
+//!
+//! Paper setup: cache of 100 entries, varying the number of back-end
+//! nodes. Zipf concentrates traffic on the cached head (best for the
+//! cluster); uniform spreads evenly (stable as `n` grows); the adversarial
+//! pattern (`x = c + 1` equal-rate keys) concentrates uncached load and
+//! grows roughly linearly with `n`.
+
+use crate::opts::Opts;
+use crate::output::{fmt_f, Table};
+use crate::Result;
+use scp_sim::config::{CacheKind, PartitionerKind, SelectorKind, SimConfig};
+use scp_sim::runner::repeat_rate_simulation;
+use scp_workload::AccessPattern;
+
+/// Configuration of the n-sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig4Config {
+    /// Node counts to sweep.
+    pub node_counts: Vec<usize>,
+    /// Replication factor `d`.
+    pub replication: usize,
+    /// Stored items `m`.
+    pub items: u64,
+    /// Client rate `R`.
+    pub rate: f64,
+    /// Cache size `c`.
+    pub cache: usize,
+    /// Zipf exponent for the organic workload.
+    pub zipf_alpha: f64,
+    /// Repetitions per point.
+    pub runs: usize,
+    /// Worker threads (0 = all).
+    pub threads: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Fig4Config {
+    /// The paper's configuration (`--fast` shrinks key space and sweep).
+    pub fn paper(opts: &Opts) -> Self {
+        let (node_counts, items) = if opts.fast {
+            (vec![50, 100, 200, 400], 100_000)
+        } else {
+            (vec![100, 200, 500, 1000, 2000, 5000, 10_000], 1_000_000)
+        };
+        Self {
+            node_counts,
+            replication: 3,
+            items,
+            rate: 1e5,
+            cache: 100,
+            zipf_alpha: 1.01,
+            runs: opts.effective_runs(20),
+            threads: opts.threads,
+            seed: opts.seed,
+        }
+    }
+}
+
+/// One sweep point: gains for all three access patterns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig4Row {
+    /// Number of back-end nodes.
+    pub nodes: usize,
+    /// Max-over-runs gain under uniform access to all keys.
+    pub uniform: f64,
+    /// Max-over-runs gain under Zipf(alpha).
+    pub zipf: f64,
+    /// Max-over-runs gain under the adversarial pattern (x = c + 1).
+    pub adversarial: f64,
+}
+
+fn gain_for(base: &Fig4Config, n: usize, pattern: AccessPattern, salt: u64) -> Result<f64> {
+    let sim = SimConfig {
+        nodes: n,
+        replication: base.replication,
+        cache_kind: CacheKind::Perfect,
+        cache_capacity: base.cache,
+        items: base.items,
+        rate: base.rate,
+        pattern,
+        partitioner: PartitionerKind::Hash,
+        selector: SelectorKind::LeastLoaded,
+        seed: base.seed ^ (n as u64) ^ (salt << 32),
+    };
+    let (_, agg) = repeat_rate_simulation(&sim, base.runs, base.threads)?;
+    Ok(agg.max_gain())
+}
+
+/// Runs the sweep.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn run(cfg: &Fig4Config) -> Result<Vec<Fig4Row>> {
+    let mut rows = Vec::with_capacity(cfg.node_counts.len());
+    for &n in &cfg.node_counts {
+        let uniform = gain_for(cfg, n, AccessPattern::uniform(cfg.items)?, 1)?;
+        let zipf = gain_for(cfg, n, AccessPattern::zipf(cfg.zipf_alpha, cfg.items)?, 2)?;
+        let adversarial = gain_for(
+            cfg,
+            n,
+            AccessPattern::uniform_subset(cfg.cache as u64 + 1, cfg.items)?,
+            3,
+        )?;
+        rows.push(Fig4Row {
+            nodes: n,
+            uniform,
+            zipf,
+            adversarial,
+        });
+    }
+    Ok(rows)
+}
+
+/// Renders the sweep as a table.
+pub fn table(cfg: &Fig4Config, rows: &[Fig4Row]) -> Table {
+    let mut t = Table::new(
+        format!(
+            "Figure 4: normalized max load vs n (c={}, d={}, m={}, Zipf({}), {} runs)",
+            cfg.cache, cfg.replication, cfg.items, cfg.zipf_alpha, cfg.runs
+        ),
+        &["n", "uniform", "zipf", "adversarial"],
+    );
+    for r in rows {
+        t.push_row(vec![
+            r.nodes.to_string(),
+            fmt_f(r.uniform),
+            fmt_f(r.zipf),
+            fmt_f(r.adversarial),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Fig4Config {
+        Fig4Config {
+            node_counts: vec![50, 100, 200],
+            replication: 3,
+            items: 20_000,
+            rate: 1e4,
+            cache: 20,
+            zipf_alpha: 1.01,
+            runs: 5,
+            threads: 0,
+            seed: 2,
+        }
+    }
+
+    #[test]
+    fn adversarial_dominates_and_grows_with_n() {
+        let rows = run(&tiny()).unwrap();
+        for r in &rows {
+            assert!(
+                r.adversarial >= r.uniform,
+                "n={}: adversarial {} < uniform {}",
+                r.nodes,
+                r.adversarial,
+                r.uniform
+            );
+        }
+        let first = &rows[0];
+        let last = rows.last().unwrap();
+        assert!(
+            last.adversarial > first.adversarial * 2.0,
+            "adversarial gain should scale with n: {} -> {}",
+            first.adversarial,
+            last.adversarial
+        );
+    }
+
+    #[test]
+    fn organic_patterns_stay_benign() {
+        for r in run(&tiny()).unwrap() {
+            assert!(r.uniform < 1.6, "uniform gain {} at n={}", r.uniform, r.nodes);
+            assert!(r.zipf < 1.6, "zipf gain {} at n={}", r.zipf, r.nodes);
+        }
+    }
+
+    #[test]
+    fn zipf_offloads_more_than_uniform_on_backend_total() {
+        // The table reports max gain; the stronger paper claim ("best
+        // throughput under Zipf") is about cache offload. Verify via one
+        // direct run that Zipf's backend fraction is smaller.
+        let cfg = tiny();
+        let mk = |pattern| SimConfig {
+            nodes: 100,
+            replication: 3,
+            cache_kind: CacheKind::Perfect,
+            cache_capacity: cfg.cache,
+            items: cfg.items,
+            rate: cfg.rate,
+            pattern,
+            partitioner: PartitionerKind::Hash,
+            selector: SelectorKind::LeastLoaded,
+            seed: 3,
+        };
+        let zipf = scp_sim::rate_engine::run_rate_simulation(&mk(
+            AccessPattern::zipf(1.01, cfg.items).unwrap(),
+        ))
+        .unwrap();
+        let uniform = scp_sim::rate_engine::run_rate_simulation(&mk(
+            AccessPattern::uniform(cfg.items).unwrap(),
+        ))
+        .unwrap();
+        assert!(zipf.backend_fraction() < uniform.backend_fraction());
+    }
+
+    #[test]
+    fn table_shape() {
+        let cfg = tiny();
+        let rows = run(&cfg).unwrap();
+        assert_eq!(table(&cfg, &rows).len(), 3);
+    }
+
+    #[test]
+    fn paper_config_fast_mode() {
+        let fast = Fig4Config::paper(&Opts {
+            fast: true,
+            ..Opts::default()
+        });
+        assert!(fast.items < 1_000_000);
+        assert!(fast.node_counts.len() < 7);
+    }
+}

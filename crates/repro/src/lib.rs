@@ -1,0 +1,30 @@
+//! Reproduction harness: one module (and binary) per figure of the paper,
+//! plus the ablations catalogued in `DESIGN.md`.
+//!
+//! | Binary | Paper artifact | Setup |
+//! |---|---|---|
+//! | `fig3a` | Figure 3(a) | n=1000, d=3, m=1e6, c=200, x-sweep, 200 runs |
+//! | `fig3b` | Figure 3(b) | same with c=2000 |
+//! | `fig4`  | Figure 4    | c=100, n-sweep, uniform / Zipf(1.01) / adversarial |
+//! | `fig5`  | Figure 5(a)+(b) | c-sweep: best achievable gain + chosen x |
+//! | `ablations` | DESIGN.md A1–A8 | selection, partitioning, replication, cache policies, front-end fleets, costs, skew, rebalancing |
+//! | `repro-all` | everything above | |
+//!
+//! Every binary prints aligned tables and writes CSV files under
+//! `target/repro/` (override with `--out DIR`). `--runs N` rescales the
+//! repetition count, `--fast` picks a configuration that finishes in
+//! seconds for smoke testing.
+
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod opts;
+pub mod output;
+
+pub use opts::Opts;
+
+/// Crate-wide result alias (re-uses the simulation error).
+pub type Result<T> = std::result::Result<T, scp_sim::SimError>;

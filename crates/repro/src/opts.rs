@@ -1,0 +1,133 @@
+//! Minimal command-line options shared by all reproduction binaries.
+
+use std::path::PathBuf;
+
+/// Options common to every reproduction binary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Opts {
+    /// Repetitions per data point (0 = each experiment's default).
+    pub runs: usize,
+    /// Worker threads (0 = all cores).
+    pub threads: usize,
+    /// Output directory for CSV files.
+    pub out: PathBuf,
+    /// Shrink the experiment for a quick smoke run.
+    pub fast: bool,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        Self {
+            runs: 0,
+            threads: 0,
+            out: PathBuf::from("target/repro"),
+            fast: false,
+            seed: 20130708, // ICDCS'13 workshop date
+        }
+    }
+}
+
+impl Opts {
+    /// Parses `--runs N --threads N --out DIR --fast --seed N` from an
+    /// argument iterator (unknown flags abort with a usage message).
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut opts = Self::default();
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--runs" => opts.runs = expect_parse(&mut it, "--runs"),
+                "--threads" => opts.threads = expect_parse(&mut it, "--threads"),
+                "--seed" => opts.seed = expect_parse(&mut it, "--seed"),
+                "--out" => {
+                    opts.out = PathBuf::from(it.next().unwrap_or_else(|| usage("--out needs a dir")))
+                }
+                "--fast" => opts.fast = true,
+                "--help" | "-h" => usage("")
+                ,
+                other => usage(&format!("unknown flag `{other}`")),
+            }
+        }
+        opts
+    }
+
+    /// Parses from the process arguments.
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// The repetition count to use: explicit `--runs`, else `--fast`'s
+    /// small count, else the experiment default.
+    pub fn effective_runs(&self, default: usize) -> usize {
+        if self.runs > 0 {
+            self.runs
+        } else if self.fast {
+            default.div_ceil(10).max(3)
+        } else {
+            default
+        }
+    }
+}
+
+fn expect_parse<T: std::str::FromStr>(it: &mut impl Iterator<Item = String>, flag: &str) -> T {
+    it.next()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| usage(&format!("{flag} needs a numeric value")))
+}
+
+fn usage(msg: &str) -> ! {
+    if !msg.is_empty() {
+        eprintln!("error: {msg}");
+    }
+    eprintln!(
+        "usage: <bin> [--runs N] [--threads N] [--out DIR] [--seed N] [--fast]\n\
+         \n\
+         --runs N     repetitions per data point (default: per-experiment)\n\
+         --threads N  worker threads (default: all cores)\n\
+         --out DIR    CSV output directory (default: target/repro)\n\
+         --seed N     master seed (default: 20130708)\n\
+         --fast       shrunken smoke-test configuration"
+    );
+    std::process::exit(2);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Opts {
+        Opts::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let o = parse(&[]);
+        assert_eq!(o.runs, 0);
+        assert_eq!(o.threads, 0);
+        assert!(!o.fast);
+        assert_eq!(o.out, PathBuf::from("target/repro"));
+    }
+
+    #[test]
+    fn parses_all_flags() {
+        let o = parse(&[
+            "--runs", "7", "--threads", "2", "--out", "/tmp/x", "--fast", "--seed", "9",
+        ]);
+        assert_eq!(o.runs, 7);
+        assert_eq!(o.threads, 2);
+        assert_eq!(o.out, PathBuf::from("/tmp/x"));
+        assert!(o.fast);
+        assert_eq!(o.seed, 9);
+    }
+
+    #[test]
+    fn effective_runs_precedence() {
+        let mut o = Opts::default();
+        assert_eq!(o.effective_runs(200), 200);
+        o.fast = true;
+        assert_eq!(o.effective_runs(200), 20);
+        o.runs = 5;
+        assert_eq!(o.effective_runs(200), 5);
+    }
+}

@@ -1,0 +1,187 @@
+//! Table rendering and CSV output.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// A simple column-aligned results table that can also be saved as CSV.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    title: String,
+    columns: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given title and column headers.
+    pub fn new<S: Into<String>>(title: S, columns: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header count.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.columns.len(),
+            "row width mismatches header"
+        );
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Renders the aligned text form.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect();
+        let _ = writeln!(out, "{}", header.join("  "));
+        let _ = writeln!(out, "{}", "-".repeat(header.join("  ").len()));
+        for row in &self.rows {
+            let line: Vec<String> = row
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect();
+            let _ = writeln!(out, "{}", line.join("  "));
+        }
+        out
+    }
+
+    /// Prints the aligned text form to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+
+    /// The CSV form (header + rows).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.columns.join(","));
+        for row in &self.rows {
+            let escaped: Vec<String> = row.iter().map(|c| escape_csv(c)).collect();
+            let _ = writeln!(out, "{}", escaped.join(","));
+        }
+        out
+    }
+
+    /// Writes the CSV form to `dir/name.csv`, creating `dir` if needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from creating the directory or file.
+    pub fn save_csv(&self, dir: &Path, name: &str) -> io::Result<std::path::PathBuf> {
+        fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{name}.csv"));
+        fs::write(&path, self.to_csv())?;
+        Ok(path)
+    }
+}
+
+fn escape_csv(cell: &str) -> String {
+    if cell.contains([',', '"', '\n']) {
+        format!("\"{}\"", cell.replace('"', "\"\""))
+    } else {
+        cell.to_string()
+    }
+}
+
+/// Formats a float with sensible experiment precision.
+pub fn fmt_f(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 1000.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.4}")
+    } else {
+        format!("{v:.6}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("demo", &["x", "gain"]);
+        t.push_row(vec!["201".into(), "5.97".into()]);
+        t.push_row(vec!["1000000".into(), "1.0012".into()]);
+        t
+    }
+
+    #[test]
+    fn render_aligns_columns() {
+        let r = sample().render();
+        assert!(r.contains("== demo =="));
+        assert!(r.contains("      x"));
+        assert!(r.lines().count() >= 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_is_enforced() {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.push_row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn csv_escapes_specials() {
+        let mut t = Table::new("t", &["a"]);
+        t.push_row(vec!["x,y".into()]);
+        t.push_row(vec!["quote\"inside".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"x,y\""));
+        assert!(csv.contains("\"quote\"\"inside\""));
+    }
+
+    #[test]
+    fn save_csv_roundtrip() {
+        let dir = std::env::temp_dir().join("scp_repro_test_out");
+        let path = sample().save_csv(&dir, "demo").unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.starts_with("x,gain\n"));
+        assert!(content.contains("201,5.97"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt_f(0.0), "0");
+        assert_eq!(fmt_f(5.9701), "5.9701");
+        assert_eq!(fmt_f(0.000123), "0.000123");
+        assert_eq!(fmt_f(123456.0), "123456");
+    }
+}

@@ -1,0 +1,426 @@
+//! Experiment configuration and substrate factories.
+
+use crate::error::SimError;
+use crate::Result;
+use scp_cache::{
+    arc::ArcCache, clock::ClockCache, estimated::EstimatedOracleCache, fifo::FifoCache,
+    lfu::LfuCache, lru::LruCache, nocache::NoCache, perfect::PerfectCache, slru::SlruCache,
+    tinylfu::TinyLfuCache, Cache,
+};
+use scp_cluster::partition::{
+    ConsistentHashRing, HashPartitioner, Partitioner, RangePartitioner, RendezvousPartitioner,
+};
+use scp_cluster::select::{
+    LeastLoadedSelector, PerQueryLeastLoaded, RandomSelector, ReplicaSelector, RoundRobinSelector,
+};
+use scp_core::params::SystemParams;
+use scp_workload::rng::mix;
+use scp_workload::AccessPattern;
+use serde::{Deserialize, Serialize};
+
+/// Which partitioning scheme maps keys to replica groups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PartitionerKind {
+    /// Independent random placement (the paper's model).
+    Hash,
+    /// Consistent-hashing ring with virtual nodes.
+    Ring,
+    /// Rendezvous / highest-random-weight hashing.
+    Rendezvous,
+    /// Contiguous ranges — violates the randomized-partitioning
+    /// assumption; kept as the paper's excluded counter-example.
+    Range,
+}
+
+impl PartitionerKind {
+    /// All kinds, for ablation sweeps.
+    pub const ALL: [PartitionerKind; 4] = [
+        PartitionerKind::Hash,
+        PartitionerKind::Ring,
+        PartitionerKind::Rendezvous,
+        PartitionerKind::Range,
+    ];
+
+    /// Short name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            PartitionerKind::Hash => "hash",
+            PartitionerKind::Ring => "ring",
+            PartitionerKind::Rendezvous => "rendezvous",
+            PartitionerKind::Range => "range",
+        }
+    }
+}
+
+/// Which rule picks the serving replica within a group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SelectorKind {
+    /// Uniform random member per query.
+    Random,
+    /// Per-key round-robin.
+    RoundRobin,
+    /// Sticky least-loaded (the balls-into-bins d-choice model).
+    LeastLoaded,
+    /// Memoryless least-loaded per query.
+    PerQueryLeastLoaded,
+}
+
+impl SelectorKind {
+    /// All kinds, for ablation sweeps.
+    pub const ALL: [SelectorKind; 4] = [
+        SelectorKind::Random,
+        SelectorKind::RoundRobin,
+        SelectorKind::LeastLoaded,
+        SelectorKind::PerQueryLeastLoaded,
+    ];
+
+    /// Short name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            SelectorKind::Random => "random",
+            SelectorKind::RoundRobin => "round-robin",
+            SelectorKind::LeastLoaded => "least-loaded",
+            SelectorKind::PerQueryLeastLoaded => "per-query-least-loaded",
+        }
+    }
+}
+
+/// Which front-end cache policy filters queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CacheKind {
+    /// The paper's popularity oracle.
+    Perfect,
+    /// Least recently used.
+    Lru,
+    /// Least frequently used.
+    Lfu,
+    /// First in, first out.
+    Fifo,
+    /// CLOCK second-chance.
+    Clock,
+    /// Segmented LRU.
+    Slru,
+    /// W-TinyLFU.
+    TinyLfu,
+    /// Adaptive Replacement Cache.
+    Arc,
+    /// Space-Saving-driven online approximation of the perfect oracle.
+    EstimatedOracle,
+    /// No cache at all.
+    None,
+}
+
+impl CacheKind {
+    /// All kinds, for ablation sweeps.
+    pub const ALL: [CacheKind; 10] = [
+        CacheKind::Perfect,
+        CacheKind::Lru,
+        CacheKind::Lfu,
+        CacheKind::Fifo,
+        CacheKind::Clock,
+        CacheKind::Slru,
+        CacheKind::TinyLfu,
+        CacheKind::Arc,
+        CacheKind::EstimatedOracle,
+        CacheKind::None,
+    ];
+
+    /// Short name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            CacheKind::Perfect => "perfect",
+            CacheKind::Lru => "lru",
+            CacheKind::Lfu => "lfu",
+            CacheKind::Fifo => "fifo",
+            CacheKind::Clock => "clock",
+            CacheKind::Slru => "slru",
+            CacheKind::TinyLfu => "tinylfu",
+            CacheKind::Arc => "arc",
+            CacheKind::EstimatedOracle => "estimated-oracle",
+            CacheKind::None => "none",
+        }
+    }
+}
+
+/// A complete description of one simulated system + workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Number of back-end nodes `n`.
+    pub nodes: usize,
+    /// Replication factor `d`.
+    pub replication: usize,
+    /// Front-end cache policy.
+    pub cache_kind: CacheKind,
+    /// Front-end cache capacity `c`.
+    pub cache_capacity: usize,
+    /// Key-space size `m`.
+    pub items: u64,
+    /// Aggregate client rate `R` in queries/second.
+    pub rate: f64,
+    /// The access distribution over popularity ranks.
+    pub pattern: AccessPattern,
+    /// Partitioning scheme.
+    pub partitioner: PartitionerKind,
+    /// Replica selection rule.
+    pub selector: SelectorKind,
+    /// Master seed; every random object derives from it deterministically.
+    pub seed: u64,
+}
+
+impl SimConfig {
+    /// The paper's Section IV baseline: 1000 nodes, d = 3, 1M keys,
+    /// 100k qps, hash partitioning, least-loaded selection, perfect cache.
+    pub fn paper_baseline(cache_capacity: usize, pattern: AccessPattern, seed: u64) -> Self {
+        Self {
+            nodes: 1000,
+            replication: 3,
+            cache_kind: CacheKind::Perfect,
+            cache_capacity,
+            items: 1_000_000,
+            rate: 1e5,
+            pattern,
+            partitioner: PartitionerKind::Hash,
+            selector: SelectorKind::LeastLoaded,
+            seed,
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the `(n, d, c, m, R)` tuple is invalid or the
+    /// pattern's key space differs from `items`.
+    pub fn validate(&self) -> Result<()> {
+        SystemParams::new(
+            self.nodes,
+            self.replication,
+            self.cache_capacity.min(self.items as usize),
+            self.items,
+            self.rate,
+        )?;
+        if self.cache_capacity as u64 > self.items {
+            return Err(SimError::InvalidConfig {
+                field: "cache_capacity",
+                reason: format!(
+                    "cache of {} exceeds {} stored items",
+                    self.cache_capacity, self.items
+                ),
+            });
+        }
+        if self.pattern.key_space() != self.items {
+            return Err(SimError::InvalidConfig {
+                field: "pattern",
+                reason: format!(
+                    "pattern key space {} != items {}",
+                    self.pattern.key_space(),
+                    self.items
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// The theory-side view of this configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the tuple is invalid.
+    pub fn system_params(&self) -> Result<SystemParams> {
+        Ok(SystemParams::new(
+            self.nodes,
+            self.replication,
+            self.cache_capacity,
+            self.items,
+            self.rate,
+        )?)
+    }
+
+    /// Copy with a derived seed for repetition `run` (stable mixing).
+    pub fn for_run(&self, run: u64) -> Self {
+        let mut cfg = self.clone();
+        cfg.seed = mix(&[self.seed, 0x5EED_0FF5_E7F0_0D01, run]);
+        cfg
+    }
+
+    /// Builds the configured partitioner.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the substrate rejects the parameters.
+    pub fn build_partitioner(&self) -> Result<Box<dyn Partitioner>> {
+        let seed = mix(&[self.seed, 1]);
+        let p: Box<dyn Partitioner> = match self.partitioner {
+            PartitionerKind::Hash => {
+                Box::new(HashPartitioner::new(self.nodes, self.replication, seed)?)
+            }
+            PartitionerKind::Ring => {
+                Box::new(ConsistentHashRing::new(self.nodes, self.replication, seed)?)
+            }
+            PartitionerKind::Rendezvous => Box::new(RendezvousPartitioner::new(
+                self.nodes,
+                self.replication,
+                seed,
+            )?),
+            PartitionerKind::Range => Box::new(RangePartitioner::new(
+                self.nodes,
+                self.replication,
+                self.items,
+            )?),
+        };
+        Ok(p)
+    }
+
+    /// Builds the configured replica selector.
+    pub fn build_selector(&self) -> Box<dyn ReplicaSelector> {
+        let seed = mix(&[self.seed, 2]);
+        match self.selector {
+            SelectorKind::Random => Box::new(RandomSelector::new(seed)),
+            SelectorKind::RoundRobin => Box::new(RoundRobinSelector::new()),
+            SelectorKind::LeastLoaded => Box::new(LeastLoadedSelector::new()),
+            SelectorKind::PerQueryLeastLoaded => Box::new(PerQueryLeastLoaded::new()),
+        }
+    }
+
+    /// Builds the configured cache over `u64` key ids.
+    ///
+    /// `ranked_keys` supplies the true popularity order for
+    /// [`CacheKind::Perfect`]; other policies ignore it.
+    pub fn build_cache<I: IntoIterator<Item = u64>>(&self, ranked_keys: I) -> Box<dyn Cache<u64>> {
+        let c = self.cache_capacity;
+        match self.cache_kind {
+            CacheKind::Perfect => Box::new(PerfectCache::new(c, ranked_keys)),
+            CacheKind::Lru => Box::new(LruCache::new(c)),
+            CacheKind::Lfu => Box::new(LfuCache::new(c)),
+            CacheKind::Fifo => Box::new(FifoCache::new(c)),
+            CacheKind::Clock => Box::new(ClockCache::new(c)),
+            CacheKind::Slru => Box::new(SlruCache::new(c)),
+            CacheKind::TinyLfu => Box::new(TinyLfuCache::new(c)),
+            CacheKind::Arc => Box::new(ArcCache::new(c)),
+            CacheKind::EstimatedOracle => Box::new(EstimatedOracleCache::new(c)),
+            CacheKind::None => Box::new(NoCache::new()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_config() -> SimConfig {
+        SimConfig {
+            nodes: 10,
+            replication: 3,
+            cache_kind: CacheKind::Perfect,
+            cache_capacity: 5,
+            items: 100,
+            rate: 1e3,
+            pattern: AccessPattern::uniform_subset(6, 100).unwrap(),
+            partitioner: PartitionerKind::Hash,
+            selector: SelectorKind::LeastLoaded,
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn valid_config_passes() {
+        base_config().validate().unwrap();
+        base_config().system_params().unwrap();
+    }
+
+    #[test]
+    fn validation_catches_mismatched_pattern() {
+        let mut cfg = base_config();
+        cfg.pattern = AccessPattern::uniform_subset(6, 999).unwrap();
+        assert!(matches!(
+            cfg.validate(),
+            Err(SimError::InvalidConfig { field: "pattern", .. })
+        ));
+    }
+
+    #[test]
+    fn validation_catches_oversized_cache() {
+        let mut cfg = base_config();
+        cfg.cache_capacity = 101;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn validation_catches_bad_cluster_shape() {
+        let mut cfg = base_config();
+        cfg.replication = 11;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn for_run_derives_distinct_deterministic_seeds() {
+        let cfg = base_config();
+        let a = cfg.for_run(0);
+        let b = cfg.for_run(1);
+        assert_ne!(a.seed, b.seed);
+        assert_eq!(a.seed, cfg.for_run(0).seed);
+        assert_ne!(a.seed, cfg.seed);
+    }
+
+    #[test]
+    fn all_partitioners_build() {
+        for kind in PartitionerKind::ALL {
+            let mut cfg = base_config();
+            cfg.partitioner = kind;
+            let p = cfg.build_partitioner().unwrap();
+            assert_eq!(p.node_count(), 10);
+            assert_eq!(p.replication_factor(), 3);
+        }
+    }
+
+    #[test]
+    fn all_selectors_build() {
+        for kind in SelectorKind::ALL {
+            let mut cfg = base_config();
+            cfg.selector = kind;
+            let _ = cfg.build_selector();
+        }
+    }
+
+    #[test]
+    fn all_caches_build_with_correct_capacity() {
+        for kind in CacheKind::ALL {
+            let mut cfg = base_config();
+            cfg.cache_kind = kind;
+            let cache = cfg.build_cache(0..5);
+            if kind == CacheKind::None {
+                assert_eq!(cache.capacity(), 0);
+            } else {
+                assert_eq!(cache.capacity(), 5, "{}", kind.name());
+            }
+        }
+    }
+
+    #[test]
+    fn paper_baseline_matches_section_four() {
+        let cfg = SimConfig::paper_baseline(
+            200,
+            AccessPattern::uniform_subset(201, 1_000_000).unwrap(),
+            9,
+        );
+        cfg.validate().unwrap();
+        assert_eq!(cfg.nodes, 1000);
+        assert_eq!(cfg.replication, 3);
+        assert_eq!(cfg.items, 1_000_000);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(PartitionerKind::Hash.name(), "hash");
+        assert_eq!(SelectorKind::LeastLoaded.name(), "least-loaded");
+        assert_eq!(CacheKind::TinyLfu.name(), "tinylfu");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let cfg = base_config();
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: SimConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(cfg, back);
+    }
+}

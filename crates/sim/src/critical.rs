@@ -1,0 +1,217 @@
+//! Empirical critical-cache-size search.
+//!
+//! Figure 5 locates the cache size where the best achievable attack gain
+//! crosses 1.0. The best-response gain is monotone non-increasing in the
+//! cache size, so a bisection over `c` finds the empirical critical point
+//! with `O(log range)` gain evaluations.
+
+use crate::config::SimConfig;
+use crate::error::SimError;
+use crate::runner::repeat_rate_simulation;
+use crate::Result;
+use scp_core::bounds::{optimal_subset_size, KParam};
+use scp_workload::AccessPattern;
+
+/// Result of a bisection for the empirical critical cache size.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CriticalPoint {
+    /// Smallest probed cache size with gain `<= threshold`.
+    pub cache_size: usize,
+    /// The gain measured at that size.
+    pub gain_at: f64,
+    /// Number of gain evaluations spent.
+    pub evaluations: usize,
+}
+
+/// Generic bisection: finds the smallest `c` in `[lo, hi]` where the
+/// monotone non-increasing `gain(c)` drops to `threshold` or below.
+///
+/// # Errors
+///
+/// Propagates errors from `gain`; returns an error if even `gain(hi)`
+/// stays above the threshold or the range is empty.
+pub fn bisect_threshold<F>(
+    mut gain: F,
+    lo: usize,
+    hi: usize,
+    threshold: f64,
+) -> Result<CriticalPoint>
+where
+    F: FnMut(usize) -> Result<f64>,
+{
+    if lo > hi {
+        return Err(SimError::InvalidConfig {
+            field: "range",
+            reason: format!("empty search range [{lo}, {hi}]"),
+        });
+    }
+    let mut evaluations = 0usize;
+    let mut probe = |c: usize, evals: &mut usize| -> Result<f64> {
+        *evals += 1;
+        gain(c)
+    };
+    let g_hi = probe(hi, &mut evaluations)?;
+    if g_hi > threshold {
+        return Err(SimError::InvalidConfig {
+            field: "hi",
+            reason: format!("gain {g_hi} at upper bound {hi} still above {threshold}"),
+        });
+    }
+    let mut best = (hi, g_hi);
+    if probe(lo, &mut evaluations)? <= threshold {
+        return Ok(CriticalPoint {
+            cache_size: lo,
+            gain_at: best.1,
+            evaluations,
+        });
+    }
+    let (mut lo, mut hi) = (lo, hi);
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        let g = probe(mid, &mut evaluations)?;
+        if g <= threshold {
+            best = (mid, g);
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    Ok(CriticalPoint {
+        cache_size: best.0,
+        gain_at: best.1,
+        evaluations,
+    })
+}
+
+/// The adversary's best-response gain at cache size `c`: the max over the
+/// two candidate plays (`x = c + 1` and `x = m`) of the max-over-runs
+/// simulated gain.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn best_response_gain(
+    base: &SimConfig,
+    c: usize,
+    runs: usize,
+    threads: usize,
+) -> Result<f64> {
+    let mut best = 0.0f64;
+    let mut candidates = vec![base.items];
+    if (c as u64) + 1 < base.items {
+        candidates.push(c as u64 + 1);
+    }
+    for x in candidates {
+        let mut cfg = base.clone();
+        cfg.cache_capacity = c;
+        cfg.pattern = AccessPattern::uniform_subset(x, base.items)?;
+        let (_, agg) = repeat_rate_simulation(&cfg, runs, threads)?;
+        best = best.max(agg.max_gain());
+    }
+    Ok(best)
+}
+
+/// Locates the empirical critical cache size for a configuration by
+/// bisection of [`best_response_gain`], searching `c` in
+/// `[0, theory_hint * 4]` where `theory_hint` is the theoretical `c*`.
+///
+/// # Errors
+///
+/// Propagates simulation errors; fails if the search window is too small.
+pub fn find_critical_cache_size(
+    base: &SimConfig,
+    runs: usize,
+    threads: usize,
+) -> Result<CriticalPoint> {
+    let theory = scp_core::bounds::critical_cache_size(
+        base.nodes,
+        base.replication,
+        &KParam::theory(),
+    );
+    let hi = theory
+        .saturating_mul(4)
+        .min(base.items as usize)
+        .max(base.nodes);
+    bisect_threshold(
+        |c| best_response_gain(base, c, runs, threads),
+        0,
+        hi,
+        1.0,
+    )
+}
+
+/// The theory-side worst `x` for reference alongside empirical searches.
+pub fn theoretical_worst_x(cfg: &SimConfig, k: &KParam) -> Result<u64> {
+    let params = cfg.system_params()?;
+    Ok(optimal_subset_size(&params, k).x())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CacheKind, PartitionerKind, SelectorKind};
+
+    fn base(n: usize) -> SimConfig {
+        SimConfig {
+            nodes: n,
+            replication: 3,
+            cache_kind: CacheKind::Perfect,
+            cache_capacity: 0, // varied by the search
+            items: 50_000,
+            rate: 1e4,
+            pattern: AccessPattern::uniform_subset(1, 50_000).unwrap(),
+            partitioner: PartitionerKind::Hash,
+            selector: SelectorKind::LeastLoaded,
+            seed: 3,
+        }
+    }
+
+    #[test]
+    fn bisect_finds_known_threshold() {
+        // gain(c) = 10 - c crosses 1.0 at c = 9.
+        let cp = bisect_threshold(|c| Ok(10.0 - c as f64), 0, 100, 1.0).unwrap();
+        assert_eq!(cp.cache_size, 9);
+        assert!(cp.evaluations < 12, "O(log) evaluations expected");
+    }
+
+    #[test]
+    fn bisect_handles_always_safe() {
+        let cp = bisect_threshold(|_| Ok(0.5), 0, 100, 1.0).unwrap();
+        assert_eq!(cp.cache_size, 0);
+    }
+
+    #[test]
+    fn bisect_rejects_never_safe() {
+        assert!(bisect_threshold(|_| Ok(2.0), 0, 100, 1.0).is_err());
+        assert!(bisect_threshold(|_| Ok(0.0), 5, 4, 1.0).is_err());
+    }
+
+    #[test]
+    fn best_response_prefers_small_x_when_cache_small() {
+        // c far below c*: x = c+1 dominates querying everything.
+        let base = base(100);
+        let small_x_gain = {
+            let mut cfg = base.clone();
+            cfg.cache_capacity = 10;
+            cfg.pattern = AccessPattern::uniform_subset(11, base.items).unwrap();
+            let (_, agg) = repeat_rate_simulation(&cfg, 4, 0).unwrap();
+            agg.max_gain()
+        };
+        let best = best_response_gain(&base, 10, 4, 0).unwrap();
+        assert!(best >= small_x_gain - 1e-9);
+        assert!(best > 1.0);
+    }
+
+    #[test]
+    fn empirical_critical_point_is_near_theory() {
+        // Small cluster so the test stays fast: n=100, d=3.
+        // Theory (k' = 0): c* = 100 * lnln(100)/ln(3) + 1 ~ 122.
+        let cp = find_critical_cache_size(&base(100), 6, 0).unwrap();
+        assert!(
+            cp.cache_size >= 20 && cp.cache_size <= 250,
+            "empirical critical point {} wildly off theory ~122",
+            cp.cache_size
+        );
+        assert!(cp.gain_at <= 1.0);
+    }
+}

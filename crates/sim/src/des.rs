@@ -1,0 +1,690 @@
+//! Discrete-event simulation: latency and saturation under attack.
+//!
+//! The paper closes Section III with a capacity argument: if every node's
+//! sustainable rate `r_i` exceeds the max-load bound, the adversary cannot
+//! saturate any node. This engine makes that concrete: Poisson client
+//! arrivals at rate `R`, a front-end cache, and one exponential-service
+//! queue per back-end node (an M/M/1 farm). Overloaded nodes show up as
+//! diverging queues and latencies instead of a dry inequality.
+
+use crate::config::SimConfig;
+use crate::error::SimError;
+use crate::metrics::LoadReport;
+use crate::stats::{quantile, RunningStats};
+use crate::Result;
+use scp_cluster::{Cluster, KeyId, NodeId};
+use scp_workload::permute::KeyMapping;
+use scp_workload::rng::{mix, next_exponential, Xoshiro256StarStar};
+use scp_workload::stream::QueryStream;
+use scp_workload::temporal::PhasedPattern;
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Configuration of a discrete-event run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DesConfig {
+    /// The system + workload being simulated.
+    pub sim: SimConfig,
+    /// Simulated wall-clock duration in seconds (arrivals stop after
+    /// this; in-flight work is drained).
+    pub duration: f64,
+    /// Per-node service rate `r_i` in queries/second (uniform).
+    pub service_rate: f64,
+}
+
+impl DesConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on invalid embedded sim config, non-positive
+    /// duration or service rate.
+    pub fn validate(&self) -> Result<()> {
+        self.sim.validate()?;
+        if !self.duration.is_finite() || self.duration <= 0.0 {
+            return Err(SimError::InvalidConfig {
+                field: "duration",
+                reason: format!("must be finite and positive, got {}", self.duration),
+            });
+        }
+        if !self.service_rate.is_finite() || self.service_rate <= 0.0 {
+            return Err(SimError::InvalidConfig {
+                field: "service_rate",
+                reason: format!("must be finite and positive, got {}", self.service_rate),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// What happens to a node at a scheduled instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FailAction {
+    /// The node crashes: its queued work is lost and routing skips it.
+    Fail,
+    /// The node comes back empty and starts serving again.
+    Recover,
+}
+
+/// A scheduled node failure or recovery.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NodeEvent {
+    /// Simulated time in seconds.
+    pub at: f64,
+    /// The affected node.
+    pub node: NodeId,
+    /// Crash or recovery.
+    pub action: FailAction,
+}
+
+/// Latency/saturation outcome of a discrete-event run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DesReport {
+    /// Queries completed by back-end nodes.
+    pub completed: u64,
+    /// Queries served by the front-end cache (zero sojourn time).
+    pub cache_hits: u64,
+    /// Queries lost in node crashes (queued work of failed nodes).
+    pub unfinished: u64,
+    /// Mean back-end sojourn time (queueing + service) in seconds.
+    pub mean_latency: f64,
+    /// Median sojourn time.
+    pub p50_latency: f64,
+    /// 95th-percentile sojourn time.
+    pub p95_latency: f64,
+    /// 99th-percentile sojourn time.
+    pub p99_latency: f64,
+    /// Largest sojourn time observed.
+    pub max_latency: f64,
+    /// Largest queue depth observed on any node.
+    pub max_queue_depth: usize,
+    /// Highest per-node utilization (busy time / duration).
+    pub max_utilization: f64,
+    /// Back-end loads (completed queries per node) as a report.
+    pub load: LoadReport,
+}
+
+impl DesReport {
+    /// Whether some node was effectively saturated (utilization ~1 and a
+    /// deep queue).
+    pub fn is_saturated(&self) -> bool {
+        self.max_utilization > 0.95 && self.max_queue_depth > 32
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum EventKind {
+    Arrival,
+    /// Departure at a node, tagged with the node's crash epoch so
+    /// departures scheduled before a crash are dropped as stale.
+    Departure { node: u32, epoch: u32 },
+    Admin(u32),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Event {
+    time: f64,
+    kind: EventKind,
+}
+
+impl Eq for Event {}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time
+            .total_cmp(&other.time)
+            .then_with(|| {
+                // Admin first, then departures, then arrivals at ties.
+                fn order(kind: EventKind) -> (u8, u32) {
+                    match kind {
+                        EventKind::Admin(i) => (0, i),
+                        EventKind::Departure { node, .. } => (1, node),
+                        EventKind::Arrival => (2, 0),
+                    }
+                }
+                order(self.kind).cmp(&order(other.kind))
+            })
+    }
+}
+
+/// Runs one discrete-event simulation.
+///
+/// # Errors
+///
+/// Returns an error on invalid configuration.
+pub fn run_des(cfg: &DesConfig) -> Result<DesReport> {
+    run_des_with_events(cfg, &[])
+}
+
+/// Runs a discrete-event simulation with scheduled node crashes and
+/// recoveries.
+///
+/// A crash drops the node's queued work (reported as `unfinished`) and
+/// removes it from routing until a matching [`FailAction::Recover`].
+///
+/// # Errors
+///
+/// Returns an error on invalid configuration or an event referencing a
+/// node outside the cluster.
+pub fn run_des_with_events(cfg: &DesConfig, node_events: &[NodeEvent]) -> Result<DesReport> {
+    cfg.validate()?;
+    for e in node_events {
+        if e.node.index() >= cfg.sim.nodes {
+            return Err(SimError::InvalidConfig {
+                field: "node_events",
+                reason: format!("{} outside the {}-node cluster", e.node, cfg.sim.nodes),
+            });
+        }
+        if !e.at.is_finite() || e.at < 0.0 {
+            return Err(SimError::InvalidConfig {
+                field: "node_events",
+                reason: format!("event time {} must be finite and non-negative", e.at),
+            });
+        }
+    }
+    let sim = &cfg.sim;
+    let mapping = KeyMapping::scattered(sim.items, mix(&[sim.seed, 3]))?;
+    let top = (sim.cache_capacity as u64).min(sim.items);
+    let ranked: Vec<u64> = (0..top).map(|rank| mapping.apply(rank)).collect();
+    // Arrivals sample ranks; keys go through the same mapping as the cache.
+    let mut stream = QueryStream::with_mapping(&sim.pattern, mix(&[sim.seed, 4]), mapping)?;
+    let mut key_at = move |_t: f64| stream.next_key();
+    let (report, _) = run_des_core(cfg, node_events, ranked, &mut key_at)?;
+    Ok(report)
+}
+
+/// Latency summary of one phase of a timed run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PhaseLatency {
+    /// Index into the timeline's phases.
+    pub phase: usize,
+    /// Back-end completions whose departure fell in this phase.
+    pub completed: u64,
+    /// Mean sojourn time of those completions (0 if none).
+    pub mean_latency: f64,
+    /// 95th-percentile sojourn time (0 if none).
+    pub p95_latency: f64,
+}
+
+/// Runs a discrete-event simulation over a [`PhasedPattern`] timeline
+/// (e.g. organic traffic → attack ramp → mitigation), with optional node
+/// events, returning the aggregate report plus per-phase latency
+/// summaries (bucketed by completion time).
+///
+/// The timeline replaces `cfg.sim.pattern` as the key source; its key
+/// space must match `cfg.sim.items`.
+///
+/// # Errors
+///
+/// Returns an error on invalid configurations or a key-space mismatch.
+pub fn run_des_phased(
+    cfg: &DesConfig,
+    node_events: &[NodeEvent],
+    timeline: &PhasedPattern,
+) -> Result<(DesReport, Vec<PhaseLatency>)> {
+    if timeline.key_space() != cfg.sim.items {
+        return Err(SimError::InvalidConfig {
+            field: "timeline",
+            reason: format!(
+                "timeline key space {} != items {}",
+                timeline.key_space(),
+                cfg.sim.items
+            ),
+        });
+    }
+    let sim = &cfg.sim;
+    let mapping = KeyMapping::scattered(sim.items, mix(&[sim.seed, 3]))?;
+    let top = (sim.cache_capacity as u64).min(sim.items);
+    let ranked: Vec<u64> = (0..top).map(|rank| mapping.apply(rank)).collect();
+    let mut sampler = timeline.sampler(mix(&[sim.seed, 4]))?;
+    let mut key_at = move |t: f64| mapping.apply(sampler.sample_at(t));
+    let (report, samples) = run_des_core(cfg, node_events, ranked, &mut key_at)?;
+
+    let mut buckets: Vec<Vec<f64>> = vec![Vec::new(); timeline.phase_count()];
+    for &(time, latency) in &samples {
+        buckets[timeline.phase_index_at(time)].push(latency);
+    }
+    let phases = buckets
+        .into_iter()
+        .enumerate()
+        .map(|(phase, lats)| {
+            let mut stats = RunningStats::new();
+            stats.extend(lats.iter().copied());
+            PhaseLatency {
+                phase,
+                completed: stats.count(),
+                mean_latency: stats.mean(),
+                p95_latency: if lats.is_empty() {
+                    0.0
+                } else {
+                    quantile(&lats, 0.95)
+                },
+            }
+        })
+        .collect();
+    Ok((report, phases))
+}
+
+fn run_des_core(
+    cfg: &DesConfig,
+    node_events: &[NodeEvent],
+    ranked_keys: Vec<u64>,
+    key_at: &mut dyn FnMut(f64) -> u64,
+) -> Result<(DesReport, Vec<(f64, f64)>)> {
+    let sim = &cfg.sim;
+    let n = sim.nodes;
+
+    let mut cache = sim.build_cache(ranked_keys);
+    let mut cluster = Cluster::new(sim.build_partitioner()?, sim.build_selector());
+    let mut arrival_rng = Xoshiro256StarStar::seed_from_u64(mix(&[sim.seed, 5]));
+    let mut service_rng = Xoshiro256StarStar::seed_from_u64(mix(&[sim.seed, 6]));
+
+    let mut queues: Vec<VecDeque<f64>> = vec![VecDeque::new(); n];
+    let mut busy_time = vec![0.0f64; n];
+    let mut events: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
+    for (i, e) in node_events.iter().enumerate() {
+        events.push(Reverse(Event {
+            time: e.at,
+            kind: EventKind::Admin(i as u32),
+        }));
+    }
+    let mut lost = 0u64;
+    let mut epochs = vec![0u32; n];
+
+    // Seed the first arrival.
+    let first = next_exponential(&mut arrival_rng, sim.rate);
+    if first <= cfg.duration {
+        events.push(Reverse(Event {
+            time: first,
+            kind: EventKind::Arrival,
+        }));
+    }
+
+    let mut latencies: Vec<(f64, f64)> = Vec::new();
+    let mut cache_hits = 0u64;
+    let mut max_queue_depth = 0usize;
+
+    while let Some(Reverse(event)) = events.pop() {
+        match event.kind {
+            EventKind::Arrival => {
+                let key = key_at(event.time);
+                // Schedule the next arrival (if within the horizon).
+                let next = event.time + next_exponential(&mut arrival_rng, sim.rate);
+                if next <= cfg.duration {
+                    events.push(Reverse(Event {
+                        time: next,
+                        kind: EventKind::Arrival,
+                    }));
+                }
+                if cache.request(key).is_hit() {
+                    cache_hits += 1;
+                    continue;
+                }
+                let Ok(node) = cluster.route_query(KeyId::new(key)) else {
+                    continue; // whole group down: accounted as unserved
+                };
+                let q = &mut queues[node.index()];
+                q.push_back(event.time);
+                max_queue_depth = max_queue_depth.max(q.len());
+                if q.len() == 1 {
+                    let service = next_exponential(&mut service_rng, cfg.service_rate);
+                    busy_time[node.index()] += service;
+                    events.push(Reverse(Event {
+                        time: event.time + service,
+                        kind: EventKind::Departure {
+                            node: node.value(),
+                            epoch: epochs[node.index()],
+                        },
+                    }));
+                }
+            }
+            EventKind::Admin(idx) => {
+                let e = node_events[idx as usize];
+                match e.action {
+                    FailAction::Fail => {
+                        let _ = cluster.fail_node(e.node);
+                        // Queued work dies with the node; bumping the
+                        // epoch invalidates any in-flight departure.
+                        lost += queues[e.node.index()].len() as u64;
+                        queues[e.node.index()].clear();
+                        epochs[e.node.index()] += 1;
+                    }
+                    FailAction::Recover => {
+                        let _ = cluster.recover_node(e.node);
+                    }
+                }
+            }
+            EventKind::Departure { node, epoch } => {
+                if epoch != epochs[node as usize] {
+                    continue; // scheduled before a crash: stale
+                }
+                let q = &mut queues[node as usize];
+                let admitted = q.pop_front().expect("departure from empty queue");
+                latencies.push((event.time, event.time - admitted));
+                if !q.is_empty() {
+                    let service = next_exponential(&mut service_rng, cfg.service_rate);
+                    busy_time[node as usize] += service;
+                    events.push(Reverse(Event {
+                        time: event.time + service,
+                        kind: EventKind::Departure { node, epoch },
+                    }));
+                }
+            }
+        }
+    }
+
+    let lat_values: Vec<f64> = latencies.iter().map(|&(_, l)| l).collect();
+    let mut lat_stats = RunningStats::new();
+    lat_stats.extend(lat_values.iter().copied());
+    let (p50, p95, p99) = if lat_values.is_empty() {
+        (0.0, 0.0, 0.0)
+    } else {
+        (
+            quantile(&lat_values, 0.5),
+            quantile(&lat_values, 0.95),
+            quantile(&lat_values, 0.99),
+        )
+    };
+    let max_utilization = busy_time
+        .iter()
+        .map(|&b| b / cfg.duration)
+        .fold(0.0, f64::max);
+
+    let completed = latencies.len() as u64;
+    // Node loads count queries at routing time, so they already include
+    // work later lost in crashes: completed + lost = snapshot total. The
+    // `unserved` channel carries only routing failures (whole group down);
+    // crash losses are reported separately as `unfinished`.
+    let snapshot = cluster.snapshot();
+    let load = LoadReport {
+        offered: cache_hits as f64 + snapshot.total() + cluster.unserved(),
+        snapshot,
+        cache_load: cache_hits as f64,
+        unserved: cluster.unserved(),
+        cache_stats: Some(*cache.stats()),
+    };
+
+    Ok((
+        DesReport {
+            completed,
+            cache_hits,
+            unfinished: lost,
+            mean_latency: lat_stats.mean(),
+            p50_latency: p50,
+            p95_latency: p95,
+            p99_latency: p99,
+            max_latency: lat_stats.max(),
+            max_queue_depth,
+            max_utilization,
+            load,
+        },
+        latencies,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CacheKind, PartitionerKind, SelectorKind};
+    use scp_workload::AccessPattern;
+
+    fn des_config(rate: f64, service_rate: f64, pattern: AccessPattern, c: usize) -> DesConfig {
+        DesConfig {
+            sim: SimConfig {
+                nodes: 20,
+                replication: 3,
+                cache_kind: CacheKind::Perfect,
+                cache_capacity: c,
+                items: 1000,
+                rate,
+                pattern,
+                partitioner: PartitionerKind::Hash,
+                selector: SelectorKind::LeastLoaded,
+                seed: 5,
+            },
+            duration: 20.0,
+            service_rate,
+        }
+    }
+
+    #[test]
+    fn validates_inputs() {
+        let mut cfg = des_config(100.0, 50.0, AccessPattern::uniform(1000).unwrap(), 0);
+        cfg.duration = 0.0;
+        assert!(run_des(&cfg).is_err());
+        let mut cfg = des_config(100.0, 50.0, AccessPattern::uniform(1000).unwrap(), 0);
+        cfg.service_rate = -1.0;
+        assert!(run_des(&cfg).is_err());
+    }
+
+    #[test]
+    fn underloaded_farm_has_low_latency_and_no_saturation() {
+        // Offered 100 qps over 20 nodes = 5 qps/node; service 100 qps/node.
+        let cfg = des_config(100.0, 100.0, AccessPattern::uniform(1000).unwrap(), 0);
+        let r = run_des(&cfg).unwrap();
+        assert!(r.completed > 1000, "should complete ~2000 queries");
+        assert!(!r.is_saturated());
+        assert!(r.max_utilization < 0.5, "rho ~= 0.05 expected");
+        // M/M/1 at rho ~.05: sojourn ~ 1/(mu - lambda) ~ 10.5ms.
+        assert!(r.mean_latency < 0.05, "latency {} too high", r.mean_latency);
+        assert!(r.p99_latency >= r.p50_latency);
+    }
+
+    #[test]
+    fn adversarial_hotspot_saturates_a_node() {
+        // x = c+1 = 11 keys over 1000-key space; the single uncached key
+        // carries ~R/11 = 91 qps into one node with service 40 qps.
+        let pattern = AccessPattern::uniform_subset(11, 1000).unwrap();
+        let cfg = des_config(1000.0, 40.0, pattern, 10);
+        let r = run_des(&cfg).unwrap();
+        assert!(r.is_saturated(), "hot node must saturate: {r:?}");
+        assert!(r.max_utilization > 0.95);
+        assert!(r.max_queue_depth > 100);
+    }
+
+    #[test]
+    fn provisioned_cache_prevents_saturation_under_same_attack() {
+        // Same attack but everything the adversary queries is cached.
+        let pattern = AccessPattern::uniform_subset(11, 1000).unwrap();
+        let cfg = des_config(1000.0, 40.0, pattern, 11);
+        let r = run_des(&cfg).unwrap();
+        assert_eq!(r.completed, 0, "all queries hit the cache");
+        assert!(!r.is_saturated());
+        assert!(r.cache_hits > 10_000);
+    }
+
+    #[test]
+    fn conservation_of_queries() {
+        let cfg = des_config(200.0, 100.0, AccessPattern::uniform(1000).unwrap(), 50);
+        let r = run_des(&cfg).unwrap();
+        assert!(r.load.is_conserved(1e-9));
+        assert_eq!(
+            r.load.offered as u64,
+            r.cache_hits + r.completed + r.load.unserved as u64
+        );
+    }
+
+    #[test]
+    fn deterministic_under_fixed_seed() {
+        let cfg = des_config(150.0, 80.0, AccessPattern::zipf(1.01, 1000).unwrap(), 20);
+        let a = run_des(&cfg).unwrap();
+        let b = run_des(&cfg).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scheduled_crash_loses_queued_work_and_shifts_load() {
+        // Uniform load; crash half the nodes mid-run.
+        let cfg = des_config(800.0, 100.0, AccessPattern::uniform(1000).unwrap(), 0);
+        let events: Vec<NodeEvent> = (0..10u32)
+            .map(|i| NodeEvent {
+                at: 10.0,
+                node: NodeId::new(i),
+                action: FailAction::Fail,
+            })
+            .collect();
+        let with_failures = run_des_with_events(&cfg, &events).unwrap();
+        let baseline = run_des(&cfg).unwrap();
+        // Dead nodes stop completing; survivors pick up the slack.
+        assert!(with_failures.load.is_conserved(1e-9));
+        assert!(with_failures.unfinished > 0, "queued work should be lost");
+        assert!(
+            (with_failures.completed + with_failures.unfinished) as f64
+                - with_failures.load.snapshot.total()
+                < 1e-9,
+            "completed + lost must equal routed work"
+        );
+        assert!(
+            with_failures.max_utilization > baseline.max_utilization,
+            "survivors should run hotter: {} vs {}",
+            with_failures.max_utilization,
+            baseline.max_utilization
+        );
+        assert!(
+            with_failures.p95_latency >= baseline.p95_latency,
+            "half the farm gone must not improve latency"
+        );
+    }
+
+    #[test]
+    fn crash_and_recovery_round_trip() {
+        let cfg = des_config(400.0, 100.0, AccessPattern::uniform(1000).unwrap(), 0);
+        let events = vec![
+            NodeEvent {
+                at: 5.0,
+                node: NodeId::new(3),
+                action: FailAction::Fail,
+            },
+            NodeEvent {
+                at: 10.0,
+                node: NodeId::new(3),
+                action: FailAction::Recover,
+            },
+        ];
+        let r = run_des_with_events(&cfg, &events).unwrap();
+        assert!(r.load.is_conserved(1e-9));
+        // Node 3 served before the crash and after recovery.
+        assert!(r.load.snapshot.loads()[3] > 0.0);
+        let baseline = run_des(&cfg).unwrap();
+        assert!(
+            r.load.snapshot.loads()[3] < baseline.load.snapshot.loads()[3],
+            "a 5s outage must cost node 3 some completions"
+        );
+    }
+
+    #[test]
+    fn node_event_validation() {
+        let cfg = des_config(100.0, 100.0, AccessPattern::uniform(1000).unwrap(), 0);
+        let bad_node = [NodeEvent {
+            at: 1.0,
+            node: NodeId::new(99),
+            action: FailAction::Fail,
+        }];
+        assert!(run_des_with_events(&cfg, &bad_node).is_err());
+        let bad_time = [NodeEvent {
+            at: -1.0,
+            node: NodeId::new(0),
+            action: FailAction::Fail,
+        }];
+        assert!(run_des_with_events(&cfg, &bad_time).is_err());
+    }
+
+    #[test]
+    fn failure_run_is_deterministic() {
+        let cfg = des_config(300.0, 80.0, AccessPattern::zipf(1.01, 1000).unwrap(), 10);
+        let events = vec![NodeEvent {
+            at: 7.0,
+            node: NodeId::new(1),
+            action: FailAction::Fail,
+        }];
+        let a = run_des_with_events(&cfg, &events).unwrap();
+        let b = run_des_with_events(&cfg, &events).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn phased_timeline_shows_attack_spike_and_recovery() {
+        use scp_workload::temporal::{Phase, PhasedPattern};
+        // Organic (light) -> attack hotspot -> organic again. Service rate
+        // gives comfortable head-room for organic traffic but not for the
+        // concentrated attack phase.
+        let organic = AccessPattern::uniform(1000).unwrap();
+        // One uncached key (x = c+1) carrying R/6 = 100 qps against a
+        // 120 qps/node service: rho ~0.83 during the attack phase vs
+        // ~0.25 organically.
+        let attack = AccessPattern::uniform_subset(6, 1000).unwrap();
+        let timeline = PhasedPattern::new(vec![
+            Phase { duration: 10.0, pattern: organic.clone() },
+            Phase { duration: 10.0, pattern: attack },
+            Phase { duration: 10.0, pattern: organic.clone() },
+        ])
+        .unwrap();
+        let cfg = des_config(600.0, 120.0, organic, 5);
+        let mut des = cfg;
+        des.duration = 30.0;
+        let (report, phases) = run_des_phased(&des, &[], &timeline).unwrap();
+        assert_eq!(phases.len(), 3);
+        assert!(report.completed > 0);
+        // The attack phase must have visibly worse latency than the first.
+        assert!(
+            phases[1].mean_latency > phases[0].mean_latency * 2.0,
+            "attack phase {:?} vs organic {:?}",
+            phases[1],
+            phases[0]
+        );
+        // After the attack stops, the tail drains and latency recovers
+        // (phase 2 better than phase 1).
+        assert!(phases[2].mean_latency < phases[1].mean_latency);
+        for p in &phases {
+            assert!(p.completed > 0, "every phase completes work: {p:?}");
+        }
+    }
+
+    #[test]
+    fn phased_rejects_mismatched_key_space() {
+        use scp_workload::temporal::{Phase, PhasedPattern};
+        let timeline = PhasedPattern::new(vec![Phase {
+            duration: 1.0,
+            pattern: AccessPattern::uniform(99).unwrap(),
+        }])
+        .unwrap();
+        let cfg = des_config(100.0, 100.0, AccessPattern::uniform(1000).unwrap(), 0);
+        assert!(run_des_phased(&cfg, &[], &timeline).is_err());
+    }
+
+    #[test]
+    fn phased_run_is_deterministic() {
+        use scp_workload::temporal::{Phase, PhasedPattern};
+        let timeline = PhasedPattern::new(vec![
+            Phase { duration: 5.0, pattern: AccessPattern::zipf(1.01, 1000).unwrap() },
+            Phase { duration: 5.0, pattern: AccessPattern::uniform_subset(21, 1000).unwrap() },
+        ])
+        .unwrap();
+        let mut cfg = des_config(200.0, 80.0, AccessPattern::uniform(1000).unwrap(), 20);
+        cfg.duration = 10.0;
+        let a = run_des_phased(&cfg, &[], &timeline).unwrap();
+        let b = run_des_phased(&cfg, &[], &timeline).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn latency_grows_with_utilization() {
+        let lo = run_des(&des_config(100.0, 100.0, AccessPattern::uniform(1000).unwrap(), 0))
+            .unwrap();
+        let hi = run_des(&des_config(1200.0, 100.0, AccessPattern::uniform(1000).unwrap(), 0))
+            .unwrap();
+        assert!(
+            hi.mean_latency > lo.mean_latency,
+            "rho 0.6 ({}) should beat rho 0.05 ({})",
+            hi.mean_latency,
+            lo.mean_latency
+        );
+    }
+}

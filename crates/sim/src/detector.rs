@@ -1,0 +1,234 @@
+//! Online attack detection from load telemetry.
+//!
+//! The provable defense is *sizing* (`c >= c*`), but operators still want
+//! to know an attack is happening — under-provisioned clusters need to
+//! trigger mitigation, provisioned ones want visibility. This detector
+//! consumes periodic [`LoadReport`] snapshots and flags the signature of
+//! the paper's optimal adversary: cache hit-rate pinned at `c/x` with the
+//! uncached remainder concentrating on few nodes (high normalized max,
+//! high Gini).
+
+use crate::metrics::LoadReport;
+use serde::{Deserialize, Serialize};
+
+/// Detector thresholds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DetectorConfig {
+    /// Exponential smoothing factor for the tracked signals, in `(0, 1]`
+    /// (1 = no smoothing).
+    pub alpha: f64,
+    /// Normalized max load above this is suspicious.
+    pub gain_threshold: f64,
+    /// Gini coefficient above this marks concentration.
+    pub gini_threshold: f64,
+    /// Consecutive suspicious intervals before raising the alarm.
+    pub patience: u32,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        Self {
+            alpha: 0.5,
+            gain_threshold: 1.2,
+            gini_threshold: 0.6,
+            patience: 3,
+        }
+    }
+}
+
+/// Current detector state for one interval.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DetectorState {
+    /// Smoothed normalized max load.
+    pub gain_ewma: f64,
+    /// Smoothed Gini coefficient of node loads.
+    pub gini_ewma: f64,
+    /// Consecutive suspicious intervals so far.
+    pub strikes: u32,
+    /// Whether the alarm is currently raised.
+    pub alarmed: bool,
+}
+
+/// Sliding-window attack detector over per-interval load reports.
+///
+/// # Example
+///
+/// ```
+/// use scp_sim::detector::{AttackDetector, DetectorConfig};
+/// use scp_sim::metrics::LoadReport;
+/// use scp_cluster::load::LoadSnapshot;
+///
+/// let mut det = AttackDetector::new(DetectorConfig::default());
+/// let benign = LoadReport {
+///     snapshot: LoadSnapshot::new(vec![1.0; 10]),
+///     cache_load: 10.0,
+///     offered: 20.0,
+///     unserved: 0.0,
+///     cache_stats: None,
+/// };
+/// assert!(!det.observe(&benign).alarmed);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AttackDetector {
+    config: DetectorConfig,
+    state: Option<DetectorState>,
+}
+
+impl AttackDetector {
+    /// Creates a detector (thresholds are clamped to sane ranges).
+    pub fn new(mut config: DetectorConfig) -> Self {
+        config.alpha = config.alpha.clamp(1e-3, 1.0);
+        config.patience = config.patience.max(1);
+        Self {
+            config,
+            state: None,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &DetectorConfig {
+        &self.config
+    }
+
+    /// The latest state, if any interval has been observed.
+    pub fn state(&self) -> Option<&DetectorState> {
+        self.state.as_ref()
+    }
+
+    /// Feeds one interval's report; returns the updated state.
+    pub fn observe(&mut self, report: &LoadReport) -> DetectorState {
+        let gain = report.gain().value();
+        let gini = report.snapshot.gini();
+        let a = self.config.alpha;
+        let (gain_ewma, gini_ewma) = match self.state {
+            Some(prev) => (
+                a * gain + (1.0 - a) * prev.gain_ewma,
+                a * gini + (1.0 - a) * prev.gini_ewma,
+            ),
+            None => (gain, gini),
+        };
+        let suspicious =
+            gain_ewma > self.config.gain_threshold || gini_ewma > self.config.gini_threshold;
+        let strikes = if suspicious {
+            self.state.map_or(1, |s| s.strikes + 1)
+        } else {
+            0
+        };
+        let next = DetectorState {
+            gain_ewma,
+            gini_ewma,
+            strikes,
+            alarmed: strikes >= self.config.patience,
+        };
+        self.state = Some(next);
+        next
+    }
+
+    /// Clears all history.
+    pub fn reset(&mut self) {
+        self.state = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CacheKind, PartitionerKind, SelectorKind, SimConfig};
+    use crate::query_engine::run_query_simulation;
+    use scp_cluster::load::LoadSnapshot;
+    use scp_workload::AccessPattern;
+
+    fn report(loads: Vec<f64>, cache: f64) -> LoadReport {
+        let offered = loads.iter().sum::<f64>() + cache;
+        LoadReport {
+            snapshot: LoadSnapshot::new(loads),
+            cache_load: cache,
+            offered,
+            unserved: 0.0,
+            cache_stats: None,
+        }
+    }
+
+    #[test]
+    fn benign_traffic_never_alarms() {
+        let mut det = AttackDetector::new(DetectorConfig::default());
+        for _ in 0..50 {
+            let s = det.observe(&report(vec![1.0, 1.1, 0.9, 1.0], 2.0));
+            assert!(!s.alarmed);
+            assert_eq!(s.strikes, 0);
+        }
+    }
+
+    #[test]
+    fn sustained_hotspot_alarms_after_patience() {
+        let mut det = AttackDetector::new(DetectorConfig::default());
+        let hot = report(vec![10.0, 0.5, 0.5, 0.5], 1.0);
+        let s1 = det.observe(&hot);
+        assert!(!s1.alarmed);
+        let s2 = det.observe(&hot);
+        assert!(!s2.alarmed);
+        let s3 = det.observe(&hot);
+        assert!(s3.alarmed, "third strike should alarm: {s3:?}");
+    }
+
+    #[test]
+    fn transient_blip_is_forgiven() {
+        // One hot interval followed by calm: the EWMA may stay elevated
+        // for one more interval, but the alarm (3 strikes) never fires and
+        // the strike counter drains to zero.
+        let mut det = AttackDetector::new(DetectorConfig::default());
+        let s = det.observe(&report(vec![10.0, 0.5, 0.5, 0.5], 1.0));
+        assert_eq!(s.strikes, 1);
+        let mut final_state = s;
+        for _ in 0..4 {
+            final_state = det.observe(&report(vec![0.1, 0.1, 0.1, 0.1], 5.0));
+            assert!(!final_state.alarmed, "{final_state:?}");
+        }
+        assert_eq!(final_state.strikes, 0, "{final_state:?}");
+    }
+
+    #[test]
+    fn reset_clears_history() {
+        let mut det = AttackDetector::new(DetectorConfig::default());
+        det.observe(&report(vec![10.0, 0.1], 0.0));
+        det.reset();
+        assert!(det.state().is_none());
+    }
+
+    #[test]
+    fn detects_simulated_attack_but_not_zipf() {
+        // Drive the detector with real engine output in intervals.
+        let mk = |pattern: AccessPattern, seed: u64| SimConfig {
+            nodes: 50,
+            replication: 3,
+            cache_kind: CacheKind::Perfect,
+            cache_capacity: 25,
+            items: 10_000,
+            rate: 1e4,
+            pattern,
+            partitioner: PartitionerKind::Hash,
+            selector: SelectorKind::LeastLoaded,
+            seed,
+        };
+        let mut det = AttackDetector::new(DetectorConfig::default());
+        // Five benign Zipf intervals...
+        for i in 0..5 {
+            let r =
+                run_query_simulation(&mk(AccessPattern::zipf(1.01, 10_000).unwrap(), i), 20_000)
+                    .unwrap();
+            let s = det.observe(&r);
+            assert!(!s.alarmed, "false positive on zipf interval {i}: {s:?}");
+        }
+        // ...then the optimal attack (x = c+1) arrives.
+        let mut alarmed = false;
+        for i in 0..5 {
+            let r = run_query_simulation(
+                &mk(AccessPattern::uniform_subset(26, 10_000).unwrap(), 100 + i),
+                20_000,
+            )
+            .unwrap();
+            alarmed |= det.observe(&r).alarmed;
+        }
+        assert!(alarmed, "attack went undetected: {:?}", det.state());
+    }
+}

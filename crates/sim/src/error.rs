@@ -1,0 +1,90 @@
+//! Error type for simulation configuration and execution.
+
+use std::fmt;
+
+/// Errors produced while configuring or running simulations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// A configuration field was outside its legal range or inconsistent
+    /// with another field.
+    InvalidConfig {
+        /// Name of the offending field.
+        field: &'static str,
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+    /// Substrate error from the cluster layer.
+    Cluster(scp_cluster::ClusterError),
+    /// Substrate error from the workload layer.
+    Workload(scp_workload::WorkloadError),
+    /// Theory-layer error.
+    Core(scp_core::CoreError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidConfig { field, reason } => {
+                write!(f, "invalid simulation config `{field}`: {reason}")
+            }
+            SimError::Cluster(e) => write!(f, "cluster error: {e}"),
+            SimError::Workload(e) => write!(f, "workload error: {e}"),
+            SimError::Core(e) => write!(f, "core error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Cluster(e) => Some(e),
+            SimError::Workload(e) => Some(e),
+            SimError::Core(e) => Some(e),
+            SimError::InvalidConfig { .. } => None,
+        }
+    }
+}
+
+impl From<scp_cluster::ClusterError> for SimError {
+    fn from(value: scp_cluster::ClusterError) -> Self {
+        SimError::Cluster(value)
+    }
+}
+
+impl From<scp_workload::WorkloadError> for SimError {
+    fn from(value: scp_workload::WorkloadError) -> Self {
+        SimError::Workload(value)
+    }
+}
+
+impl From<scp_core::CoreError> for SimError {
+    fn from(value: scp_core::CoreError) -> Self {
+        SimError::Core(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: SimError = scp_workload::WorkloadError::EmptyDistribution.into();
+        assert!(e.to_string().contains("workload"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e: SimError = scp_cluster::ClusterError::UnknownNode(scp_cluster::NodeId::new(1)).into();
+        assert!(e.to_string().contains("cluster"));
+        let e = SimError::InvalidConfig {
+            field: "nodes",
+            reason: "zero".into(),
+        };
+        assert!(e.to_string().contains("nodes"));
+        assert!(std::error::Error::source(&e).is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+    }
+}

@@ -1,0 +1,64 @@
+//! Simulation engines and experiment infrastructure.
+//!
+//! Three engines reproduce and extend the paper's Section IV validation:
+//!
+//! * [`rate_engine`] — **rate propagation**: pushes exact per-key query
+//!   rates through cache → partitioner → replica selection. The only
+//!   randomness is the partition (and selector tie-breaking), exactly the
+//!   random variable the paper's simulations measure. Fast: O(x) per run.
+//! * [`query_engine`] — **query sampling**: draws individual queries, so
+//!   real cache policies (LRU, TinyLFU, ...) can be evaluated and
+//!   multinomial sampling noise is included.
+//! * [`des`] — **discrete-event simulation**: Poisson arrivals and
+//!   exponential service per node, for latency/saturation questions
+//!   (the `r_i >= E[L_max]` capacity discussion closing Section III).
+//!
+//! [`runner`] executes independent repetitions in parallel with
+//! deterministic per-run seeds; [`critical`] locates empirical critical
+//! cache sizes by bisection; [`stats`] aggregates.
+//!
+//! # Example
+//!
+//! ```
+//! use scp_sim::config::{CacheKind, PartitionerKind, SelectorKind, SimConfig};
+//! use scp_workload::AccessPattern;
+//!
+//! let cfg = SimConfig {
+//!     nodes: 50,
+//!     replication: 3,
+//!     cache_kind: CacheKind::Perfect,
+//!     cache_capacity: 10,
+//!     items: 10_000,
+//!     rate: 1e4,
+//!     pattern: AccessPattern::uniform_subset(11, 10_000).unwrap(),
+//!     partitioner: PartitionerKind::Hash,
+//!     selector: SelectorKind::LeastLoaded,
+//!     seed: 7,
+//! };
+//! let report = scp_sim::rate_engine::run_rate_simulation(&cfg)?;
+//! assert!(report.gain().value() > 0.0);
+//! # Ok::<(), scp_sim::SimError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod assignments;
+pub mod config;
+pub mod cost;
+pub mod critical;
+pub mod des;
+pub mod detector;
+pub mod error;
+pub mod metrics;
+pub mod multi_frontend;
+pub mod query_engine;
+pub mod rate_engine;
+pub mod runner;
+pub mod stats;
+
+pub use config::SimConfig;
+pub use error::SimError;
+pub use metrics::LoadReport;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, SimError>;

@@ -1,0 +1,123 @@
+//! Per-run load reports.
+
+use scp_cache::CacheStats;
+use scp_cluster::load::LoadSnapshot;
+use scp_core::gain::AttackGain;
+use serde::{Deserialize, Serialize};
+
+/// The outcome of one simulation run.
+///
+/// Loads are in the run's native unit: queries/second for the rate engine,
+/// query counts for the sampling engine. All derived metrics normalize by
+/// `offered`, so the unit cancels.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoadReport {
+    /// Per-node back-end loads.
+    pub snapshot: LoadSnapshot,
+    /// Load absorbed by the front-end cache.
+    pub cache_load: f64,
+    /// Total offered load (client rate `R` or query count).
+    pub offered: f64,
+    /// Load lost because entire replica groups were down.
+    pub unserved: f64,
+    /// Front-end cache counters (query engine only).
+    pub cache_stats: Option<CacheStats>,
+}
+
+impl LoadReport {
+    /// The paper's attack gain: max node load over the even share
+    /// `offered / n`.
+    pub fn gain(&self) -> AttackGain {
+        AttackGain::new(self.snapshot.normalized_max(self.offered))
+    }
+
+    /// Fraction of offered load served by the front-end cache.
+    pub fn cache_fraction(&self) -> f64 {
+        if self.offered <= 0.0 {
+            0.0
+        } else {
+            self.cache_load / self.offered
+        }
+    }
+
+    /// Fraction of offered load reaching the back ends.
+    pub fn backend_fraction(&self) -> f64 {
+        if self.offered <= 0.0 {
+            0.0
+        } else {
+            self.snapshot.total() / self.offered
+        }
+    }
+
+    /// The most loaded node's absolute load.
+    pub fn max_load(&self) -> f64 {
+        self.snapshot.max()
+    }
+
+    /// Sanity check: cache + backend + unserved accounts for everything
+    /// offered (within tolerance).
+    pub fn is_conserved(&self, tolerance: f64) -> bool {
+        let accounted = self.cache_load + self.snapshot.total() + self.unserved;
+        (accounted - self.offered).abs() <= tolerance * self.offered.max(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> LoadReport {
+        LoadReport {
+            snapshot: LoadSnapshot::new(vec![3.0, 1.0, 1.0, 1.0]),
+            cache_load: 4.0,
+            offered: 10.0,
+            unserved: 0.0,
+            cache_stats: None,
+        }
+    }
+
+    #[test]
+    fn gain_normalizes_by_offered() {
+        // Even share 10/4 = 2.5; max node 3 => gain 1.2.
+        assert!((report().gain().value() - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fractions_sum_to_one_when_conserved() {
+        let r = report();
+        assert!((r.cache_fraction() - 0.4).abs() < 1e-12);
+        assert!((r.backend_fraction() - 0.6).abs() < 1e-12);
+        assert!(r.is_conserved(1e-9));
+    }
+
+    #[test]
+    fn conservation_detects_loss() {
+        let mut r = report();
+        r.cache_load = 1.0;
+        assert!(!r.is_conserved(1e-9));
+        r.unserved = 3.0;
+        assert!(r.is_conserved(1e-9));
+    }
+
+    #[test]
+    fn zero_offered_is_safe() {
+        let r = LoadReport {
+            snapshot: LoadSnapshot::new(vec![0.0; 3]),
+            cache_load: 0.0,
+            offered: 0.0,
+            unserved: 0.0,
+            cache_stats: None,
+        };
+        assert_eq!(r.gain().value(), 0.0);
+        assert_eq!(r.cache_fraction(), 0.0);
+        assert_eq!(r.backend_fraction(), 0.0);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let r = report();
+        let json = serde_json::to_string(&r).unwrap();
+        let back: LoadReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(r, back);
+    }
+}

@@ -1,0 +1,282 @@
+//! Exact rate propagation (the paper's simulation methodology).
+//!
+//! Instead of sampling individual queries, the engine attributes each
+//! rank's exact query rate `R · p_rank` to either the front-end cache (the
+//! `c` most popular ranks — perfect caching) or the back-end node(s)
+//! chosen by the partitioner and replica selector. The measured maximum
+//! load is then a function of the random partition only, matching the
+//! paper's "x different keys are queried at the same rate, and the load of
+//! the most loaded nodes is recorded" (Section IV).
+
+use crate::config::{CacheKind, SimConfig};
+use crate::error::SimError;
+use crate::metrics::LoadReport;
+use crate::Result;
+use scp_cluster::{Cluster, KeyId};
+use scp_workload::permute::KeyMapping;
+use scp_workload::rng::mix;
+
+/// Runs one rate-propagation simulation.
+///
+/// Requires [`CacheKind::Perfect`] or [`CacheKind::None`]: steady-state
+/// rates have no notion of recency, so replacement policies need the
+/// [`crate::query_engine`] instead.
+///
+/// # Errors
+///
+/// Returns an error on invalid configs or unsupported cache kinds.
+pub fn run_rate_simulation(cfg: &SimConfig) -> Result<LoadReport> {
+    cfg.validate()?;
+    let cache_capacity = match cfg.cache_kind {
+        CacheKind::Perfect => cfg.cache_capacity,
+        CacheKind::None => 0,
+        other => {
+            return Err(SimError::InvalidConfig {
+                field: "cache_kind",
+                reason: format!(
+                    "rate engine models steady state and supports only \
+                     perfect/none caching, got {}; use the query engine",
+                    other.name()
+                ),
+            })
+        }
+    };
+
+    let mut cluster = Cluster::new(cfg.build_partitioner()?, cfg.build_selector());
+    run_rate_simulation_on(cfg, &mut cluster, cache_capacity)
+}
+
+/// Rate propagation against a caller-prepared cluster (e.g. with failed
+/// nodes or attached capacities). The cluster must match the config's
+/// node count; its existing loads are reset first.
+///
+/// # Errors
+///
+/// Returns an error on invalid or mismatched configs.
+pub fn run_rate_simulation_on(
+    cfg: &SimConfig,
+    cluster: &mut Cluster,
+    cache_capacity: usize,
+) -> Result<LoadReport> {
+    let mapping = KeyMapping::scattered(cfg.items, mix(&[cfg.seed, 3]))?;
+    run_rate_simulation_with(cfg, cluster, cache_capacity, &mapping)
+}
+
+/// Rate propagation with an explicit rank-to-key mapping.
+///
+/// The default engines scatter ranks over the key space (the adversary's
+/// key choice is arbitrary and the partition random, so the mapping is
+/// irrelevant — except for the correlated [`RangePartitioner`], where an
+/// adversary deliberately picks *contiguous* keys: pass
+/// [`KeyMapping::Identity`] to model that attack).
+///
+/// [`RangePartitioner`]: scp_cluster::partition::RangePartitioner
+///
+/// # Errors
+///
+/// Returns an error on invalid or mismatched configs.
+pub fn run_rate_simulation_with(
+    cfg: &SimConfig,
+    cluster: &mut Cluster,
+    cache_capacity: usize,
+    mapping: &KeyMapping,
+) -> Result<LoadReport> {
+    cfg.validate()?;
+    if cluster.node_count() != cfg.nodes {
+        return Err(SimError::InvalidConfig {
+            field: "nodes",
+            reason: format!(
+                "cluster has {} nodes, config says {}",
+                cluster.node_count(),
+                cfg.nodes
+            ),
+        });
+    }
+    cluster.reset();
+
+    let probs = cfg.pattern.rank_probs();
+    let mut cache_load = 0.0;
+
+    for rank in 0..probs.support_bound() {
+        let p = probs.get(rank);
+        if p <= 0.0 {
+            continue;
+        }
+        let rate = cfg.rate * p;
+        if rank < cache_capacity as u64 {
+            cache_load += rate;
+        } else {
+            let key = KeyId::new(mapping.apply(rank));
+            // NoLiveReplica is accounted as unserved inside the cluster.
+            let _ = cluster.apply_rate(key, rate);
+        }
+    }
+
+    Ok(LoadReport {
+        snapshot: cluster.snapshot(),
+        cache_load,
+        offered: cfg.rate,
+        unserved: cluster.unserved(),
+        cache_stats: None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{PartitionerKind, SelectorKind};
+    use scp_workload::AccessPattern;
+
+    fn config(c: usize, x: u64) -> SimConfig {
+        SimConfig {
+            nodes: 100,
+            replication: 3,
+            cache_kind: CacheKind::Perfect,
+            cache_capacity: c,
+            items: 10_000,
+            rate: 1e4,
+            pattern: AccessPattern::uniform_subset(x, 10_000).unwrap(),
+            partitioner: PartitionerKind::Hash,
+            selector: SelectorKind::LeastLoaded,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn conserves_offered_rate() {
+        let r = run_rate_simulation(&config(10, 50)).unwrap();
+        assert!(r.is_conserved(1e-9));
+        assert_eq!(r.unserved, 0.0);
+    }
+
+    #[test]
+    fn cache_absorbs_exactly_head_mass() {
+        // Uniform over 50 keys, cache 10 -> cache gets 20% of traffic.
+        let r = run_rate_simulation(&config(10, 50)).unwrap();
+        assert!((r.cache_fraction() - 0.2).abs() < 1e-9);
+        assert!((r.backend_fraction() - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fully_cached_subset_leaves_backend_idle() {
+        let r = run_rate_simulation(&config(50, 50)).unwrap();
+        assert!((r.cache_fraction() - 1.0).abs() < 1e-12);
+        assert_eq!(r.snapshot.total(), 0.0);
+        assert_eq!(r.gain().value(), 0.0);
+    }
+
+    #[test]
+    fn no_cache_sends_everything_to_backend() {
+        let mut cfg = config(10, 50);
+        cfg.cache_kind = CacheKind::None;
+        let r = run_rate_simulation(&cfg).unwrap();
+        assert_eq!(r.cache_load, 0.0);
+        assert!((r.backend_fraction() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_replacement_policies() {
+        let mut cfg = config(10, 50);
+        cfg.cache_kind = CacheKind::Lru;
+        assert!(matches!(
+            run_rate_simulation(&cfg),
+            Err(SimError::InvalidConfig { field: "cache_kind", .. })
+        ));
+    }
+
+    #[test]
+    fn deterministic_under_fixed_seed() {
+        let a = run_rate_simulation(&config(10, 200)).unwrap();
+        let b = run_rate_simulation(&config(10, 200)).unwrap();
+        assert_eq!(a, b);
+        let mut other = config(10, 200);
+        other.seed = 43;
+        let c = run_rate_simulation(&other).unwrap();
+        assert_ne!(a.snapshot, c.snapshot, "different partitions expected");
+    }
+
+    #[test]
+    fn attack_on_small_cache_is_effective() {
+        // x = c+1 = 11 keys at equal rate, one uncached key carries R/11,
+        // even share is R/100: gain must be ~ 100/11 >> 1.
+        let r = run_rate_simulation(&config(10, 11)).unwrap();
+        assert!(r.gain().is_effective());
+        assert!((r.gain().value() - 100.0 / 11.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn querying_everything_with_large_cache_is_ineffective() {
+        let mut cfg = config(1000, 10_000);
+        cfg.pattern = AccessPattern::uniform_subset(10_000, 10_000).unwrap();
+        let r = run_rate_simulation(&cfg).unwrap();
+        assert!(!r.gain().is_effective(), "gain {}", r.gain());
+    }
+
+    #[test]
+    fn least_loaded_beats_random_selection_on_max_load() {
+        let mut base = config(0, 2000);
+        base.cache_kind = CacheKind::None;
+        let ll = run_rate_simulation(&base).unwrap();
+        let mut rnd = base.clone();
+        rnd.selector = SelectorKind::Random;
+        let rn = run_rate_simulation(&rnd).unwrap();
+        // Random selection splits each key's rate d ways; with many keys
+        // both are close to even, but least-loaded should not be worse.
+        assert!(ll.max_load() <= rn.max_load() * 1.25);
+    }
+
+    #[test]
+    fn zipf_pattern_with_decent_cache_is_benign() {
+        let mut cfg = config(100, 1);
+        cfg.pattern = AccessPattern::zipf(1.01, 10_000).unwrap();
+        let r = run_rate_simulation(&cfg).unwrap();
+        assert!(r.cache_fraction() > 0.4, "zipf head should hit the cache");
+        assert!(!r.gain().is_effective());
+    }
+
+    #[test]
+    fn failed_nodes_shift_load_to_survivors() {
+        let cfg = config(0, 2000);
+        let mut cluster = Cluster::new(cfg.build_partitioner().unwrap(), cfg.build_selector());
+        for i in 0..10u32 {
+            cluster.fail_node(scp_cluster::NodeId::new(i)).unwrap();
+        }
+        let r = run_rate_simulation_on(&cfg, &mut cluster, 0).unwrap();
+        for i in 0..10 {
+            assert_eq!(r.snapshot.loads()[i], 0.0, "dead node {i} got load");
+        }
+        assert!(r.is_conserved(1e-9), "unserved must be accounted");
+    }
+
+    #[test]
+    fn contiguous_keys_break_range_partitioning() {
+        // The paper's excluded case: under range partitioning an adversary
+        // querying contiguous keys piles everything onto one replica group.
+        use scp_workload::permute::KeyMapping;
+        let mut cfg = config(0, 100);
+        cfg.cache_kind = CacheKind::None;
+        cfg.partitioner = PartitionerKind::Range;
+        let mut cluster = Cluster::new(cfg.build_partitioner().unwrap(), cfg.build_selector());
+        let contiguous =
+            run_rate_simulation_with(&cfg, &mut cluster, 0, &KeyMapping::Identity).unwrap();
+        let scattered = run_rate_simulation(&cfg).unwrap();
+        assert!(
+            contiguous.gain().value() > scattered.gain().value() * 3.0,
+            "contiguous {} vs scattered {}",
+            contiguous.gain(),
+            scattered.gain()
+        );
+    }
+
+    #[test]
+    fn mismatched_cluster_is_rejected() {
+        let cfg = config(0, 100);
+        let mut small = Cluster::new(
+            scp_cluster::partition::HashPartitioner::new(5, 3, 1)
+                .map(Box::new)
+                .unwrap(),
+            cfg.build_selector(),
+        );
+        assert!(run_rate_simulation_on(&cfg, &mut small, 0).is_err());
+    }
+}

@@ -1,0 +1,195 @@
+//! Parallel repetition of independent simulation runs.
+//!
+//! The paper repeats each simulation 200 times over fresh random
+//! partitions and reports the max of the maximum loads. [`repeat`] runs a
+//! closure for run indices `0..runs` across threads (each run derives its
+//! own seed via [`crate::config::SimConfig::for_run`], so results are
+//! independent of thread scheduling) and returns results in run order.
+
+use crate::config::SimConfig;
+use crate::metrics::LoadReport;
+use crate::rate_engine::run_rate_simulation;
+use crate::stats::Summary;
+use crate::Result;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Chooses a worker count: explicit `threads`, or available parallelism.
+fn resolve_threads(threads: usize) -> usize {
+    if threads > 0 {
+        threads
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+}
+
+/// Runs `job(run_index)` for `0..runs`, in parallel, returning results in
+/// run order. `threads = 0` uses all available cores.
+pub fn repeat<T, F>(runs: usize, threads: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if runs == 0 {
+        return Vec::new();
+    }
+    let workers = resolve_threads(threads).min(runs);
+    if workers <= 1 {
+        return (0..runs).map(job).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<T>>> = Mutex::new((0..runs).map(|_| None).collect());
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= runs {
+                    break;
+                }
+                let out = job(i);
+                results.lock()[i] = Some(out);
+            });
+        }
+    })
+    .expect("simulation worker panicked");
+    results
+        .into_inner()
+        .into_iter()
+        .map(|slot| slot.expect("every run produces a result"))
+        .collect()
+}
+
+/// Aggregate of the attack gain across repetitions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GainAggregate {
+    /// Per-run gains, in run order.
+    pub gains: Vec<f64>,
+    /// Distribution summary of the gains.
+    pub summary: Summary,
+}
+
+impl GainAggregate {
+    /// Builds the aggregate from per-run reports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reports` is empty.
+    pub fn from_reports(reports: &[LoadReport]) -> Self {
+        assert!(!reports.is_empty(), "need at least one report");
+        let gains: Vec<f64> = reports.iter().map(|r| r.gain().value()).collect();
+        let summary = Summary::of(&gains);
+        Self { gains, summary }
+    }
+
+    /// The paper's headline statistic: the max over runs of the
+    /// (per-run maximum) normalized load.
+    pub fn max_gain(&self) -> f64 {
+        self.summary.max
+    }
+
+    /// Mean gain across runs.
+    pub fn mean_gain(&self) -> f64 {
+        self.summary.mean
+    }
+}
+
+/// Convenience: repeats the rate engine `runs` times with derived seeds
+/// and aggregates the gains.
+///
+/// # Errors
+///
+/// Returns the first simulation error encountered, if any.
+pub fn repeat_rate_simulation(
+    cfg: &SimConfig,
+    runs: usize,
+    threads: usize,
+) -> Result<(Vec<LoadReport>, GainAggregate)> {
+    let results = repeat(runs, threads, |i| {
+        run_rate_simulation(&cfg.for_run(i as u64))
+    });
+    let mut reports = Vec::with_capacity(results.len());
+    for r in results {
+        reports.push(r?);
+    }
+    let agg = GainAggregate::from_reports(&reports);
+    Ok((reports, agg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CacheKind, PartitionerKind, SelectorKind};
+    use scp_workload::AccessPattern;
+
+    fn config() -> SimConfig {
+        SimConfig {
+            nodes: 50,
+            replication: 3,
+            cache_kind: CacheKind::Perfect,
+            cache_capacity: 10,
+            items: 2000,
+            rate: 1e4,
+            pattern: AccessPattern::uniform_subset(11, 2000).unwrap(),
+            partitioner: PartitionerKind::Hash,
+            selector: SelectorKind::LeastLoaded,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn repeat_preserves_run_order() {
+        let out = repeat(20, 4, |i| i * 2);
+        assert_eq!(out, (0..20).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn repeat_zero_runs_is_empty() {
+        let out: Vec<u32> = repeat(0, 4, |_| 1);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn repeat_single_thread_path() {
+        let out = repeat(5, 1, |i| i + 1);
+        assert_eq!(out, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn parallel_equals_serial() {
+        let cfg = config();
+        let (serial, _) = repeat_rate_simulation(&cfg, 8, 1).unwrap();
+        let (parallel, _) = repeat_rate_simulation(&cfg, 8, 4).unwrap();
+        assert_eq!(serial, parallel, "thread scheduling must not leak in");
+    }
+
+    #[test]
+    fn runs_differ_across_seeds() {
+        let (reports, _) = repeat_rate_simulation(&config(), 4, 0).unwrap();
+        let distinct: std::collections::HashSet<String> = reports
+            .iter()
+            .map(|r| format!("{:?}", r.snapshot.loads()))
+            .collect();
+        assert!(distinct.len() > 1, "repetitions should see fresh partitions");
+    }
+
+    #[test]
+    fn aggregate_statistics() {
+        let (reports, agg) = repeat_rate_simulation(&config(), 16, 0).unwrap();
+        assert_eq!(agg.gains.len(), 16);
+        assert!(agg.max_gain() >= agg.mean_gain());
+        let manual_max = reports
+            .iter()
+            .map(|r| r.gain().value())
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!((agg.max_gain() - manual_max).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one report")]
+    fn aggregate_rejects_empty() {
+        let _ = GainAggregate::from_reports(&[]);
+    }
+}

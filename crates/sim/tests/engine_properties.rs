@@ -1,0 +1,107 @@
+//! Property tests over the simulation engines: conservation, bounds and
+//! determinism must hold for *arbitrary* valid configurations, not just
+//! the hand-picked ones in the unit tests.
+
+use proptest::prelude::*;
+use scp_sim::config::{CacheKind, PartitionerKind, SelectorKind, SimConfig};
+use scp_sim::query_engine::run_query_simulation;
+use scp_sim::rate_engine::run_rate_simulation;
+use scp_workload::AccessPattern;
+
+fn arb_pattern(items: u64) -> impl Strategy<Value = AccessPattern> {
+    prop_oneof![
+        (1..=items).prop_map(move |x| AccessPattern::uniform_subset(x, items).unwrap()),
+        (0.5f64..1.6).prop_map(move |a| AccessPattern::zipf(a, items).unwrap()),
+        Just(AccessPattern::uniform(items).unwrap()),
+    ]
+}
+
+fn arb_config() -> impl Strategy<Value = SimConfig> {
+    (
+        2usize..60,                   // nodes
+        1usize..4,                    // replication (clamped to nodes)
+        0usize..50,                   // cache capacity
+        100u64..2000,                 // items
+        any::<u64>(),                 // seed
+        prop_oneof![
+            Just(PartitionerKind::Hash),
+            Just(PartitionerKind::Ring),
+            Just(PartitionerKind::Range),
+        ],
+        prop_oneof![
+            Just(SelectorKind::Random),
+            Just(SelectorKind::RoundRobin),
+            Just(SelectorKind::LeastLoaded),
+            Just(SelectorKind::PerQueryLeastLoaded),
+        ],
+    )
+        .prop_flat_map(|(nodes, d, cache, items, seed, partitioner, selector)| {
+            let d = d.min(nodes);
+            let cache = cache.min(items as usize);
+            arb_pattern(items).prop_map(move |pattern| SimConfig {
+                nodes,
+                replication: d,
+                cache_kind: CacheKind::Perfect,
+                cache_capacity: cache,
+                items,
+                rate: 1e4,
+                pattern,
+                partitioner,
+                selector,
+                seed,
+            })
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn prop_rate_engine_conserves_and_bounds(cfg in arb_config()) {
+        let r = run_rate_simulation(&cfg).unwrap();
+        // Conservation: cache + backend == offered (no failures here).
+        prop_assert!(r.is_conserved(1e-9), "leaked load: {r:?}");
+        prop_assert_eq!(r.unserved, 0.0);
+        // Gain cannot exceed n (everything on one node) and max load
+        // cannot exceed total backend load.
+        prop_assert!(r.gain().value() <= cfg.nodes as f64 + 1e-9);
+        prop_assert!(r.max_load() <= r.snapshot.total() + 1e-9);
+        // The cache can never absorb more than the offered rate.
+        prop_assert!(r.cache_load <= cfg.rate + 1e-9);
+    }
+
+    #[test]
+    fn prop_rate_engine_deterministic(cfg in arb_config()) {
+        let a = run_rate_simulation(&cfg).unwrap();
+        let b = run_rate_simulation(&cfg).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn prop_query_engine_conserves(cfg in arb_config()) {
+        let queries = 2000u64;
+        let r = run_query_simulation(&cfg, queries).unwrap();
+        prop_assert!(r.is_conserved(1e-12));
+        let stats = r.cache_stats.unwrap();
+        prop_assert_eq!(stats.lookups(), queries);
+        prop_assert_eq!(stats.hits() as f64, r.cache_load);
+        prop_assert_eq!(r.snapshot.total(), (queries - stats.hits()) as f64);
+    }
+
+    #[test]
+    fn prop_bigger_cache_never_increases_backend_load(
+        cfg in arb_config(),
+        extra in 1usize..40,
+    ) {
+        let small = run_rate_simulation(&cfg).unwrap();
+        let mut bigger = cfg.clone();
+        bigger.cache_capacity = (cfg.cache_capacity + extra).min(cfg.items as usize);
+        let big = run_rate_simulation(&bigger).unwrap();
+        prop_assert!(
+            big.snapshot.total() <= small.snapshot.total() + 1e-9,
+            "more cache increased backend load: {} -> {}",
+            small.snapshot.total(),
+            big.snapshot.total()
+        );
+    }
+}

@@ -1,0 +1,456 @@
+//! Compact descriptions of access distributions.
+//!
+//! An [`AccessPattern`] describes how query probability is spread over the
+//! popularity ranks `0..m` of a key space, without necessarily materializing
+//! an `m`-entry vector. Patterns can be queried for exact per-rank
+//! probabilities (used by the rate-propagation engine) or turned into a
+//! [`PatternSampler`] (used by the query-sampling and discrete-event
+//! engines).
+
+use crate::alias::AliasSampler;
+use crate::error::WorkloadError;
+use crate::pmf::Pmf;
+use crate::rng::{next_below, next_f64, Xoshiro256StarStar};
+use crate::zipf::{generalized_harmonic, ZipfSampler};
+use crate::Result;
+use serde::{Deserialize, Serialize};
+
+/// A distribution of queries over the popularity ranks of `m` keys.
+///
+/// Rank `i` denotes the `(i+1)`-th most queried key. How ranks map to
+/// concrete key identifiers is a separate concern
+/// (see [`crate::permute::KeyMapping`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AccessPattern {
+    /// `x` keys queried at exactly equal probability `1/x`; the remaining
+    /// `m - x` keys are never queried. This is the adversary's optimal
+    /// shape from Section III.A of the paper (Eq. (4) with `h = 1/x`).
+    UniformSubset {
+        /// Number of distinct keys queried.
+        x: u64,
+        /// Size of the key space.
+        m: u64,
+    },
+    /// The general Eq. (4) shape: ranks `0..x-1` at probability `h` each and
+    /// rank `x-1` at the remainder `1 - (x-1)·h`, with
+    /// `1/x <= h <= 1/(x-1)` so the remainder stays in `(0, h]`.
+    HeadTail {
+        /// Number of distinct keys queried.
+        x: u64,
+        /// Size of the key space.
+        m: u64,
+        /// Probability of each of the first `x-1` ranks.
+        h: f64,
+    },
+    /// Zipf-distributed popularity with the given exponent; models organic
+    /// (non-adversarial) workloads. Figure 4 uses `alpha = 1.01`.
+    Zipf {
+        /// Zipf exponent.
+        alpha: f64,
+        /// Size of the key space.
+        m: u64,
+    },
+    /// Uniform over the entire key space (`x = m`); the paper's
+    /// load-balancing baseline in Figure 4.
+    Uniform {
+        /// Size of the key space.
+        m: u64,
+    },
+    /// An arbitrary explicit distribution over ranks `0..pmf.len()`
+    /// (the key space equals the pmf length).
+    Explicit(Pmf),
+}
+
+impl AccessPattern {
+    /// Uniform queries over the `x` most popular ranks of an `m`-key space.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless `1 <= x <= m`.
+    pub fn uniform_subset(x: u64, m: u64) -> Result<Self> {
+        if x == 0 || x > m {
+            return Err(WorkloadError::InvalidParameter {
+                name: "x",
+                reason: format!("need 1 <= x <= m, got x={x}, m={m}"),
+            });
+        }
+        Ok(AccessPattern::UniformSubset { x, m })
+    }
+
+    /// The Eq. (4) head/tail shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless `2 <= x <= m` and `h` puts the tail mass
+    /// `1 - (x-1)·h` inside `(0, h]`.
+    pub fn head_tail(x: u64, m: u64, h: f64) -> Result<Self> {
+        if x < 2 || x > m {
+            return Err(WorkloadError::InvalidParameter {
+                name: "x",
+                reason: format!("need 2 <= x <= m, got x={x}, m={m}"),
+            });
+        }
+        let tail = 1.0 - (x - 1) as f64 * h;
+        if !h.is_finite() || tail <= 0.0 || tail > h + 1e-12 {
+            return Err(WorkloadError::InvalidParameter {
+                name: "h",
+                reason: format!(
+                    "need 1/x <= h <= 1/(x-1) so the tail {tail} lies in (0, h], got h={h}"
+                ),
+            });
+        }
+        Ok(AccessPattern::HeadTail { x, m, h })
+    }
+
+    /// Zipf popularity over `m` keys.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `m == 0` or `alpha` is not finite and positive.
+    pub fn zipf(alpha: f64, m: u64) -> Result<Self> {
+        if m == 0 {
+            return Err(WorkloadError::EmptyDistribution);
+        }
+        if !alpha.is_finite() || alpha <= 0.0 {
+            return Err(WorkloadError::InvalidParameter {
+                name: "alpha",
+                reason: format!("must be finite and positive, got {alpha}"),
+            });
+        }
+        Ok(AccessPattern::Zipf { alpha, m })
+    }
+
+    /// Uniform over all `m` keys.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `m == 0`.
+    pub fn uniform(m: u64) -> Result<Self> {
+        if m == 0 {
+            return Err(WorkloadError::EmptyDistribution);
+        }
+        Ok(AccessPattern::Uniform { m })
+    }
+
+    /// Wraps an explicit pmf.
+    pub fn explicit(pmf: Pmf) -> Self {
+        AccessPattern::Explicit(pmf)
+    }
+
+    /// Size of the key space the pattern is defined over.
+    pub fn key_space(&self) -> u64 {
+        match *self {
+            AccessPattern::UniformSubset { m, .. }
+            | AccessPattern::HeadTail { m, .. }
+            | AccessPattern::Zipf { m, .. }
+            | AccessPattern::Uniform { m } => m,
+            AccessPattern::Explicit(ref pmf) => pmf.len() as u64,
+        }
+    }
+
+    /// Number of leading ranks that can have positive probability.
+    ///
+    /// Ranks at or beyond this bound are guaranteed to have probability 0.
+    pub fn support_bound(&self) -> u64 {
+        match *self {
+            AccessPattern::UniformSubset { x, .. } | AccessPattern::HeadTail { x, .. } => x,
+            AccessPattern::Zipf { m, .. } | AccessPattern::Uniform { m } => m,
+            AccessPattern::Explicit(ref pmf) => pmf.len() as u64,
+        }
+    }
+
+    /// Resolves the pattern into a [`RankProbs`] table able to answer exact
+    /// per-rank probabilities (precomputes the Zipf normalization once).
+    pub fn rank_probs(&self) -> RankProbs<'_> {
+        let zipf_norm = match *self {
+            AccessPattern::Zipf { alpha, m } => generalized_harmonic(m, alpha),
+            _ => 1.0,
+        };
+        RankProbs {
+            pattern: self,
+            zipf_norm,
+        }
+    }
+
+    /// Builds a deterministic sampler of ranks for this pattern.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if an explicit pmf is too large for the alias table.
+    pub fn sampler(&self, seed: u64) -> Result<PatternSampler> {
+        let kind = match *self {
+            AccessPattern::UniformSubset { x, .. } => SamplerKind::UniformBelow(x),
+            AccessPattern::Uniform { m } => SamplerKind::UniformBelow(m),
+            AccessPattern::HeadTail { x, h, .. } => SamplerKind::HeadTail {
+                x,
+                head_mass: (x - 1) as f64 * h,
+            },
+            AccessPattern::Zipf { alpha, m } => SamplerKind::Zipf(ZipfSampler::new(alpha, m)?),
+            AccessPattern::Explicit(ref pmf) => {
+                SamplerKind::Alias(AliasSampler::new(pmf.as_slice())?)
+            }
+        };
+        Ok(PatternSampler {
+            kind,
+            rng: Xoshiro256StarStar::seed_from_u64(seed),
+        })
+    }
+
+    /// A short human-readable description for reports and trace metadata.
+    pub fn describe(&self) -> String {
+        match *self {
+            AccessPattern::UniformSubset { x, m } => format!("uniform-subset(x={x}, m={m})"),
+            AccessPattern::HeadTail { x, m, h } => format!("head-tail(x={x}, m={m}, h={h})"),
+            AccessPattern::Zipf { alpha, m } => format!("zipf(alpha={alpha}, m={m})"),
+            AccessPattern::Uniform { m } => format!("uniform(m={m})"),
+            AccessPattern::Explicit(ref pmf) => format!("explicit({} ranks)", pmf.len()),
+        }
+    }
+}
+
+/// Exact per-rank probabilities for a pattern, with any normalization
+/// constants precomputed. Created by [`AccessPattern::rank_probs`].
+#[derive(Debug, Clone)]
+pub struct RankProbs<'a> {
+    pattern: &'a AccessPattern,
+    zipf_norm: f64,
+}
+
+impl RankProbs<'_> {
+    /// Probability of `rank`; zero outside the support.
+    pub fn get(&self, rank: u64) -> f64 {
+        match *self.pattern {
+            AccessPattern::UniformSubset { x, .. } => {
+                if rank < x {
+                    1.0 / x as f64
+                } else {
+                    0.0
+                }
+            }
+            AccessPattern::HeadTail { x, h, .. } => {
+                if rank + 1 < x {
+                    h
+                } else if rank + 1 == x {
+                    1.0 - (x - 1) as f64 * h
+                } else {
+                    0.0
+                }
+            }
+            AccessPattern::Zipf { alpha, m } => {
+                if rank < m {
+                    ((rank + 1) as f64).powf(-alpha) / self.zipf_norm
+                } else {
+                    0.0
+                }
+            }
+            AccessPattern::Uniform { m } => {
+                if rank < m {
+                    1.0 / m as f64
+                } else {
+                    0.0
+                }
+            }
+            AccessPattern::Explicit(ref pmf) => {
+                if (rank as usize) < pmf.len() {
+                    pmf.get(rank as usize)
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
+    /// Number of leading ranks that can have positive probability.
+    pub fn support_bound(&self) -> u64 {
+        self.pattern.support_bound()
+    }
+
+    /// Iterates `(rank, probability)` over the support.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, f64)> + '_ {
+        (0..self.support_bound()).map(move |r| (r, self.get(r)))
+    }
+
+    /// Mass of the `c` most popular ranks (what a perfect cache absorbs).
+    pub fn head_mass(&self, c: u64) -> f64 {
+        let c = c.min(self.support_bound());
+        match *self.pattern {
+            AccessPattern::UniformSubset { x, .. } => c.min(x) as f64 / x as f64,
+            AccessPattern::Uniform { m } => c as f64 / m as f64,
+            _ => (0..c).map(|r| self.get(r)).sum(),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum SamplerKind {
+    UniformBelow(u64),
+    HeadTail { x: u64, head_mass: f64 },
+    Zipf(ZipfSampler),
+    Alias(AliasSampler),
+}
+
+/// A seeded, deterministic sampler of ranks for an [`AccessPattern`].
+#[derive(Debug, Clone)]
+pub struct PatternSampler {
+    kind: SamplerKind,
+    rng: Xoshiro256StarStar,
+}
+
+impl PatternSampler {
+    /// Draws the next rank.
+    pub fn sample(&mut self) -> u64 {
+        match &self.kind {
+            SamplerKind::UniformBelow(x) => next_below(&mut self.rng, *x),
+            SamplerKind::HeadTail { x, head_mass } => {
+                if next_f64(&mut self.rng) < *head_mass {
+                    next_below(&mut self.rng, x - 1)
+                } else {
+                    x - 1
+                }
+            }
+            SamplerKind::Zipf(z) => z.sample(&mut self.rng),
+            SamplerKind::Alias(a) => a.sample(&mut self.rng),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_subset_validation() {
+        assert!(AccessPattern::uniform_subset(0, 10).is_err());
+        assert!(AccessPattern::uniform_subset(11, 10).is_err());
+        assert!(AccessPattern::uniform_subset(10, 10).is_ok());
+        assert!(AccessPattern::uniform_subset(1, 1).is_ok());
+    }
+
+    #[test]
+    fn head_tail_validation() {
+        // x=5: h must lie in [0.2, 0.25].
+        assert!(AccessPattern::head_tail(5, 10, 0.19).is_err());
+        assert!(AccessPattern::head_tail(5, 10, 0.26).is_err());
+        assert!(AccessPattern::head_tail(5, 10, 0.22).is_ok());
+        assert!(AccessPattern::head_tail(1, 10, 0.5).is_err());
+    }
+
+    #[test]
+    fn head_tail_with_h_equal_one_over_x_matches_uniform_subset() {
+        let ht = AccessPattern::head_tail(4, 10, 0.25).unwrap();
+        let us = AccessPattern::uniform_subset(4, 10).unwrap();
+        let htp = ht.rank_probs();
+        let usp = us.rank_probs();
+        for r in 0..10 {
+            assert!((htp.get(r) - usp.get(r)).abs() < 1e-12, "rank {r}");
+        }
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let patterns = [
+            AccessPattern::uniform_subset(7, 100).unwrap(),
+            AccessPattern::head_tail(7, 100, 0.15).unwrap(),
+            AccessPattern::zipf(1.01, 100).unwrap(),
+            AccessPattern::uniform(100).unwrap(),
+            AccessPattern::explicit(Pmf::uniform(100).unwrap()),
+        ];
+        for p in &patterns {
+            let rp = p.rank_probs();
+            let total: f64 = rp.iter().map(|(_, v)| v).sum();
+            assert!((total - 1.0).abs() < 1e-9, "{} sums to {total}", p.describe());
+        }
+    }
+
+    #[test]
+    fn support_bound_is_respected() {
+        let p = AccessPattern::uniform_subset(5, 100).unwrap();
+        let rp = p.rank_probs();
+        assert_eq!(rp.get(4), 0.2);
+        assert_eq!(rp.get(5), 0.0);
+        assert_eq!(rp.get(99), 0.0);
+    }
+
+    #[test]
+    fn zipf_rank_probs_match_module() {
+        let p = AccessPattern::zipf(1.3, 50).unwrap();
+        let rp = p.rank_probs();
+        let exact = crate::zipf::zipf_probs(1.3, 50).unwrap();
+        for (r, &e) in exact.iter().enumerate() {
+            assert!((rp.get(r as u64) - e).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn head_mass_uniform_subset() {
+        let p = AccessPattern::uniform_subset(10, 100).unwrap();
+        let rp = p.rank_probs();
+        assert!((rp.head_mass(5) - 0.5).abs() < 1e-12);
+        assert!((rp.head_mass(10) - 1.0).abs() < 1e-12);
+        assert!((rp.head_mass(50) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampler_stays_in_support() {
+        let patterns = [
+            AccessPattern::uniform_subset(5, 100).unwrap(),
+            AccessPattern::head_tail(5, 100, 0.21).unwrap(),
+            AccessPattern::zipf(1.01, 100).unwrap(),
+            AccessPattern::uniform(100).unwrap(),
+        ];
+        for p in &patterns {
+            let bound = p.support_bound();
+            let mut s = p.sampler(7).unwrap();
+            for _ in 0..5_000 {
+                let r = s.sample();
+                assert!(r < bound, "{} sampled {r} >= {bound}", p.describe());
+            }
+        }
+    }
+
+    #[test]
+    fn sampler_is_deterministic() {
+        let p = AccessPattern::zipf(1.01, 1000).unwrap();
+        let mut a = p.sampler(99).unwrap();
+        let mut b = p.sampler(99).unwrap();
+        let xs: Vec<u64> = (0..100).map(|_| a.sample()).collect();
+        let ys: Vec<u64> = (0..100).map(|_| b.sample()).collect();
+        assert_eq!(xs, ys);
+    }
+
+    #[test]
+    fn sampler_frequency_matches_rank_probs() {
+        let p = AccessPattern::head_tail(4, 100, 0.3).unwrap();
+        let rp = p.rank_probs();
+        let mut s = p.sampler(5).unwrap();
+        let draws = 200_000;
+        let mut counts = [0usize; 4];
+        for _ in 0..draws {
+            counts[s.sample() as usize] += 1;
+        }
+        for (r, &cnt) in counts.iter().enumerate() {
+            let freq = cnt as f64 / draws as f64;
+            let exact = rp.get(r as u64);
+            assert!(
+                (freq - exact).abs() < 0.01,
+                "rank {r}: frequency {freq} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let p = AccessPattern::zipf(1.01, 1000).unwrap();
+        let json = serde_json::to_string(&p).unwrap();
+        let back: AccessPattern = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+    }
+
+    #[test]
+    fn describe_mentions_parameters() {
+        let p = AccessPattern::uniform_subset(201, 1_000_000).unwrap();
+        let s = p.describe();
+        assert!(s.contains("201"));
+        assert!(s.contains("1000000"));
+    }
+}

@@ -1,0 +1,272 @@
+//! Seeded bijections from popularity ranks to key identifiers.
+//!
+//! Simulations reason about keys by popularity *rank* (rank 0 = most
+//! queried), but the keys an adversary actually touches are an arbitrary
+//! subset of the key space. A [`FeistelPermutation`] maps ranks to scattered
+//! key ids without materializing an `m`-entry table, so a million-key
+//! experiment costs O(1) memory. The mapping is a 4-round Feistel network
+//! with cycle-walking to restrict the power-of-two domain to exactly
+//! `[0, m)`.
+
+use crate::error::WorkloadError;
+use crate::rng::mix;
+use crate::Result;
+
+const ROUNDS: usize = 4;
+
+/// A seeded bijection on `[0, m)`.
+///
+/// # Example
+///
+/// ```
+/// use scp_workload::permute::FeistelPermutation;
+///
+/// let perm = FeistelPermutation::new(1_000_000, 42).unwrap();
+/// let key = perm.apply(0);
+/// assert!(key < 1_000_000);
+/// assert_eq!(perm.invert(key), 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FeistelPermutation {
+    m: u64,
+    half_bits: u32,
+    half_mask: u64,
+    round_keys: [u64; ROUNDS],
+}
+
+impl FeistelPermutation {
+    /// Creates the permutation for a domain of `m` elements.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `m == 0`.
+    pub fn new(m: u64, seed: u64) -> Result<Self> {
+        if m == 0 {
+            return Err(WorkloadError::InvalidParameter {
+                name: "m",
+                reason: "domain must be non-empty".to_owned(),
+            });
+        }
+        // Total bits must be even and cover m; each half gets half of them.
+        let bits = 64 - (m - 1).max(1).leading_zeros();
+        let half_bits = bits.div_ceil(2).max(1);
+        let mut round_keys = [0u64; ROUNDS];
+        for (r, key) in round_keys.iter_mut().enumerate() {
+            *key = mix(&[seed, r as u64, m]);
+        }
+        Ok(Self {
+            m,
+            half_bits,
+            half_mask: (1u64 << half_bits) - 1,
+            round_keys,
+        })
+    }
+
+    /// Domain size.
+    pub fn domain(&self) -> u64 {
+        self.m
+    }
+
+    fn round_fn(&self, right: u64, round_key: u64) -> u64 {
+        mix(&[right, round_key]) & self.half_mask
+    }
+
+    fn encrypt_once(&self, value: u64) -> u64 {
+        let mut left = (value >> self.half_bits) & self.half_mask;
+        let mut right = value & self.half_mask;
+        for &rk in &self.round_keys {
+            let new_right = left ^ self.round_fn(right, rk);
+            left = right;
+            right = new_right;
+        }
+        (left << self.half_bits) | right
+    }
+
+    fn decrypt_once(&self, value: u64) -> u64 {
+        let mut left = (value >> self.half_bits) & self.half_mask;
+        let mut right = value & self.half_mask;
+        for &rk in self.round_keys.iter().rev() {
+            let new_left = right ^ self.round_fn(left, rk);
+            right = left;
+            left = new_left;
+        }
+        (left << self.half_bits) | right
+    }
+
+    /// Maps a rank in `[0, m)` to its key id in `[0, m)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank >= m`.
+    pub fn apply(&self, rank: u64) -> u64 {
+        assert!(rank < self.m, "rank {rank} out of domain [0, {})", self.m);
+        if self.m == 1 {
+            return 0;
+        }
+        // Cycle-walk: the Feistel network permutes [0, 2^(2*half_bits));
+        // iterate until we land back inside [0, m). Terminates because the
+        // walk follows a cycle of a permutation that maps the super-domain
+        // onto itself and m is on that cycle's image.
+        let mut v = self.encrypt_once(rank);
+        while v >= self.m {
+            v = self.encrypt_once(v);
+        }
+        v
+    }
+
+    /// Inverse mapping: key id back to rank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key >= m`.
+    pub fn invert(&self, key: u64) -> u64 {
+        assert!(key < self.m, "key {key} out of domain [0, {})", self.m);
+        if self.m == 1 {
+            return 0;
+        }
+        let mut v = self.decrypt_once(key);
+        while v >= self.m {
+            v = self.decrypt_once(v);
+        }
+        v
+    }
+}
+
+/// The identity mapping, for experiments where rank == key id
+/// (e.g. attacking a range partitioner with contiguous keys).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IdentityPermutation;
+
+impl IdentityPermutation {
+    /// Returns the input unchanged.
+    pub fn apply(&self, rank: u64) -> u64 {
+        rank
+    }
+}
+
+/// Either a Feistel scatter or the identity; lets callers pick at runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KeyMapping {
+    /// Rank == key id.
+    Identity,
+    /// Ranks scattered across the key space.
+    Feistel(FeistelPermutation),
+}
+
+impl KeyMapping {
+    /// Builds a scattered mapping over `m` keys.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `m == 0`.
+    pub fn scattered(m: u64, seed: u64) -> Result<Self> {
+        Ok(KeyMapping::Feistel(FeistelPermutation::new(m, seed)?))
+    }
+
+    /// Maps a rank to a key id.
+    pub fn apply(&self, rank: u64) -> u64 {
+        match self {
+            KeyMapping::Identity => rank,
+            KeyMapping::Feistel(p) => p.apply(rank),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn rejects_empty_domain() {
+        assert!(FeistelPermutation::new(0, 1).is_err());
+    }
+
+    #[test]
+    fn domain_one_is_identity() {
+        let p = FeistelPermutation::new(1, 7).unwrap();
+        assert_eq!(p.apply(0), 0);
+        assert_eq!(p.invert(0), 0);
+    }
+
+    #[test]
+    fn is_bijective_on_small_domains() {
+        for m in [2u64, 3, 5, 16, 17, 100, 1000] {
+            let p = FeistelPermutation::new(m, 99).unwrap();
+            let image: HashSet<u64> = (0..m).map(|r| p.apply(r)).collect();
+            assert_eq!(image.len() as u64, m, "not bijective for m={m}");
+            assert!(image.iter().all(|&k| k < m));
+        }
+    }
+
+    #[test]
+    fn invert_is_inverse_of_apply() {
+        let p = FeistelPermutation::new(12345, 5).unwrap();
+        for rank in (0..12345).step_by(7) {
+            assert_eq!(p.invert(p.apply(rank)), rank);
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_mappings() {
+        let a = FeistelPermutation::new(1000, 1).unwrap();
+        let b = FeistelPermutation::new(1000, 2).unwrap();
+        let same = (0..1000).filter(|&r| a.apply(r) == b.apply(r)).count();
+        assert!(same < 50, "{same} fixed agreements is suspiciously many");
+    }
+
+    #[test]
+    fn scatters_contiguous_ranks() {
+        // The first 100 ranks of a large domain should not land in a tight
+        // band of key ids; check the spread covers a good chunk of the range.
+        let p = FeistelPermutation::new(1_000_000, 3).unwrap();
+        let keys: Vec<u64> = (0..100).map(|r| p.apply(r)).collect();
+        let min = *keys.iter().min().unwrap();
+        let max = *keys.iter().max().unwrap();
+        assert!(max - min > 500_000, "keys clustered in [{min}, {max}]");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of domain")]
+    fn apply_rejects_out_of_domain() {
+        let p = FeistelPermutation::new(10, 1).unwrap();
+        let _ = p.apply(10);
+    }
+
+    #[test]
+    fn key_mapping_identity() {
+        assert_eq!(KeyMapping::Identity.apply(42), 42);
+    }
+
+    #[test]
+    fn key_mapping_scattered_is_in_domain() {
+        let map = KeyMapping::scattered(500, 9).unwrap();
+        for r in 0..500 {
+            assert!(map.apply(r) < 500);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_bijective(m in 1u64..2000, seed in any::<u64>()) {
+            let p = FeistelPermutation::new(m, seed).unwrap();
+            let mut seen = HashSet::new();
+            for r in 0..m {
+                let k = p.apply(r);
+                prop_assert!(k < m);
+                prop_assert!(seen.insert(k), "duplicate image {k}");
+                prop_assert_eq!(p.invert(k), r);
+            }
+        }
+
+        #[test]
+        fn prop_roundtrip_large(m in 2000u64..5_000_000, seed in any::<u64>(), rank_frac in 0.0f64..1.0) {
+            let p = FeistelPermutation::new(m, seed).unwrap();
+            let rank = ((m - 1) as f64 * rank_frac) as u64;
+            let k = p.apply(rank);
+            prop_assert!(k < m);
+            prop_assert_eq!(p.invert(k), rank);
+        }
+    }
+}

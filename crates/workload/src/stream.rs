@@ -1,0 +1,198 @@
+//! Seeded query streams and arrival processes.
+
+use crate::pattern::{AccessPattern, PatternSampler};
+use crate::permute::KeyMapping;
+use crate::rng::{next_exponential, Xoshiro256StarStar};
+use crate::Result;
+
+/// An infinite, deterministic stream of key identifiers drawn from an
+/// [`AccessPattern`].
+///
+/// The stream samples popularity *ranks* and pushes them through a
+/// [`KeyMapping`], so callers observe realistic scattered key ids rather
+/// than `0, 1, 2, ...`.
+///
+/// # Example
+///
+/// ```
+/// use scp_workload::{AccessPattern, stream::QueryStream};
+///
+/// let pattern = AccessPattern::zipf(1.01, 10_000).unwrap();
+/// let keys: Vec<u64> = QueryStream::scattered(&pattern, 7)
+///     .unwrap()
+///     .take(3)
+///     .collect();
+/// assert_eq!(keys.len(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct QueryStream {
+    sampler: PatternSampler,
+    mapping: KeyMapping,
+}
+
+impl QueryStream {
+    /// Stream with rank == key id (contiguous keys).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the pattern cannot build a sampler.
+    pub fn new(pattern: &AccessPattern, seed: u64) -> Result<Self> {
+        Ok(Self {
+            sampler: pattern.sampler(seed)?,
+            mapping: KeyMapping::Identity,
+        })
+    }
+
+    /// Stream whose ranks are scattered over the key space by a seeded
+    /// Feistel permutation (derived from the same seed).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the pattern cannot build a sampler or the key
+    /// space is empty.
+    pub fn scattered(pattern: &AccessPattern, seed: u64) -> Result<Self> {
+        Ok(Self {
+            sampler: pattern.sampler(seed)?,
+            mapping: KeyMapping::scattered(pattern.key_space(), seed ^ 0xF00D_F00D)?,
+        })
+    }
+
+    /// Stream with an explicit rank-to-key mapping.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the pattern cannot build a sampler.
+    pub fn with_mapping(pattern: &AccessPattern, seed: u64, mapping: KeyMapping) -> Result<Self> {
+        Ok(Self {
+            sampler: pattern.sampler(seed)?,
+            mapping,
+        })
+    }
+
+    /// Draws the next key id.
+    pub fn next_key(&mut self) -> u64 {
+        self.mapping.apply(self.sampler.sample())
+    }
+}
+
+impl Iterator for QueryStream {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        Some(self.next_key())
+    }
+}
+
+/// A timestamped query produced by [`PoissonArrivals`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Arrival {
+    /// Arrival time in seconds since the start of the stream.
+    pub time: f64,
+    /// The queried key id.
+    pub key: u64,
+}
+
+/// Poisson arrival process: exponential inter-arrival times at a given
+/// aggregate rate, keys drawn from a [`QueryStream`].
+///
+/// Used by the discrete-event engine to model clients launching `R`
+/// queries per second.
+#[derive(Debug, Clone)]
+pub struct PoissonArrivals {
+    stream: QueryStream,
+    rng: Xoshiro256StarStar,
+    rate: f64,
+    now: f64,
+}
+
+impl PoissonArrivals {
+    /// Creates the process with aggregate rate `rate` (queries/second).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not strictly positive.
+    pub fn new(stream: QueryStream, rate: f64, seed: u64) -> Self {
+        assert!(rate > 0.0, "rate must be positive");
+        Self {
+            stream,
+            rng: Xoshiro256StarStar::seed_from_u64(seed ^ 0xA55A_A55A),
+            rate,
+            now: 0.0,
+        }
+    }
+
+    /// Aggregate arrival rate in queries per second.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+}
+
+impl Iterator for PoissonArrivals {
+    type Item = Arrival;
+
+    fn next(&mut self) -> Option<Arrival> {
+        self.now += next_exponential(&mut self.rng, self.rate);
+        Some(Arrival {
+            time: self.now,
+            key: self.stream.next_key(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_keeps_ranks_as_keys() {
+        let p = AccessPattern::uniform_subset(5, 1000).unwrap();
+        let keys: Vec<u64> = QueryStream::new(&p, 1).unwrap().take(1000).collect();
+        assert!(keys.iter().all(|&k| k < 5));
+    }
+
+    #[test]
+    fn scattered_spreads_keys() {
+        let p = AccessPattern::uniform_subset(5, 1_000_000).unwrap();
+        let keys: Vec<u64> = QueryStream::scattered(&p, 1).unwrap().take(1000).collect();
+        assert!(keys.iter().all(|&k| k < 1_000_000));
+        // Only 5 distinct keys, but they should not all be tiny ids.
+        assert!(keys.iter().any(|&k| k > 10_000));
+        let distinct: std::collections::HashSet<u64> = keys.iter().copied().collect();
+        assert_eq!(distinct.len(), 5);
+    }
+
+    #[test]
+    fn streams_are_deterministic() {
+        let p = AccessPattern::zipf(1.01, 10_000).unwrap();
+        let a: Vec<u64> = QueryStream::scattered(&p, 42).unwrap().take(50).collect();
+        let b: Vec<u64> = QueryStream::scattered(&p, 42).unwrap().take(50).collect();
+        let c: Vec<u64> = QueryStream::scattered(&p, 43).unwrap().take(50).collect();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn poisson_times_increase_with_correct_mean_gap() {
+        let p = AccessPattern::uniform(100).unwrap();
+        let stream = QueryStream::new(&p, 9).unwrap();
+        let arrivals: Vec<Arrival> = PoissonArrivals::new(stream, 100.0, 9).take(20_000).collect();
+        let mut prev = 0.0;
+        for a in &arrivals {
+            assert!(a.time > prev);
+            prev = a.time;
+        }
+        let mean_gap = arrivals.last().unwrap().time / arrivals.len() as f64;
+        assert!(
+            (mean_gap - 0.01).abs() < 0.001,
+            "mean inter-arrival {mean_gap} should be near 1/100"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn poisson_rejects_zero_rate() {
+        let p = AccessPattern::uniform(10).unwrap();
+        let stream = QueryStream::new(&p, 1).unwrap();
+        let _ = PoissonArrivals::new(stream, 0.0, 1);
+    }
+}

@@ -1,0 +1,259 @@
+//! Time-phased workloads: access patterns that change mid-experiment.
+//!
+//! Real incidents have timelines — organic traffic, then an attack ramp,
+//! then mitigation. A [`PhasedPattern`] strings patterns over a shared key
+//! space along a time axis so the discrete-event engine can replay a whole
+//! incident and show latency rising and falling.
+
+use crate::error::WorkloadError;
+use crate::pattern::{AccessPattern, PatternSampler};
+use crate::Result;
+use serde::{Deserialize, Serialize};
+
+/// One segment of a timeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Phase {
+    /// Length of the segment in seconds.
+    pub duration: f64,
+    /// The access pattern active during the segment.
+    pub pattern: AccessPattern,
+}
+
+/// A sequence of timed phases over one key space.
+///
+/// Times beyond the last boundary stay in the final phase (the timeline's
+/// steady state).
+///
+/// # Example
+///
+/// ```
+/// use scp_workload::temporal::{Phase, PhasedPattern};
+/// use scp_workload::AccessPattern;
+///
+/// let timeline = PhasedPattern::new(vec![
+///     Phase { duration: 10.0, pattern: AccessPattern::zipf(1.01, 1000)? },
+///     Phase { duration: 5.0, pattern: AccessPattern::uniform_subset(21, 1000)? },
+/// ])?;
+/// assert_eq!(timeline.phase_index_at(3.0), 0);
+/// assert_eq!(timeline.phase_index_at(12.0), 1);
+/// assert_eq!(timeline.phase_index_at(99.0), 1);
+/// # Ok::<(), scp_workload::WorkloadError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhasedPattern {
+    phases: Vec<Phase>,
+    key_space: u64,
+}
+
+impl PhasedPattern {
+    /// Validates and builds a timeline.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the list is empty, any duration is not finite
+    /// and positive, or the patterns disagree on key-space size.
+    pub fn new(phases: Vec<Phase>) -> Result<Self> {
+        if phases.is_empty() {
+            return Err(WorkloadError::EmptyDistribution);
+        }
+        let key_space = phases[0].pattern.key_space();
+        for (i, phase) in phases.iter().enumerate() {
+            if !phase.duration.is_finite() || phase.duration <= 0.0 {
+                return Err(WorkloadError::InvalidParameter {
+                    name: "duration",
+                    reason: format!("phase {i} duration {} must be finite and positive", phase.duration),
+                });
+            }
+            if phase.pattern.key_space() != key_space {
+                return Err(WorkloadError::InvalidParameter {
+                    name: "phases",
+                    reason: format!(
+                        "phase {i} key space {} != {key_space}",
+                        phase.pattern.key_space()
+                    ),
+                });
+            }
+        }
+        Ok(Self { phases, key_space })
+    }
+
+    /// The phases in order.
+    pub fn phases(&self) -> &[Phase] {
+        &self.phases
+    }
+
+    /// Number of phases.
+    pub fn phase_count(&self) -> usize {
+        self.phases.len()
+    }
+
+    /// The shared key-space size.
+    pub fn key_space(&self) -> u64 {
+        self.key_space
+    }
+
+    /// Sum of phase durations.
+    pub fn total_duration(&self) -> f64 {
+        self.phases.iter().map(|p| p.duration).sum()
+    }
+
+    /// Start times of each phase.
+    pub fn boundaries(&self) -> Vec<f64> {
+        let mut t = 0.0;
+        self.phases
+            .iter()
+            .map(|p| {
+                let start = t;
+                t += p.duration;
+                start
+            })
+            .collect()
+    }
+
+    /// Index of the phase active at time `t` (clamped to the last phase;
+    /// negative times clamp to the first).
+    pub fn phase_index_at(&self, t: f64) -> usize {
+        let mut elapsed = 0.0;
+        for (i, p) in self.phases.iter().enumerate() {
+            elapsed += p.duration;
+            if t < elapsed {
+                return i;
+            }
+        }
+        self.phases.len() - 1
+    }
+
+    /// Builds a time-aware sampler (one deterministic sub-sampler per
+    /// phase).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a phase's pattern cannot build a sampler.
+    pub fn sampler(&self, seed: u64) -> Result<PhasedSampler> {
+        let samplers = self
+            .phases
+            .iter()
+            .enumerate()
+            .map(|(i, p)| p.pattern.sampler(seed ^ ((i as u64 + 1) << 40)))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(PhasedSampler {
+            samplers,
+            boundaries: self.boundaries(),
+            durations: self.phases.iter().map(|p| p.duration).collect(),
+        })
+    }
+}
+
+/// Samples ranks according to whichever phase covers the query's time.
+#[derive(Debug, Clone)]
+pub struct PhasedSampler {
+    samplers: Vec<PatternSampler>,
+    boundaries: Vec<f64>,
+    durations: Vec<f64>,
+}
+
+impl PhasedSampler {
+    /// Draws a rank for a query arriving at time `t`.
+    pub fn sample_at(&mut self, t: f64) -> u64 {
+        let idx = self.phase_index(t);
+        self.samplers[idx].sample()
+    }
+
+    fn phase_index(&self, t: f64) -> usize {
+        let last = self.boundaries.len() - 1;
+        for i in 0..self.boundaries.len() {
+            if t < self.boundaries[i] + self.durations[i] {
+                return i;
+            }
+        }
+        last
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timeline() -> PhasedPattern {
+        PhasedPattern::new(vec![
+            Phase {
+                duration: 10.0,
+                pattern: AccessPattern::uniform_subset(5, 1000).unwrap(),
+            },
+            Phase {
+                duration: 5.0,
+                pattern: AccessPattern::uniform_subset(900, 1000).unwrap(),
+            },
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn validation() {
+        assert!(PhasedPattern::new(vec![]).is_err());
+        assert!(PhasedPattern::new(vec![Phase {
+            duration: 0.0,
+            pattern: AccessPattern::uniform(10).unwrap(),
+        }])
+        .is_err());
+        assert!(PhasedPattern::new(vec![
+            Phase {
+                duration: 1.0,
+                pattern: AccessPattern::uniform(10).unwrap(),
+            },
+            Phase {
+                duration: 1.0,
+                pattern: AccessPattern::uniform(20).unwrap(),
+            },
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn phase_lookup_and_boundaries() {
+        let t = timeline();
+        assert_eq!(t.phase_count(), 2);
+        assert_eq!(t.total_duration(), 15.0);
+        assert_eq!(t.boundaries(), vec![0.0, 10.0]);
+        assert_eq!(t.phase_index_at(0.0), 0);
+        assert_eq!(t.phase_index_at(9.999), 0);
+        assert_eq!(t.phase_index_at(10.0), 1);
+        assert_eq!(t.phase_index_at(14.9), 1);
+        assert_eq!(t.phase_index_at(1000.0), 1, "clamps to last phase");
+        assert_eq!(t.phase_index_at(-5.0), 0, "clamps to first phase");
+    }
+
+    #[test]
+    fn sampler_respects_active_phase() {
+        let t = timeline();
+        let mut s = t.sampler(3).unwrap();
+        // Phase 0: only ranks < 5.
+        for _ in 0..500 {
+            assert!(s.sample_at(2.0) < 5);
+        }
+        // Phase 1: ranks up to 900 — some must exceed 5.
+        let wide = (0..500).filter(|_| s.sample_at(12.0) >= 5).count();
+        assert!(wide > 400, "phase 1 should sample widely, got {wide}");
+        // Past the end: still phase 1.
+        assert!(s.sample_at(1e9) < 900);
+    }
+
+    #[test]
+    fn sampler_is_deterministic() {
+        let t = timeline();
+        let mut a = t.sampler(9).unwrap();
+        let mut b = t.sampler(9).unwrap();
+        for i in 0..200 {
+            let at = (i % 15) as f64;
+            assert_eq!(a.sample_at(at), b.sample_at(at));
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let t = timeline();
+        let json = serde_json::to_string(&t).unwrap();
+        let back: PhasedPattern = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, back);
+    }
+}

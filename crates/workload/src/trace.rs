@@ -1,0 +1,178 @@
+//! Recording and replaying query traces.
+//!
+//! Traces make experiments portable: a sampled query sequence can be saved
+//! to JSON, shipped elsewhere, and replayed bit-for-bit against a different
+//! cluster or cache configuration.
+
+use crate::error::WorkloadError;
+use crate::stream::QueryStream;
+use crate::Result;
+use serde::{Deserialize, Serialize};
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Metadata describing how a trace was produced.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct TraceMeta {
+    /// Free-form description of the generating pattern.
+    pub pattern: String,
+    /// Seed used when recording.
+    pub seed: u64,
+    /// Size of the key space the trace was drawn from.
+    pub key_space: u64,
+}
+
+/// A recorded sequence of key queries.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trace {
+    /// Provenance of the trace.
+    pub meta: TraceMeta,
+    /// The queried key ids in order.
+    pub keys: Vec<u64>,
+}
+
+impl Trace {
+    /// Records `count` queries from a stream.
+    pub fn record(stream: &mut QueryStream, count: usize, meta: TraceMeta) -> Self {
+        let keys = stream.take(count).collect();
+        Self { meta, keys }
+    }
+
+    /// Number of queries in the trace.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether the trace holds no queries.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Iterates the recorded keys.
+    pub fn iter(&self) -> std::iter::Copied<std::slice::Iter<'_, u64>> {
+        self.keys.iter().copied()
+    }
+
+    /// Number of distinct keys touched.
+    pub fn distinct_keys(&self) -> usize {
+        let mut keys: Vec<u64> = self.keys.clone();
+        keys.sort_unstable();
+        keys.dedup();
+        keys.len()
+    }
+
+    /// Serializes the trace as JSON into a writer.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if serialization or the underlying write fails.
+    pub fn write_json<W: Write>(&self, writer: W) -> Result<()> {
+        serde_json::to_writer(writer, self).map_err(|e| WorkloadError::Trace(e.to_string()))
+    }
+
+    /// Deserializes a trace from a JSON reader.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the JSON is malformed.
+    pub fn read_json<R: Read>(reader: R) -> Result<Self> {
+        serde_json::from_reader(reader).map_err(|e| WorkloadError::Trace(e.to_string()))
+    }
+
+    /// Saves the trace to a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the file cannot be created or written.
+    pub fn save<P: AsRef<Path>>(&self, path: P) -> Result<()> {
+        let file = File::create(path).map_err(|e| WorkloadError::Trace(e.to_string()))?;
+        self.write_json(BufWriter::new(file))
+    }
+
+    /// Loads a trace from a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the file cannot be opened or parsed.
+    pub fn load<P: AsRef<Path>>(path: P) -> Result<Self> {
+        let file = File::open(path).map_err(|e| WorkloadError::Trace(e.to_string()))?;
+        Self::read_json(BufReader::new(file))
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = u64;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, u64>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.keys.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::AccessPattern;
+
+    fn sample_trace() -> Trace {
+        let p = AccessPattern::uniform_subset(8, 100).unwrap();
+        let mut stream = QueryStream::new(&p, 77).unwrap();
+        Trace::record(
+            &mut stream,
+            500,
+            TraceMeta {
+                pattern: p.describe(),
+                seed: 77,
+                key_space: 100,
+            },
+        )
+    }
+
+    #[test]
+    fn record_produces_requested_length() {
+        let t = sample_trace();
+        assert_eq!(t.len(), 500);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn distinct_keys_bounded_by_support() {
+        let t = sample_trace();
+        assert!(t.distinct_keys() <= 8);
+        assert!(t.distinct_keys() >= 2);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        t.write_json(&mut buf).unwrap();
+        let back = Trace::read_json(buf.as_slice()).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let t = sample_trace();
+        let dir = std::env::temp_dir().join("scp_trace_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.json");
+        t.save(&path).unwrap();
+        let back = Trace::load(&path).unwrap();
+        assert_eq!(t, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn read_json_rejects_garbage() {
+        assert!(Trace::read_json("not json".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn iteration_matches_keys() {
+        let t = sample_trace();
+        let collected: Vec<u64> = (&t).into_iter().collect();
+        assert_eq!(collected, t.keys);
+    }
+}

@@ -1,0 +1,289 @@
+//! Zipf distribution: exact pmf construction and an O(1) sampler.
+//!
+//! The paper's Figure 4 compares the adversarial pattern against
+//! `Zipf(1.01)`, the canonical model of real-world key popularity. We build
+//! the pmf exactly (normalized `1/i^alpha` weights) and sample with the
+//! rejection-inversion method of Hörmann & Derflinger, which needs no
+//! per-element tables and works for any `alpha > 0` and any support size.
+
+use crate::error::WorkloadError;
+use crate::rng::next_f64;
+use crate::Result;
+use rand::Rng;
+
+/// Generalized harmonic number `H_{m,alpha} = sum_{i=1..m} i^-alpha`.
+///
+/// Computed with compensated summation from the smallest terms up so that
+/// million-element supports stay accurate.
+pub fn generalized_harmonic(m: u64, alpha: f64) -> f64 {
+    let mut sum = 0.0;
+    let mut comp = 0.0;
+    // Summing ascending magnitudes (i = m down to 1 gives ascending 1/i^a).
+    for i in (1..=m).rev() {
+        let v = (i as f64).powf(-alpha);
+        let y = v - comp;
+        let t = sum + y;
+        comp = (t - sum) - y;
+        sum = t;
+    }
+    sum
+}
+
+/// Exact Zipf probabilities over ranks `0..m` (rank 0 is the most popular).
+///
+/// # Errors
+///
+/// Returns an error if `m == 0` or `alpha` is not finite and positive.
+pub fn zipf_probs(alpha: f64, m: u64) -> Result<Vec<f64>> {
+    validate(alpha, m)?;
+    let norm = generalized_harmonic(m, alpha);
+    Ok((1..=m).map(|i| (i as f64).powf(-alpha) / norm).collect())
+}
+
+fn validate(alpha: f64, m: u64) -> Result<()> {
+    if m == 0 {
+        return Err(WorkloadError::EmptyDistribution);
+    }
+    if !alpha.is_finite() || alpha <= 0.0 {
+        return Err(WorkloadError::InvalidParameter {
+            name: "alpha",
+            reason: format!("must be finite and positive, got {alpha}"),
+        });
+    }
+    Ok(())
+}
+
+/// Rejection-inversion Zipf sampler (Hörmann & Derflinger 1996).
+///
+/// Draws ranks in `0..m` (0-based; rank 0 is most popular) distributed as
+/// `P(rank = i) ∝ (i+1)^-alpha`. Sampling is O(1) independent of `m`.
+///
+/// # Example
+///
+/// ```
+/// use scp_workload::zipf::ZipfSampler;
+/// use scp_workload::rng::Xoshiro256StarStar;
+///
+/// let zipf = ZipfSampler::new(1.01, 1_000_000).unwrap();
+/// let mut rng = Xoshiro256StarStar::seed_from_u64(1);
+/// let rank = zipf.sample(&mut rng);
+/// assert!(rank < 1_000_000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    exponent: f64,
+    num_elements: f64,
+    h_integral_x1: f64,
+    h_integral_num_elements: f64,
+    s: f64,
+}
+
+impl ZipfSampler {
+    /// Creates a sampler over `m` elements with the given exponent.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `m == 0` or `alpha` is not finite and positive.
+    pub fn new(alpha: f64, m: u64) -> Result<Self> {
+        validate(alpha, m)?;
+        let num_elements = m as f64;
+        let h_integral_x1 = h_integral(1.5, alpha) - 1.0;
+        let h_integral_num_elements = h_integral(num_elements + 0.5, alpha);
+        let s = 2.0 - h_integral_inverse(h_integral(2.5, alpha) - h(2.0, alpha), alpha);
+        Ok(Self {
+            exponent: alpha,
+            num_elements,
+            h_integral_x1,
+            h_integral_num_elements,
+            s,
+        })
+    }
+
+    /// The exponent `alpha`.
+    pub fn exponent(&self) -> f64 {
+        self.exponent
+    }
+
+    /// Support size `m`.
+    pub fn num_elements(&self) -> u64 {
+        self.num_elements as u64
+    }
+
+    /// Draws one 0-based rank.
+    pub fn sample(&self, rng: &mut dyn Rng) -> u64 {
+        loop {
+            let u = self.h_integral_num_elements
+                + next_f64(rng) * (self.h_integral_x1 - self.h_integral_num_elements);
+            let x = h_integral_inverse(u, self.exponent);
+            let k64 = x.clamp(1.0, self.num_elements);
+            // Round to the nearest integer in [1, num_elements].
+            let k = (k64 + 0.5).floor().clamp(1.0, self.num_elements);
+            if k - x <= self.s
+                || u >= h_integral(k + 0.5, self.exponent) - h(k, self.exponent)
+            {
+                return k as u64 - 1;
+            }
+        }
+    }
+}
+
+/// `H(x) = integral of h(t) dt`, with `h(t) = t^-exponent`.
+fn h_integral(x: f64, exponent: f64) -> f64 {
+    let log_x = x.ln();
+    helper2((1.0 - exponent) * log_x) * log_x
+}
+
+/// `h(x) = x^-exponent`.
+fn h(x: f64, exponent: f64) -> f64 {
+    (-exponent * x.ln()).exp()
+}
+
+/// Inverse of [`h_integral`].
+fn h_integral_inverse(x: f64, exponent: f64) -> f64 {
+    let mut t = x * (1.0 - exponent);
+    if t < -1.0 {
+        // Numerical guard against round-off (as in the reference impl).
+        t = -1.0;
+    }
+    (helper1(t) * x).exp()
+}
+
+/// `helper1(x) = ln(1+x)/x`, continuous at 0.
+fn helper1(x: f64) -> f64 {
+    if x.abs() > 1e-8 {
+        x.ln_1p() / x
+    } else {
+        1.0 - x * (0.5 - x * (1.0 / 3.0 - 0.25 * x))
+    }
+}
+
+/// `helper2(x) = (exp(x)-1)/x`, continuous at 0.
+fn helper2(x: f64) -> f64 {
+    if x.abs() > 1e-8 {
+        x.exp_m1() / x
+    } else {
+        1.0 + x * 0.5 * (1.0 + x * (1.0 / 3.0) * (1.0 + 0.25 * x))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoshiro256StarStar;
+
+    #[test]
+    fn harmonic_matches_direct_sum() {
+        let direct: f64 = (1..=100u64).map(|i| 1.0 / (i as f64).powf(1.5)).sum();
+        let h = generalized_harmonic(100, 1.5);
+        assert!((h - direct).abs() < 1e-12);
+    }
+
+    #[test]
+    fn harmonic_alpha_one_is_classic() {
+        // H_10 = 2.9289682539...
+        let h = generalized_harmonic(10, 1.0);
+        assert!((h - 2.928_968_253_968_254).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probs_sum_to_one_and_decrease() {
+        let p = zipf_probs(1.01, 10_000).unwrap();
+        let sum: f64 = p.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert!(p.windows(2).all(|w| w[0] > w[1]));
+    }
+
+    #[test]
+    fn probs_reject_bad_parameters() {
+        assert!(zipf_probs(0.0, 10).is_err());
+        assert!(zipf_probs(-1.0, 10).is_err());
+        assert!(zipf_probs(f64::NAN, 10).is_err());
+        assert!(zipf_probs(1.0, 0).is_err());
+    }
+
+    #[test]
+    fn zipf_is_heavily_head_weighted() {
+        // The paper cites ~80% of traffic on ~20% of keys for Zipf(1.01)
+        // over large supports; check a substantial head concentration.
+        let p = zipf_probs(1.01, 1_000_000).unwrap();
+        let head: f64 = p[..200_000].iter().sum();
+        assert!(head > 0.75, "head mass {head} should exceed 0.75");
+    }
+
+    #[test]
+    fn sampler_in_range() {
+        let zipf = ZipfSampler::new(1.01, 100).unwrap();
+        let mut rng = Xoshiro256StarStar::seed_from_u64(11);
+        for _ in 0..10_000 {
+            assert!(zipf.sample(&mut rng) < 100);
+        }
+    }
+
+    #[test]
+    fn sampler_matches_exact_pmf_chi_square() {
+        let m = 50;
+        let alpha = 1.2;
+        let zipf = ZipfSampler::new(alpha, m).unwrap();
+        let probs = zipf_probs(alpha, m).unwrap();
+        let mut rng = Xoshiro256StarStar::seed_from_u64(22);
+        let draws = 200_000usize;
+        let mut counts = vec![0usize; m as usize];
+        for _ in 0..draws {
+            counts[zipf.sample(&mut rng) as usize] += 1;
+        }
+        let chi2: f64 = counts
+            .iter()
+            .zip(&probs)
+            .map(|(&c, &p)| {
+                let e = p * draws as f64;
+                (c as f64 - e).powi(2) / e
+            })
+            .sum();
+        // 49 degrees of freedom; 99.9th percentile ~ 85.4.
+        assert!(chi2 < 85.4, "chi-square {chi2} too large");
+    }
+
+    #[test]
+    fn sampler_rank_zero_frequency_matches() {
+        let m = 1000;
+        let alpha = 1.01;
+        let zipf = ZipfSampler::new(alpha, m).unwrap();
+        let p0 = zipf_probs(alpha, m).unwrap()[0];
+        let mut rng = Xoshiro256StarStar::seed_from_u64(33);
+        let draws = 100_000usize;
+        let hits = (0..draws).filter(|_| zipf.sample(&mut rng) == 0).count();
+        let freq = hits as f64 / draws as f64;
+        assert!(
+            (freq - p0).abs() < 0.01,
+            "rank-0 frequency {freq} vs exact {p0}"
+        );
+    }
+
+    #[test]
+    fn sampler_works_for_alpha_exactly_one() {
+        let zipf = ZipfSampler::new(1.0, 10).unwrap();
+        let mut rng = Xoshiro256StarStar::seed_from_u64(44);
+        let mut seen = [false; 10];
+        for _ in 0..10_000 {
+            seen[zipf.sample(&mut rng) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all ranks should appear");
+    }
+
+    #[test]
+    fn sampler_single_element_support() {
+        let zipf = ZipfSampler::new(1.5, 1).unwrap();
+        let mut rng = Xoshiro256StarStar::seed_from_u64(55);
+        for _ in 0..100 {
+            assert_eq!(zipf.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn helper_functions_continuous_at_zero() {
+        assert!((helper1(1e-12) - 1.0).abs() < 1e-9);
+        assert!((helper2(1e-12) - 1.0).abs() < 1e-9);
+        assert!((helper1(0.5) - (1.5f64.ln() / 0.5)).abs() < 1e-12);
+        assert!((helper2(0.5) - (0.5f64.exp_m1() / 0.5)).abs() < 1e-12);
+    }
+}

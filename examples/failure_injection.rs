@@ -1,0 +1,70 @@
+//! Failure injection: node crashes during an attack. Replication keeps
+//! keys reachable and the sticky selector re-pins orphaned keys; watch
+//! the gain climb as survivors absorb the load.
+//!
+//! ```sh
+//! cargo run --release --example failure_injection
+//! ```
+
+use secure_cache_provision::cluster::capacity::Capacities;
+use secure_cache_provision::cluster::{Cluster, NodeId};
+use secure_cache_provision::sim::config::{CacheKind, PartitionerKind, SelectorKind, SimConfig};
+use secure_cache_provision::sim::rate_engine::run_rate_simulation_on;
+use secure_cache_provision::workload::AccessPattern;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (n, d, m) = (100usize, 3usize, 100_000u64);
+    let cache = 150usize; // provisioned: c* ~ 121 at k = 1.2
+    // A wide attack (x >> c) so uncached load touches every node: node
+    // failures then visibly concentrate traffic on the survivors.
+    let attack_keys = 2000u64;
+    let cfg = SimConfig {
+        nodes: n,
+        replication: d,
+        cache_kind: CacheKind::Perfect,
+        cache_capacity: cache,
+        items: m,
+        rate: 1e5,
+        pattern: AccessPattern::uniform_subset(attack_keys, m)?,
+        partitioner: PartitionerKind::Hash,
+        selector: SelectorKind::LeastLoaded,
+        seed: 99,
+    };
+
+    let mut cluster = Cluster::new(cfg.build_partitioner()?, cfg.build_selector())
+        .with_capacities(Capacities::uniform(n, 1500.0)?)?;
+
+    println!("provisioned cluster under the optimal attack, killing nodes:\n");
+    println!(
+        "{:>12} {:>10} {:>12} {:>12} {:>10}",
+        "dead nodes", "gain", "unserved", "saturated", "verdict"
+    );
+    for dead in [0usize, 5, 10, 25, 50, 75, 90] {
+        // Fail the first `dead` nodes (recover the rest).
+        for i in 0..n as u32 {
+            if (i as usize) < dead {
+                cluster.fail_node(NodeId::new(i))?;
+            } else {
+                cluster.recover_node(NodeId::new(i))?;
+            }
+        }
+        let report = run_rate_simulation_on(&cfg, &mut cluster, cache)?;
+        let gain = report.snapshot.max() / (cfg.rate / n as f64);
+        println!(
+            "{:>12} {:>10.3} {:>12.1} {:>12} {:>10}",
+            dead,
+            gain,
+            report.unserved,
+            cluster.saturated_nodes().len(),
+            if gain > 1.0 { "BREACHED" } else { "holds" }
+        );
+    }
+
+    println!(
+        "\nReading: the O(n) cache bound assumes n live nodes; as failures\n\
+         shrink the cluster, the same cache keeps absorbing the adversary's\n\
+         head keys, but the even-share baseline degrades and survivors run\n\
+         hotter — until whole replica groups die and traffic goes unserved."
+    );
+    Ok(())
+}

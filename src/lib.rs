@@ -1,0 +1,56 @@
+//! # Secure Cache Provision
+//!
+//! A faithful, laptop-scale reproduction of *"Secure Cache Provision:
+//! Provable DDOS Prevention for Randomly Partitioned Services with
+//! Replication"* (Chu, Guan, Lui, Cai, Shi — IEEE ICDCS Workshops 2013),
+//! including the Fan et al. (SoCC'11) no-replication baseline it extends.
+//!
+//! The headline result: a popularity-based front-end cache of
+//! `c* = n·(ln ln n / ln d) + n·k' + 1` entries makes **every** adversarial
+//! access pattern ineffective against a randomly partitioned cluster of `n`
+//! nodes with replication factor `d` — independent of how many items the
+//! service stores.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`core`] (`scp-core`) — the paper's theory: bounds, attack gain,
+//!   adversarial strategies, cache provisioning.
+//! * [`cluster`] (`scp-cluster`) — partitioners, replica selection, node
+//!   failures, capacities.
+//! * [`cache`] (`scp-cache`) — perfect/LRU/LFU/FIFO/CLOCK/SLRU/TinyLFU
+//!   front-end caches.
+//! * [`workload`] (`scp-workload`) — access patterns, Zipf/alias samplers,
+//!   query streams, traces.
+//! * [`sim`] (`scp-sim`) — rate-propagation, query-sampling and
+//!   discrete-event engines plus the parallel experiment runner.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use secure_cache_provision::core::params::SystemParams;
+//! use secure_cache_provision::core::provision::Provisioner;
+//!
+//! // A 1000-node cluster with 3-way replication, 1M items, 100k qps.
+//! let params = SystemParams::new(1000, 3, 200, 1_000_000, 1e5)?;
+//! let provisioner = Provisioner::default();
+//!
+//! // c = 200 is below the critical size: an adversary can overload nodes.
+//! let report = provisioner.report(&params);
+//! assert!(!report.is_protected);
+//!
+//! // Provision the recommended cache size and the attack becomes futile.
+//! let safe = params.with_cache_size(report.critical_cache_size)?;
+//! assert!(provisioner.report(&safe).is_protected);
+//! # Ok::<(), secure_cache_provision::core::CoreError>(())
+//! ```
+//!
+//! See `examples/` for end-to-end attack simulations and `crates/repro`
+//! for the binaries that regenerate every figure of the paper.
+
+#![warn(missing_docs)]
+
+pub use scp_cache as cache;
+pub use scp_cluster as cluster;
+pub use scp_core as core;
+pub use scp_sim as sim;
+pub use scp_workload as workload;
