@@ -1,8 +1,9 @@
 //! Macro-benchmarks for the design-choice ablations: replica-selection
 //! policies on the rate-engine hot path, and a full rebalancing pass.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use scp_bench::bench_baseline;
+use scp_bench::harness::Criterion;
+use scp_bench::{criterion_group, criterion_main};
 use scp_cluster::rebalance::{rebalance, RebalanceConfig};
 use scp_sim::assignments::collect_assignments;
 use scp_sim::config::SelectorKind;

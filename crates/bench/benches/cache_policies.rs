@@ -1,6 +1,7 @@
 //! Micro-benchmarks: one cache request per policy under Zipf traffic.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use scp_bench::harness::{Criterion, Throughput};
+use scp_bench::{criterion_group, criterion_main};
 use scp_cache::{
     arc::ArcCache, clock::ClockCache, fifo::FifoCache, lfu::LfuCache, lru::LruCache,
     perfect::PerfectCache, slru::SlruCache, tinylfu::TinyLfuCache, Cache,

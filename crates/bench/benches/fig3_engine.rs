@@ -1,8 +1,9 @@
 //! Macro-benchmark: one Figure-3 rate-propagation run (x-sweep hot path),
 //! at the small-x and large-x extremes and for both panels' cache sizes.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use scp_bench::harness::{Criterion, Throughput};
 use scp_bench::{adversarial_pattern, bench_baseline};
+use scp_bench::{criterion_group, criterion_main};
 use scp_sim::rate_engine::run_rate_simulation;
 use scp_workload::AccessPattern;
 use std::hint::black_box;

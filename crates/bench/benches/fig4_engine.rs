@@ -1,8 +1,9 @@
 //! Macro-benchmark: one Figure-4 rate run per access pattern
 //! (uniform / Zipf(1.01) / adversarial) at the scaled baseline.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use scp_bench::bench_baseline;
+use scp_bench::harness::{Criterion, Throughput};
+use scp_bench::{criterion_group, criterion_main};
 use scp_sim::rate_engine::run_rate_simulation;
 use scp_workload::AccessPattern;
 use std::hint::black_box;

@@ -2,8 +2,9 @@
 //! size (both candidate plays of the adversary), plus the theory-side
 //! provisioning computation for contrast.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use scp_bench::harness::Criterion;
 use scp_bench::{adversarial_pattern, bench_baseline};
+use scp_bench::{criterion_group, criterion_main};
 use scp_core::bounds::KParam;
 use scp_core::provision::Provisioner;
 use scp_sim::rate_engine::run_rate_simulation;

@@ -1,6 +1,7 @@
 //! Micro-benchmarks: replica-group lookups per partitioning scheme.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use scp_bench::harness::{Criterion, Throughput};
+use scp_bench::{criterion_group, criterion_main};
 use scp_cluster::ids::KeyId;
 use scp_cluster::partition::{
     ConsistentHashRing, HashPartitioner, Partitioner, RangePartitioner, RendezvousPartitioner,

@@ -1,6 +1,7 @@
 //! Micro-benchmarks: workload generation primitives.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use scp_bench::harness::{Criterion, Throughput};
+use scp_bench::{criterion_group, criterion_main};
 use scp_workload::alias::AliasSampler;
 use scp_workload::permute::FeistelPermutation;
 use scp_workload::rng::{next_below, Xoshiro256StarStar};

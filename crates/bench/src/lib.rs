@@ -1,15 +1,19 @@
-//! Shared fixtures for the Criterion benchmark suite.
+//! Shared fixtures and the in-repo benchmark harness.
 //!
 //! Each `benches/*.rs` target either micro-benchmarks one substrate
 //! (partitioners, cache policies, samplers) or macro-benchmarks the hot
 //! path of one paper experiment (`fig3_engine`, `fig4_engine`,
 //! `fig5_engine`) so `cargo bench` exercises every figure's pipeline.
+//! Targets are driven by the dependency-free [`harness`] module, which
+//! mirrors the Criterion API subset they use.
 //!
 //! Benchmark sizes are scaled down from the paper's full configuration
-//! (1e6-key sweeps, 200 repetitions) to keep one Criterion sample in the
-//! tens of milliseconds; the `repro` binaries run the full-size versions.
+//! (1e6-key sweeps, 200 repetitions) to keep one sample in the tens of
+//! milliseconds; the `repro` binaries run the full-size versions.
 
 #![warn(missing_docs)]
+
+pub mod harness;
 
 use scp_sim::config::{CacheKind, PartitionerKind, SelectorKind, SimConfig};
 use scp_workload::AccessPattern;

@@ -309,7 +309,9 @@ mod tests {
         let mut slots: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
         let mut x: u64 = 0x12345;
         for step in 0..2000u32 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             match x % 4 {
                 0 => {
                     let v = step;

@@ -77,7 +77,7 @@ impl<K: Copy + Eq + Hash + std::fmt::Debug> Cache<K> for LruCache<K> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use scp_workload::rng::{next_below, Xoshiro256StarStar};
 
     #[test]
     fn evicts_least_recently_used() {
@@ -145,22 +145,38 @@ mod tests {
         assert_eq!(c.stats().misses(), 1);
     }
 
-    proptest! {
-        #[test]
-        fn prop_len_never_exceeds_capacity(ops in proptest::collection::vec(0u32..50, 1..500), cap in 0usize..20) {
+    // Seeded randomized sweeps (stand-ins for property tests; the case
+    // generator is deterministic so failures reproduce exactly).
+
+    #[test]
+    fn prop_len_never_exceeds_capacity() {
+        let mut gen = Xoshiro256StarStar::seed_from_u64(0x15C4);
+        for case in 0..64 {
+            let cap = next_below(&mut gen, 20) as usize;
+            let len = 1 + next_below(&mut gen, 499) as usize;
             let mut c = LruCache::new(cap);
-            for k in ops {
+            for _ in 0..len {
+                let k = next_below(&mut gen, 50) as u32;
                 c.request(k);
-                prop_assert!(c.len() <= cap);
+                assert!(c.len() <= cap, "case {case}: cap={cap} len={}", c.len());
             }
         }
+    }
 
-        #[test]
-        fn prop_most_recent_key_is_resident(ops in proptest::collection::vec(0u32..50, 1..200), cap in 1usize..20) {
+    #[test]
+    fn prop_most_recent_key_is_resident() {
+        let mut gen = Xoshiro256StarStar::seed_from_u64(0x3E51);
+        for case in 0..64 {
+            let cap = 1 + next_below(&mut gen, 19) as usize;
+            let len = 1 + next_below(&mut gen, 199) as usize;
             let mut c = LruCache::new(cap);
-            for k in &ops {
-                c.request(*k);
-                prop_assert!(c.contains(k), "just-requested key must be resident");
+            for _ in 0..len {
+                let k = next_below(&mut gen, 50) as u32;
+                c.request(k);
+                assert!(
+                    c.contains(&k),
+                    "case {case}: just-requested key {k} must be resident (cap={cap})"
+                );
             }
         }
     }

@@ -35,8 +35,8 @@ impl<K: Copy + Eq + Hash + std::fmt::Debug> SlruCache<K> {
     /// than `capacity` so probation always has room to admit.
     pub fn with_protected_fraction(capacity: usize, fraction: f64) -> Self {
         let fraction = fraction.clamp(0.0, 1.0);
-        let protected_target = (((capacity as f64) * fraction).round() as usize)
-            .min(capacity.saturating_sub(1));
+        let protected_target =
+            (((capacity as f64) * fraction).round() as usize).min(capacity.saturating_sub(1));
         Self {
             // Segments are sized at total capacity: the split is enforced
             // by demotion/eviction logic, not by the cores themselves.
@@ -183,7 +183,7 @@ mod tests {
     #[test]
     fn protected_overflow_demotes_not_evicts() {
         let mut c = SlruCache::with_protected_fraction(4, 0.5); // target 2
-        // Promote 1 and 2 into protected.
+                                                                // Promote 1 and 2 into protected.
         c.request(1);
         c.request(1);
         c.request(2);

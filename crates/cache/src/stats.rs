@@ -1,9 +1,7 @@
 //! Hit/miss accounting shared by every cache policy.
 
-use serde::{Deserialize, Serialize};
-
 /// Counters describing cache effectiveness.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
     hits: u64,
     misses: u64,
@@ -123,14 +121,5 @@ mod tests {
         s.record_miss();
         s.reset();
         assert_eq!(s, CacheStats::new());
-    }
-
-    #[test]
-    fn serde_roundtrip() {
-        let mut s = CacheStats::new();
-        s.record_hit();
-        let json = serde_json::to_string(&s).unwrap();
-        let back: CacheStats = serde_json::from_str(&json).unwrap();
-        assert_eq!(s, back);
     }
 }

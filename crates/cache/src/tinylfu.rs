@@ -185,7 +185,7 @@ mod tests {
     #[test]
     fn infrequent_candidate_cannot_displace_popular_victim() {
         let mut c = TinyLfuCache::with_window_fraction(4, 0.25); // window 1, main 3
-        // Make keys 1..=3 popular residents of main.
+                                                                 // Make keys 1..=3 popular residents of main.
         for _ in 0..8 {
             for k in 1..=3u32 {
                 c.request(k);

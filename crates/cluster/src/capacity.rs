@@ -8,10 +8,9 @@ use crate::error::ClusterError;
 use crate::ids::NodeId;
 use crate::load::LoadSnapshot;
 use crate::Result;
-use serde::{Deserialize, Serialize};
 
 /// Maximum sustainable query rates `r_i` for each node.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Capacities {
     rates: Vec<f64>,
 }

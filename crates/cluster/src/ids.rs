@@ -1,6 +1,5 @@
 //! Strongly typed identifiers for keys and nodes.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a `(key, value)` item stored in the service.
@@ -8,10 +7,7 @@ use std::fmt;
 /// Keys are opaque 64-bit values; the partitioner hashes them, so their
 /// numeric structure carries no placement information (except under the
 /// deliberately correlated [`crate::partition::RangePartitioner`]).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct KeyId(u64);
 
 impl KeyId {
@@ -45,10 +41,7 @@ impl fmt::Display for KeyId {
 }
 
 /// Identifier of a back-end node, indexing into the cluster's load vector.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct NodeId(u32);
 
 impl NodeId {
@@ -116,13 +109,5 @@ mod tests {
         let mut set = std::collections::HashSet::new();
         set.insert(KeyId::new(5));
         assert!(set.contains(&KeyId::new(5)));
-    }
-
-    #[test]
-    fn serde_is_transparent() {
-        let json = serde_json::to_string(&NodeId::new(4)).unwrap();
-        assert_eq!(json, "4");
-        let k: KeyId = serde_json::from_str("99").unwrap();
-        assert_eq!(k, KeyId::new(99));
     }
 }

@@ -1,12 +1,10 @@
 //! Load accounting and imbalance statistics.
 
-use serde::{Deserialize, Serialize};
-
 /// An immutable snapshot of per-node loads with derived statistics.
 ///
 /// Loads are in whatever unit the producer used — queries/second for the
 /// rate-propagation engine, query counts for the sampling engine.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LoadSnapshot {
     loads: Vec<f64>,
 }
@@ -162,13 +160,5 @@ mod tests {
         // Loads 1..=n has Gini = (n-1)/(3n) for large n ~ 1/3.
         let s = LoadSnapshot::new((1..=1000).map(|i| i as f64).collect());
         assert!((s.gini() - 0.333).abs() < 0.01);
-    }
-
-    #[test]
-    fn serde_roundtrip() {
-        let s = LoadSnapshot::new(vec![1.0, 2.0]);
-        let json = serde_json::to_string(&s).unwrap();
-        let back: LoadSnapshot = serde_json::from_str(&json).unwrap();
-        assert_eq!(s, back);
     }
 }

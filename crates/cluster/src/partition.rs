@@ -257,7 +257,10 @@ impl ConsistentHashRing {
         let mut points = Vec::with_capacity(n * vnodes);
         for node in 0..n {
             for v in 0..vnodes {
-                points.push((mix(&[seed, node as u64, v as u64]), NodeId::new(node as u32)));
+                points.push((
+                    mix(&[seed, node as u64, v as u64]),
+                    NodeId::new(node as u32),
+                ));
             }
         }
         points.sort_unstable();
@@ -338,7 +341,10 @@ impl Partitioner for RendezvousPartitioner {
                 }
             }
         }
-        best[..filled].iter().map(|&(_, n)| NodeId::new(n)).collect()
+        best[..filled]
+            .iter()
+            .map(|&(_, n)| NodeId::new(n))
+            .collect()
     }
 
     fn node_count(&self) -> usize {
@@ -404,7 +410,7 @@ impl Partitioner for RangePartitioner {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use scp_workload::rng::{next_below, Rng, Xoshiro256StarStar};
 
     fn all_partitioners(n: usize, d: usize, m: u64) -> Vec<Box<dyn Partitioner>> {
         vec![
@@ -573,30 +579,51 @@ mod tests {
         assert_eq!(g.as_slice()[0], NodeId::new(9));
     }
 
-    proptest! {
-        #[test]
-        fn prop_hash_groups_valid(n in 1usize..200, key in any::<u64>(), seed in any::<u64>()) {
+    // Seeded randomized sweeps (stand-ins for property tests; the case
+    // generator is deterministic so failures reproduce exactly).
+
+    #[test]
+    fn prop_hash_groups_valid() {
+        let mut gen = Xoshiro256StarStar::seed_from_u64(0x9A57);
+        for case in 0..256 {
+            let n = 1 + next_below(&mut gen, 199) as usize;
+            let key = gen.next_u64();
+            let seed = gen.next_u64();
             let d = 1 + (seed as usize % n.min(MAX_REPLICATION));
             let p = HashPartitioner::new(n, d, seed).unwrap();
             let g = p.replica_group(KeyId::new(key));
-            prop_assert_eq!(g.len(), d);
+            assert_eq!(g.len(), d, "case {case}: n={n} d={d} seed={seed}");
             let mut v: Vec<usize> = g.iter().map(|x| x.index()).collect();
             v.sort_unstable();
             v.dedup();
-            prop_assert_eq!(v.len(), d);
-            prop_assert!(v.iter().all(|&i| i < n));
+            assert_eq!(
+                v.len(),
+                d,
+                "case {case}: duplicate nodes (n={n} seed={seed})"
+            );
+            assert!(v.iter().all(|&i| i < n), "case {case}: node out of range");
         }
+    }
 
-        #[test]
-        fn prop_ring_groups_valid(n in 1usize..60, key in any::<u64>(), seed in any::<u64>()) {
+    #[test]
+    fn prop_ring_groups_valid() {
+        let mut gen = Xoshiro256StarStar::seed_from_u64(0x21A6);
+        for case in 0..256 {
+            let n = 1 + next_below(&mut gen, 59) as usize;
+            let key = gen.next_u64();
+            let seed = gen.next_u64();
             let d = 1 + (key as usize % n.min(4));
             let p = ConsistentHashRing::with_vnodes(n, d, 8, seed).unwrap();
             let g = p.replica_group(KeyId::new(key));
-            prop_assert_eq!(g.len(), d);
+            assert_eq!(g.len(), d, "case {case}: n={n} d={d} seed={seed}");
             let mut v: Vec<usize> = g.iter().map(|x| x.index()).collect();
             v.sort_unstable();
             v.dedup();
-            prop_assert_eq!(v.len(), d);
+            assert_eq!(
+                v.len(),
+                d,
+                "case {case}: duplicate nodes (n={n} seed={seed})"
+            );
         }
     }
 }

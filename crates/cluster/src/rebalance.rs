@@ -15,7 +15,6 @@
 use crate::ids::{KeyId, NodeId};
 use crate::load::LoadSnapshot;
 use crate::partition::ReplicaGroup;
-use serde::{Deserialize, Serialize};
 use std::collections::BinaryHeap;
 
 /// A key pinned to a serving replica, with its steady query rate and the
@@ -33,7 +32,7 @@ pub struct KeyAssignment {
 }
 
 /// One executed migration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Migration {
     /// The moved key.
     pub key: KeyId,
@@ -46,7 +45,7 @@ pub struct Migration {
 }
 
 /// Rebalancer tuning.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RebalanceConfig {
     /// Cost charged per migrated key (bandwidth/IO/consistency).
     pub move_cost: f64,
@@ -155,10 +154,9 @@ pub fn rebalance(
                 if candidate.index() == hot {
                     continue;
                 }
-                let new_pair_max =
-                    (loads[hot] - a.rate).max(loads[candidate.index()] + a.rate);
+                let new_pair_max = (loads[hot] - a.rate).max(loads[candidate.index()] + a.rate);
                 if new_pair_max < loads[hot] - 1e-12
-                    && best.map_or(true, |(_, _, b)| new_pair_max < b)
+                    && best.is_none_or(|(_, _, b)| new_pair_max < b)
                 {
                     best = Some((idx, candidate, new_pair_max));
                 }

@@ -74,7 +74,12 @@ impl ReplicaSelector for RandomSelector {
         group[next_below(&mut self.rng, group.len() as u64) as usize]
     }
 
-    fn rate_assignment(&mut self, _key: KeyId, _group: &[NodeId], _loads: &[f64]) -> RateAssignment {
+    fn rate_assignment(
+        &mut self,
+        _key: KeyId,
+        _group: &[NodeId],
+        _loads: &[f64],
+    ) -> RateAssignment {
         RateAssignment::EvenSplit
     }
 
@@ -106,7 +111,12 @@ impl ReplicaSelector for RoundRobinSelector {
         node
     }
 
-    fn rate_assignment(&mut self, _key: KeyId, _group: &[NodeId], _loads: &[f64]) -> RateAssignment {
+    fn rate_assignment(
+        &mut self,
+        _key: KeyId,
+        _group: &[NodeId],
+        _loads: &[f64],
+    ) -> RateAssignment {
         RateAssignment::EvenSplit
     }
 
@@ -264,7 +274,12 @@ impl ReplicaSelector for PerQueryLeastLoaded {
         argmin_load(group, loads)
     }
 
-    fn rate_assignment(&mut self, _key: KeyId, _group: &[NodeId], _loads: &[f64]) -> RateAssignment {
+    fn rate_assignment(
+        &mut self,
+        _key: KeyId,
+        _group: &[NodeId],
+        _loads: &[f64],
+    ) -> RateAssignment {
         // In steady state, per-query least-loaded keeps group members equal.
         RateAssignment::EvenSplit
     }
@@ -405,7 +420,10 @@ mod tests {
             loads[n.index()] += 1.0;
         }
         let ratio = loads[1] / loads[0];
-        assert!((ratio - 3.0).abs() < 0.1, "split ratio {ratio} should be ~3");
+        assert!(
+            (ratio - 3.0).abs() < 0.1,
+            "split ratio {ratio} should be ~3"
+        );
     }
 
     #[test]

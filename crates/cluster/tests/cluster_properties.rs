@@ -1,7 +1,10 @@
 //! Property tests over the cluster substrate: routing conservation,
 //! replica-group validity and failure semantics for arbitrary shapes.
+//!
+//! Cases are drawn from a seeded in-repo generator rather than an external
+//! property-testing framework, so every failure reproduces exactly from the
+//! constants below.
 
-use proptest::prelude::*;
 use scp_cluster::capacity::Capacities;
 use scp_cluster::cluster::Cluster;
 use scp_cluster::partition::{
@@ -11,9 +14,21 @@ use scp_cluster::select::{
     LeastLoadedSelector, PerQueryLeastLoaded, RandomSelector, ReplicaSelector, RoundRobinSelector,
 };
 use scp_cluster::{KeyId, NodeId};
+use scp_workload::rng::{next_below, next_f64, Rng, Xoshiro256StarStar};
 
-fn arb_shape() -> impl Strategy<Value = (usize, usize, u64)> {
-    (1usize..80, 1usize..5, any::<u64>()).prop_map(|(n, d, seed)| (n, d.min(n), seed))
+const CASES: usize = 64;
+
+/// Draws an arbitrary cluster shape `(n, d, seed)` with `1 <= d <= min(n, 4)`.
+fn arb_shape(gen: &mut Xoshiro256StarStar) -> (usize, usize, u64) {
+    let n = 1 + next_below(gen, 79) as usize;
+    let d = (1 + next_below(gen, 4) as usize).min(n);
+    let seed = gen.next_u64();
+    (n, d, seed)
+}
+
+fn arb_keys(gen: &mut Xoshiro256StarStar, max_len: u64, bound: u64) -> Vec<u64> {
+    let len = 1 + next_below(gen, max_len - 1) as usize;
+    (0..len).map(|_| next_below(gen, bound)).collect()
 }
 
 fn build_partitioner(which: u8, n: usize, d: usize, seed: u64) -> Box<dyn Partitioner> {
@@ -34,77 +49,98 @@ fn build_selector(which: u8, seed: u64) -> Box<dyn ReplicaSelector> {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn prop_groups_always_valid(
-        (n, d, seed) in arb_shape(),
-        which in any::<u8>(),
-        keys in proptest::collection::vec(0u64..1_000_000, 1..60),
-    ) {
+#[test]
+fn prop_groups_always_valid() {
+    let mut gen = Xoshiro256StarStar::seed_from_u64(0xC1AD_0001);
+    for case in 0..CASES {
+        let (n, d, seed) = arb_shape(&mut gen);
+        let which = gen.next_u64() as u8;
+        let keys = arb_keys(&mut gen, 60, 1_000_000);
         let p = build_partitioner(which, n, d, seed);
         for k in keys {
             let g = p.replica_group(KeyId::new(k));
-            prop_assert_eq!(g.len(), d);
+            assert_eq!(g.len(), d, "case {case}: n={n} d={d} seed={seed}");
             let mut idx: Vec<usize> = g.iter().map(|x| x.index()).collect();
             idx.sort_unstable();
             idx.dedup();
-            prop_assert_eq!(idx.len(), d, "duplicate members");
-            prop_assert!(idx.iter().all(|&i| i < n));
+            assert_eq!(idx.len(), d, "case {case}: duplicate members");
+            assert!(
+                idx.iter().all(|&i| i < n),
+                "case {case}: member out of range"
+            );
             // Determinism.
             let again = p.replica_group(KeyId::new(k));
-            prop_assert_eq!(g.as_slice(), again.as_slice());
+            assert_eq!(
+                g.as_slice(),
+                again.as_slice(),
+                "case {case}: unstable group"
+            );
         }
     }
+}
 
-    #[test]
-    fn prop_routing_conserves_every_query(
-        (n, d, seed) in arb_shape(),
-        pw in any::<u8>(),
-        sw in any::<u8>(),
-        queries in proptest::collection::vec(0u64..100_000, 1..200),
-    ) {
-        let mut cluster = Cluster::new(
-            build_partitioner(pw, n, d, seed),
-            build_selector(sw, seed),
-        );
+#[test]
+fn prop_routing_conserves_every_query() {
+    let mut gen = Xoshiro256StarStar::seed_from_u64(0xC1AD_0002);
+    for case in 0..CASES {
+        let (n, d, seed) = arb_shape(&mut gen);
+        let pw = gen.next_u64() as u8;
+        let sw = gen.next_u64() as u8;
+        let queries = arb_keys(&mut gen, 200, 100_000);
+        let mut cluster = Cluster::new(build_partitioner(pw, n, d, seed), build_selector(sw, seed));
         for &k in &queries {
             let node = cluster.route_query(KeyId::new(k)).unwrap();
             // The serving node is always a member of the key's group.
-            prop_assert!(cluster.replica_group(KeyId::new(k)).contains(node));
+            assert!(
+                cluster.replica_group(KeyId::new(k)).contains(node),
+                "case {case}: served off-group"
+            );
         }
-        prop_assert_eq!(cluster.queries_served(), queries.len() as u64);
-        prop_assert!((cluster.snapshot().total() - queries.len() as f64).abs() < 1e-9);
-        prop_assert_eq!(cluster.unserved(), 0.0);
-    }
-
-    #[test]
-    fn prop_rate_application_conserves(
-        (n, d, seed) in arb_shape(),
-        pw in any::<u8>(),
-        sw in any::<u8>(),
-        rates in proptest::collection::vec(0.01f64..100.0, 1..100),
-    ) {
-        let mut cluster = Cluster::new(
-            build_partitioner(pw, n, d, seed),
-            build_selector(sw, seed),
+        assert_eq!(
+            cluster.queries_served(),
+            queries.len() as u64,
+            "case {case}"
         );
+        assert!(
+            (cluster.snapshot().total() - queries.len() as f64).abs() < 1e-9,
+            "case {case}: load not conserved"
+        );
+        assert_eq!(cluster.unserved(), 0.0, "case {case}");
+    }
+}
+
+#[test]
+fn prop_rate_application_conserves() {
+    let mut gen = Xoshiro256StarStar::seed_from_u64(0xC1AD_0003);
+    for case in 0..CASES {
+        let (n, d, seed) = arb_shape(&mut gen);
+        let pw = gen.next_u64() as u8;
+        let sw = gen.next_u64() as u8;
+        let len = 1 + next_below(&mut gen, 99) as usize;
+        let rates: Vec<f64> = (0..len)
+            .map(|_| 0.01 + (100.0 - 0.01) * next_f64(&mut gen))
+            .collect();
+        let mut cluster = Cluster::new(build_partitioner(pw, n, d, seed), build_selector(sw, seed));
         let mut total = 0.0;
         for (i, &r) in rates.iter().enumerate() {
             cluster.apply_rate(KeyId::new(i as u64), r).unwrap();
             total += r;
         }
-        prop_assert!((cluster.snapshot().total() - total).abs() < 1e-6 * total.max(1.0));
+        assert!(
+            (cluster.snapshot().total() - total).abs() < 1e-6 * total.max(1.0),
+            "case {case}: rate mass not conserved"
+        );
     }
+}
 
-    #[test]
-    fn prop_failures_never_route_to_dead_nodes(
-        (n, d, seed) in arb_shape(),
-        pw in any::<u8>(),
-        dead_fraction in 0.0f64..0.9,
-        keys in proptest::collection::vec(0u64..100_000, 1..100),
-    ) {
+#[test]
+fn prop_failures_never_route_to_dead_nodes() {
+    let mut gen = Xoshiro256StarStar::seed_from_u64(0xC1AD_0004);
+    for case in 0..CASES {
+        let (n, d, seed) = arb_shape(&mut gen);
+        let pw = gen.next_u64() as u8;
+        let dead_fraction = 0.9 * next_f64(&mut gen);
+        let keys = arb_keys(&mut gen, 100, 100_000);
         let mut cluster = Cluster::new(
             build_partitioner(pw, n, d, seed),
             Box::new(LeastLoadedSelector::new()),
@@ -118,27 +154,32 @@ proptest! {
         for &k in &keys {
             match cluster.route_query(KeyId::new(k)) {
                 Ok(node) => {
-                    prop_assert!(cluster.is_alive(node), "routed to dead {node}");
+                    assert!(cluster.is_alive(node), "case {case}: routed to dead {node}");
                     served += 1;
                 }
                 Err(_) => refused += 1,
             }
         }
-        prop_assert_eq!(served + refused, keys.len() as u64);
-        prop_assert!((cluster.unserved() - refused as f64).abs() < 1e-9);
+        assert_eq!(served + refused, keys.len() as u64, "case {case}");
+        assert!(
+            (cluster.unserved() - refused as f64).abs() < 1e-9,
+            "case {case}: unserved mismatch"
+        );
         // Dead nodes carry no load.
         for i in 0..dead {
-            prop_assert_eq!(cluster.loads()[i], 0.0);
+            assert_eq!(cluster.loads()[i], 0.0, "case {case}: dead node {i} loaded");
         }
     }
+}
 
-    #[test]
-    fn prop_saturation_report_is_exact(
-        (n, _d, seed) in arb_shape(),
-        rate in 0.1f64..10.0,
-        capacity in 0.5f64..5.0,
-        keys in 1usize..200,
-    ) {
+#[test]
+fn prop_saturation_report_is_exact() {
+    let mut gen = Xoshiro256StarStar::seed_from_u64(0xC1AD_0005);
+    for case in 0..CASES {
+        let (n, _d, seed) = arb_shape(&mut gen);
+        let rate = 0.1 + (10.0 - 0.1) * next_f64(&mut gen);
+        let capacity = 0.5 + (5.0 - 0.5) * next_f64(&mut gen);
+        let keys = 1 + next_below(&mut gen, 199) as usize;
         let d = 1; // deterministic membership for the check below
         let mut cluster = Cluster::new(
             Box::new(HashPartitioner::new(n, d, seed).unwrap()),
@@ -154,7 +195,7 @@ proptest! {
         for i in 0..n {
             let is_over = snapshot.loads()[i] > capacity;
             let is_reported = reported.contains(&NodeId::new(i as u32));
-            prop_assert_eq!(is_over, is_reported, "node {} mismatch", i);
+            assert_eq!(is_over, is_reported, "case {case}: node {i} mismatch");
         }
     }
 }

@@ -189,7 +189,11 @@ impl AdversaryStrategy for FixedSubsetAdversary {
         if self.x > params.items() {
             return Err(CoreError::InvalidParameter {
                 name: "x",
-                reason: format!("{} keys exceed the {}-item key space", self.x, params.items()),
+                reason: format!(
+                    "{} keys exceed the {}-item key space",
+                    self.x,
+                    params.items()
+                ),
             });
         }
         let k = self.k.map(|k| k.0).unwrap_or_default();

@@ -30,7 +30,6 @@
 
 use crate::gain::AttackGain;
 use crate::params::SystemParams;
-use serde::{Deserialize, Serialize};
 
 /// The fitted constant the paper uses for its Figure 3 bound curves
 /// (`k = 1.2` at `n = 1000`, `d = 3`).
@@ -45,7 +44,7 @@ pub const DEFAULT_FITTED_K: f64 = 1.2;
 pub const DEFAULT_K_PRIME: f64 = 0.0;
 
 /// How the bound's `k = ln ln n / ln d ± Θ(1)` constant is chosen.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum KParam {
     /// A single fitted value used verbatim (the paper fits 1.2 for its
     /// simulations at `n = 1000, d = 3`).
@@ -195,7 +194,7 @@ pub fn critical_cache_size(n: usize, d: usize, k: &KParam) -> usize {
 }
 
 /// The adversary's two candidate subset sizes and which is optimal.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BestSubsetSize {
     /// Small cache (`c < c*`): query the fewest keys that bypass the
     /// cache, `x = c + 1`.
@@ -359,12 +358,12 @@ mod tests {
     #[test]
     fn critical_cache_size_formula() {
         // c* = ceil(n k + 1).
-        assert_eq!(
-            critical_cache_size(1000, 3, &KParam::Fitted(1.2)),
-            1201
-        );
+        assert_eq!(critical_cache_size(1000, 3, &KParam::Fitted(1.2)), 1201);
         let theory = critical_cache_size(1000, 3, &KParam::theory());
-        assert_eq!(theory, (1000.0 * ball_bin_gap(1000, 3) + 1.0).ceil() as usize);
+        assert_eq!(
+            theory,
+            (1000.0 * ball_bin_gap(1000, 3) + 1.0).ceil() as usize
+        );
         assert_eq!(critical_cache_size(1000, 1, &KParam::theory()), usize::MAX);
         // Strongly negative k' clamps at zero.
         assert_eq!(
@@ -443,7 +442,10 @@ mod tests {
     fn single_choice_gain_has_interior_maximum() {
         let (n, c, m, beta) = (1000, 200, 1_000_000u64, 1.0);
         let x_star = optimal_subset_size_single_choice(n, c, m, beta);
-        assert!(x_star > c as u64 + 1, "optimum should be interior, got {x_star}");
+        assert!(
+            x_star > c as u64 + 1,
+            "optimum should be interior, got {x_star}"
+        );
         assert!(x_star < m, "optimum should be interior, got {x_star}");
         let g_star = attack_gain_bound_single_choice(n, c, x_star, beta).value();
         for x in [c as u64 + 1, x_star / 2, x_star * 2, m] {
@@ -465,13 +467,5 @@ mod tests {
             x_large > x_small,
             "bigger caches force the d=1 adversary to spread wider"
         );
-    }
-
-    #[test]
-    fn serde_kparam() {
-        let k = KParam::Theory { k_prime: 0.5 };
-        let json = serde_json::to_string(&k).unwrap();
-        let back: KParam = serde_json::from_str(&json).unwrap();
-        assert_eq!(k, back);
     }
 }

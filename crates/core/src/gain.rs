@@ -1,6 +1,5 @@
 //! Attack gain and effectiveness (Definitions 1 and 2).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The paper's *Attack Gain* (Definition 1): the load of the most loaded
@@ -11,8 +10,7 @@ use std::fmt;
 /// (Definition 2). Gains at or below 1 mean the front-end cache absorbed
 /// enough traffic that even the hottest node is no worse off than under
 /// perfect balancing.
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
 pub struct AttackGain(f64);
 
 impl AttackGain {
@@ -62,7 +60,7 @@ impl fmt::Display for AttackGain {
 }
 
 /// Definition 2: classification of a DDOS attempt.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Effectiveness {
     /// Attack gain above 1: some node is overloaded relative to fair share.
     Effective,
@@ -127,11 +125,5 @@ mod tests {
     fn ordering_and_conversion() {
         assert!(AttackGain::new(2.0) > AttackGain::new(1.0));
         assert_eq!(f64::from(AttackGain::new(2.0)), 2.0);
-    }
-
-    #[test]
-    fn serde_is_transparent() {
-        let g = AttackGain::new(1.25);
-        assert_eq!(serde_json::to_string(&g).unwrap(), "1.25");
     }
 }

@@ -2,7 +2,6 @@
 
 use crate::error::CoreError;
 use crate::Result;
-use serde::{Deserialize, Serialize};
 
 /// Largest replication factor accepted by the model (matches the cluster
 /// substrate's `MAX_REPLICATION`).
@@ -15,7 +14,7 @@ pub const MAX_REPLICATION: usize = 16;
 /// * `c` — front-end cache capacity in items,
 /// * `m` — number of `(key, value)` items stored by the service,
 /// * `rate` — aggregate client query rate `R` in queries/second.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SystemParams {
     n: usize,
     d: usize,
@@ -165,13 +164,5 @@ mod tests {
         assert_eq!(p.with_nodes(50).unwrap().nodes(), 50);
         assert!(p.with_nodes(1).is_err(), "d=2 needs n >= 2");
         assert_eq!(p.with_replication(1).unwrap().replication(), 1);
-    }
-
-    #[test]
-    fn serde_roundtrip() {
-        let p = SystemParams::new(10, 2, 5, 100, 1.5).unwrap();
-        let json = serde_json::to_string(&p).unwrap();
-        let back: SystemParams = serde_json::from_str(&json).unwrap();
-        assert_eq!(p, back);
     }
 }

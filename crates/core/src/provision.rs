@@ -11,7 +11,6 @@ use crate::bounds::{attack_gain_bound, critical_cache_size, optimal_subset_size,
 use crate::error::CoreError;
 use crate::params::SystemParams;
 use crate::Result;
-use serde::{Deserialize, Serialize};
 
 /// Sizes caches and issues protection verdicts for concrete systems.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -93,12 +92,7 @@ impl Provisioner {
     /// # Errors
     ///
     /// Returns an error unless `target_gain` is finite and positive.
-    pub fn cache_for_target_gain(
-        &self,
-        n: usize,
-        d: usize,
-        target_gain: f64,
-    ) -> Result<usize> {
+    pub fn cache_for_target_gain(&self, n: usize, d: usize, target_gain: f64) -> Result<usize> {
         if !target_gain.is_finite() || target_gain <= 0.0 {
             return Err(CoreError::InvalidParameter {
                 name: "target_gain",
@@ -123,8 +117,7 @@ impl Provisioner {
     ///
     /// Inverts `c >= n·(ln ln n / ln d + k') + 1` in `d`.
     pub fn min_replication(&self, n: usize, c: usize) -> Option<usize> {
-        (2..=crate::params::MAX_REPLICATION)
-            .find(|&d| critical_cache_size(n, d, &self.k) <= c)
+        (2..=crate::params::MAX_REPLICATION).find(|&d| critical_cache_size(n, d, &self.k) <= c)
     }
 
     /// Full provisioning report for a concrete system.
@@ -178,7 +171,7 @@ impl Provisioner {
 }
 
 /// Everything a cluster operator needs to know about one configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ProvisionReport {
     /// Number of back-end nodes `n`.
     pub nodes: usize,
@@ -310,7 +303,7 @@ mod tests {
     #[test]
     fn cache_for_target_gain_inverts_the_bound() {
         let prov = Provisioner::new(); // k = 1.2, so n k + 1 = 1201 at n=1000
-        // Tolerating 2x the fair share halves the cache bill.
+                                       // Tolerating 2x the fair share halves the cache bill.
         assert_eq!(prov.cache_for_target_gain(1000, 3, 2.0).unwrap(), 601);
         assert_eq!(prov.cache_for_target_gain(1000, 3, 4.0).unwrap(), 301);
         // Targets at/below 1.0 are the plain critical size.
@@ -358,13 +351,5 @@ mod tests {
         assert_eq!(prov.min_replication(1000, 1400), Some(4));
         // A cache too small for even d = 16.
         assert_eq!(prov.min_replication(1000, 100), None);
-    }
-
-    #[test]
-    fn report_serde_roundtrip() {
-        let r = Provisioner::new().report(&paper_params(300));
-        let json = serde_json::to_string(&r).unwrap();
-        let back: ProvisionReport = serde_json::from_str(&json).unwrap();
-        assert_eq!(r, back);
     }
 }

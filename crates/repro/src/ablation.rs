@@ -2,20 +2,20 @@
 //! result, each isolated and measured.
 
 use crate::opts::Opts;
-use crate::output::{fmt_f, Table};
+use crate::output::{fmt_f, JournalBook, Table};
 use crate::Result;
+use scp_cluster::rebalance::{rebalance, RebalanceConfig};
 use scp_cluster::Cluster;
 use scp_core::adversary::{AdversaryStrategy, ReplicatedClusterAdversary, SmallCacheAdversary};
 use scp_core::bounds::{attack_gain_bound, critical_cache_size, KParam};
 use scp_core::params::SystemParams;
-use scp_cluster::rebalance::{rebalance, RebalanceConfig};
 use scp_sim::assignments::collect_assignments;
 use scp_sim::config::{CacheKind, PartitionerKind, SelectorKind, SimConfig};
 use scp_sim::cost::{run_weighted_query_simulation, CostModel};
 use scp_sim::multi_frontend::{run_multi_frontend_simulation, FrontendRouting};
 use scp_sim::query_engine::run_query_simulation;
 use scp_sim::rate_engine::{run_rate_simulation, run_rate_simulation_with};
-use scp_sim::runner::{repeat, repeat_rate_simulation, GainAggregate};
+use scp_sim::runner::{repeat, repeat_rate_simulation_journaled, GainAggregate};
 use scp_workload::permute::KeyMapping;
 use scp_workload::AccessPattern;
 
@@ -32,8 +32,7 @@ fn base_sim(opts: &Opts) -> SimConfig {
         cache_capacity: cache,
         items,
         rate: 1e5,
-        pattern: AccessPattern::uniform_subset(cache as u64 + 1, items)
-            .expect("x = c+1 is valid"),
+        pattern: AccessPattern::uniform_subset(cache as u64 + 1, items).expect("x = c+1 is valid"),
         partitioner: PartitionerKind::Hash,
         selector: SelectorKind::LeastLoaded,
         seed: opts.seed,
@@ -44,13 +43,13 @@ fn base_sim(opts: &Opts) -> SimConfig {
 ///
 /// Sticky least-loaded realizes the paper's balls-into-bins model; the
 /// memoryless rules spread each key over its whole group, diluting the
-/// hotspot by `d`.
+/// hotspot by `d`. One journal per selector is pushed into `book`.
 ///
 /// # Errors
 ///
 /// Propagates simulation errors.
-pub fn selection(opts: &Opts) -> Result<Table> {
-    let runs = opts.effective_runs(30);
+pub fn selection(opts: &Opts, book: &mut JournalBook) -> Result<Table> {
+    let rule = opts.stop_rule(30);
     let mut t = Table::new(
         "Ablation A1: replica selection under the x = c+1 attack",
         &["selector", "max_gain", "mean_gain"],
@@ -58,24 +57,27 @@ pub fn selection(opts: &Opts) -> Result<Table> {
     for kind in SelectorKind::ALL {
         let mut sim = base_sim(opts);
         sim.selector = kind;
-        let (_, agg) = repeat_rate_simulation(&sim, runs, opts.threads)?;
+        let out = repeat_rate_simulation_journaled(&sim, &rule, opts.threads)?;
+        book.push(format!("a1/selector={}", kind.name()), out.journal);
         t.push_row(vec![
             kind.name().to_string(),
-            fmt_f(agg.max_gain()),
-            fmt_f(agg.mean_gain()),
+            fmt_f(out.aggregate.max_gain()),
+            fmt_f(out.aggregate.mean_gain()),
         ]);
     }
     Ok(t)
 }
 
 /// A2 — partitioning schemes, including the attack the randomized ones
-/// prevent: contiguous-key floods against a range partitioner.
+/// prevent: contiguous-key floods against a range partitioner. One
+/// journal per scattered-key scheme is pushed into `book`.
 ///
 /// # Errors
 ///
 /// Propagates simulation errors.
-pub fn partitioning(opts: &Opts) -> Result<Table> {
+pub fn partitioning(opts: &Opts, book: &mut JournalBook) -> Result<Table> {
     let runs = opts.effective_runs(30);
+    let rule = opts.stop_rule(30);
     let mut t = Table::new(
         "Ablation A2: partitioning schemes (adversarial load, max gain)",
         &["partitioner", "keys", "max_gain"],
@@ -88,21 +90,29 @@ pub fn partitioning(opts: &Opts) -> Result<Table> {
         let mut sim = base.clone();
         sim.partitioner = kind;
         sim.pattern = AccessPattern::uniform_subset(x, sim.items)?;
-        let (_, agg) = repeat_rate_simulation(&sim, runs, opts.threads)?;
+        let out = repeat_rate_simulation_journaled(&sim, &rule, opts.threads)?;
+        book.push(format!("a2/partitioner={}", kind.name()), out.journal);
         t.push_row(vec![
             format!("{} (scattered keys)", kind.name()),
             x.to_string(),
-            fmt_f(agg.max_gain()),
+            fmt_f(out.aggregate.max_gain()),
         ]);
     }
-    // The contiguous-key flood: only meaningful against `range`.
+    // The contiguous-key flood: only meaningful against `range`. This
+    // path drives the engine through a custom cluster, so it bypasses
+    // the journaled repeater.
     let mut sim = base.clone();
     sim.partitioner = PartitionerKind::Range;
     sim.pattern = AccessPattern::uniform_subset(x, sim.items)?;
     let reports = repeat(runs, opts.threads, |i| {
         let cfg = sim.for_run(i as u64);
         let mut cluster = Cluster::new(cfg.build_partitioner()?, cfg.build_selector());
-        run_rate_simulation_with(&cfg, &mut cluster, cfg.cache_capacity, &KeyMapping::Identity)
+        run_rate_simulation_with(
+            &cfg,
+            &mut cluster,
+            cfg.cache_capacity,
+            &KeyMapping::Identity,
+        )
     });
     let mut ok = Vec::with_capacity(reports.len());
     for r in reports {
@@ -130,8 +140,8 @@ pub fn partitioning(opts: &Opts) -> Result<Table> {
 /// # Errors
 ///
 /// Propagates simulation errors.
-pub fn replication(opts: &Opts) -> Result<Table> {
-    let runs = opts.effective_runs(30);
+pub fn replication(opts: &Opts, book: &mut JournalBook) -> Result<Table> {
+    let rule = opts.stop_rule(30);
     let base = base_sim(opts);
     let mut t = Table::new(
         "Ablation A3: replication factor vs the per-d optimal adversary",
@@ -147,13 +157,7 @@ pub fn replication(opts: &Opts) -> Result<Table> {
     );
     let wide_x = (50 * base.nodes as u64).min(base.items);
     for d in 1..=6usize {
-        let params = SystemParams::new(
-            base.nodes,
-            d,
-            base.cache_capacity,
-            base.items,
-            base.rate,
-        )?;
+        let params = SystemParams::new(base.nodes, d, base.cache_capacity, base.items, base.rate)?;
         let (name, plan) = if d == 1 {
             let adv = SmallCacheAdversary::new();
             (adv.name(), adv.plan(&params)?)
@@ -165,10 +169,14 @@ pub fn replication(opts: &Opts) -> Result<Table> {
         sim.replication = d;
         sim.pattern = plan.pattern.clone();
         sim.seed = base.seed ^ (d as u64);
-        let (_, agg) = repeat_rate_simulation(&sim, runs, opts.threads)?;
+        let out = repeat_rate_simulation_journaled(&sim, &rule, opts.threads)?;
+        book.push(format!("a3/d={d}/optimal"), out.journal);
+        let agg = out.aggregate;
         let mut wide = sim.clone();
         wide.pattern = AccessPattern::uniform_subset(wide_x, base.items)?;
-        let (_, wide_agg) = repeat_rate_simulation(&wide, runs, opts.threads)?;
+        let wide_out = repeat_rate_simulation_journaled(&wide, &rule, opts.threads)?;
+        book.push(format!("a3/d={d}/wide"), wide_out.journal);
+        let wide_agg = wide_out.aggregate;
         // Note: for d = 1 this is Fan's asymptotic heavy-load estimate of
         // the expected max (not a strict bound in the sparse regime the
         // optimum lands in); for d >= 2 it is Eq. (10).
@@ -208,9 +216,7 @@ pub fn cache_policies(opts: &Opts) -> Result<Table> {
         (100, 100_000, 500, 1_000_000u64)
     };
     let mut t = Table::new(
-        format!(
-            "Ablation A4: cache policies (n={nodes}, c={cache}, m={items}, {queries} queries)"
-        ),
+        format!("Ablation A4: cache policies (n={nodes}, c={cache}, m={items}, {queries} queries)"),
         &["policy", "zipf_hit", "zipf_gain", "adv_hit", "adv_gain"],
     );
     let zipf = AccessPattern::zipf(1.01, items)?;
@@ -234,10 +240,7 @@ pub fn cache_policies(opts: &Opts) -> Result<Table> {
                 seed: opts.seed ^ 0xAB4,
             };
             let report = run_query_simulation(&sim, queries)?;
-            let hit = report
-                .cache_stats
-                .map(|s| s.hit_rate())
-                .unwrap_or_default();
+            let hit = report.cache_stats.map(|s| s.hit_rate()).unwrap_or_default();
             row.push(fmt_f(hit));
             row.push(fmt_f(report.gain().value()));
         }
@@ -334,9 +337,18 @@ pub fn cost_model(opts: &Opts) -> Result<Table> {
     );
     let mixes: [(&str, CostModel); 4] = [
         ("reads only", CostModel::uniform()),
-        ("10% writes (1x cost)", CostModel::read_write(1.0, 1.0, 0.1)?),
-        ("10% writes (5x cost)", CostModel::read_write(1.0, 5.0, 0.1)?),
-        ("50% writes (5x cost)", CostModel::read_write(1.0, 5.0, 0.5)?),
+        (
+            "10% writes (1x cost)",
+            CostModel::read_write(1.0, 1.0, 0.1)?,
+        ),
+        (
+            "10% writes (5x cost)",
+            CostModel::read_write(1.0, 5.0, 0.1)?,
+        ),
+        (
+            "50% writes (5x cost)",
+            CostModel::read_write(1.0, 5.0, 0.5)?,
+        ),
     ];
     for (label, model) in mixes {
         let r = run_weighted_query_simulation(&cfg, queries, &model)?;
@@ -355,8 +367,8 @@ pub fn cost_model(opts: &Opts) -> Result<Table> {
 /// # Errors
 ///
 /// Propagates simulation errors.
-pub fn zipf_sensitivity(opts: &Opts) -> Result<Table> {
-    let runs = opts.effective_runs(10);
+pub fn zipf_sensitivity(opts: &Opts, book: &mut JournalBook) -> Result<Table> {
+    let rule = opts.stop_rule(10);
     let (nodes, items, cache) = if opts.fast {
         (50, 20_000, 50)
     } else {
@@ -379,11 +391,12 @@ pub fn zipf_sensitivity(opts: &Opts) -> Result<Table> {
             selector: SelectorKind::LeastLoaded,
             seed: opts.seed ^ 0xA7,
         };
-        let (reports, agg) = repeat_rate_simulation(&cfg, runs, opts.threads)?;
+        let out = repeat_rate_simulation_journaled(&cfg, &rule, opts.threads)?;
+        book.push(format!("a7/alpha={alpha}"), out.journal);
         t.push_row(vec![
             format!("{alpha}"),
-            fmt_f(reports[0].cache_fraction()),
-            fmt_f(agg.max_gain()),
+            fmt_f(out.reports[0].cache_fraction()),
+            fmt_f(out.aggregate.max_gain()),
         ]);
     }
     Ok(t)
@@ -417,9 +430,7 @@ pub fn rebalance_vs_cache(opts: &Opts) -> Result<Table> {
         seed: opts.seed ^ 0xA8,
     };
     let mut t = Table::new(
-        format!(
-            "Ablation A8: rebalancing vs caching (n={nodes}, m={items}, c* = {c_star})"
-        ),
+        format!("Ablation A8: rebalancing vs caching (n={nodes}, m={items}, c* = {c_star})"),
         &["defense", "workload", "gain", "migrations"],
     );
     let workloads = [
@@ -462,22 +473,34 @@ pub fn rebalance_vs_cache(opts: &Opts) -> Result<Table> {
     Ok(t)
 }
 
-/// Runs all ablations.
+/// Runs all ablations, collecting the journals of the repetition-based
+/// ones (A1, A2, A3, A7; the others are single-run query sims).
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn run_all_journaled(opts: &Opts) -> Result<(Vec<Table>, JournalBook)> {
+    let mut book = JournalBook::new();
+    let tables = vec![
+        selection(opts, &mut book)?,
+        partitioning(opts, &mut book)?,
+        replication(opts, &mut book)?,
+        cache_policies(opts)?,
+        multi_frontend(opts)?,
+        cost_model(opts)?,
+        zipf_sensitivity(opts, &mut book)?,
+        rebalance_vs_cache(opts)?,
+    ];
+    Ok((tables, book))
+}
+
+/// Runs all ablations, discarding the journals.
 ///
 /// # Errors
 ///
 /// Propagates simulation errors.
 pub fn run_all(opts: &Opts) -> Result<Vec<Table>> {
-    Ok(vec![
-        selection(opts)?,
-        partitioning(opts)?,
-        replication(opts)?,
-        cache_policies(opts)?,
-        multi_frontend(opts)?,
-        cost_model(opts)?,
-        zipf_sensitivity(opts)?,
-        rebalance_vs_cache(opts)?,
-    ])
+    Ok(run_all_journaled(opts)?.0)
 }
 
 #[cfg(test)]
@@ -494,8 +517,12 @@ mod tests {
 
     #[test]
     fn selection_table_shows_sticky_hotspot() {
-        let t = selection(&fast_opts()).unwrap();
+        let mut book = JournalBook::new();
+        let t = selection(&fast_opts(), &mut book).unwrap();
         assert_eq!(t.len(), 4);
+        // One journal per selector, one record per repetition.
+        assert_eq!(book.len(), 4);
+        assert!(book.journals().all(|j| j.len() == 4));
         let rendered = t.render();
         assert!(rendered.contains("least-loaded"));
         assert!(rendered.contains("random"));
@@ -503,7 +530,7 @@ mod tests {
 
     #[test]
     fn partitioning_contiguous_attack_dominates() {
-        let t = partitioning(&fast_opts()).unwrap();
+        let t = partitioning(&fast_opts(), &mut JournalBook::new()).unwrap();
         assert_eq!(t.len(), 5);
         let csv = t.to_csv();
         // Parse the gains: the contiguous-range row must be the largest.
@@ -512,7 +539,10 @@ mod tests {
             .skip(1)
             .map(|l| {
                 let cols: Vec<&str> = l.split(',').collect();
-                (cols[0].trim_matches('"').to_string(), cols[2].parse().unwrap())
+                (
+                    cols[0].trim_matches('"').to_string(),
+                    cols[2].parse().unwrap(),
+                )
             })
             .collect();
         gains.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
@@ -524,7 +554,7 @@ mod tests {
 
     #[test]
     fn replication_sweep_shows_d_one_worst() {
-        let t = replication(&fast_opts()).unwrap();
+        let t = replication(&fast_opts(), &mut JournalBook::new()).unwrap();
         assert_eq!(t.len(), 6);
         let csv = t.to_csv();
         let col = |idx: usize| -> Vec<f64> {
@@ -567,8 +597,14 @@ mod tests {
         let by_client = hit(0);
         let by_key = hit(1);
         let single = hit(2);
-        assert!(by_key > by_client + 0.2, "by-key {by_key} vs by-client {by_client}");
-        assert!((by_client - single).abs() < 0.05, "by-client should equal single");
+        assert!(
+            by_key > by_client + 0.2,
+            "by-key {by_key} vs by-client {by_client}"
+        );
+        assert!(
+            (by_client - single).abs() < 0.05,
+            "by-client should equal single"
+        );
     }
 
     #[test]
@@ -592,7 +628,7 @@ mod tests {
 
     #[test]
     fn zipf_sensitivity_more_skew_more_offload() {
-        let t = zipf_sensitivity(&fast_opts()).unwrap();
+        let t = zipf_sensitivity(&fast_opts(), &mut JournalBook::new()).unwrap();
         assert_eq!(t.len(), 6);
         let csv = t.to_csv();
         let fractions: Vec<f64> = csv
@@ -614,7 +650,11 @@ mod tests {
         let rows: Vec<Vec<String>> = csv
             .lines()
             .skip(1)
-            .map(|l| l.split(',').map(|c| c.trim_matches('"').to_string()).collect())
+            .map(|l| {
+                l.split(',')
+                    .map(|c| c.trim_matches('"').to_string())
+                    .collect()
+            })
             .collect();
         // Rows: [rb zipf, cache zipf, rb optimal, cache optimal, rb wide, cache wide].
         let gain = |i: usize| rows[i][2].parse::<f64>().unwrap();
@@ -623,7 +663,11 @@ mod tests {
         // rebalancer is powerless: the hot node already holds only the
         // hot key, so no in-group move lowers the max.
         assert!(gain(0) > 2.0, "zipf head must stay hot: {}", gain(0));
-        assert!(gain(2) > 1.2, "optimal attack must beat migration: {}", gain(2));
+        assert!(
+            gain(2) > 1.2,
+            "optimal attack must beat migration: {}",
+            gain(2)
+        );
         // The wide attack is the one case migration can polish.
         assert!(moves(4) > 0, "wide attack should trigger migrations");
         assert!(gain(4) < 1.1, "post-rebalance wide gain: {}", gain(4));

@@ -1,12 +1,13 @@
 //! Runs ablations A1–A8 (selection, partitioning, replication, caches,
 //! front-end fleets, operation costs, Zipf skew, rebalancing).
 
-use scp_repro::ablation::run_all;
+use scp_repro::ablation::run_all_journaled;
+use scp_repro::output::save_journals;
 use scp_repro::Opts;
 
 fn main() {
     let opts = Opts::from_env();
-    let tables = run_all(&opts).unwrap_or_else(|e| {
+    let (tables, book) = run_all_journaled(&opts).unwrap_or_else(|e| {
         eprintln!("ablations failed: {e}");
         std::process::exit(1);
     });
@@ -19,4 +20,5 @@ fn main() {
             Err(e) => eprintln!("could not write CSV: {e}"),
         }
     }
+    save_journals(opts.journal.as_deref(), "ablations", &book);
 }

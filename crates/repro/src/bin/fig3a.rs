@@ -1,12 +1,14 @@
 //! Reproduces Figure 3(a): x-sweep with a small (c = 200) cache.
 
-use scp_repro::fig3::{run, table, Fig3Config};
+use scp_repro::fig3::{run_journaled, table, Fig3Config};
+use scp_repro::output::{save_journals, JournalBook};
 use scp_repro::Opts;
 
 fn main() {
     let opts = Opts::from_env();
     let cfg = Fig3Config::paper(200, &opts);
-    let rows = run(&cfg).unwrap_or_else(|e| {
+    let mut book = JournalBook::new();
+    let rows = run_journaled(&cfg, &mut book).unwrap_or_else(|e| {
         eprintln!("fig3a failed: {e}");
         std::process::exit(1);
     });
@@ -16,4 +18,5 @@ fn main() {
         Ok(path) => println!("\nwrote {}", path.display()),
         Err(e) => eprintln!("could not write CSV: {e}"),
     }
+    save_journals(opts.journal.as_deref(), "fig3a", &book);
 }

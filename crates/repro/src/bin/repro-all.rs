@@ -1,5 +1,6 @@
 //! Regenerates every figure of the paper plus the ablations in one go.
 
+use scp_repro::output::{save_journals, JournalBook};
 use scp_repro::{ablation, fig3, fig4, fig5, Opts};
 
 fn main() {
@@ -18,8 +19,12 @@ fn main() {
 
     for (cache, name) in [(200usize, "fig3a"), (2000, "fig3b")] {
         let cfg = fig3::Fig3Config::paper(cache, &opts);
-        match fig3::run(&cfg) {
-            Ok(rows) => save(&fig3::table(&cfg, &rows), name),
+        let mut book = JournalBook::new();
+        match fig3::run_journaled(&cfg, &mut book) {
+            Ok(rows) => {
+                save(&fig3::table(&cfg, &rows), name);
+                save_journals(opts.journal.as_deref(), name, &book);
+            }
             Err(e) => {
                 eprintln!("{name} failed: {e}");
                 failures += 1;
@@ -28,8 +33,12 @@ fn main() {
     }
 
     let cfg4 = fig4::Fig4Config::paper(&opts);
-    match fig4::run(&cfg4) {
-        Ok(rows) => save(&fig4::table(&cfg4, &rows), "fig4"),
+    let mut book4 = JournalBook::new();
+    match fig4::run_journaled(&cfg4, &mut book4) {
+        Ok(rows) => {
+            save(&fig4::table(&cfg4, &rows), "fig4");
+            save_journals(opts.journal.as_deref(), "fig4", &book4);
+        }
         Err(e) => {
             eprintln!("fig4 failed: {e}");
             failures += 1;
@@ -37,10 +46,12 @@ fn main() {
     }
 
     let cfg5 = fig5::Fig5Config::paper(&opts);
-    match fig5::run(&cfg5) {
+    let mut book5 = JournalBook::new();
+    match fig5::run_journaled(&cfg5, &mut book5) {
         Ok(outcome) => {
             save(&fig5::table_panel_a(&cfg5, &outcome), "fig5a");
             save(&fig5::table_panel_b(&cfg5, &outcome), "fig5b");
+            save_journals(opts.journal.as_deref(), "fig5", &book5);
         }
         Err(e) => {
             eprintln!("fig5 failed: {e}");
@@ -48,11 +59,12 @@ fn main() {
         }
     }
 
-    match ablation::run_all(&opts) {
-        Ok(tables) => {
+    match ablation::run_all_journaled(&opts) {
+        Ok((tables, book)) => {
             for (i, t) in tables.iter().enumerate() {
                 save(t, &format!("ablation_a{}", i + 1));
             }
+            save_journals(opts.journal.as_deref(), "ablations", &book);
         }
         Err(e) => {
             eprintln!("ablations failed: {e}");

@@ -7,12 +7,12 @@
 //! `k = 1.2`. Panel (a) uses `c = 200` (below the critical size), panel
 //! (b) `c = 2000` (above it).
 
-use crate::opts::Opts;
-use crate::output::{fmt_f, Table};
+use crate::opts::{stop_rule, Opts};
+use crate::output::{fmt_f, JournalBook, Table};
 use crate::Result;
 use scp_core::bounds::{attack_gain_bound, KParam};
 use scp_sim::config::SimConfig;
-use scp_sim::runner::repeat_rate_simulation;
+use scp_sim::runner::repeat_rate_simulation_journaled;
 use scp_workload::AccessPattern;
 
 /// Configuration of an x-sweep.
@@ -32,6 +32,8 @@ pub struct Fig3Config {
     pub x_values: Vec<u64>,
     /// Repetitions per point.
     pub runs: usize,
+    /// Target gain CI half-width for adaptive stopping (0 = fixed runs).
+    pub ci_target: f64,
     /// Worker threads (0 = all).
     pub threads: usize,
     /// Master seed.
@@ -57,6 +59,7 @@ impl Fig3Config {
             x_values: log_spaced(cache as u64 + 1, items, 15),
             cache,
             runs: opts.effective_runs(200),
+            ci_target: opts.ci_target,
             threads: opts.threads,
             seed: opts.seed,
             k: KParam::paper_fitted(),
@@ -95,12 +98,14 @@ pub fn log_spaced(lo: u64, hi: u64, points: usize) -> Vec<u64> {
     out
 }
 
-/// Runs the sweep.
+/// Runs the sweep, collecting one [`RunJournal`](scp_sim::journal::RunJournal)
+/// per sweep point into `book` (labeled `x=<value>`).
 ///
 /// # Errors
 ///
 /// Propagates simulation errors.
-pub fn run(cfg: &Fig3Config) -> Result<Vec<Fig3Row>> {
+pub fn run_journaled(cfg: &Fig3Config, book: &mut JournalBook) -> Result<Vec<Fig3Row>> {
+    let rule = stop_rule(cfg.runs, cfg.ci_target);
     let mut rows = Vec::with_capacity(cfg.x_values.len());
     for &x in &cfg.x_values {
         let sim = SimConfig {
@@ -115,17 +120,27 @@ pub fn run(cfg: &Fig3Config) -> Result<Vec<Fig3Row>> {
             selector: scp_sim::config::SelectorKind::LeastLoaded,
             seed: cfg.seed ^ x,
         };
-        let (_, agg) = repeat_rate_simulation(&sim, cfg.runs, cfg.threads)?;
+        let out = repeat_rate_simulation_journaled(&sim, &rule, cfg.threads)?;
+        book.push(format!("x={x}"), out.journal);
         let params = sim.system_params()?;
         rows.push(Fig3Row {
             x,
-            sim_max_gain: agg.max_gain(),
-            sim_mean_gain: agg.mean_gain(),
+            sim_max_gain: out.aggregate.max_gain(),
+            sim_mean_gain: out.aggregate.mean_gain(),
             bound: attack_gain_bound(&params, x, &cfg.k).value(),
             bound_theory: attack_gain_bound(&params, x, &KParam::theory()).value(),
         });
     }
     Ok(rows)
+}
+
+/// Runs the sweep, discarding the journals.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn run(cfg: &Fig3Config) -> Result<Vec<Fig3Row>> {
+    run_journaled(cfg, &mut JournalBook::new())
 }
 
 /// Renders the sweep as a table.
@@ -170,6 +185,7 @@ mod tests {
             cache,
             x_values: log_spaced(cache as u64 + 1, 20_000, 6),
             runs: 8,
+            ci_target: 0.0,
             threads: 0,
             seed: 1,
             k: KParam::paper_fitted(),
@@ -239,11 +255,52 @@ mod tests {
     }
 
     #[test]
+    fn journal_has_one_entry_per_point_and_record_per_run() {
+        let cfg = tiny(20);
+        let mut book = JournalBook::new();
+        let rows = run_journaled(&cfg, &mut book).unwrap();
+        assert_eq!(book.len(), rows.len());
+        for j in book.journals() {
+            assert_eq!(j.len(), cfg.runs);
+            assert!(!j.stopping.stopped_early);
+        }
+        let labels: Vec<&str> = book.labels().collect();
+        assert_eq!(labels[0], format!("x={}", cfg.x_values[0]));
+    }
+
+    #[test]
+    fn adaptive_stopping_caps_at_fixed_runs() {
+        // A generous CI target lets most points stop early; every journal
+        // must still hold at least the floor and at most the ceiling.
+        let mut cfg = tiny(20);
+        cfg.runs = 16;
+        cfg.ci_target = 0.5;
+        let mut book = JournalBook::new();
+        run_journaled(&cfg, &mut book).unwrap();
+        let floor = crate::opts::stop_rule(cfg.runs, cfg.ci_target).min_runs;
+        for j in book.journals() {
+            assert!(
+                j.len() >= floor && j.len() <= cfg.runs,
+                "{} runs kept",
+                j.len()
+            );
+            assert_eq!(j.stopping.stopped_early, j.len() < cfg.runs);
+        }
+        assert!(
+            book.journals().any(|j| j.stopping.stopped_early),
+            "a 0.5 CI target should trigger early stops somewhere"
+        );
+    }
+
+    #[test]
     fn paper_config_respects_fast_flag() {
-        let fast = Fig3Config::paper(200, &Opts {
-            fast: true,
-            ..Opts::default()
-        });
+        let fast = Fig3Config::paper(
+            200,
+            &Opts {
+                fast: true,
+                ..Opts::default()
+            },
+        );
         assert_eq!(fast.nodes, 100);
         assert_eq!(fast.cache, 20);
         let full = Fig3Config::paper(200, &Opts::default());

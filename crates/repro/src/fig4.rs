@@ -7,11 +7,11 @@
 //! pattern (`x = c + 1` equal-rate keys) concentrates uncached load and
 //! grows roughly linearly with `n`.
 
-use crate::opts::Opts;
-use crate::output::{fmt_f, Table};
+use crate::opts::{stop_rule, Opts};
+use crate::output::{fmt_f, JournalBook, Table};
 use crate::Result;
 use scp_sim::config::{CacheKind, PartitionerKind, SelectorKind, SimConfig};
-use scp_sim::runner::repeat_rate_simulation;
+use scp_sim::runner::repeat_rate_simulation_journaled;
 use scp_workload::AccessPattern;
 
 /// Configuration of the n-sweep.
@@ -31,6 +31,8 @@ pub struct Fig4Config {
     pub zipf_alpha: f64,
     /// Repetitions per point.
     pub runs: usize,
+    /// Target gain CI half-width for adaptive stopping (0 = fixed runs).
+    pub ci_target: f64,
     /// Worker threads (0 = all).
     pub threads: usize,
     /// Master seed.
@@ -53,6 +55,7 @@ impl Fig4Config {
             cache: 100,
             zipf_alpha: 1.01,
             runs: opts.effective_runs(20),
+            ci_target: opts.ci_target,
             threads: opts.threads,
             seed: opts.seed,
         }
@@ -72,7 +75,14 @@ pub struct Fig4Row {
     pub adversarial: f64,
 }
 
-fn gain_for(base: &Fig4Config, n: usize, pattern: AccessPattern, salt: u64) -> Result<f64> {
+fn gain_for(
+    base: &Fig4Config,
+    n: usize,
+    pattern: AccessPattern,
+    salt: u64,
+    label: &str,
+    book: &mut JournalBook,
+) -> Result<f64> {
     let sim = SimConfig {
         nodes: n,
         replication: base.replication,
@@ -85,25 +95,44 @@ fn gain_for(base: &Fig4Config, n: usize, pattern: AccessPattern, salt: u64) -> R
         selector: SelectorKind::LeastLoaded,
         seed: base.seed ^ (n as u64) ^ (salt << 32),
     };
-    let (_, agg) = repeat_rate_simulation(&sim, base.runs, base.threads)?;
-    Ok(agg.max_gain())
+    let rule = stop_rule(base.runs, base.ci_target);
+    let out = repeat_rate_simulation_journaled(&sim, &rule, base.threads)?;
+    book.push(format!("n={n}/{label}"), out.journal);
+    Ok(out.aggregate.max_gain())
 }
 
-/// Runs the sweep.
+/// Runs the sweep, collecting one journal per `(n, pattern)` data point
+/// into `book` (labeled `n=<count>/<pattern>`).
 ///
 /// # Errors
 ///
 /// Propagates simulation errors.
-pub fn run(cfg: &Fig4Config) -> Result<Vec<Fig4Row>> {
+pub fn run_journaled(cfg: &Fig4Config, book: &mut JournalBook) -> Result<Vec<Fig4Row>> {
     let mut rows = Vec::with_capacity(cfg.node_counts.len());
     for &n in &cfg.node_counts {
-        let uniform = gain_for(cfg, n, AccessPattern::uniform(cfg.items)?, 1)?;
-        let zipf = gain_for(cfg, n, AccessPattern::zipf(cfg.zipf_alpha, cfg.items)?, 2)?;
+        let uniform = gain_for(
+            cfg,
+            n,
+            AccessPattern::uniform(cfg.items)?,
+            1,
+            "uniform",
+            book,
+        )?;
+        let zipf = gain_for(
+            cfg,
+            n,
+            AccessPattern::zipf(cfg.zipf_alpha, cfg.items)?,
+            2,
+            "zipf",
+            book,
+        )?;
         let adversarial = gain_for(
             cfg,
             n,
             AccessPattern::uniform_subset(cfg.cache as u64 + 1, cfg.items)?,
             3,
+            "adversarial",
+            book,
         )?;
         rows.push(Fig4Row {
             nodes: n,
@@ -113,6 +142,15 @@ pub fn run(cfg: &Fig4Config) -> Result<Vec<Fig4Row>> {
         });
     }
     Ok(rows)
+}
+
+/// Runs the sweep, discarding the journals.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn run(cfg: &Fig4Config) -> Result<Vec<Fig4Row>> {
+    run_journaled(cfg, &mut JournalBook::new())
 }
 
 /// Renders the sweep as a table.
@@ -148,6 +186,7 @@ mod tests {
             cache: 20,
             zipf_alpha: 1.01,
             runs: 5,
+            ci_target: 0.0,
             threads: 0,
             seed: 2,
         }
@@ -178,7 +217,12 @@ mod tests {
     #[test]
     fn organic_patterns_stay_benign() {
         for r in run(&tiny()).unwrap() {
-            assert!(r.uniform < 1.6, "uniform gain {} at n={}", r.uniform, r.nodes);
+            assert!(
+                r.uniform < 1.6,
+                "uniform gain {} at n={}",
+                r.uniform,
+                r.nodes
+            );
             assert!(r.zipf < 1.6, "zipf gain {} at n={}", r.zipf, r.nodes);
         }
     }
@@ -201,13 +245,15 @@ mod tests {
             selector: SelectorKind::LeastLoaded,
             seed: 3,
         };
-        let zipf = scp_sim::rate_engine::run_rate_simulation(&mk(
-            AccessPattern::zipf(1.01, cfg.items).unwrap(),
-        ))
+        let zipf = scp_sim::rate_engine::run_rate_simulation(&mk(AccessPattern::zipf(
+            1.01, cfg.items,
+        )
+        .unwrap()))
         .unwrap();
-        let uniform = scp_sim::rate_engine::run_rate_simulation(&mk(
-            AccessPattern::uniform(cfg.items).unwrap(),
-        ))
+        let uniform = scp_sim::rate_engine::run_rate_simulation(&mk(AccessPattern::uniform(
+            cfg.items,
+        )
+        .unwrap()))
         .unwrap();
         assert!(zipf.backend_fraction() < uniform.backend_fraction());
     }
@@ -217,6 +263,20 @@ mod tests {
         let cfg = tiny();
         let rows = run(&cfg).unwrap();
         assert_eq!(table(&cfg, &rows).len(), 3);
+    }
+
+    #[test]
+    fn journal_covers_every_pattern_and_point() {
+        let cfg = tiny();
+        let mut book = JournalBook::new();
+        let rows = run_journaled(&cfg, &mut book).unwrap();
+        assert_eq!(book.len(), rows.len() * 3);
+        let labels: Vec<&str> = book.labels().collect();
+        assert!(labels.contains(&"n=50/uniform"));
+        assert!(labels.contains(&"n=200/adversarial"));
+        for j in book.journals() {
+            assert_eq!(j.len(), cfg.runs);
+        }
     }
 
     #[test]

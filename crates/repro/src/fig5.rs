@@ -6,12 +6,12 @@
 //! bound `c* = n·k + 1`. Panel (b): the number of keys the best adversary
 //! queries — `c + 1` below the critical point, the whole key space above.
 
-use crate::opts::Opts;
-use crate::output::{fmt_f, Table};
+use crate::opts::{stop_rule, Opts};
+use crate::output::{fmt_f, JournalBook, Table};
 use crate::Result;
 use scp_core::bounds::{critical_cache_size, KParam};
 use scp_sim::config::{CacheKind, PartitionerKind, SelectorKind, SimConfig};
-use scp_sim::runner::repeat_rate_simulation;
+use scp_sim::runner::repeat_rate_simulation_journaled;
 use scp_workload::AccessPattern;
 
 /// Configuration of the cache-size sweep.
@@ -29,6 +29,8 @@ pub struct Fig5Config {
     pub cache_sizes: Vec<usize>,
     /// Repetitions per point.
     pub runs: usize,
+    /// Target gain CI half-width for adaptive stopping (0 = fixed runs).
+    pub ci_target: f64,
     /// Worker threads (0 = all).
     pub threads: usize,
     /// Master seed.
@@ -51,8 +53,8 @@ impl Fig5Config {
                 1000,
                 1_000_000,
                 vec![
-                    50, 100, 200, 400, 600, 800, 1000, 1100, 1200, 1300, 1400, 1600, 2000,
-                    3000, 5000, 10_000,
+                    50, 100, 200, 400, 600, 800, 1000, 1100, 1200, 1300, 1400, 1600, 2000, 3000,
+                    5000, 10_000,
                 ],
             )
         };
@@ -63,6 +65,7 @@ impl Fig5Config {
             rate: 1e5,
             cache_sizes,
             runs: opts.effective_runs(20),
+            ci_target: opts.ci_target,
             threads: opts.threads,
             seed: opts.seed,
             k: KParam::paper_fitted(),
@@ -97,7 +100,7 @@ pub struct Fig5Outcome {
     pub bound_critical: usize,
 }
 
-fn gain_at(cfg: &Fig5Config, c: usize, x: u64) -> Result<f64> {
+fn gain_at(cfg: &Fig5Config, c: usize, x: u64, book: &mut JournalBook) -> Result<f64> {
     let sim = SimConfig {
         nodes: cfg.nodes,
         replication: cfg.replication,
@@ -110,24 +113,27 @@ fn gain_at(cfg: &Fig5Config, c: usize, x: u64) -> Result<f64> {
         selector: SelectorKind::LeastLoaded,
         seed: cfg.seed ^ ((c as u64) << 20) ^ x,
     };
-    let (_, agg) = repeat_rate_simulation(&sim, cfg.runs, cfg.threads)?;
-    Ok(agg.max_gain())
+    let rule = stop_rule(cfg.runs, cfg.ci_target);
+    let out = repeat_rate_simulation_journaled(&sim, &rule, cfg.threads)?;
+    book.push(format!("c={c}/x={x}"), out.journal);
+    Ok(out.aggregate.max_gain())
 }
 
-/// Runs the sweep.
+/// Runs the sweep, collecting one journal per `(c, x)` candidate play
+/// into `book` (labeled `c=<size>/x=<keys>`).
 ///
 /// # Errors
 ///
 /// Propagates simulation errors.
-pub fn run(cfg: &Fig5Config) -> Result<Fig5Outcome> {
+pub fn run_journaled(cfg: &Fig5Config, book: &mut JournalBook) -> Result<Fig5Outcome> {
     let mut rows = Vec::with_capacity(cfg.cache_sizes.len());
     for &c in &cfg.cache_sizes {
         let gain_small_x = if (c as u64) < cfg.items {
-            gain_at(cfg, c, c as u64 + 1)?
+            gain_at(cfg, c, c as u64 + 1, book)?
         } else {
             0.0
         };
-        let gain_all_keys = gain_at(cfg, c, cfg.items)?;
+        let gain_all_keys = gain_at(cfg, c, cfg.items, book)?;
         let (best_gain, best_x) = if gain_small_x >= gain_all_keys {
             (gain_small_x, c as u64 + 1)
         } else {
@@ -148,6 +154,15 @@ pub fn run(cfg: &Fig5Config) -> Result<Fig5Outcome> {
         empirical_critical,
         bound_critical: critical_cache_size(cfg.nodes, cfg.replication, &cfg.k),
     })
+}
+
+/// Runs the sweep, discarding the journals.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn run(cfg: &Fig5Config) -> Result<Fig5Outcome> {
+    run_journaled(cfg, &mut JournalBook::new())
 }
 
 fn find_crossing(rows: &[Fig5Row]) -> Option<f64> {
@@ -181,7 +196,13 @@ pub fn table_panel_a(cfg: &Fig5Config, outcome: &Fig5Outcome) -> Table {
                 .unwrap_or_else(|| "none".to_owned()),
             outcome.bound_critical
         ),
-        &["cache", "gain_x_eq_c+1", "gain_x_eq_m", "best_gain", "effective"],
+        &[
+            "cache",
+            "gain_x_eq_c+1",
+            "gain_x_eq_m",
+            "best_gain",
+            "effective",
+        ],
     );
     for r in &outcome.rows {
         t.push_row(vec![
@@ -224,6 +245,7 @@ mod tests {
             // Theory c* (k=1.2) = 61.
             cache_sizes: vec![10, 30, 50, 70, 90, 120, 200],
             runs: 6,
+            ci_target: 0.0,
             threads: 0,
             seed: 4,
             k: KParam::paper_fitted(),
@@ -302,6 +324,21 @@ mod tests {
             best_x: 11,
         }];
         assert_eq!(find_crossing(&all_low), Some(10.0));
+    }
+
+    #[test]
+    fn journal_records_both_candidate_plays() {
+        let cfg = tiny();
+        let mut book = JournalBook::new();
+        let out = run_journaled(&cfg, &mut book).unwrap();
+        // Two plays per swept size (every tiny() size is below items).
+        assert_eq!(book.len(), 2 * out.rows.len());
+        let labels: Vec<&str> = book.labels().collect();
+        assert!(labels.contains(&"c=10/x=11"));
+        assert!(labels.contains(&"c=10/x=20000"));
+        for j in book.journals() {
+            assert_eq!(j.len(), cfg.runs);
+        }
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Minimal command-line options shared by all reproduction binaries.
 
+use scp_sim::runner::StopRule;
 use std::path::PathBuf;
 
 /// Options common to every reproduction binary.
@@ -15,6 +16,11 @@ pub struct Opts {
     pub fast: bool,
     /// Master seed.
     pub seed: u64,
+    /// Directory for per-run journals (None = don't write journals).
+    pub journal: Option<PathBuf>,
+    /// Target 95% CI half-width on the per-run gain; `> 0` enables
+    /// adaptive early stopping of the repetition loop.
+    pub ci_target: f64,
 }
 
 impl Default for Opts {
@@ -25,13 +31,16 @@ impl Default for Opts {
             out: PathBuf::from("target/repro"),
             fast: false,
             seed: 20130708, // ICDCS'13 workshop date
+            journal: None,
+            ci_target: 0.0,
         }
     }
 }
 
 impl Opts {
-    /// Parses `--runs N --threads N --out DIR --fast --seed N` from an
-    /// argument iterator (unknown flags abort with a usage message).
+    /// Parses `--runs N --threads N --out DIR --fast --seed N
+    /// --journal DIR --ci-target X` from an argument iterator (unknown
+    /// flags abort with a usage message).
     pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Self {
         let mut opts = Self::default();
         let mut it = args.into_iter();
@@ -40,12 +49,18 @@ impl Opts {
                 "--runs" => opts.runs = expect_parse(&mut it, "--runs"),
                 "--threads" => opts.threads = expect_parse(&mut it, "--threads"),
                 "--seed" => opts.seed = expect_parse(&mut it, "--seed"),
+                "--ci-target" => opts.ci_target = expect_parse(&mut it, "--ci-target"),
                 "--out" => {
-                    opts.out = PathBuf::from(it.next().unwrap_or_else(|| usage("--out needs a dir")))
+                    opts.out =
+                        PathBuf::from(it.next().unwrap_or_else(|| usage("--out needs a dir")))
+                }
+                "--journal" => {
+                    opts.journal = Some(PathBuf::from(
+                        it.next().unwrap_or_else(|| usage("--journal needs a dir")),
+                    ))
                 }
                 "--fast" => opts.fast = true,
-                "--help" | "-h" => usage("")
-                ,
+                "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown flag `{other}`")),
             }
         }
@@ -68,6 +83,28 @@ impl Opts {
             default
         }
     }
+
+    /// The stopping rule for a data point whose default repetition count
+    /// is `default`: fixed at [`Opts::effective_runs`] unless a positive
+    /// `--ci-target` enables early stopping (see [`stop_rule`]).
+    pub fn stop_rule(&self, default: usize) -> StopRule {
+        stop_rule(self.effective_runs(default), self.ci_target)
+    }
+}
+
+/// Builds the [`StopRule`] for `runs` repetitions under `ci_target`.
+///
+/// A non-positive target keeps the historical fixed-count behavior. A
+/// positive target turns `runs` into a ceiling and allows stopping as
+/// soon as the gain CI is tight enough, but never before a floor of
+/// `max(4, runs/5)` runs so the variance estimate is meaningful.
+pub fn stop_rule(runs: usize, ci_target: f64) -> StopRule {
+    if ci_target <= 0.0 || runs == 0 {
+        StopRule::fixed(runs)
+    } else {
+        let min = runs.div_ceil(5).max(4).min(runs);
+        StopRule::adaptive(min, runs, ci_target)
+    }
 }
 
 fn expect_parse<T: std::str::FromStr>(it: &mut impl Iterator<Item = String>, flag: &str) -> T {
@@ -82,12 +119,16 @@ fn usage(msg: &str) -> ! {
     }
     eprintln!(
         "usage: <bin> [--runs N] [--threads N] [--out DIR] [--seed N] [--fast]\n\
+         \x20            [--journal DIR] [--ci-target X]\n\
          \n\
-         --runs N     repetitions per data point (default: per-experiment)\n\
-         --threads N  worker threads (default: all cores)\n\
-         --out DIR    CSV output directory (default: target/repro)\n\
-         --seed N     master seed (default: 20130708)\n\
-         --fast       shrunken smoke-test configuration"
+         --runs N      repetitions per data point (default: per-experiment)\n\
+         --threads N   worker threads (default: all cores)\n\
+         --out DIR     CSV output directory (default: target/repro)\n\
+         --seed N      master seed (default: 20130708)\n\
+         --fast        shrunken smoke-test configuration\n\
+         --journal DIR write per-run journals (JSON + CSV) under DIR\n\
+         --ci-target X stop each data point early once the 95% CI\n\
+         \x20             half-width of the gain drops below X"
     );
     std::process::exit(2);
 }
@@ -107,18 +148,34 @@ mod tests {
         assert_eq!(o.threads, 0);
         assert!(!o.fast);
         assert_eq!(o.out, PathBuf::from("target/repro"));
+        assert_eq!(o.journal, None);
+        assert_eq!(o.ci_target, 0.0);
     }
 
     #[test]
     fn parses_all_flags() {
         let o = parse(&[
-            "--runs", "7", "--threads", "2", "--out", "/tmp/x", "--fast", "--seed", "9",
+            "--runs",
+            "7",
+            "--threads",
+            "2",
+            "--out",
+            "/tmp/x",
+            "--fast",
+            "--seed",
+            "9",
+            "--journal",
+            "/tmp/j",
+            "--ci-target",
+            "0.05",
         ]);
         assert_eq!(o.runs, 7);
         assert_eq!(o.threads, 2);
         assert_eq!(o.out, PathBuf::from("/tmp/x"));
         assert!(o.fast);
         assert_eq!(o.seed, 9);
+        assert_eq!(o.journal, Some(PathBuf::from("/tmp/j")));
+        assert_eq!(o.ci_target, 0.05);
     }
 
     #[test]
@@ -129,5 +186,32 @@ mod tests {
         assert_eq!(o.effective_runs(200), 20);
         o.runs = 5;
         assert_eq!(o.effective_runs(200), 5);
+    }
+
+    #[test]
+    fn stop_rule_shapes() {
+        // No target: fixed at the effective count.
+        assert_eq!(stop_rule(200, 0.0), StopRule::fixed(200));
+        assert!(!stop_rule(200, 0.0).is_adaptive());
+        // Positive target: adaptive with a floor of max(4, runs/5).
+        let r = stop_rule(200, 0.05);
+        assert_eq!((r.min_runs, r.max_runs, r.ci_target), (40, 200, 0.05));
+        assert!(r.is_adaptive());
+        assert_eq!(stop_rule(10, 0.05).min_runs, 4);
+        // Tiny counts degenerate to fixed (floor == ceiling).
+        assert!(!stop_rule(3, 0.05).is_adaptive());
+        assert_eq!(stop_rule(3, 0.05).max_runs, 3);
+    }
+
+    #[test]
+    fn opts_stop_rule_uses_effective_runs() {
+        let o = Opts {
+            ci_target: 0.1,
+            ..Opts::default()
+        };
+        let r = o.stop_rule(200);
+        assert_eq!((r.min_runs, r.max_runs), (40, 200));
+        let fixed = Opts::default().stop_rule(200);
+        assert_eq!(fixed, StopRule::fixed(200));
     }
 }

@@ -1,5 +1,7 @@
-//! Table rendering and CSV output.
+//! Table rendering, CSV output and journal files.
 
+use scp_json::Json;
+use scp_sim::journal::{RunJournal, CSV_HEADER};
 use std::fmt::Write as _;
 use std::fs;
 use std::io;
@@ -118,6 +120,101 @@ fn escape_csv(cell: &str) -> String {
     }
 }
 
+/// An ordered collection of labeled [`RunJournal`]s — one journal per
+/// data point of an experiment (e.g. one per swept `x` in Figure 3).
+///
+/// Serializes to a single self-describing JSON file and to a flat CSV
+/// with one row per repetition across all data points.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct JournalBook {
+    entries: Vec<(String, RunJournal)>,
+}
+
+impl JournalBook {
+    /// An empty book.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends the journal of one data point under `label`.
+    pub fn push<S: Into<String>>(&mut self, label: S, journal: RunJournal) {
+        self.entries.push((label.into(), journal));
+    }
+
+    /// Number of journals collected.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the book holds no journals.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The labels in insertion order.
+    pub fn labels(&self) -> impl Iterator<Item = &str> {
+        self.entries.iter().map(|(l, _)| l.as_str())
+    }
+
+    /// The journals in insertion order.
+    pub fn journals(&self) -> impl Iterator<Item = &RunJournal> {
+        self.entries.iter().map(|(_, j)| j)
+    }
+
+    /// The book as a JSON array of `{label, journal}` objects.
+    pub fn to_json(&self) -> Json {
+        Json::arr(self.entries.iter().map(|(label, journal)| {
+            Json::obj([
+                ("label", Json::Str(label.clone())),
+                ("journal", journal.to_json()),
+            ])
+        }))
+    }
+
+    /// The book as CSV: the per-run rows of every journal, prefixed with
+    /// the journal's label.
+    pub fn to_csv(&self) -> String {
+        let mut out = format!("label,{CSV_HEADER}\n");
+        for (label, journal) in &self.entries {
+            let escaped = escape_csv(label);
+            for line in journal.to_csv().lines().skip(1) {
+                let _ = writeln!(out, "{escaped},{line}");
+            }
+        }
+        out
+    }
+
+    /// Writes `dir/name.journal.json` (pretty JSON) and
+    /// `dir/name.runs.csv`, creating `dir` if needed, and returns both
+    /// paths.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from creating the directory or files.
+    pub fn save(&self, dir: &Path, name: &str) -> io::Result<[std::path::PathBuf; 2]> {
+        fs::create_dir_all(dir)?;
+        let json_path = dir.join(format!("{name}.journal.json"));
+        fs::write(&json_path, self.to_json().to_pretty_string())?;
+        let csv_path = dir.join(format!("{name}.runs.csv"));
+        fs::write(&csv_path, self.to_csv())?;
+        Ok([json_path, csv_path])
+    }
+}
+
+/// Writes a [`JournalBook`] under `dir/name.*` if `dir` is set (the
+/// `--journal` flag), reporting the outcome on stdout/stderr.
+pub fn save_journals(dir: Option<&Path>, name: &str, book: &JournalBook) {
+    let Some(dir) = dir else { return };
+    match book.save(dir, name) {
+        Ok(paths) => {
+            for p in paths {
+                println!("wrote {}", p.display());
+            }
+        }
+        Err(e) => eprintln!("could not write {name} journals: {e}"),
+    }
+}
+
 /// Formats a float with sensible experiment precision.
 pub fn fmt_f(v: f64) -> String {
     if v == 0.0 {
@@ -183,5 +280,74 @@ mod tests {
         assert_eq!(fmt_f(5.9701), "5.9701");
         assert_eq!(fmt_f(0.000123), "0.000123");
         assert_eq!(fmt_f(123456.0), "123456");
+    }
+
+    fn sample_book(runs: usize) -> JournalBook {
+        use scp_sim::config::{CacheKind, PartitionerKind, SelectorKind, SimConfig};
+        use scp_sim::runner::{repeat_rate_simulation_journaled, StopRule};
+        use scp_workload::AccessPattern;
+
+        let cfg = SimConfig {
+            nodes: 30,
+            replication: 3,
+            cache_kind: CacheKind::Perfect,
+            cache_capacity: 5,
+            items: 500,
+            rate: 1e4,
+            pattern: AccessPattern::uniform_subset(6, 500).unwrap(),
+            partitioner: PartitionerKind::Hash,
+            selector: SelectorKind::LeastLoaded,
+            seed: 11,
+        };
+        let mut book = JournalBook::new();
+        for (i, label) in ["x=6", "x=500"].iter().enumerate() {
+            let mut point = cfg.clone();
+            point.seed = cfg.seed ^ i as u64;
+            let out = repeat_rate_simulation_journaled(&point, &StopRule::fixed(runs), 0).unwrap();
+            book.push(*label, out.journal);
+        }
+        book
+    }
+
+    #[test]
+    fn journal_book_json_keeps_labels_and_runs() {
+        let book = sample_book(3);
+        assert_eq!(book.len(), 2);
+        assert_eq!(book.labels().collect::<Vec<_>>(), ["x=6", "x=500"]);
+        let back = Json::parse(&book.to_json().to_pretty_string()).unwrap();
+        let arr = back.as_array().unwrap();
+        assert_eq!(arr.len(), 2);
+        assert_eq!(arr[0].get("label").and_then(Json::as_str), Some("x=6"));
+        let runs = arr[1]
+            .get("journal")
+            .and_then(|j| j.get("runs"))
+            .and_then(Json::as_array)
+            .unwrap();
+        assert_eq!(runs.len(), 3);
+    }
+
+    #[test]
+    fn journal_book_csv_is_one_row_per_repetition() {
+        let book = sample_book(4);
+        let csv = book.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], format!("label,{CSV_HEADER}"));
+        assert_eq!(lines.len(), 1 + 2 * 4);
+        assert!(lines[1].starts_with("x=6,0,"));
+        assert!(lines[5].starts_with("x=500,0,"));
+    }
+
+    #[test]
+    fn journal_book_save_writes_both_files() {
+        let dir = std::env::temp_dir().join("scp_repro_test_journals");
+        let [json_path, csv_path] = sample_book(2).save(&dir, "demo").unwrap();
+        assert!(json_path.ends_with("demo.journal.json"));
+        assert!(csv_path.ends_with("demo.runs.csv"));
+        let json = std::fs::read_to_string(&json_path).unwrap();
+        assert!(Json::parse(&json).is_ok());
+        let csv = std::fs::read_to_string(&csv_path).unwrap();
+        assert!(csv.starts_with("label,run,seed"));
+        std::fs::remove_file(json_path).ok();
+        std::fs::remove_file(csv_path).ok();
     }
 }

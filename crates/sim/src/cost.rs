@@ -15,10 +15,9 @@ use crate::Result;
 use scp_cluster::{Cluster, KeyId};
 use scp_workload::permute::KeyMapping;
 use scp_workload::rng::{mix, next_f64, Xoshiro256StarStar};
-use serde::{Deserialize, Serialize};
 
 /// A read/write cost model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CostModel {
     /// Cost of serving one read at a back-end node.
     pub read_cost: f64,
@@ -65,7 +64,10 @@ impl CostModel {
     ///
     /// Returns an error on non-positive costs or an out-of-range fraction.
     pub fn validate(&self) -> Result<()> {
-        for (name, v) in [("read_cost", self.read_cost), ("write_cost", self.write_cost)] {
+        for (name, v) in [
+            ("read_cost", self.read_cost),
+            ("write_cost", self.write_cost),
+        ] {
             if !v.is_finite() || v <= 0.0 {
                 return Err(SimError::InvalidConfig {
                     field: "cost_model",
@@ -194,8 +196,7 @@ mod tests {
     #[test]
     fn uniform_model_matches_plain_query_engine() {
         let cfg = config(10, 100);
-        let weighted =
-            run_weighted_query_simulation(&cfg, 50_000, &CostModel::uniform()).unwrap();
+        let weighted = run_weighted_query_simulation(&cfg, 50_000, &CostModel::uniform()).unwrap();
         let plain = crate::query_engine::run_query_simulation(&cfg, 50_000).unwrap();
         // Different RNG draw order (op rng) does not affect key choice;
         // loads must match exactly since all costs are 1 and no bypass.

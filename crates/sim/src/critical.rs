@@ -12,8 +12,17 @@ use crate::Result;
 use scp_core::bounds::{optimal_subset_size, KParam};
 use scp_workload::AccessPattern;
 
-/// Result of a bisection for the empirical critical cache size.
+/// One probed candidate cache size in a critical-size search.
 #[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SearchProbe {
+    /// The cache size that was evaluated.
+    pub cache_size: usize,
+    /// The best-response gain measured there.
+    pub gain: f64,
+}
+
+/// Result of a bisection for the empirical critical cache size.
+#[derive(Debug, Clone, PartialEq)]
 pub struct CriticalPoint {
     /// Smallest probed cache size with gain `<= threshold`.
     pub cache_size: usize,
@@ -21,6 +30,23 @@ pub struct CriticalPoint {
     pub gain_at: f64,
     /// Number of gain evaluations spent.
     pub evaluations: usize,
+    /// Every candidate `c` the search evaluated, in probe order — the
+    /// search's own observability record, so a surprising critical point
+    /// can be audited without re-running the bisection.
+    pub trace: Vec<SearchProbe>,
+}
+
+impl CriticalPoint {
+    /// The search trace as a JSON array of `{cache_size, gain}` objects.
+    pub fn trace_json(&self) -> scp_json::Json {
+        use scp_json::Json;
+        Json::arr(self.trace.iter().map(|p| {
+            Json::obj([
+                ("cache_size", Json::Num(p.cache_size as f64)),
+                ("gain", Json::Num(p.gain)),
+            ])
+        }))
+    }
 }
 
 /// Generic bisection: finds the smallest `c` in `[lo, hi]` where the
@@ -45,12 +71,16 @@ where
             reason: format!("empty search range [{lo}, {hi}]"),
         });
     }
-    let mut evaluations = 0usize;
-    let mut probe = |c: usize, evals: &mut usize| -> Result<f64> {
-        *evals += 1;
-        gain(c)
+    let mut trace: Vec<SearchProbe> = Vec::new();
+    let mut probe = |c: usize, trace: &mut Vec<SearchProbe>| -> Result<f64> {
+        let g = gain(c)?;
+        trace.push(SearchProbe {
+            cache_size: c,
+            gain: g,
+        });
+        Ok(g)
     };
-    let g_hi = probe(hi, &mut evaluations)?;
+    let g_hi = probe(hi, &mut trace)?;
     if g_hi > threshold {
         return Err(SimError::InvalidConfig {
             field: "hi",
@@ -58,17 +88,19 @@ where
         });
     }
     let mut best = (hi, g_hi);
-    if probe(lo, &mut evaluations)? <= threshold {
+    let g_lo = probe(lo, &mut trace)?;
+    if g_lo <= threshold {
         return Ok(CriticalPoint {
             cache_size: lo,
-            gain_at: best.1,
-            evaluations,
+            gain_at: g_lo,
+            evaluations: trace.len(),
+            trace,
         });
     }
     let (mut lo, mut hi) = (lo, hi);
     while hi - lo > 1 {
         let mid = lo + (hi - lo) / 2;
-        let g = probe(mid, &mut evaluations)?;
+        let g = probe(mid, &mut trace)?;
         if g <= threshold {
             best = (mid, g);
             hi = mid;
@@ -79,7 +111,8 @@ where
     Ok(CriticalPoint {
         cache_size: best.0,
         gain_at: best.1,
-        evaluations,
+        evaluations: trace.len(),
+        trace,
     })
 }
 
@@ -90,12 +123,7 @@ where
 /// # Errors
 ///
 /// Propagates simulation errors.
-pub fn best_response_gain(
-    base: &SimConfig,
-    c: usize,
-    runs: usize,
-    threads: usize,
-) -> Result<f64> {
+pub fn best_response_gain(base: &SimConfig, c: usize, runs: usize, threads: usize) -> Result<f64> {
     let mut best = 0.0f64;
     let mut candidates = vec![base.items];
     if (c as u64) + 1 < base.items {
@@ -123,21 +151,13 @@ pub fn find_critical_cache_size(
     runs: usize,
     threads: usize,
 ) -> Result<CriticalPoint> {
-    let theory = scp_core::bounds::critical_cache_size(
-        base.nodes,
-        base.replication,
-        &KParam::theory(),
-    );
+    let theory =
+        scp_core::bounds::critical_cache_size(base.nodes, base.replication, &KParam::theory());
     let hi = theory
         .saturating_mul(4)
         .min(base.items as usize)
         .max(base.nodes);
-    bisect_threshold(
-        |c| best_response_gain(base, c, runs, threads),
-        0,
-        hi,
-        1.0,
-    )
+    bisect_threshold(|c| best_response_gain(base, c, runs, threads), 0, hi, 1.0)
 }
 
 /// The theory-side worst `x` for reference alongside empirical searches.
@@ -172,6 +192,24 @@ mod tests {
         let cp = bisect_threshold(|c| Ok(10.0 - c as f64), 0, 100, 1.0).unwrap();
         assert_eq!(cp.cache_size, 9);
         assert!(cp.evaluations < 12, "O(log) evaluations expected");
+    }
+
+    #[test]
+    fn bisect_trace_records_every_probe() {
+        let cp = bisect_threshold(|c| Ok(10.0 - c as f64), 0, 100, 1.0).unwrap();
+        assert_eq!(cp.trace.len(), cp.evaluations);
+        for probe in &cp.trace {
+            assert!((probe.gain - (10.0 - probe.cache_size as f64)).abs() < 1e-12);
+        }
+        // The winning probe appears in the trace.
+        assert!(cp
+            .trace
+            .iter()
+            .any(|p| p.cache_size == cp.cache_size && (p.gain - cp.gain_at).abs() < 1e-12));
+        // And the trace serializes.
+        let json = cp.trace_json().to_string();
+        let back = scp_json::Json::parse(&json).unwrap();
+        assert_eq!(back.as_array().unwrap().len(), cp.evaluations);
     }
 
     #[test]

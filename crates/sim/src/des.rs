@@ -17,12 +17,11 @@ use scp_workload::permute::KeyMapping;
 use scp_workload::rng::{mix, next_exponential, Xoshiro256StarStar};
 use scp_workload::stream::QueryStream;
 use scp_workload::temporal::PhasedPattern;
-use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
 /// Configuration of a discrete-event run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DesConfig {
     /// The system + workload being simulated.
     pub sim: SimConfig,
@@ -59,7 +58,7 @@ impl DesConfig {
 }
 
 /// What happens to a node at a scheduled instant.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FailAction {
     /// The node crashes: its queued work is lost and routing skips it.
     Fail,
@@ -68,7 +67,7 @@ pub enum FailAction {
 }
 
 /// A scheduled node failure or recovery.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NodeEvent {
     /// Simulated time in seconds.
     pub at: f64,
@@ -79,7 +78,7 @@ pub struct NodeEvent {
 }
 
 /// Latency/saturation outcome of a discrete-event run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DesReport {
     /// Queries completed by back-end nodes.
     pub completed: u64,
@@ -118,7 +117,10 @@ enum EventKind {
     Arrival,
     /// Departure at a node, tagged with the node's crash epoch so
     /// departures scheduled before a crash are dropped as stale.
-    Departure { node: u32, epoch: u32 },
+    Departure {
+        node: u32,
+        epoch: u32,
+    },
     Admin(u32),
 }
 
@@ -138,19 +140,17 @@ impl PartialOrd for Event {
 
 impl Ord for Event {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.time
-            .total_cmp(&other.time)
-            .then_with(|| {
-                // Admin first, then departures, then arrivals at ties.
-                fn order(kind: EventKind) -> (u8, u32) {
-                    match kind {
-                        EventKind::Admin(i) => (0, i),
-                        EventKind::Departure { node, .. } => (1, node),
-                        EventKind::Arrival => (2, 0),
-                    }
+        self.time.total_cmp(&other.time).then_with(|| {
+            // Admin first, then departures, then arrivals at ties.
+            fn order(kind: EventKind) -> (u8, u32) {
+                match kind {
+                    EventKind::Admin(i) => (0, i),
+                    EventKind::Departure { node, .. } => (1, node),
+                    EventKind::Arrival => (2, 0),
                 }
-                order(self.kind).cmp(&order(other.kind))
-            })
+            }
+            order(self.kind).cmp(&order(other.kind))
+        })
     }
 }
 
@@ -201,7 +201,7 @@ pub fn run_des_with_events(cfg: &DesConfig, node_events: &[NodeEvent]) -> Result
 }
 
 /// Latency summary of one phase of a timed run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PhaseLatency {
     /// Index into the timeline's phases.
     pub phase: usize,
@@ -621,9 +621,18 @@ mod tests {
         // ~0.25 organically.
         let attack = AccessPattern::uniform_subset(6, 1000).unwrap();
         let timeline = PhasedPattern::new(vec![
-            Phase { duration: 10.0, pattern: organic.clone() },
-            Phase { duration: 10.0, pattern: attack },
-            Phase { duration: 10.0, pattern: organic.clone() },
+            Phase {
+                duration: 10.0,
+                pattern: organic.clone(),
+            },
+            Phase {
+                duration: 10.0,
+                pattern: attack,
+            },
+            Phase {
+                duration: 10.0,
+                pattern: organic.clone(),
+            },
         ])
         .unwrap();
         let cfg = des_config(600.0, 120.0, organic, 5);
@@ -663,8 +672,14 @@ mod tests {
     fn phased_run_is_deterministic() {
         use scp_workload::temporal::{Phase, PhasedPattern};
         let timeline = PhasedPattern::new(vec![
-            Phase { duration: 5.0, pattern: AccessPattern::zipf(1.01, 1000).unwrap() },
-            Phase { duration: 5.0, pattern: AccessPattern::uniform_subset(21, 1000).unwrap() },
+            Phase {
+                duration: 5.0,
+                pattern: AccessPattern::zipf(1.01, 1000).unwrap(),
+            },
+            Phase {
+                duration: 5.0,
+                pattern: AccessPattern::uniform_subset(21, 1000).unwrap(),
+            },
         ])
         .unwrap();
         let mut cfg = des_config(200.0, 80.0, AccessPattern::uniform(1000).unwrap(), 20);
@@ -676,10 +691,20 @@ mod tests {
 
     #[test]
     fn latency_grows_with_utilization() {
-        let lo = run_des(&des_config(100.0, 100.0, AccessPattern::uniform(1000).unwrap(), 0))
-            .unwrap();
-        let hi = run_des(&des_config(1200.0, 100.0, AccessPattern::uniform(1000).unwrap(), 0))
-            .unwrap();
+        let lo = run_des(&des_config(
+            100.0,
+            100.0,
+            AccessPattern::uniform(1000).unwrap(),
+            0,
+        ))
+        .unwrap();
+        let hi = run_des(&des_config(
+            1200.0,
+            100.0,
+            AccessPattern::uniform(1000).unwrap(),
+            0,
+        ))
+        .unwrap();
         assert!(
             hi.mean_latency > lo.mean_latency,
             "rho 0.6 ({}) should beat rho 0.05 ({})",

@@ -9,10 +9,9 @@
 //! high Gini).
 
 use crate::metrics::LoadReport;
-use serde::{Deserialize, Serialize};
 
 /// Detector thresholds.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DetectorConfig {
     /// Exponential smoothing factor for the tracked signals, in `(0, 1]`
     /// (1 = no smoothing).
@@ -37,7 +36,7 @@ impl Default for DetectorConfig {
 }
 
 /// Current detector state for one interval.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DetectorState {
     /// Smoothed normalized max load.
     pub gain_ewma: f64,

@@ -72,7 +72,8 @@ mod tests {
         let e: SimError = scp_workload::WorkloadError::EmptyDistribution.into();
         assert!(e.to_string().contains("workload"));
         assert!(std::error::Error::source(&e).is_some());
-        let e: SimError = scp_cluster::ClusterError::UnknownNode(scp_cluster::NodeId::new(1)).into();
+        let e: SimError =
+            scp_cluster::ClusterError::UnknownNode(scp_cluster::NodeId::new(1)).into();
         assert!(e.to_string().contains("cluster"));
         let e = SimError::InvalidConfig {
             field: "nodes",

@@ -1,0 +1,301 @@
+//! Structured per-run observability records.
+//!
+//! Repeated simulations are opaque when all that survives is an aggregate:
+//! a theory-vs-simulation gap in a figure cannot be attributed to a single
+//! outlier partition, a skewed subset of runs, or a systematic offset. A
+//! [`RunJournal`] keeps one [`RunRecord`] per repetition — run index,
+//! derived seed, wall-clock duration and the load shape of that run — so
+//! any aggregate can be decomposed after the fact and any individual run
+//! replayed bit-for-bit from its recorded seed.
+//!
+//! Journals serialize to JSON (self-describing, with the generating
+//! configuration as a header) and to CSV (one row per run, for plotting).
+
+use crate::config::SimConfig;
+use crate::metrics::LoadReport;
+use crate::runner::StopRule;
+use crate::stats::Summary;
+use scp_json::Json;
+
+/// The observability record of a single repetition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunRecord {
+    /// Repetition index within the batch.
+    pub run: usize,
+    /// The derived seed the run actually used
+    /// ([`SimConfig::for_run`] of the batch seed), for exact replay.
+    pub seed: u64,
+    /// Wall-clock duration of the run in seconds.
+    pub duration_secs: f64,
+    /// Load of the most loaded node, in the run's native unit.
+    pub max_load: f64,
+    /// Mean per-node back-end load.
+    pub mean_load: f64,
+    /// Fraction of offered load absorbed by the front-end cache.
+    pub cache_fraction: f64,
+    /// The run's attack gain (normalized max load).
+    pub gain: f64,
+}
+
+impl RunRecord {
+    /// Builds the record for repetition `run` from its report.
+    pub fn from_report(
+        cfg: &SimConfig,
+        run: usize,
+        report: &LoadReport,
+        duration_secs: f64,
+    ) -> Self {
+        let nodes = report.snapshot.node_count().max(1) as f64;
+        Self {
+            run,
+            seed: cfg.for_run(run as u64).seed,
+            duration_secs,
+            max_load: report.max_load(),
+            mean_load: report.snapshot.total() / nodes,
+            cache_fraction: report.cache_fraction(),
+            gain: report.gain().value(),
+        }
+    }
+
+    /// The record as a JSON object (seed as a decimal string, so full
+    /// 64-bit values survive the `f64` number model).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("run", Json::Num(self.run as f64)),
+            ("seed", Json::Str(self.seed.to_string())),
+            ("duration_secs", Json::Num(self.duration_secs)),
+            ("max_load", Json::Num(self.max_load)),
+            ("mean_load", Json::Num(self.mean_load)),
+            ("cache_fraction", Json::Num(self.cache_fraction)),
+            ("gain", Json::Num(self.gain)),
+        ])
+    }
+}
+
+/// How and why a repetition batch stopped.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StopInfo {
+    /// The rule the batch ran under.
+    pub rule: StopRule,
+    /// Whether the CI criterion fired before `max_runs`.
+    pub stopped_early: bool,
+    /// CI95 half-width of the per-run gains actually kept.
+    pub ci_half_width: f64,
+}
+
+impl StopInfo {
+    /// The stopping metadata as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("min_runs", Json::Num(self.rule.min_runs as f64)),
+            ("max_runs", Json::Num(self.rule.max_runs as f64)),
+            ("ci_target", Json::Num(self.rule.ci_target)),
+            ("stopped_early", Json::Bool(self.stopped_early)),
+            ("ci_half_width", Json::Num(self.ci_half_width)),
+        ])
+    }
+}
+
+/// Column order of [`RunJournal::to_csv`], matching [`RunRecord`] fields.
+pub const CSV_HEADER: &str = "run,seed,duration_secs,max_load,mean_load,cache_fraction,gain";
+
+/// The observability layer of one repetition batch: a configuration
+/// header, one [`RunRecord`] per repetition, the gain summary and the
+/// stopping decision.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunJournal {
+    /// JSON description of the generating configuration.
+    pub config: Json,
+    /// One record per kept repetition, in run order.
+    pub records: Vec<RunRecord>,
+    /// Distribution summary of the per-run gains.
+    pub gain_summary: Summary,
+    /// The stopping decision.
+    pub stopping: StopInfo,
+}
+
+impl RunJournal {
+    /// Assembles the journal for a batch of reports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reports` is empty or `durations` has a different length.
+    pub fn new(
+        cfg: &SimConfig,
+        rule: &StopRule,
+        reports: &[LoadReport],
+        durations: &[f64],
+        stopped_early: bool,
+        ci_half_width: f64,
+    ) -> Self {
+        assert!(!reports.is_empty(), "journal needs at least one run");
+        assert_eq!(
+            reports.len(),
+            durations.len(),
+            "one duration per report required"
+        );
+        let records: Vec<RunRecord> = reports
+            .iter()
+            .zip(durations)
+            .enumerate()
+            .map(|(run, (report, &d))| RunRecord::from_report(cfg, run, report, d))
+            .collect();
+        let gains: Vec<f64> = records.iter().map(|r| r.gain).collect();
+        Self {
+            config: cfg.describe_json(),
+            records,
+            gain_summary: Summary::of(&gains),
+            stopping: StopInfo {
+                rule: *rule,
+                stopped_early,
+                ci_half_width,
+            },
+        }
+    }
+
+    /// Number of recorded runs.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the journal holds no records (never true once constructed).
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The journal as one self-describing JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("config", self.config.clone()),
+            ("stopping", self.stopping.to_json()),
+            ("gain_summary", self.gain_summary.to_json()),
+            (
+                "runs",
+                Json::arr(self.records.iter().map(RunRecord::to_json)),
+            ),
+        ])
+    }
+
+    /// The per-run records as CSV with a header row.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(CSV_HEADER);
+        out.push('\n');
+        for r in &self.records {
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{}\n",
+                r.run, r.seed, r.duration_secs, r.max_load, r.mean_load, r.cache_fraction, r.gain
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CacheKind, PartitionerKind, SelectorKind};
+    use crate::runner::repeat_rate_simulation_journaled;
+    use scp_workload::AccessPattern;
+
+    fn config() -> SimConfig {
+        SimConfig {
+            nodes: 40,
+            replication: 3,
+            cache_kind: CacheKind::Perfect,
+            cache_capacity: 8,
+            items: 1000,
+            rate: 1e4,
+            pattern: AccessPattern::uniform_subset(9, 1000).unwrap(),
+            partitioner: PartitionerKind::Hash,
+            selector: SelectorKind::LeastLoaded,
+            seed: 0xFEED_FACE_CAFE_F00D,
+        }
+    }
+
+    fn journal() -> RunJournal {
+        repeat_rate_simulation_journaled(&config(), &StopRule::fixed(5), 0)
+            .unwrap()
+            .journal
+    }
+
+    #[test]
+    fn one_record_per_repetition() {
+        let j = journal();
+        assert_eq!(j.len(), 5);
+        assert!(!j.is_empty());
+        for (i, r) in j.records.iter().enumerate() {
+            assert_eq!(r.run, i);
+        }
+    }
+
+    #[test]
+    fn seeds_allow_exact_replay() {
+        let cfg = config();
+        let j = journal();
+        for rec in &j.records {
+            let mut replay_cfg = cfg.clone();
+            replay_cfg.seed = rec.seed;
+            let report = crate::rate_engine::run_rate_simulation(&replay_cfg).unwrap();
+            assert!(
+                (report.gain().value() - rec.gain).abs() < 1e-12,
+                "run {} not replayable from its journal seed",
+                rec.run
+            );
+        }
+    }
+
+    #[test]
+    fn json_is_parseable_and_full_fidelity() {
+        let j = journal();
+        let text = j.to_json().to_pretty_string();
+        let back = Json::parse(&text).unwrap();
+        let runs = back.get("runs").and_then(Json::as_array).unwrap();
+        assert_eq!(runs.len(), 5);
+        // Full 64-bit seeds survive via the decimal-string encoding.
+        let seed0: u64 = runs[0]
+            .get("seed")
+            .and_then(Json::as_str)
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert_eq!(seed0, j.records[0].seed);
+        // Header and stopping metadata present.
+        assert_eq!(
+            back.get("config")
+                .and_then(|c| c.get("nodes"))
+                .and_then(Json::as_u64),
+            Some(40)
+        );
+        assert_eq!(
+            back.get("stopping")
+                .and_then(|s| s.get("stopped_early"))
+                .and_then(Json::as_bool),
+            Some(false)
+        );
+        assert_eq!(
+            back.get("gain_summary")
+                .and_then(|s| s.get("count"))
+                .and_then(Json::as_u64),
+            Some(5)
+        );
+    }
+
+    #[test]
+    fn csv_has_header_plus_one_row_per_run() {
+        let j = journal();
+        let csv = j.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 6);
+        assert_eq!(lines[0], CSV_HEADER);
+        for (i, line) in lines[1..].iter().enumerate() {
+            assert!(line.starts_with(&format!("{i},")), "row {i}: {line}");
+            assert_eq!(line.split(',').count(), 7);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one run")]
+    fn journal_rejects_empty_batch() {
+        let _ = RunJournal::new(&config(), &StopRule::fixed(1), &[], &[], false, 0.0);
+    }
+}

@@ -14,8 +14,10 @@
 //!   (the `r_i >= E[L_max]` capacity discussion closing Section III).
 //!
 //! [`runner`] executes independent repetitions in parallel with
-//! deterministic per-run seeds; [`critical`] locates empirical critical
-//! cache sizes by bisection; [`stats`] aggregates.
+//! deterministic per-run seeds and CI-driven adaptive stopping;
+//! [`journal`] records one structured observability record per
+//! repetition; [`critical`] locates empirical critical cache sizes by
+//! bisection; [`stats`] aggregates.
 //!
 //! # Example
 //!
@@ -49,6 +51,7 @@ pub mod critical;
 pub mod des;
 pub mod detector;
 pub mod error;
+pub mod journal;
 pub mod metrics;
 pub mod multi_frontend;
 pub mod query_engine;

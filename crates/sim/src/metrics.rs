@@ -3,14 +3,13 @@
 use scp_cache::CacheStats;
 use scp_cluster::load::LoadSnapshot;
 use scp_core::gain::AttackGain;
-use serde::{Deserialize, Serialize};
 
 /// The outcome of one simulation run.
 ///
 /// Loads are in the run's native unit: queries/second for the rate engine,
 /// query counts for the sampling engine. All derived metrics normalize by
 /// `offered`, so the unit cancels.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LoadReport {
     /// Per-node back-end loads.
     pub snapshot: LoadSnapshot,
@@ -111,13 +110,5 @@ mod tests {
         assert_eq!(r.gain().value(), 0.0);
         assert_eq!(r.cache_fraction(), 0.0);
         assert_eq!(r.backend_fraction(), 0.0);
-    }
-
-    #[test]
-    fn serde_roundtrip() {
-        let r = report();
-        let json = serde_json::to_string(&r).unwrap();
-        let back: LoadReport = serde_json::from_str(&json).unwrap();
-        assert_eq!(r, back);
     }
 }

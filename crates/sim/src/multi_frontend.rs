@@ -24,10 +24,9 @@ use scp_cache::Cache;
 use scp_cluster::{Cluster, KeyId};
 use scp_workload::permute::KeyMapping;
 use scp_workload::rng::{mix, next_below, Xoshiro256StarStar};
-use serde::{Deserialize, Serialize};
 
 /// How queries are routed to front-end caches.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FrontendRouting {
     /// Key-agnostic spreading (each query hits a uniformly random front
     /// end) — models random client-side or L4 balancing.
@@ -169,20 +168,14 @@ mod tests {
 
     #[test]
     fn validates_inputs() {
-        assert!(run_multi_frontend_simulation(
-            &config(10, 100),
-            0,
-            FrontendRouting::ByClient,
-            100
-        )
-        .is_err());
-        assert!(run_multi_frontend_simulation(
-            &config(10, 100),
-            2,
-            FrontendRouting::ByClient,
-            0
-        )
-        .is_err());
+        assert!(
+            run_multi_frontend_simulation(&config(10, 100), 0, FrontendRouting::ByClient, 100)
+                .is_err()
+        );
+        assert!(
+            run_multi_frontend_simulation(&config(10, 100), 2, FrontendRouting::ByClient, 0)
+                .is_err()
+        );
     }
 
     #[test]
@@ -227,16 +220,13 @@ mod tests {
             run_multi_frontend_simulation(&cfg, 1, FrontendRouting::ByKey, 100_000).unwrap();
         let single = run_query_simulation(&cfg, 100_000).unwrap();
         // ByKey with one front end caches the global top-c: same fraction.
-        assert!(
-            (multi.load.cache_fraction() - single.cache_fraction()).abs() < 0.01
-        );
+        assert!((multi.load.cache_fraction() - single.cache_fraction()).abs() < 0.01);
     }
 
     #[test]
     fn per_frontend_hit_rates_are_reported() {
         let cfg = config(10, 100);
-        let r = run_multi_frontend_simulation(&cfg, 3, FrontendRouting::ByClient, 60_000)
-            .unwrap();
+        let r = run_multi_frontend_simulation(&cfg, 3, FrontendRouting::ByClient, 60_000).unwrap();
         assert_eq!(r.frontend_hit_rates.len(), 3);
         for &hr in &r.frontend_hit_rates {
             assert!((hr - 0.1).abs() < 0.03, "front-end hit rate {hr}");

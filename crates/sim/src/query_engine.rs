@@ -66,7 +66,10 @@ pub fn run_query_simulation(cfg: &SimConfig, queries: u64) -> Result<LoadReport>
 /// # Errors
 ///
 /// Returns an error on invalid configs or an empty trace.
-pub fn run_trace_simulation(cfg: &SimConfig, trace: &scp_workload::trace::Trace) -> Result<LoadReport> {
+pub fn run_trace_simulation(
+    cfg: &SimConfig,
+    trace: &scp_workload::trace::Trace,
+) -> Result<LoadReport> {
     cfg.validate()?;
     if trace.is_empty() {
         return Err(SimError::InvalidConfig {
@@ -178,13 +181,15 @@ mod tests {
         // why the paper's perfect-cache assumption is not load-bearing
         // for hit rates against IID attacks.
         let queries = 200_000;
-        let perfect =
-            run_query_simulation(&config(CacheKind::Perfect, 50, 100), queries).unwrap();
+        let perfect = run_query_simulation(&config(CacheKind::Perfect, 50, 100), queries).unwrap();
         let lru = run_query_simulation(&config(CacheKind::Lru, 50, 100), queries).unwrap();
         let p_hit = perfect.cache_stats.unwrap().hit_rate();
         let l_hit = lru.cache_stats.unwrap().hit_rate();
         assert!(p_hit > 0.45, "perfect ~0.5, got {p_hit}");
-        assert!((l_hit - p_hit).abs() < 0.05, "lru {l_hit} vs perfect {p_hit}");
+        assert!(
+            (l_hit - p_hit).abs() < 0.05,
+            "lru {l_hit} vs perfect {p_hit}"
+        );
         // LRU spreads residual misses over all x keys (the cached set
         // drifts), so its backend balance is no worse than perfect's.
         assert!(lru.gain().value() <= perfect.gain().value() * 1.2);
@@ -198,7 +203,10 @@ mod tests {
         cfg.cache_kind = CacheKind::Perfect;
         let perfect = run_query_simulation(&cfg, 200_000).unwrap();
         let gap = perfect.cache_stats.unwrap().hit_rate() - lfu.cache_stats.unwrap().hit_rate();
-        assert!(gap < 0.08, "LFU should be near-oracle under Zipf, gap {gap}");
+        assert!(
+            gap < 0.08,
+            "LFU should be near-oracle under Zipf, gap {gap}"
+        );
     }
 
     #[test]

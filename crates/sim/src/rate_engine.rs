@@ -180,7 +180,10 @@ mod tests {
         cfg.cache_kind = CacheKind::Lru;
         assert!(matches!(
             run_rate_simulation(&cfg),
-            Err(SimError::InvalidConfig { field: "cache_kind", .. })
+            Err(SimError::InvalidConfig {
+                field: "cache_kind",
+                ..
+            })
         ));
     }
 

@@ -5,14 +5,33 @@
 //! closure for run indices `0..runs` across threads (each run derives its
 //! own seed via [`crate::config::SimConfig::for_run`], so results are
 //! independent of thread scheduling) and returns results in run order.
+//!
+//! # Concurrency model
+//!
+//! Runs are pre-split into **striped disjoint slots**: worker `w` of `W`
+//! owns run indices `w, w + W, w + 2W, ...` and writes each result through
+//! a `&mut` reference distributed before the threads spawn. No lock is
+//! taken anywhere on the hot path, and the borrow checker proves the
+//! slots disjoint. A panicking run is caught per-run and re-raised on the
+//! coordinating thread with the run index attached, so a failure inside
+//! run 173 of 200 says so instead of dying as a context-free worker panic.
+//!
+//! # Adaptive stopping
+//!
+//! [`repeat_with_stopping`] grows the number of runs until the 95%
+//! confidence interval of a per-run statistic is tight enough (see
+//! [`StopRule`]). The stop point is a **pure function of the per-run
+//! values in run order** — never of thread scheduling — so adaptive
+//! results are bit-identical across `threads = 1` and `threads = 8`.
 
 use crate::config::SimConfig;
+use crate::journal::RunJournal;
 use crate::metrics::LoadReport;
 use crate::rate_engine::run_rate_simulation;
-use crate::stats::Summary;
+use crate::stats::{RunningStats, Summary};
 use crate::Result;
-use parking_lot::Mutex;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::time::Instant;
 
 /// Chooses a worker count: explicit `threads`, or available parallelism.
 fn resolve_threads(threads: usize) -> usize {
@@ -25,8 +44,25 @@ fn resolve_threads(threads: usize) -> usize {
     }
 }
 
+/// Renders a caught panic payload as text for re-raising with context.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
 /// Runs `job(run_index)` for `0..runs`, in parallel, returning results in
 /// run order. `threads = 0` uses all available cores.
+///
+/// # Panics
+///
+/// If `job` panics for some run, the panic is re-raised on the calling
+/// thread as `"simulation run {i} panicked: {message}"` (the lowest such
+/// run index wins when several fail, so the report is deterministic).
 pub fn repeat<T, F>(runs: usize, threads: usize, job: F) -> Vec<T>
 where
     T: Send,
@@ -40,26 +76,208 @@ where
         return (0..runs).map(job).collect();
     }
 
-    let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<Option<T>>> = Mutex::new((0..runs).map(|_| None).collect());
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= runs {
-                    break;
+    let mut slots: Vec<Option<T>> = (0..runs).map(|_| None).collect();
+    // Pre-split the result vector into striped disjoint slot sets: worker
+    // `w` owns runs `w, w + workers, ...`. Each `&mut` is handed out
+    // before any thread spawns, so no synchronization is needed to write.
+    let mut stripes: Vec<Vec<(usize, &mut Option<T>)>> = (0..workers).map(|_| Vec::new()).collect();
+    for (i, slot) in slots.iter_mut().enumerate() {
+        stripes[i % workers].push((i, slot));
+    }
+
+    let job = &job;
+    let first_panic: Option<(usize, String)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = stripes
+            .into_iter()
+            .map(|stripe| {
+                scope.spawn(move || -> std::result::Result<(), (usize, String)> {
+                    for (i, slot) in stripe {
+                        match catch_unwind(AssertUnwindSafe(|| job(i))) {
+                            Ok(out) => *slot = Some(out),
+                            Err(payload) => return Err((i, panic_message(payload.as_ref()))),
+                        }
+                    }
+                    Ok(())
+                })
+            })
+            .collect();
+        let mut first: Option<(usize, String)> = None;
+        for handle in handles {
+            match handle.join() {
+                Ok(Ok(())) => {}
+                Ok(Err((i, msg))) => {
+                    if first.as_ref().is_none_or(|(j, _)| i < *j) {
+                        first = Some((i, msg));
+                    }
                 }
-                let out = job(i);
-                results.lock()[i] = Some(out);
-            });
+                // The worker body catches job panics; anything else
+                // escaping is a harness bug — re-raise it verbatim.
+                Err(payload) => resume_unwind(payload),
+            }
         }
-    })
-    .expect("simulation worker panicked");
-    results
-        .into_inner()
+        first
+    });
+    if let Some((i, msg)) = first_panic {
+        panic!("simulation run {i} panicked: {msg}");
+    }
+    slots
         .into_iter()
-        .map(|slot| slot.expect("every run produces a result"))
+        .map(|slot| slot.expect("every surviving run produced a result"))
         .collect()
+}
+
+/// When to stop repeating a simulation.
+///
+/// The rule is evaluated over **run-order prefixes** of the per-run
+/// statistic: the stop point is the smallest `k >= min_runs` whose prefix
+/// `0..k` has a 95% CI half-width at most `ci_target`, capped at
+/// `max_runs`. Because the prefix values themselves are independent of
+/// thread count (seeds derive from run indices), the stop point is too.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StopRule {
+    /// Never stop before this many runs (floor for the CI to be meaningful).
+    pub min_runs: usize,
+    /// Hard ceiling on the number of runs.
+    pub max_runs: usize,
+    /// Target 95% CI half-width of the per-run statistic's mean.
+    /// `<= 0` disables adaptive stopping: exactly `max_runs` execute.
+    pub ci_target: f64,
+}
+
+impl StopRule {
+    /// A fixed-run rule: exactly `runs` repetitions, no early stopping.
+    pub fn fixed(runs: usize) -> Self {
+        Self {
+            min_runs: runs,
+            max_runs: runs,
+            ci_target: 0.0,
+        }
+    }
+
+    /// An adaptive rule stopping once the CI half-width reaches
+    /// `ci_target`, with hard `[min_runs, max_runs]` limits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_runs > max_runs` or `min_runs == 0`.
+    pub fn adaptive(min_runs: usize, max_runs: usize, ci_target: f64) -> Self {
+        assert!(min_runs > 0, "min_runs must be positive");
+        assert!(
+            min_runs <= max_runs,
+            "min_runs {min_runs} exceeds max_runs {max_runs}"
+        );
+        Self {
+            min_runs,
+            max_runs,
+            ci_target,
+        }
+    }
+
+    /// Whether early stopping can ever trigger under this rule.
+    pub fn is_adaptive(&self) -> bool {
+        self.ci_target > 0.0 && self.min_runs < self.max_runs
+    }
+
+    /// The deterministic stop point for a set of per-run values in run
+    /// order: the smallest `k` in `[min_runs, len]` whose prefix CI
+    /// half-width is at most `ci_target`, or `None` if no prefix
+    /// qualifies (or the rule is not adaptive).
+    fn stop_point(&self, values: &[f64]) -> Option<usize> {
+        if !self.is_adaptive() {
+            return None;
+        }
+        let mut rs = RunningStats::new();
+        for (i, &v) in values.iter().enumerate() {
+            rs.push(v);
+            let k = i + 1;
+            if k >= self.min_runs && rs.ci95_half_width() <= self.ci_target {
+                return Some(k);
+            }
+        }
+        None
+    }
+}
+
+/// Outcome of an adaptive repetition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptiveOutcome<T> {
+    /// Results for runs `0..stop`, in run order.
+    pub results: Vec<T>,
+    /// The per-run statistic for the kept runs, in run order.
+    pub metrics: Vec<f64>,
+    /// Whether the CI criterion stopped the loop before `max_runs`.
+    pub stopped_early: bool,
+    /// CI95 half-width of the kept metrics.
+    pub ci_half_width: f64,
+}
+
+/// Repeats `job` under a [`StopRule`], extracting a scalar statistic per
+/// run with `metric`.
+///
+/// Runs are computed in batches sized to the worker count, but the stop
+/// point is decided purely by prefix-scanning the per-run statistics in
+/// run order — overshoot beyond the stop point is computed and discarded,
+/// never returned. A fixed rule (or `ci_target <= 0`) executes exactly
+/// `max_runs` and keeps them all.
+pub fn repeat_with_stopping<T, F, M>(
+    rule: &StopRule,
+    threads: usize,
+    job: F,
+    metric: M,
+) -> AdaptiveOutcome<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+    M: Fn(&T) -> f64,
+{
+    if !rule.is_adaptive() {
+        let results = repeat(rule.max_runs, threads, &job);
+        let metrics: Vec<f64> = results.iter().map(&metric).collect();
+        let mut rs = RunningStats::new();
+        rs.extend(metrics.iter().copied());
+        return AdaptiveOutcome {
+            results,
+            metrics,
+            stopped_early: false,
+            ci_half_width: rs.ci95_half_width(),
+        };
+    }
+
+    let workers = resolve_threads(threads).min(rule.max_runs).max(1);
+    let mut results: Vec<T> = Vec::with_capacity(rule.min_runs);
+    let mut metrics: Vec<f64> = Vec::with_capacity(rule.min_runs);
+    loop {
+        // First batch jumps straight to the CI floor; later batches grow
+        // by whole worker widths to keep every core busy. Overshoot past
+        // the stop point is discarded below, so batching never changes
+        // the returned prefix.
+        let lo = results.len();
+        let target = if lo == 0 {
+            rule.min_runs.min(rule.max_runs)
+        } else {
+            (lo + workers).min(rule.max_runs)
+        };
+        let mut batch = repeat(target - lo, threads, |i| job(lo + i));
+        metrics.extend(batch.iter().map(&metric));
+        results.append(&mut batch);
+
+        if let Some(stop) = rule.stop_point(&metrics) {
+            results.truncate(stop);
+            metrics.truncate(stop);
+            break;
+        }
+        if results.len() >= rule.max_runs {
+            break;
+        }
+    }
+    let mut rs = RunningStats::new();
+    rs.extend(metrics.iter().copied());
+    AdaptiveOutcome {
+        stopped_early: results.len() < rule.max_runs,
+        ci_half_width: rs.ci95_half_width(),
+        results,
+        metrics,
+    }
 }
 
 /// Aggregate of the attack gain across repetitions.
@@ -96,6 +314,63 @@ impl GainAggregate {
     }
 }
 
+/// A repetition batch with its observability record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournaledRun {
+    /// Per-run reports, in run order.
+    pub reports: Vec<LoadReport>,
+    /// Gain aggregate over the kept runs.
+    pub aggregate: GainAggregate,
+    /// Structured per-run records plus stopping metadata.
+    pub journal: RunJournal,
+}
+
+/// Repeats the rate engine under a [`StopRule`], recording one
+/// [`crate::journal::RunRecord`] per repetition (run index, derived seed,
+/// wall-clock duration, load shape, gain) into a [`RunJournal`].
+///
+/// # Errors
+///
+/// Returns the first simulation error encountered, if any.
+pub fn repeat_rate_simulation_journaled(
+    cfg: &SimConfig,
+    rule: &StopRule,
+    threads: usize,
+) -> Result<JournaledRun> {
+    let outcome = repeat_with_stopping(
+        rule,
+        threads,
+        |i| {
+            let started = Instant::now();
+            let report = run_rate_simulation(&cfg.for_run(i as u64));
+            (report, started.elapsed().as_secs_f64())
+        },
+        // Errors contribute a zero gain to the stop statistic; they abort
+        // the whole repetition below, so the value never reaches callers.
+        |(report, _)| report.as_ref().map_or(0.0, |r| r.gain().value()),
+    );
+    let mut reports = Vec::with_capacity(outcome.results.len());
+    let mut durations = Vec::with_capacity(outcome.results.len());
+    for (report, duration) in outcome.results {
+        reports.push(report?);
+        durations.push(duration);
+    }
+    let aggregate = GainAggregate::from_reports(&reports);
+    let journal = RunJournal::new(
+        cfg,
+        rule,
+        &reports,
+        &durations,
+        outcome.stopped_early,
+        outcome.ci_half_width,
+    );
+    Ok(JournaledRun {
+        reports,
+        aggregate,
+        journal,
+    })
+}
+
 /// Convenience: repeats the rate engine `runs` times with derived seeds
 /// and aggregates the gains.
 ///
@@ -107,15 +382,8 @@ pub fn repeat_rate_simulation(
     runs: usize,
     threads: usize,
 ) -> Result<(Vec<LoadReport>, GainAggregate)> {
-    let results = repeat(runs, threads, |i| {
-        run_rate_simulation(&cfg.for_run(i as u64))
-    });
-    let mut reports = Vec::with_capacity(results.len());
-    for r in results {
-        reports.push(r?);
-    }
-    let agg = GainAggregate::from_reports(&reports);
-    Ok((reports, agg))
+    let out = repeat_rate_simulation_journaled(cfg, &StopRule::fixed(runs), threads)?;
+    Ok((out.reports, out.aggregate))
 }
 
 #[cfg(test)]
@@ -158,6 +426,42 @@ mod tests {
     }
 
     #[test]
+    fn repeat_more_workers_than_runs() {
+        let out = repeat(3, 16, |i| i);
+        assert_eq!(out, vec![0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "simulation run 7 panicked: boom at 7")]
+    fn repeat_propagates_panics_with_run_index() {
+        let _ = repeat(12, 4, |i| {
+            if i == 7 {
+                panic!("boom at {i}");
+            }
+            i
+        });
+    }
+
+    #[test]
+    fn repeat_reports_lowest_panicking_run() {
+        // Runs 3 and 9 both panic; the re-raised message must
+        // deterministically name run 3 regardless of scheduling.
+        let caught = std::panic::catch_unwind(|| {
+            let _ = repeat(12, 4, |i| {
+                if i == 3 || i == 9 {
+                    panic!("boom");
+                }
+                i
+            });
+        })
+        .expect_err("must panic");
+        let msg = caught
+            .downcast_ref::<String>()
+            .expect("panic carries a String");
+        assert!(msg.contains("run 3"), "got: {msg}");
+    }
+
+    #[test]
     fn parallel_equals_serial() {
         let cfg = config();
         let (serial, _) = repeat_rate_simulation(&cfg, 8, 1).unwrap();
@@ -172,7 +476,10 @@ mod tests {
             .iter()
             .map(|r| format!("{:?}", r.snapshot.loads()))
             .collect();
-        assert!(distinct.len() > 1, "repetitions should see fresh partitions");
+        assert!(
+            distinct.len() > 1,
+            "repetitions should see fresh partitions"
+        );
     }
 
     #[test]
@@ -191,5 +498,89 @@ mod tests {
     #[should_panic(expected = "at least one report")]
     fn aggregate_rejects_empty() {
         let _ = GainAggregate::from_reports(&[]);
+    }
+
+    #[test]
+    fn fixed_rule_is_not_adaptive() {
+        let rule = StopRule::fixed(10);
+        assert!(!rule.is_adaptive());
+        assert_eq!(rule.min_runs, 10);
+        assert_eq!(rule.max_runs, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "min_runs")]
+    fn adaptive_rule_rejects_inverted_limits() {
+        let _ = StopRule::adaptive(10, 5, 0.1);
+    }
+
+    #[test]
+    fn stop_point_is_prefix_deterministic() {
+        let rule = StopRule::adaptive(3, 100, 0.5);
+        // Identical values: CI hits zero as soon as min_runs is reached.
+        let flat = vec![1.0; 50];
+        assert_eq!(rule.stop_point(&flat), Some(3));
+        // Wildly varying values never satisfy a tight CI.
+        let noisy: Vec<f64> = (0..50)
+            .map(|i| if i % 2 == 0 { 0.0 } else { 100.0 })
+            .collect();
+        let loose = StopRule::adaptive(3, 100, 1e-9);
+        assert_eq!(loose.stop_point(&noisy), None);
+    }
+
+    #[test]
+    fn adaptive_stops_early_on_low_variance() {
+        let rule = StopRule::adaptive(4, 64, 0.25);
+        let out = repeat_with_stopping(&rule, 2, |i| i as f64 * 0.0 + 1.0, |&v| v);
+        assert!(out.stopped_early);
+        assert_eq!(out.results.len(), 4, "flat metric stops at min_runs");
+        assert!(out.ci_half_width <= 0.25);
+    }
+
+    #[test]
+    fn adaptive_runs_to_cap_on_high_variance() {
+        let rule = StopRule::adaptive(4, 16, 1e-12);
+        let out = repeat_with_stopping(&rule, 4, |i| (i % 7) as f64, |&v| v);
+        assert!(!out.stopped_early);
+        assert_eq!(out.results.len(), 16);
+    }
+
+    #[test]
+    fn adaptive_is_thread_count_invariant() {
+        let cfg = config();
+        let rule = StopRule::adaptive(4, 32, 0.05);
+        let a = repeat_rate_simulation_journaled(&cfg, &rule, 1).unwrap();
+        let b = repeat_rate_simulation_journaled(&cfg, &rule, 8).unwrap();
+        assert_eq!(a.reports, b.reports, "stop point depended on threads");
+        assert_eq!(a.aggregate, b.aggregate);
+        assert_eq!(a.journal.records.len(), b.journal.records.len());
+    }
+
+    #[test]
+    fn zero_ci_target_degenerates_to_fixed() {
+        let cfg = config();
+        let adaptive_off = StopRule {
+            min_runs: 2,
+            max_runs: 12,
+            ci_target: 0.0,
+        };
+        let a = repeat_rate_simulation_journaled(&cfg, &adaptive_off, 0).unwrap();
+        let (fixed, _) = repeat_rate_simulation(&cfg, 12, 0).unwrap();
+        assert_eq!(a.reports, fixed);
+        assert!(!a.journal.stopping.stopped_early);
+    }
+
+    #[test]
+    fn journal_records_match_reports() {
+        let cfg = config();
+        let out = repeat_rate_simulation_journaled(&cfg, &StopRule::fixed(6), 0).unwrap();
+        assert_eq!(out.journal.records.len(), 6);
+        for (i, rec) in out.journal.records.iter().enumerate() {
+            assert_eq!(rec.run, i);
+            assert_eq!(rec.seed, cfg.for_run(i as u64).seed);
+            assert!((rec.gain - out.reports[i].gain().value()).abs() < 1e-12);
+            assert!((rec.max_load - out.reports[i].max_load()).abs() < 1e-12);
+            assert!(rec.duration_secs >= 0.0);
+        }
     }
 }

@@ -1,6 +1,6 @@
 //! Aggregation statistics for repeated runs.
 
-use serde::{Deserialize, Serialize};
+use scp_json::Json;
 
 /// Streaming mean/variance accumulator (Welford's algorithm).
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -121,7 +121,7 @@ pub fn quantile(values: &[f64], q: f64) -> f64 {
 }
 
 /// A compact distribution summary of repeated measurements.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Summary {
     /// Number of observations.
     pub count: u64,
@@ -157,6 +157,19 @@ impl Summary {
             p95: quantile(values, 0.95),
             max: rs.max(),
         }
+    }
+
+    /// The summary as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("count", Json::Num(self.count as f64)),
+            ("mean", Json::Num(self.mean)),
+            ("stddev", Json::Num(self.stddev)),
+            ("min", Json::Num(self.min)),
+            ("p50", Json::Num(self.p50)),
+            ("p95", Json::Num(self.p95)),
+            ("max", Json::Num(self.max)),
+        ])
     }
 }
 

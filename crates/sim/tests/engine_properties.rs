@@ -1,105 +1,126 @@
 //! Property tests over the simulation engines: conservation, bounds and
 //! determinism must hold for *arbitrary* valid configurations, not just
 //! the hand-picked ones in the unit tests.
+//!
+//! Cases are drawn from a seeded in-repo generator rather than an external
+//! property-testing framework, so every failure reproduces exactly from the
+//! constants below.
 
-use proptest::prelude::*;
 use scp_sim::config::{CacheKind, PartitionerKind, SelectorKind, SimConfig};
 use scp_sim::query_engine::run_query_simulation;
 use scp_sim::rate_engine::run_rate_simulation;
+use scp_workload::rng::{next_below, next_f64, Rng, Xoshiro256StarStar};
 use scp_workload::AccessPattern;
 
-fn arb_pattern(items: u64) -> impl Strategy<Value = AccessPattern> {
-    prop_oneof![
-        (1..=items).prop_map(move |x| AccessPattern::uniform_subset(x, items).unwrap()),
-        (0.5f64..1.6).prop_map(move |a| AccessPattern::zipf(a, items).unwrap()),
-        Just(AccessPattern::uniform(items).unwrap()),
-    ]
+const CASES: usize = 48;
+
+fn arb_pattern(gen: &mut Xoshiro256StarStar, items: u64) -> AccessPattern {
+    match next_below(gen, 3) {
+        0 => {
+            let x = 1 + next_below(gen, items);
+            AccessPattern::uniform_subset(x, items).unwrap()
+        }
+        1 => {
+            let a = 0.5 + (1.6 - 0.5) * next_f64(gen);
+            AccessPattern::zipf(a, items).unwrap()
+        }
+        _ => AccessPattern::uniform(items).unwrap(),
+    }
 }
 
-fn arb_config() -> impl Strategy<Value = SimConfig> {
-    (
-        2usize..60,                   // nodes
-        1usize..4,                    // replication (clamped to nodes)
-        0usize..50,                   // cache capacity
-        100u64..2000,                 // items
-        any::<u64>(),                 // seed
-        prop_oneof![
-            Just(PartitionerKind::Hash),
-            Just(PartitionerKind::Ring),
-            Just(PartitionerKind::Range),
-        ],
-        prop_oneof![
-            Just(SelectorKind::Random),
-            Just(SelectorKind::RoundRobin),
-            Just(SelectorKind::LeastLoaded),
-            Just(SelectorKind::PerQueryLeastLoaded),
-        ],
-    )
-        .prop_flat_map(|(nodes, d, cache, items, seed, partitioner, selector)| {
-            let d = d.min(nodes);
-            let cache = cache.min(items as usize);
-            arb_pattern(items).prop_map(move |pattern| SimConfig {
-                nodes,
-                replication: d,
-                cache_kind: CacheKind::Perfect,
-                cache_capacity: cache,
-                items,
-                rate: 1e4,
-                pattern,
-                partitioner,
-                selector,
-                seed,
-            })
-        })
+fn arb_config(gen: &mut Xoshiro256StarStar) -> SimConfig {
+    let nodes = 2 + next_below(gen, 58) as usize;
+    let replication = (1 + next_below(gen, 3) as usize).min(nodes);
+    let items = 100 + next_below(gen, 1900);
+    let cache_capacity = (next_below(gen, 50) as usize).min(items as usize);
+    let seed = gen.next_u64();
+    let partitioner = match next_below(gen, 3) {
+        0 => PartitionerKind::Hash,
+        1 => PartitionerKind::Ring,
+        _ => PartitionerKind::Range,
+    };
+    let selector = match next_below(gen, 4) {
+        0 => SelectorKind::Random,
+        1 => SelectorKind::RoundRobin,
+        2 => SelectorKind::LeastLoaded,
+        _ => SelectorKind::PerQueryLeastLoaded,
+    };
+    let pattern = arb_pattern(gen, items);
+    SimConfig {
+        nodes,
+        replication,
+        cache_kind: CacheKind::Perfect,
+        cache_capacity,
+        items,
+        rate: 1e4,
+        pattern,
+        partitioner,
+        selector,
+        seed,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn prop_rate_engine_conserves_and_bounds(cfg in arb_config()) {
+#[test]
+fn prop_rate_engine_conserves_and_bounds() {
+    let mut gen = Xoshiro256StarStar::seed_from_u64(0xE161_0001);
+    for case in 0..CASES {
+        let cfg = arb_config(&mut gen);
         let r = run_rate_simulation(&cfg).unwrap();
         // Conservation: cache + backend == offered (no failures here).
-        prop_assert!(r.is_conserved(1e-9), "leaked load: {r:?}");
-        prop_assert_eq!(r.unserved, 0.0);
+        assert!(r.is_conserved(1e-9), "case {case}: leaked load: {r:?}");
+        assert_eq!(r.unserved, 0.0, "case {case}");
         // Gain cannot exceed n (everything on one node) and max load
         // cannot exceed total backend load.
-        prop_assert!(r.gain().value() <= cfg.nodes as f64 + 1e-9);
-        prop_assert!(r.max_load() <= r.snapshot.total() + 1e-9);
+        assert!(r.gain().value() <= cfg.nodes as f64 + 1e-9, "case {case}");
+        assert!(r.max_load() <= r.snapshot.total() + 1e-9, "case {case}");
         // The cache can never absorb more than the offered rate.
-        prop_assert!(r.cache_load <= cfg.rate + 1e-9);
+        assert!(r.cache_load <= cfg.rate + 1e-9, "case {case}");
     }
+}
 
-    #[test]
-    fn prop_rate_engine_deterministic(cfg in arb_config()) {
+#[test]
+fn prop_rate_engine_deterministic() {
+    let mut gen = Xoshiro256StarStar::seed_from_u64(0xE161_0002);
+    for case in 0..CASES {
+        let cfg = arb_config(&mut gen);
         let a = run_rate_simulation(&cfg).unwrap();
         let b = run_rate_simulation(&cfg).unwrap();
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b, "case {case}: engine not deterministic");
     }
+}
 
-    #[test]
-    fn prop_query_engine_conserves(cfg in arb_config()) {
+#[test]
+fn prop_query_engine_conserves() {
+    let mut gen = Xoshiro256StarStar::seed_from_u64(0xE161_0003);
+    for case in 0..CASES {
+        let cfg = arb_config(&mut gen);
         let queries = 2000u64;
         let r = run_query_simulation(&cfg, queries).unwrap();
-        prop_assert!(r.is_conserved(1e-12));
+        assert!(r.is_conserved(1e-12), "case {case}");
         let stats = r.cache_stats.unwrap();
-        prop_assert_eq!(stats.lookups(), queries);
-        prop_assert_eq!(stats.hits() as f64, r.cache_load);
-        prop_assert_eq!(r.snapshot.total(), (queries - stats.hits()) as f64);
+        assert_eq!(stats.lookups(), queries, "case {case}");
+        assert_eq!(stats.hits() as f64, r.cache_load, "case {case}");
+        assert_eq!(
+            r.snapshot.total(),
+            (queries - stats.hits()) as f64,
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn prop_bigger_cache_never_increases_backend_load(
-        cfg in arb_config(),
-        extra in 1usize..40,
-    ) {
+#[test]
+fn prop_bigger_cache_never_increases_backend_load() {
+    let mut gen = Xoshiro256StarStar::seed_from_u64(0xE161_0004);
+    for case in 0..CASES {
+        let cfg = arb_config(&mut gen);
+        let extra = 1 + next_below(&mut gen, 39) as usize;
         let small = run_rate_simulation(&cfg).unwrap();
         let mut bigger = cfg.clone();
         bigger.cache_capacity = (cfg.cache_capacity + extra).min(cfg.items as usize);
         let big = run_rate_simulation(&bigger).unwrap();
-        prop_assert!(
+        assert!(
             big.snapshot.total() <= small.snapshot.total() + 1e-9,
-            "more cache increased backend load: {} -> {}",
+            "case {case}: more cache increased backend load: {} -> {}",
             small.snapshot.total(),
             big.snapshot.total()
         );

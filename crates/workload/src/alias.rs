@@ -1,9 +1,9 @@
 //! Walker alias method for O(1) sampling from arbitrary finite pmfs.
 
 use crate::error::WorkloadError;
+use crate::rng::Rng;
 use crate::rng::{next_below, next_f64};
 use crate::Result;
-use rand::Rng;
 
 /// An alias table built with Vose's algorithm.
 ///

@@ -10,7 +10,6 @@ use crate::error::WorkloadError;
 use crate::pattern::{AccessPattern, PatternSampler, RankProbs};
 use crate::rng::{next_f64, Xoshiro256StarStar};
 use crate::Result;
-use serde::{Deserialize, Serialize};
 
 /// A convex combination of access patterns over a common key space.
 ///
@@ -28,7 +27,7 @@ use serde::{Deserialize, Serialize};
 /// assert!(probs.get(0) > 0.0);
 /// # Ok::<(), scp_workload::WorkloadError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MixturePattern {
     components: Vec<(f64, AccessPattern)>,
     key_space: u64,
@@ -53,10 +52,7 @@ impl MixturePattern {
         let mut total = 0.0;
         for (index, (w, pattern)) in components.iter().enumerate() {
             if !w.is_finite() || *w < 0.0 {
-                return Err(WorkloadError::InvalidProbability {
-                    index,
-                    value: *w,
-                });
+                return Err(WorkloadError::InvalidProbability { index, value: *w });
             }
             if pattern.key_space() != key_space {
                 return Err(WorkloadError::InvalidParameter {
@@ -205,11 +201,7 @@ mod tests {
     #[test]
     fn validation() {
         assert!(MixturePattern::new(vec![]).is_err());
-        assert!(MixturePattern::new(vec![(
-            -1.0,
-            AccessPattern::uniform(10).unwrap()
-        )])
-        .is_err());
+        assert!(MixturePattern::new(vec![(-1.0, AccessPattern::uniform(10).unwrap())]).is_err());
         assert!(MixturePattern::new(vec![(0.0, AccessPattern::uniform(10).unwrap())]).is_err());
         assert!(MixturePattern::new(vec![
             (0.5, AccessPattern::uniform(10).unwrap()),
@@ -295,13 +287,5 @@ mod tests {
         assert!((rp.get(0) - 0.2).abs() < 1e-12);
         assert_eq!(rp.get(5), 0.0);
         assert_eq!(m.support_bound(), 5);
-    }
-
-    #[test]
-    fn serde_roundtrip() {
-        let m = blend();
-        let json = serde_json::to_string(&m).unwrap();
-        let back: MixturePattern = serde_json::from_str(&json).unwrap();
-        assert_eq!(m, back);
     }
 }

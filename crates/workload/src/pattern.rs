@@ -13,14 +13,13 @@ use crate::pmf::Pmf;
 use crate::rng::{next_below, next_f64, Xoshiro256StarStar};
 use crate::zipf::{generalized_harmonic, ZipfSampler};
 use crate::Result;
-use serde::{Deserialize, Serialize};
 
 /// A distribution of queries over the popularity ranks of `m` keys.
 ///
 /// Rank `i` denotes the `(i+1)`-th most queried key. How ranks map to
 /// concrete key identifiers is a separate concern
 /// (see [`crate::permute::KeyMapping`]).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum AccessPattern {
     /// `x` keys queried at exactly equal probability `1/x`; the remaining
     /// `m - x` keys are never queried. This is the adversary's optimal
@@ -358,7 +357,11 @@ mod tests {
         for p in &patterns {
             let rp = p.rank_probs();
             let total: f64 = rp.iter().map(|(_, v)| v).sum();
-            assert!((total - 1.0).abs() < 1e-9, "{} sums to {total}", p.describe());
+            assert!(
+                (total - 1.0).abs() < 1e-9,
+                "{} sums to {total}",
+                p.describe()
+            );
         }
     }
 
@@ -436,14 +439,6 @@ mod tests {
                 "rank {r}: frequency {freq} vs exact {exact}"
             );
         }
-    }
-
-    #[test]
-    fn serde_roundtrip() {
-        let p = AccessPattern::zipf(1.01, 1000).unwrap();
-        let json = serde_json::to_string(&p).unwrap();
-        let back: AccessPattern = serde_json::from_str(&json).unwrap();
-        assert_eq!(p, back);
     }
 
     #[test]

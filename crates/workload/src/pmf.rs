@@ -2,7 +2,7 @@
 
 use crate::error::WorkloadError;
 use crate::Result;
-use serde::{Deserialize, Serialize};
+use scp_json::Json;
 
 /// Tolerance used when checking that probabilities sum to one.
 pub const NORMALIZATION_TOLERANCE: f64 = 1e-6;
@@ -23,8 +23,7 @@ pub const NORMALIZATION_TOLERANCE: f64 = 1e-6;
 /// assert_eq!(pmf.len(), 4);
 /// assert!((pmf.get(0) - 0.25).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-#[serde(try_from = "Vec<f64>", into = "Vec<f64>")]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Pmf {
     probs: Vec<f64>,
 }
@@ -156,7 +155,33 @@ impl Pmf {
             .sum()
     }
 
-    /// Consumes the pmf, returning the raw probability vector.
+    /// Serializes the pmf as a JSON array of probabilities.
+    pub fn to_json(&self) -> Json {
+        Json::arr(self.probs.iter().map(|&p| Json::Num(p)))
+    }
+
+    /// Rebuilds a pmf from its JSON array form, re-validating it.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the value is not an array of numbers or the
+    /// probabilities fail validation.
+    pub fn from_json(json: &Json) -> Result<Self> {
+        let items = json.as_array().ok_or(WorkloadError::EmptyDistribution)?;
+        let probs: Vec<f64> = items
+            .iter()
+            .enumerate()
+            .map(|(index, v)| {
+                v.as_f64().ok_or(WorkloadError::InvalidProbability {
+                    index,
+                    value: f64::NAN,
+                })
+            })
+            .collect::<Result<_>>()?;
+        Self::new(probs)
+    }
+
+    /// Consumes the pmf, returning the probability vector.
     pub fn into_inner(self) -> Vec<f64> {
         self.probs
     }
@@ -217,13 +242,19 @@ mod tests {
     #[test]
     fn new_rejects_negative() {
         let err = Pmf::new(vec![0.5, -0.1, 0.6]).unwrap_err();
-        assert!(matches!(err, WorkloadError::InvalidProbability { index: 1, .. }));
+        assert!(matches!(
+            err,
+            WorkloadError::InvalidProbability { index: 1, .. }
+        ));
     }
 
     #[test]
     fn new_rejects_nan() {
         let err = Pmf::new(vec![f64::NAN, 1.0]).unwrap_err();
-        assert!(matches!(err, WorkloadError::InvalidProbability { index: 0, .. }));
+        assert!(matches!(
+            err,
+            WorkloadError::InvalidProbability { index: 0, .. }
+        ));
     }
 
     #[test]
@@ -287,17 +318,19 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn json_roundtrip() {
         let pmf = Pmf::new(vec![0.6, 0.4]).unwrap();
-        let json = serde_json::to_string(&pmf).unwrap();
-        let back: Pmf = serde_json::from_str(&json).unwrap();
+        let json = pmf.to_json().to_string();
+        let back = Pmf::from_json(&scp_json::Json::parse(&json).unwrap()).unwrap();
         assert_eq!(pmf, back);
     }
 
     #[test]
-    fn serde_rejects_invalid() {
-        let result: std::result::Result<Pmf, _> = serde_json::from_str("[0.9, 0.9]");
-        assert!(result.is_err());
+    fn json_rejects_invalid() {
+        let not_normalized = scp_json::Json::parse("[0.9, 0.9]").unwrap();
+        assert!(Pmf::from_json(&not_normalized).is_err());
+        let not_an_array = scp_json::Json::parse("{}").unwrap();
+        assert!(Pmf::from_json(&not_an_array).is_err());
     }
 
     #[test]

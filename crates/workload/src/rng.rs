@@ -1,13 +1,41 @@
 //! Deterministic random-number utilities.
 //!
 //! Simulation results in this project must be bit-for-bit reproducible from a
-//! `u64` seed, independent of which `rand` version is linked. We therefore
-//! ship our own small generator, [`Xoshiro256StarStar`] (Blackman &
-//! Vigna), seeded through SplitMix64, and a set of helpers that draw uniform
-//! integers, floats and exponentials from any [`rand::Rng`].
+//! `u64` seed, independent of any external crate's implementation details.
+//! We therefore ship our own small generator trait ([`Rng`]), a concrete
+//! generator, [`Xoshiro256StarStar`] (Blackman & Vigna), seeded through
+//! SplitMix64, and a set of helpers that draw uniform integers, floats and
+//! exponentials from any [`Rng`].
 
-use rand::Rng;
-use std::convert::Infallible;
+/// The project-wide random-generator interface.
+///
+/// Implementors only need [`Rng::next_u64`]; the remaining methods are
+/// derived from it. Keeping the trait in-repo (rather than depending on an
+/// external `rand` version) guarantees that the byte streams backing every
+/// published experiment never shift underneath us.
+pub trait Rng {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 random bits (the high half of [`Rng::next_u64`], which
+    /// are the strongest bits of xoshiro-family generators).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills `dest` with random bytes, 8 at a time.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
 
 /// SplitMix64 step: advances `state` and returns the next output.
 ///
@@ -37,15 +65,13 @@ pub fn mix(words: &[u64]) -> u64 {
 
 /// xoshiro256** — a small, fast, high-quality PRNG.
 ///
-/// Implements [`rand::Rng`] (via the infallible [`rand::TryRng`]) so it can
-/// be used anywhere a `rand` generator is expected, while keeping its output
-/// stable across `rand` releases.
+/// Implements [`Rng`] so it can be used anywhere the project expects a
+/// generator, with output that is stable forever.
 ///
 /// # Example
 ///
 /// ```
-/// use scp_workload::rng::Xoshiro256StarStar;
-/// use rand::Rng;
+/// use scp_workload::rng::{Rng, Xoshiro256StarStar};
 ///
 /// let mut a = Xoshiro256StarStar::seed_from_u64(7);
 /// let mut b = Xoshiro256StarStar::seed_from_u64(7);
@@ -74,10 +100,7 @@ impl Xoshiro256StarStar {
 
     #[inline]
     fn step(&mut self) -> u64 {
-        let result = self.s[1]
-            .wrapping_mul(5)
-            .rotate_left(7)
-            .wrapping_mul(9);
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];
@@ -89,30 +112,10 @@ impl Xoshiro256StarStar {
     }
 }
 
-impl rand::TryRng for Xoshiro256StarStar {
-    type Error = Infallible;
-
+impl Rng for Xoshiro256StarStar {
     #[inline]
-    fn try_next_u32(&mut self) -> Result<u32, Infallible> {
-        Ok((self.step() >> 32) as u32)
-    }
-
-    #[inline]
-    fn try_next_u64(&mut self) -> Result<u64, Infallible> {
-        Ok(self.step())
-    }
-
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Infallible> {
-        let mut chunks = dest.chunks_exact_mut(8);
-        for chunk in &mut chunks {
-            chunk.copy_from_slice(&self.step().to_le_bytes());
-        }
-        let rem = chunks.into_remainder();
-        if !rem.is_empty() {
-            let bytes = self.step().to_le_bytes();
-            rem.copy_from_slice(&bytes[..rem.len()]);
-        }
-        Ok(())
+    fn next_u64(&mut self) -> u64 {
+        self.step()
     }
 }
 

@@ -175,7 +175,9 @@ mod tests {
     fn poisson_times_increase_with_correct_mean_gap() {
         let p = AccessPattern::uniform(100).unwrap();
         let stream = QueryStream::new(&p, 9).unwrap();
-        let arrivals: Vec<Arrival> = PoissonArrivals::new(stream, 100.0, 9).take(20_000).collect();
+        let arrivals: Vec<Arrival> = PoissonArrivals::new(stream, 100.0, 9)
+            .take(20_000)
+            .collect();
         let mut prev = 0.0;
         for a in &arrivals {
             assert!(a.time > prev);

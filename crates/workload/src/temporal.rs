@@ -8,10 +8,9 @@
 use crate::error::WorkloadError;
 use crate::pattern::{AccessPattern, PatternSampler};
 use crate::Result;
-use serde::{Deserialize, Serialize};
 
 /// One segment of a timeline.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Phase {
     /// Length of the segment in seconds.
     pub duration: f64,
@@ -39,7 +38,7 @@ pub struct Phase {
 /// assert_eq!(timeline.phase_index_at(99.0), 1);
 /// # Ok::<(), scp_workload::WorkloadError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PhasedPattern {
     phases: Vec<Phase>,
     key_space: u64,
@@ -61,7 +60,10 @@ impl PhasedPattern {
             if !phase.duration.is_finite() || phase.duration <= 0.0 {
                 return Err(WorkloadError::InvalidParameter {
                     name: "duration",
-                    reason: format!("phase {i} duration {} must be finite and positive", phase.duration),
+                    reason: format!(
+                        "phase {i} duration {} must be finite and positive",
+                        phase.duration
+                    ),
                 });
             }
             if phase.pattern.key_space() != key_space {
@@ -247,13 +249,5 @@ mod tests {
             let at = (i % 15) as f64;
             assert_eq!(a.sample_at(at), b.sample_at(at));
         }
-    }
-
-    #[test]
-    fn serde_roundtrip() {
-        let t = timeline();
-        let json = serde_json::to_string(&t).unwrap();
-        let back: PhasedPattern = serde_json::from_str(&json).unwrap();
-        assert_eq!(t, back);
     }
 }

@@ -7,13 +7,13 @@
 use crate::error::WorkloadError;
 use crate::stream::QueryStream;
 use crate::Result;
-use serde::{Deserialize, Serialize};
+use scp_json::Json;
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
 /// Metadata describing how a trace was produced.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct TraceMeta {
     /// Free-form description of the generating pattern.
     pub pattern: String,
@@ -24,7 +24,7 @@ pub struct TraceMeta {
 }
 
 /// A recorded sequence of key queries.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Trace {
     /// Provenance of the trace.
     pub meta: TraceMeta,
@@ -62,13 +62,75 @@ impl Trace {
         keys.len()
     }
 
+    /// The trace as a JSON value.
+    ///
+    /// The seed is written as a decimal string so full 64-bit seeds
+    /// survive the `f64` number model.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            (
+                "meta",
+                Json::obj([
+                    ("pattern", Json::Str(self.meta.pattern.clone())),
+                    ("seed", Json::Str(self.meta.seed.to_string())),
+                    ("key_space", Json::Num(self.meta.key_space as f64)),
+                ]),
+            ),
+            (
+                "keys",
+                Json::arr(self.keys.iter().map(|&k| Json::Num(k as f64))),
+            ),
+        ])
+    }
+
+    /// Rebuilds a trace from its JSON form.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if required fields are missing or ill-typed.
+    pub fn from_json(json: &Json) -> Result<Self> {
+        let field = |msg: &str| WorkloadError::Trace(format!("trace JSON: {msg}"));
+        let meta = json.get("meta").ok_or_else(|| field("missing `meta`"))?;
+        let pattern = meta
+            .get("pattern")
+            .and_then(Json::as_str)
+            .ok_or_else(|| field("missing `meta.pattern`"))?
+            .to_string();
+        let seed = meta
+            .get("seed")
+            .and_then(Json::as_str)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| field("missing `meta.seed`"))?;
+        let key_space = meta
+            .get("key_space")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| field("missing `meta.key_space`"))?;
+        let keys = json
+            .get("keys")
+            .and_then(Json::as_array)
+            .ok_or_else(|| field("missing `keys`"))?
+            .iter()
+            .map(|v| v.as_u64().ok_or_else(|| field("non-integer key")))
+            .collect::<Result<Vec<u64>>>()?;
+        Ok(Self {
+            meta: TraceMeta {
+                pattern,
+                seed,
+                key_space,
+            },
+            keys,
+        })
+    }
+
     /// Serializes the trace as JSON into a writer.
     ///
     /// # Errors
     ///
-    /// Returns an error if serialization or the underlying write fails.
-    pub fn write_json<W: Write>(&self, writer: W) -> Result<()> {
-        serde_json::to_writer(writer, self).map_err(|e| WorkloadError::Trace(e.to_string()))
+    /// Returns an error if the underlying write fails.
+    pub fn write_json<W: Write>(&self, mut writer: W) -> Result<()> {
+        writer
+            .write_all(self.to_json().to_string().as_bytes())
+            .map_err(|e| WorkloadError::Trace(e.to_string()))
     }
 
     /// Deserializes a trace from a JSON reader.
@@ -76,8 +138,13 @@ impl Trace {
     /// # Errors
     ///
     /// Returns an error if the JSON is malformed.
-    pub fn read_json<R: Read>(reader: R) -> Result<Self> {
-        serde_json::from_reader(reader).map_err(|e| WorkloadError::Trace(e.to_string()))
+    pub fn read_json<R: Read>(mut reader: R) -> Result<Self> {
+        let mut text = String::new();
+        reader
+            .read_to_string(&mut text)
+            .map_err(|e| WorkloadError::Trace(e.to_string()))?;
+        let json = Json::parse(&text).map_err(|e| WorkloadError::Trace(e.to_string()))?;
+        Self::from_json(&json)
     }
 
     /// Saves the trace to a file.
@@ -167,6 +234,24 @@ mod tests {
     #[test]
     fn read_json_rejects_garbage() {
         assert!(Trace::read_json("not json".as_bytes()).is_err());
+        assert!(Trace::read_json("{\"keys\":[1]}".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn full_64_bit_seeds_survive_the_roundtrip() {
+        let t = Trace {
+            meta: TraceMeta {
+                pattern: "test".into(),
+                seed: u64::MAX - 3,
+                key_space: 10,
+            },
+            keys: vec![1, 2, 3],
+        };
+        let mut buf = Vec::new();
+        t.write_json(&mut buf).unwrap();
+        let back = Trace::read_json(buf.as_slice()).unwrap();
+        assert_eq!(back.meta.seed, u64::MAX - 3);
+        assert_eq!(t, back);
     }
 
     #[test]

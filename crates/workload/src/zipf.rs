@@ -8,8 +8,8 @@
 
 use crate::error::WorkloadError;
 use crate::rng::next_f64;
+use crate::rng::Rng;
 use crate::Result;
-use rand::Rng;
 
 /// Generalized harmonic number `H_{m,alpha} = sum_{i=1..m} i^-alpha`.
 ///
@@ -118,9 +118,7 @@ impl ZipfSampler {
             let k64 = x.clamp(1.0, self.num_elements);
             // Round to the nearest integer in [1, num_elements].
             let k = (k64 + 0.5).floor().clamp(1.0, self.num_elements);
-            if k - x <= self.s
-                || u >= h_integral(k + 0.5, self.exponent) - h(k, self.exponent)
-            {
+            if k - x <= self.s || u >= h_integral(k + 0.5, self.exponent) - h(k, self.exponent) {
                 return k as u64 - 1;
             }
         }

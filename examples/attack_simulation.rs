@@ -43,7 +43,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Latency view: same attack against an M/M/1 farm with 25% head-room
     // over the even share.
     println!("\nLatency under the x = c+1 attack (service 625 qps/node):");
-    println!("{:>8} {:>12} {:>12} {:>12}", "cache", "p50 (ms)", "p99 (ms)", "saturated");
+    println!(
+        "{:>8} {:>12} {:>12} {:>12}",
+        "cache", "p50 (ms)", "p99 (ms)", "saturated"
+    );
     for cache in [50usize, 241, 800] {
         let mut sim = base.clone();
         sim.cache_capacity = cache;

@@ -53,7 +53,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             };
             let r = run_query_simulation(&cfg, queries)?;
             let hit = r.cache_stats.map(|s| s.hit_rate()).unwrap_or_default();
-            cells.push(format!("{:>9.1}% / {:>6.3}x", hit * 100.0, r.gain().value()));
+            cells.push(format!(
+                "{:>9.1}% / {:>6.3}x",
+                hit * 100.0,
+                r.gain().value()
+            ));
         }
         println!(
             "{:>10} | {:>22} | {:>22} | {:>22}",

@@ -15,7 +15,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let theory = Provisioner::with_k(KParam::theory()); // conservative
 
     println!("Critical cache size c* by cluster shape");
-    println!("{:>8} {:>4} {:>14} {:>14}", "n", "d", "c* (fitted)", "c* (theory)");
+    println!(
+        "{:>8} {:>4} {:>14} {:>14}",
+        "n", "d", "c* (fitted)", "c* (theory)"
+    );
     for n in [100usize, 1000, 10_000, 100_000] {
         for d in [2usize, 3, 5] {
             println!(
@@ -31,14 +34,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nLargest protectable cluster per cache budget (d = 3, fitted k)");
     println!("{:>12} {:>16}", "cache", "max nodes");
     for cache in [1_000usize, 10_000, 100_000, 1_000_000] {
-        println!("{:>12} {:>16}", cache, fitted.max_protectable_nodes(cache, 3));
+        println!(
+            "{:>12} {:>16}",
+            cache,
+            fitted.max_protectable_nodes(cache, 3)
+        );
     }
 
     // How much per-node capacity survives the worst case at various cache
     // sizes? (1000 nodes, 100k qps: even share is 100 qps/node.)
     println!("\nPer-node capacity needed to survive the optimal attack");
     println!("(n=1000, d=3, m=1e6, R=100k qps; even share = 100 qps/node)");
-    println!("{:>8} {:>12} {:>18} {:>12}", "cache", "worst x", "needed qps/node", "protected");
+    println!(
+        "{:>8} {:>12} {:>18} {:>12}",
+        "cache", "worst x", "needed qps/node", "protected"
+    );
     for cache in [100usize, 400, 800, 1200, 1600, 2400] {
         let params = SystemParams::new(1000, 3, cache, 1_000_000, 1e5)?;
         let r = fitted.report(&params);

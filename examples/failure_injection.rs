@@ -15,8 +15,8 @@ use secure_cache_provision::workload::AccessPattern;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (n, d, m) = (100usize, 3usize, 100_000u64);
     let cache = 150usize; // provisioned: c* ~ 121 at k = 1.2
-    // A wide attack (x >> c) so uncached load touches every node: node
-    // failures then visibly concentrate traffic on the survivors.
+                          // A wide attack (x >> c) so uncached load touches every node: node
+                          // failures then visibly concentrate traffic on the survivors.
     let attack_keys = 2000u64;
     let cfg = SimConfig {
         nodes: n,

@@ -18,8 +18,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let provisioner = Provisioner::default();
 
     let report = provisioner.report(&params);
-    println!("cluster: n={} d={} m={}", report.nodes, report.replication, report.items);
-    println!("cache:   c={} (critical size c* = {})", report.cache_size, report.critical_cache_size);
+    println!(
+        "cluster: n={} d={} m={}",
+        report.nodes, report.replication, report.items
+    );
+    println!(
+        "cache:   c={} (critical size c* = {})",
+        report.cache_size, report.critical_cache_size
+    );
     println!("verdict: protected = {}", report.is_protected);
     println!(
         "worst case: adversary queries {} keys for a predicted gain of {:.2}x\n",
@@ -48,7 +54,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let gain = simulate(params.cache_size(), plan.pattern.clone())?;
     println!(
         "under-provisioned cache: simulated gain {gain:.2}x (attack {})",
-        if gain > 1.0 { "EFFECTIVE" } else { "ineffective" }
+        if gain > 1.0 {
+            "EFFECTIVE"
+        } else {
+            "ineffective"
+        }
     );
 
     // Provision the recommended cache and re-run the same playbook.

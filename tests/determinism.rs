@@ -5,7 +5,9 @@ use secure_cache_provision::sim::config::{CacheKind, PartitionerKind, SelectorKi
 use secure_cache_provision::sim::des::{run_des, DesConfig};
 use secure_cache_provision::sim::query_engine::run_query_simulation;
 use secure_cache_provision::sim::rate_engine::run_rate_simulation;
-use secure_cache_provision::sim::runner::repeat_rate_simulation;
+use secure_cache_provision::sim::runner::{
+    repeat, repeat_rate_simulation, repeat_rate_simulation_journaled, StopRule,
+};
 use secure_cache_provision::workload::stream::QueryStream;
 use secure_cache_provision::workload::AccessPattern;
 
@@ -59,9 +61,64 @@ fn des_engine_is_seed_deterministic() {
 #[test]
 fn parallel_repetitions_are_schedule_independent() {
     let cfg = config(13);
-    let (one_thread, _) = repeat_rate_simulation(&cfg, 10, 1).unwrap();
-    let (eight_threads, _) = repeat_rate_simulation(&cfg, 10, 8).unwrap();
+    let (one_thread, one_agg) = repeat_rate_simulation(&cfg, 10, 1).unwrap();
+    let (eight_threads, eight_agg) = repeat_rate_simulation(&cfg, 10, 8).unwrap();
     assert_eq!(one_thread, eight_threads);
+    // The gain aggregate is a pure function of the reports, so it must
+    // also be bit-identical across thread counts.
+    assert_eq!(one_agg, eight_agg);
+}
+
+#[test]
+fn generic_repeat_is_schedule_independent() {
+    // The raw fan-out primitive, not just the rate-simulation wrapper:
+    // per-run values must land at their run index regardless of workers.
+    let job = |i: usize| (i, (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let serial = repeat(23, 1, job);
+    let parallel = repeat(23, 8, job);
+    assert_eq!(serial, parallel);
+    assert!(serial.iter().enumerate().all(|(i, &(j, _))| i == j));
+}
+
+#[test]
+fn adaptive_stopping_is_schedule_independent() {
+    // The CI-driven stop point is decided on run-order prefixes, so the
+    // kept reports, the journal and the stopping metadata must all be
+    // independent of worker count.
+    let cfg = config(16);
+    let rule = StopRule::adaptive(4, 24, 0.05);
+    let a = repeat_rate_simulation_journaled(&cfg, &rule, 1).unwrap();
+    let b = repeat_rate_simulation_journaled(&cfg, &rule, 8).unwrap();
+    assert_eq!(a.reports, b.reports);
+    assert_eq!(a.journal.stopping, b.journal.stopping);
+    // Journal records carry wall-clock durations, which are the one field
+    // allowed to differ across schedules; everything else must match.
+    assert_eq!(a.journal.len(), b.journal.len());
+    for (ra, rb) in a.journal.records.iter().zip(&b.journal.records) {
+        assert_eq!(ra.run, rb.run);
+        assert_eq!(ra.seed, rb.seed);
+        assert_eq!(ra.max_load, rb.max_load);
+        assert_eq!(ra.mean_load, rb.mean_load);
+        assert_eq!(ra.cache_fraction, rb.cache_fraction);
+        assert_eq!(ra.gain, rb.gain);
+    }
+}
+
+#[test]
+fn zero_ci_target_degenerates_to_fixed_runs() {
+    // ci_target = 0 must reproduce the historical fixed-count behavior
+    // exactly: same reports as plain repetition, no early stop.
+    let cfg = config(17);
+    let rule = StopRule {
+        min_runs: 4,
+        max_runs: 12,
+        ci_target: 0.0,
+    };
+    let adaptive_off = repeat_rate_simulation_journaled(&cfg, &rule, 4).unwrap();
+    let (fixed, _) = repeat_rate_simulation(&cfg, 12, 4).unwrap();
+    assert_eq!(adaptive_off.reports, fixed);
+    assert_eq!(adaptive_off.journal.len(), 12);
+    assert!(!adaptive_off.journal.stopping.stopped_early);
 }
 
 #[test]

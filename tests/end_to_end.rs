@@ -116,11 +116,7 @@ fn uncached_attacks_through_every_partitioner_are_blocked_by_sizing() {
         PartitionerKind::Ring,
         PartitionerKind::Rendezvous,
     ] {
-        let mut cfg = sim_config(
-            400,
-            AccessPattern::uniform_subset(401, ITEMS).unwrap(),
-            7,
-        );
+        let mut cfg = sim_config(400, AccessPattern::uniform_subset(401, ITEMS).unwrap(), 7);
         cfg.partitioner = partitioner;
         let (_, agg) = repeat_rate_simulation(&cfg, RUNS, 0).unwrap();
         assert!(

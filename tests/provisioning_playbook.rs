@@ -37,7 +37,10 @@ fn slo_sized_cache_meets_its_target_in_simulation() {
     let prov = Provisioner::with_k(KParam::theory());
     let c_star = prov.min_cache_size(NODES, 3);
     let c_slo = prov.cache_for_target_gain(NODES, 3, 3.0).unwrap();
-    assert!(c_slo < c_star, "SLO cache {c_slo} should undercut c* {c_star}");
+    assert!(
+        c_slo < c_star,
+        "SLO cache {c_slo} should undercut c* {c_star}"
+    );
 
     // Below c*, the adversary's best play is x = c + 1.
     let gain = simulated_gain(c_slo, c_slo as u64 + 1, 1);
@@ -115,7 +118,10 @@ fn capacity_headroom_verdict_matches_des_saturation() {
         service_rate,
     };
     let starved = run_des(&mk(needed * 0.5)).unwrap();
-    assert!(starved.is_saturated(), "half the needed capacity must choke");
+    assert!(
+        starved.is_saturated(),
+        "half the needed capacity must choke"
+    );
     let provisioned = run_des(&mk(needed * 1.5)).unwrap();
     assert!(
         !provisioned.is_saturated(),

@@ -72,8 +72,13 @@ fn single_shift_step_does_not_hurt_the_adversary() {
 
     let mut shifted = original.as_slice().to_vec();
     // Shift from the last positive key onto the first below-h uncached key.
-    let i = (CACHE..shifted.len()).find(|&i| shifted[i] < h - 1e-12).unwrap();
-    let j = (0..shifted.len()).rev().find(|&j| shifted[j] > 0.0).unwrap();
+    let i = (CACHE..shifted.len())
+        .find(|&i| shifted[i] < h - 1e-12)
+        .unwrap();
+    let j = (0..shifted.len())
+        .rev()
+        .find(|&j| shifted[j] > 0.0)
+        .unwrap();
     assert!(i < j);
     shift_once(&mut shifted, h, i, j).unwrap();
     let shifted = Pmf::new(shifted).unwrap();

@@ -1,8 +1,6 @@
 //! The Eq. (10) bound against simulation, across a parameter grid.
 
-use secure_cache_provision::core::bounds::{
-    attack_gain_bound, critical_cache_size, KParam,
-};
+use secure_cache_provision::core::bounds::{attack_gain_bound, critical_cache_size, KParam};
 use secure_cache_provision::core::params::SystemParams;
 use secure_cache_provision::sim::config::{CacheKind, PartitionerKind, SelectorKind, SimConfig};
 use secure_cache_provision::sim::critical::find_critical_cache_size;
