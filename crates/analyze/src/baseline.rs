@@ -1,0 +1,202 @@
+//! The ratchet baseline: grandfathered debt that may only shrink.
+//!
+//! Ratcheted rules (`panic-path`, `slice-index`, `float-eq`) predate the
+//! analyzer; hundreds of occurrences exist and converting them wholesale
+//! would be churn, not safety. Instead, the committed
+//! `analyze-baseline.json` records the current count per `(file, rule)`.
+//! The gate then enforces a one-way ratchet:
+//!
+//! * a count **above** its baseline entry fails (new debt is rejected);
+//! * a count **below** its entry passes the deny gate but fails
+//!   `--check-baseline` until the file is regenerated with
+//!   `--update-baseline` — so the committed ledger always matches reality
+//!   and improvements are locked in by the very next commit.
+//!
+//! The file is written with `scp-json` (BTreeMap keys, sorted), so its
+//! serialization is deterministic and diffs are minimal.
+
+use scp_json::Json;
+use std::collections::BTreeMap;
+
+/// File name of the committed baseline, relative to the workspace root.
+pub const BASELINE_FILE: &str = "analyze-baseline.json";
+
+/// Schema version written into the file.
+pub const BASELINE_VERSION: u64 = 1;
+
+/// Per-file, per-rule grandfathered counts.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// `file -> rule -> allowed count` (entries are always > 0).
+    pub counts: BTreeMap<String, BTreeMap<String, u64>>,
+}
+
+impl Baseline {
+    /// The allowed count for `(file, rule)` (0 when absent).
+    pub fn allowed(&self, file: &str, rule: &str) -> u64 {
+        self.counts
+            .get(file)
+            .and_then(|rules| rules.get(rule))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Builds a baseline from observed counts, dropping zero entries.
+    pub fn from_counts(observed: &BTreeMap<String, BTreeMap<String, u64>>) -> Self {
+        let mut counts = BTreeMap::new();
+        for (file, rules) in observed {
+            let nonzero: BTreeMap<String, u64> = rules
+                .iter()
+                .filter(|(_, &n)| n > 0)
+                .map(|(r, &n)| (r.clone(), n))
+                .collect();
+            if !nonzero.is_empty() {
+                counts.insert(file.clone(), nonzero);
+            }
+        }
+        Self { counts }
+    }
+
+    /// Serializes to the committed JSON form.
+    pub fn to_json(&self) -> Json {
+        let files: BTreeMap<String, Json> = self
+            .counts
+            .iter()
+            .map(|(file, rules)| {
+                let obj: BTreeMap<String, Json> = rules
+                    .iter()
+                    .map(|(r, &n)| (r.clone(), Json::Num(n as f64)))
+                    .collect();
+                (file.clone(), Json::Obj(obj))
+            })
+            .collect();
+        Json::obj([
+            ("version", Json::Num(BASELINE_VERSION as f64)),
+            ("files", Json::Obj(files)),
+        ])
+    }
+
+    /// Parses the committed JSON form.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed construct.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let json = Json::parse(text).map_err(|e| e.to_string())?;
+        let version = json
+            .get("version")
+            .and_then(Json::as_u64)
+            .ok_or("baseline missing numeric `version`")?;
+        if version != BASELINE_VERSION {
+            return Err(format!(
+                "baseline version {version} unsupported (expected {BASELINE_VERSION})"
+            ));
+        }
+        let Some(Json::Obj(files)) = json.get("files") else {
+            return Err("baseline missing `files` object".to_owned());
+        };
+        let mut counts = BTreeMap::new();
+        for (file, rules) in files {
+            let Json::Obj(rules) = rules else {
+                return Err(format!("baseline entry for `{file}` is not an object"));
+            };
+            let mut per_rule = BTreeMap::new();
+            for (rule, n) in rules {
+                let n = n
+                    .as_u64()
+                    .ok_or_else(|| format!("baseline count for `{file}`/`{rule}` not a count"))?;
+                if n > 0 {
+                    per_rule.insert(rule.clone(), n);
+                }
+            }
+            if !per_rule.is_empty() {
+                counts.insert(file.clone(), per_rule);
+            }
+        }
+        Ok(Self { counts })
+    }
+
+    /// Differences between this (committed) baseline and `current`
+    /// (observed) counts, as human-readable lines. Empty means in sync.
+    pub fn diff(&self, current: &Baseline) -> Vec<String> {
+        let mut out = Vec::new();
+        let empty = BTreeMap::new();
+        let files: std::collections::BTreeSet<&String> =
+            self.counts.keys().chain(current.counts.keys()).collect();
+        for file in files {
+            let old = self.counts.get(file.as_str()).unwrap_or(&empty);
+            let new = current.counts.get(file.as_str()).unwrap_or(&empty);
+            let rules: std::collections::BTreeSet<&String> = old.keys().chain(new.keys()).collect();
+            for rule in rules {
+                let o = old.get(rule.as_str()).copied().unwrap_or(0);
+                let n = new.get(rule.as_str()).copied().unwrap_or(0);
+                if o != n {
+                    out.push(format!("{file}: {rule} baseline {o} -> observed {n}"));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Baseline {
+        let mut counts = BTreeMap::new();
+        let mut rules = BTreeMap::new();
+        rules.insert("panic-path".to_owned(), 3u64);
+        rules.insert("slice-index".to_owned(), 7u64);
+        counts.insert("crates/x/src/lib.rs".to_owned(), rules);
+        Baseline { counts }
+    }
+
+    #[test]
+    fn roundtrips_through_json() {
+        let b = sample();
+        let text = b.to_json().to_pretty_string();
+        let back = Baseline::parse(&text).expect("parse");
+        assert_eq!(b, back);
+    }
+
+    #[test]
+    fn allowed_defaults_to_zero() {
+        let b = sample();
+        assert_eq!(b.allowed("crates/x/src/lib.rs", "panic-path"), 3);
+        assert_eq!(b.allowed("crates/x/src/lib.rs", "float-eq"), 0);
+        assert_eq!(b.allowed("other.rs", "panic-path"), 0);
+    }
+
+    #[test]
+    fn from_counts_drops_zeros() {
+        let mut observed = BTreeMap::new();
+        let mut rules = BTreeMap::new();
+        rules.insert("panic-path".to_owned(), 0u64);
+        observed.insert("crates/clean.rs".to_owned(), rules);
+        let b = Baseline::from_counts(&observed);
+        assert!(b.counts.is_empty());
+    }
+
+    #[test]
+    fn diff_reports_both_directions() {
+        let committed = sample();
+        let mut observed = committed.counts.clone();
+        if let Some(r) = observed.get_mut("crates/x/src/lib.rs") {
+            r.insert("panic-path".to_owned(), 5);
+        }
+        let current = Baseline { counts: observed };
+        let d = committed.diff(&current);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].contains("baseline 3 -> observed 5"));
+        assert!(committed.diff(&committed.clone()).is_empty());
+    }
+
+    #[test]
+    fn rejects_bad_versions_and_shapes() {
+        assert!(Baseline::parse("{}").is_err());
+        assert!(Baseline::parse("{\"version\":99,\"files\":{}}").is_err());
+        assert!(Baseline::parse("{\"version\":1,\"files\":{\"a\":3}}").is_err());
+        assert!(Baseline::parse("{\"version\":1,\"files\":{}}").is_ok());
+    }
+}

@@ -1,0 +1,397 @@
+//! A minimal Rust lexer that separates *code* from *non-code*.
+//!
+//! The analyzer's rules are textual, so the one job of this module is to
+//! guarantee that a rule can never fire on text inside a comment, a string
+//! literal, a raw string literal, a byte string or a char literal. It does
+//! that by producing two byte-for-byte *masks* of the source:
+//!
+//! * [`MaskedSource::code`] — the original text with every comment and
+//!   every literal *content* byte replaced by a space (literal delimiters
+//!   such as the quotes themselves are kept, so code shape like
+//!   `.expect("…")` survives as `.expect("   ")`);
+//! * [`MaskedSource::comments`] — the complement: only comment text (with
+//!   its `//` / `/* */` markers) survives, everything else is blanked.
+//!
+//! Newlines are preserved in both masks, so line numbers in the masks are
+//! line numbers in the original file. Multi-byte UTF-8 characters never
+//! straddle a mask boundary (all lexical delimiters are ASCII), so the
+//! masks remain valid UTF-8.
+//!
+//! Handled constructs: line comments, nested block comments, string
+//! literals with escapes, char/byte-char literals (disambiguated from
+//! lifetimes), raw and raw-byte strings with arbitrary `#` counts.
+
+/// The two complementary masks of one source file.
+#[derive(Debug, Clone)]
+pub struct MaskedSource {
+    /// Source with comments and literal contents blanked.
+    pub code: String,
+    /// Source with everything but comments blanked.
+    pub comments: String,
+}
+
+impl MaskedSource {
+    /// Lines of the code mask (no trailing newlines).
+    pub fn code_lines(&self) -> Vec<&str> {
+        self.code.lines().collect()
+    }
+
+    /// Lines of the comment mask (no trailing newlines).
+    pub fn comment_lines(&self) -> Vec<&str> {
+        self.comments.lines().collect()
+    }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Region {
+    Code,
+    Comment,
+    /// Literal *content*; delimiters are classified [`Region::Code`].
+    Literal,
+}
+
+fn is_ident(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Masks one source file. Total: unterminated constructs simply run to the
+/// end of input rather than erroring (the compiler owns syntax errors).
+pub fn mask(src: &str) -> MaskedSource {
+    let bytes = src.as_bytes();
+    let mut region = vec![Region::Code; bytes.len()];
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let b = bytes[i];
+        // Line comment.
+        if b == b'/' && bytes.get(i + 1) == Some(&b'/') {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                region[i] = Region::Comment;
+                i += 1;
+            }
+            continue;
+        }
+        // Block comment (nested).
+        if b == b'/' && bytes.get(i + 1) == Some(&b'*') {
+            let mut depth = 0usize;
+            while i < bytes.len() {
+                if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    depth += 1;
+                    region[i] = Region::Comment;
+                    region[i + 1] = Region::Comment;
+                    i += 2;
+                } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                    depth -= 1;
+                    region[i] = Region::Comment;
+                    region[i + 1] = Region::Comment;
+                    i += 2;
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    region[i] = Region::Comment;
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Possible raw / byte string prefix: (b|c)? r #* "  — only when the
+        // prefix letter does not continue a longer identifier.
+        let prev_ident = i > 0 && is_ident(bytes[i - 1]);
+        if !prev_ident && (b == b'r' || b == b'b' || b == b'c') {
+            if let Some(end) = try_raw_string(bytes, i) {
+                // Keep the prefix and delimiters as code, blank the content.
+                let open = raw_open_len(bytes, i);
+                let hashes = open.1;
+                let content_start = i + open.0;
+                let content_end = end - 1 - hashes; // before closing quote
+                for r in region.iter_mut().take(content_end).skip(content_start) {
+                    *r = Region::Literal;
+                }
+                i = end;
+                continue;
+            }
+            // Byte string b"..." or byte char b'...'.
+            if b == b'b' || b == b'c' {
+                match bytes.get(i + 1) {
+                    Some(&b'"') => {
+                        i = mask_string(bytes, &mut region, i + 1);
+                        continue;
+                    }
+                    Some(&b'\'') if b == b'b' => {
+                        i = mask_char(bytes, &mut region, i + 1);
+                        continue;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        if b == b'"' {
+            i = mask_string(bytes, &mut region, i);
+            continue;
+        }
+        if b == b'\'' && !prev_ident {
+            i = mask_char(bytes, &mut region, i);
+            continue;
+        }
+        i += 1;
+    }
+
+    let mut code = Vec::with_capacity(bytes.len());
+    let mut comments = Vec::with_capacity(bytes.len());
+    for (idx, &b) in bytes.iter().enumerate() {
+        if b == b'\n' || b == b'\r' {
+            code.push(b);
+            comments.push(b);
+            continue;
+        }
+        match region[idx] {
+            Region::Code => {
+                code.push(b);
+                comments.push(b' ');
+            }
+            Region::Comment => {
+                code.push(b' ');
+                comments.push(b);
+            }
+            Region::Literal => {
+                code.push(b' ');
+                comments.push(b' ');
+            }
+        }
+    }
+    // Masking only substitutes ASCII spaces for whole characters (all
+    // delimiters are ASCII), so the masks stay valid UTF-8.
+    MaskedSource {
+        code: String::from_utf8(code).unwrap_or_default(),
+        comments: String::from_utf8(comments).unwrap_or_default(),
+    }
+}
+
+/// If a raw (byte/C) string starts at `i`, returns the index just past its
+/// closing delimiter.
+fn try_raw_string(bytes: &[u8], i: usize) -> Option<usize> {
+    let (open_len, hashes) = raw_open_len_checked(bytes, i)?;
+    let mut j = i + open_len;
+    let closer_hashes = hashes;
+    while j < bytes.len() {
+        if bytes[j] == b'"' {
+            let mut k = 0usize;
+            while k < closer_hashes && bytes.get(j + 1 + k) == Some(&b'#') {
+                k += 1;
+            }
+            if k == closer_hashes {
+                return Some(j + 1 + closer_hashes);
+            }
+        }
+        j += 1;
+    }
+    Some(bytes.len())
+}
+
+/// `(prefix length through the opening quote, hash count)`, assuming
+/// [`raw_open_len_checked`] already accepted the position.
+fn raw_open_len(bytes: &[u8], i: usize) -> (usize, usize) {
+    raw_open_len_checked(bytes, i).unwrap_or((1, 0))
+}
+
+fn raw_open_len_checked(bytes: &[u8], i: usize) -> Option<(usize, usize)> {
+    let mut j = i;
+    if bytes.get(j) == Some(&b'b') || bytes.get(j) == Some(&b'c') {
+        j += 1;
+    }
+    if bytes.get(j) != Some(&b'r') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0usize;
+    while bytes.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if bytes.get(j) != Some(&b'"') {
+        return None;
+    }
+    Some((j + 1 - i, hashes))
+}
+
+/// Masks a normal string literal starting at the opening quote `start`;
+/// returns the index just past the closing quote.
+fn mask_string(bytes: &[u8], region: &mut [Region], start: usize) -> usize {
+    let mut j = start + 1;
+    while j < bytes.len() {
+        match bytes[j] {
+            b'\\' => {
+                region[j] = Region::Literal;
+                if j + 1 < bytes.len() {
+                    region[j + 1] = Region::Literal;
+                }
+                j += 2;
+            }
+            b'"' => return j + 1,
+            _ => {
+                region[j] = Region::Literal;
+                j += 1;
+            }
+        }
+    }
+    j
+}
+
+/// Masks a char (or byte-char) literal starting at the quote, or leaves a
+/// lifetime untouched; returns the index to resume lexing from.
+fn mask_char(bytes: &[u8], region: &mut [Region], start: usize) -> usize {
+    let next = match bytes.get(start + 1) {
+        Some(&b) => b,
+        None => return start + 1,
+    };
+    if next == b'\\' {
+        // Escaped char literal: blank until the closing quote.
+        let mut j = start + 1;
+        while j < bytes.len() && bytes[j] != b'\'' {
+            region[j] = Region::Literal;
+            if bytes[j] == b'\\' {
+                region[j + 1.min(bytes.len() - 1 - j)] = Region::Literal;
+                j += 1;
+            }
+            j += 1;
+        }
+        return (j + 1).min(bytes.len());
+    }
+    // One UTF-8 character, then a closing quote => char literal.
+    let char_len = utf8_len(next);
+    let close = start + 1 + char_len;
+    if bytes.get(close) == Some(&b'\'') {
+        for r in region.iter_mut().take(close).skip(start + 1) {
+            *r = Region::Literal;
+        }
+        return close + 1;
+    }
+    // A lifetime (`'a`) — plain code; resume after the quote.
+    start + 1
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        b if b < 0x80 => 1,
+        b if b >> 5 == 0b110 => 2,
+        b if b >> 4 == 0b1110 => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code_of(src: &str) -> String {
+        mask(src).code
+    }
+
+    fn comments_of(src: &str) -> String {
+        mask(src).comments
+    }
+
+    #[test]
+    fn line_comments_are_blanked_from_code() {
+        let src = "let x = 1; // trailing .unwrap() note\n";
+        let code = code_of(src);
+        assert!(code.contains("let x = 1;"));
+        assert!(!code.contains("unwrap"));
+        assert!(comments_of(src).contains(".unwrap() note"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "a /* outer /* inner */ still comment */ b";
+        let code = code_of(src);
+        assert!(code.starts_with('a'));
+        assert!(code.ends_with('b'));
+        assert!(!code.contains("inner"));
+        assert!(!code.contains("still"));
+    }
+
+    #[test]
+    fn string_contents_are_blanked_but_quotes_kept() {
+        let src = r#"call(".unwrap() // not a comment");"#;
+        let code = code_of(src);
+        assert!(!code.contains("unwrap"));
+        assert!(!code.contains("//"));
+        assert!(code.contains("call(\""));
+        assert_eq!(comments_of(src).trim(), "");
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_strings() {
+        let src = r#"let s = "a\"b.unwrap()"; let t = 1;"#;
+        let code = code_of(src);
+        assert!(!code.contains("unwrap"));
+        assert!(code.contains("let t = 1;"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = r###"let s = r#"quote " and .unwrap() inside"#; done();"###;
+        let code = code_of(src);
+        assert!(!code.contains("unwrap"));
+        assert!(code.contains("done();"));
+    }
+
+    #[test]
+    fn raw_string_prefix_is_not_taken_from_identifier_tail() {
+        // `har` ends in `r` but is an identifier, not a raw-string prefix.
+        let src = "har\"x\"; next();";
+        assert!(code_of(src).contains("next();"));
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let src = "let a = b\"panic!(x)\"; let c = b'['; go();";
+        let code = code_of(src);
+        assert!(!code.contains("panic"));
+        assert!(!code.contains('['));
+        assert!(code.contains("go();"));
+    }
+
+    #[test]
+    fn char_literals_versus_lifetimes() {
+        let src = "fn f<'a>(x: &'a str) { let c = '\"'; let d = 'z'; g(x); }";
+        let code = code_of(src);
+        assert!(code.contains("fn f<'a>(x: &'a str)"));
+        assert!(!code.contains('z'));
+        // The quote char literal must not open a string that eats the rest.
+        assert!(code.contains("g(x);"));
+    }
+
+    #[test]
+    fn escaped_char_literal() {
+        let src = r"let nl = '\n'; let u = '\u{1F600}'; h();";
+        let code = code_of(src);
+        assert!(code.contains("h();"));
+        assert!(!code.contains("1F600"));
+    }
+
+    #[test]
+    fn multibyte_characters_survive() {
+        let src = "// é in a comment\nlet s = \"é\"; let café_x = 1;";
+        let masked = mask(src);
+        assert!(masked.code.contains("café_x"));
+        assert!(masked.comments.contains('é'));
+        assert_eq!(masked.code.lines().count(), src.lines().count());
+    }
+
+    #[test]
+    fn line_structure_is_preserved() {
+        let src = "a\n/* two\nlines */\nb\n";
+        let masked = mask(src);
+        assert_eq!(masked.code.lines().count(), 4);
+        assert_eq!(masked.comments.lines().count(), 4);
+        assert_eq!(masked.code.lines().nth(3), Some("b"));
+    }
+
+    #[test]
+    fn unterminated_constructs_do_not_panic() {
+        for src in ["\"open", "/* open", "r#\"open", "'", "b'"] {
+            let _ = mask(src);
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! `scp-analyze` — in-repo static analysis for determinism and
+//! panic-safety.
+//!
+//! PR 1 made bit-for-bit replayable run journals and thread-count-invariant
+//! adaptive stopping this workspace's headline guarantee. That guarantee
+//! rests on *code* properties nothing used to enforce: no hash-order
+//! iteration feeding results, no wall-clock or ambient entropy in result
+//! paths, no panics tearing down a sweep halfway. This crate is a
+//! dependency-free checker for exactly those properties, in the same
+//! offline, in-repo spirit as `scp-json` and `scp_bench::harness`.
+//!
+//! Pipeline: [`files`] walks the workspace and classifies every `.rs`
+//! file; [`lexer`] masks comments and literals so rules only ever see
+//! code; [`rules`] runs the rule set and applies `scp-allow` suppressions
+//! ([`pragma`]); [`baseline`] ratchets pre-existing debt; [`report`]
+//! classifies findings into violations and renders human/JSON output.
+//!
+//! Three consumers: the `scp-analyze` binary (CI runs it with `--deny
+//! --check-baseline`), the tier-1 gate tests (`cargo test -p scp-analyze`
+//! and the root suite), and developers iterating with
+//! `--update-baseline`.
+
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod files;
+pub mod lexer;
+pub mod pragma;
+pub mod report;
+pub mod rules;
+
+use baseline::{Baseline, BASELINE_FILE};
+use report::Report;
+use std::io;
+use std::path::Path;
+
+/// Analyzes every workspace `.rs` file under `root` and classifies the
+/// findings against the committed baseline (an absent baseline file is an
+/// empty baseline).
+///
+/// # Errors
+///
+/// Returns an I/O error if sources cannot be read, or a baseline parse
+/// error as [`io::ErrorKind::InvalidData`].
+pub fn analyze_workspace(root: &Path) -> io::Result<Report> {
+    let committed = load_baseline(root)?;
+    analyze_workspace_against(root, &committed)
+}
+
+/// Like [`analyze_workspace`], with an explicit baseline.
+///
+/// # Errors
+///
+/// Returns an I/O error if sources cannot be read.
+pub fn analyze_workspace_against(root: &Path, committed: &Baseline) -> io::Result<Report> {
+    let sources = files::collect_sources(root)?;
+    let mut findings = Vec::new();
+    for file in &sources {
+        findings.extend(rules::check_file(file));
+    }
+    Ok(Report::build(sources.len(), findings, committed))
+}
+
+/// Loads the committed baseline from `root`, or an empty one if the file
+/// does not exist yet.
+///
+/// # Errors
+///
+/// Returns [`io::ErrorKind::InvalidData`] for a malformed baseline file.
+pub fn load_baseline(root: &Path) -> io::Result<Baseline> {
+    let path = root.join(BASELINE_FILE);
+    if !path.exists() {
+        return Ok(Baseline::default());
+    }
+    let text = std::fs::read_to_string(&path)?;
+    Baseline::parse(&text)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{BASELINE_FILE}: {e}")))
+}
+
+/// Writes `baseline` to its committed location under `root`.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn store_baseline(root: &Path, baseline: &Baseline) -> io::Result<()> {
+    std::fs::write(
+        root.join(BASELINE_FILE),
+        baseline.to_json().to_pretty_string(),
+    )
+}

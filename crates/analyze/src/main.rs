@@ -1,0 +1,128 @@
+//! The `scp-analyze` command-line interface.
+//!
+//! ```text
+//! scp-analyze [--root DIR] [--deny] [--check-baseline] [--update-baseline]
+//!             [--json PATH|-] [--verbose]
+//! ```
+//!
+//! Exit codes: `0` clean, `1` gate failure (`--deny` violations or
+//! `--check-baseline` drift), `2` usage or I/O error.
+
+use scp_analyze::baseline::BASELINE_FILE;
+use scp_analyze::files::find_workspace_root;
+use scp_analyze::{analyze_workspace, store_baseline};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Opts {
+    root: Option<PathBuf>,
+    deny: bool,
+    check_baseline: bool,
+    update_baseline: bool,
+    json: Option<String>,
+    verbose: bool,
+}
+
+const USAGE: &str = "usage: scp-analyze [--root DIR] [--deny] [--check-baseline] \
+[--update-baseline] [--json PATH|-] [--verbose]";
+
+fn parse_opts(mut args: impl Iterator<Item = String>) -> Result<Opts, String> {
+    let mut opts = Opts {
+        root: None,
+        deny: false,
+        check_baseline: false,
+        update_baseline: false,
+        json: None,
+        verbose: false,
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                let dir = args.next().ok_or("--root needs a directory")?;
+                opts.root = Some(PathBuf::from(dir));
+            }
+            "--deny" => opts.deny = true,
+            "--check-baseline" => opts.check_baseline = true,
+            "--update-baseline" => opts.update_baseline = true,
+            "--json" => {
+                opts.json = Some(args.next().ok_or("--json needs a path (or `-`)")?);
+            }
+            "--verbose" | "-v" => opts.verbose = true,
+            "--help" | "-h" => return Err(USAGE.to_owned()),
+            other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_opts(std::env::args().skip(1)) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let start = opts.root.clone().unwrap_or_else(|| PathBuf::from("."));
+    let Some(root) = find_workspace_root(&start) else {
+        eprintln!(
+            "scp-analyze: no workspace Cargo.toml found above {}",
+            start.display()
+        );
+        return ExitCode::from(2);
+    };
+
+    let report = match analyze_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("scp-analyze: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.update_baseline {
+        if let Err(e) = store_baseline(&root, &report.observed) {
+            eprintln!("scp-analyze: writing {BASELINE_FILE}: {e}");
+            return ExitCode::from(2);
+        }
+        println!(
+            "scp-analyze: wrote {} ({} files with ratcheted debt)",
+            BASELINE_FILE,
+            report.observed.counts.len()
+        );
+        // Violations of deny rules still gate below even after an update.
+    }
+
+    match opts.json.as_deref() {
+        Some("-") => println!("{}", report.render_json().to_pretty_string()),
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, report.render_json().to_pretty_string()) {
+                eprintln!("scp-analyze: writing {path}: {e}");
+                return ExitCode::from(2);
+            }
+            print!("{}", report.render_human(opts.verbose));
+        }
+        None => print!("{}", report.render_human(opts.verbose)),
+    }
+
+    let mut failed = false;
+    if opts.deny && !report.deny_clean() {
+        eprintln!(
+            "scp-analyze: --deny: {} violation(s)",
+            report.violations.len()
+        );
+        failed = true;
+    }
+    if opts.check_baseline && !opts.update_baseline && !report.baseline_in_sync() {
+        eprintln!(
+            "scp-analyze: --check-baseline: {BASELINE_FILE} out of sync ({} difference(s))",
+            report.baseline_diff.len()
+        );
+        failed = true;
+    }
+    if failed {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,257 @@
+//! Golden tests: one positive and one negative example per rule, plus
+//! every accepted `scp-allow` suppression form. These pin down the rule
+//! semantics the workspace relies on, so a lexer or rule-engine change
+//! that silently widens or narrows a rule fails here first.
+
+use scp_analyze::files::SourceFile;
+use scp_analyze::rules::{check_file, Finding};
+
+/// Runs the rule engine over `src` as if it were non-test library code in
+/// `scp-sim` (a crate in scope for every rule).
+fn findings(src: &str) -> Vec<Finding> {
+    check_file(&SourceFile::from_source("crates/sim/src/golden.rs", src))
+}
+
+fn active_rules(src: &str) -> Vec<&'static str> {
+    let mut rules: Vec<&'static str> = findings(src)
+        .into_iter()
+        .filter(|f| !f.suppressed)
+        .map(|f| f.rule)
+        .collect();
+    rules.dedup();
+    rules
+}
+
+// --- hash-iteration -----------------------------------------------------
+
+#[test]
+fn golden_hash_iteration_method_call() {
+    let src = "use std::collections::HashMap;\n\
+               fn f() {\n\
+               \x20   let m: HashMap<u64, u64> = HashMap::new();\n\
+               \x20   for (k, v) in m.iter() { let _ = (k, v); }\n\
+               }\n";
+    assert_eq!(active_rules(src), vec!["hash-iteration"]);
+}
+
+#[test]
+fn golden_hash_iteration_for_loop() {
+    let src = "use std::collections::HashSet;\n\
+               fn f(s: HashSet<u64>) {\n\
+               \x20   for k in &s { let _ = k; }\n\
+               }\n";
+    assert_eq!(active_rules(src), vec!["hash-iteration"]);
+}
+
+#[test]
+fn golden_hash_iteration_ignores_btreemap() {
+    let src = "use std::collections::BTreeMap;\n\
+               fn f(m: BTreeMap<u64, u64>) -> u64 {\n\
+               \x20   m.values().sum()\n\
+               }\n";
+    assert!(active_rules(src).is_empty());
+}
+
+#[test]
+fn golden_hash_iteration_out_of_scope_crate() {
+    // Only scp-core/scp-cluster/scp-sim/scp-cache are in scope.
+    let src = "use std::collections::HashMap;\n\
+               fn f(m: HashMap<u64, u64>) -> u64 { m.values().sum() }\n";
+    let f = check_file(&SourceFile::from_source("crates/json/src/golden.rs", src));
+    assert!(f.iter().all(|f| f.rule != "hash-iteration"), "{f:?}");
+}
+
+// --- wall-clock ---------------------------------------------------------
+
+#[test]
+fn golden_wall_clock_instant_now() {
+    let src = "fn f() { let _t = std::time::Instant::now(); }\n";
+    assert_eq!(active_rules(src), vec!["wall-clock"]);
+}
+
+#[test]
+fn golden_wall_clock_elapsed() {
+    let src = "fn f(t: std::time::Instant) -> f64 { t.elapsed().as_secs_f64() }\n";
+    assert_eq!(active_rules(src), vec!["wall-clock"]);
+}
+
+#[test]
+fn golden_wall_clock_whitelisted_file() {
+    let src = "fn f() { let _t = std::time::Instant::now(); }\n";
+    let f = check_file(&SourceFile::from_source("crates/sim/src/runner.rs", src));
+    assert!(f.iter().all(|f| f.rule != "wall-clock"), "{f:?}");
+}
+
+#[test]
+fn golden_wall_clock_type_position_ok() {
+    let src = "fn f(deadline: std::time::Instant) -> bool { deadline.checked_add(D).is_some() }\n";
+    assert!(active_rules(src).is_empty());
+}
+
+// --- env-entropy --------------------------------------------------------
+
+#[test]
+fn golden_env_entropy_randomstate() {
+    let src = "fn f() { let _s = std::collections::hash_map::RandomState::new(); }\n";
+    assert_eq!(active_rules(src), vec!["env-entropy"]);
+}
+
+#[test]
+fn golden_env_entropy_env_var() {
+    let src = "fn f() -> Option<String> { std::env::var(\"SCP_SEED\").ok() }\n";
+    assert_eq!(active_rules(src), vec!["env-entropy"]);
+}
+
+// --- unsafe-hygiene -----------------------------------------------------
+
+#[test]
+fn golden_unsafe_without_safety_comment() {
+    let src = "fn f(p: *const u8) -> u8 {\n\
+               \x20   unsafe { *p }\n\
+               }\n";
+    assert_eq!(active_rules(src), vec!["unsafe-hygiene"]);
+}
+
+#[test]
+fn golden_unsafe_with_safety_comment() {
+    let src = "fn f(p: *const u8) -> u8 {\n\
+               \x20   // SAFETY: caller guarantees p is valid for reads\n\
+               \x20   unsafe { *p }\n\
+               }\n";
+    assert!(active_rules(src).is_empty());
+}
+
+// --- panic-path ---------------------------------------------------------
+
+#[test]
+fn golden_panic_path_unwrap_expect_panic() {
+    for stmt in ["x.unwrap();", "x.expect(\"boom\");", "panic!(\"boom\");"] {
+        let src = format!("fn f(x: Option<u64>) {{ {stmt} }}\n");
+        assert_eq!(active_rules(&src), vec!["panic-path"], "{stmt}");
+    }
+}
+
+#[test]
+fn golden_panic_path_skips_cfg_test() {
+    let src = "fn live() {}\n\
+               #[cfg(test)]\n\
+               mod tests {\n\
+               \x20   #[test]\n\
+               \x20   fn t() { Some(1).unwrap(); }\n\
+               }\n";
+    assert!(active_rules(src).is_empty());
+}
+
+#[test]
+fn golden_panic_path_skips_integration_tests() {
+    let src = "fn t() { Some(1).unwrap(); }\n";
+    let f = check_file(&SourceFile::from_source("crates/sim/tests/golden.rs", src));
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn golden_panic_path_expect_method_on_result_type_ok() {
+    // `.expect(..)?` is a Result-returning helper (scp-json's parser), not
+    // a panic.
+    let src = "fn f(p: &mut P) -> Result<(), E> { p.expect(b'{')?; Ok(()) }\n";
+    assert!(active_rules(src).is_empty());
+}
+
+#[test]
+fn golden_panic_path_in_comment_or_string_ok() {
+    let src = "fn f() -> &'static str {\n\
+               \x20   // calling unwrap() here would be wrong\n\
+               \x20   \"do not unwrap() me\"\n\
+               }\n";
+    assert!(active_rules(src).is_empty());
+}
+
+// --- slice-index --------------------------------------------------------
+
+#[test]
+fn golden_slice_index_direct() {
+    let src = "fn f(v: &[u64]) -> u64 { v[0] }\n";
+    assert_eq!(active_rules(src), vec!["slice-index"]);
+}
+
+#[test]
+fn golden_slice_index_ignores_macros_attrs_types() {
+    let src = "#[derive(Debug)]\n\
+               struct S { xs: Vec<[u8; 4]> }\n\
+               fn f() -> Vec<u64> { vec![1, 2, 3] }\n";
+    assert!(active_rules(src).is_empty());
+}
+
+// --- float-eq -----------------------------------------------------------
+
+#[test]
+fn golden_float_eq_literal_comparison() {
+    let src = "fn f(x: f64) -> bool { x == 0.0 }\n";
+    assert_eq!(active_rules(src), vec!["float-eq"]);
+}
+
+#[test]
+fn golden_float_eq_inequality() {
+    let src = "fn f(x: f64) -> bool { x != 1.5 }\n";
+    assert_eq!(active_rules(src), vec!["float-eq"]);
+}
+
+#[test]
+fn golden_float_eq_integer_comparison_ok() {
+    let src = "fn f(x: u64) -> bool { x == 0 }\n";
+    assert!(active_rules(src).is_empty());
+}
+
+// --- suppression forms --------------------------------------------------
+
+#[test]
+fn golden_allow_on_preceding_line() {
+    let src = "fn f(v: &[u64]) -> u64 {\n\
+               \x20   // scp-allow(slice-index): validated non-empty by caller\n\
+               \x20   v[0]\n\
+               }\n";
+    let f = findings(src);
+    assert!(f.iter().all(|f| f.suppressed), "{f:?}");
+    assert_eq!(f.len(), 1, "finding still recorded, just suppressed");
+}
+
+#[test]
+fn golden_allow_on_same_line() {
+    let src = "fn f(v: &[u64]) -> u64 { v[0] } // scp-allow(slice-index): caller checks\n";
+    let f = findings(src);
+    assert!(f.iter().all(|f| f.suppressed), "{f:?}");
+}
+
+#[test]
+fn golden_allow_requires_reason() {
+    let src = "fn f(v: &[u64]) -> u64 {\n\
+               \x20   // scp-allow(slice-index)\n\
+               \x20   v[0]\n\
+               }\n";
+    let rules = active_rules(src);
+    assert!(rules.contains(&"invalid-pragma"), "{rules:?}");
+    assert!(rules.contains(&"slice-index"), "not suppressed: {rules:?}");
+}
+
+#[test]
+fn golden_allow_unknown_rule_is_invalid() {
+    let src = "// scp-allow(no-such-rule): because\nfn f() {}\n";
+    assert_eq!(active_rules(src), vec!["invalid-pragma"]);
+}
+
+#[test]
+fn golden_allow_suppressing_nothing_is_flagged() {
+    let src = "// scp-allow(slice-index): nothing here\nfn f() {}\n";
+    assert_eq!(active_rules(src), vec!["unused-allow"]);
+}
+
+#[test]
+fn golden_allow_only_covers_named_rule() {
+    let src = "fn f(v: &[f64]) -> bool {\n\
+               \x20   // scp-allow(slice-index): length checked\n\
+               \x20   v[0] == 0.0\n\
+               }\n";
+    let f = findings(src);
+    let active: Vec<_> = f.iter().filter(|f| !f.suppressed).map(|f| f.rule).collect();
+    assert_eq!(active, vec!["float-eq"], "float-eq must survive: {f:?}");
+}

@@ -1,0 +1,56 @@
+//! The tier-1 gate: the workspace itself must analyze clean.
+//!
+//! "Clean" means (a) zero deny-rule violations and zero ratchet
+//! regressions beyond the committed `analyze-baseline.json`, and (b) the
+//! committed baseline exactly matches what the analyzer observes (so a
+//! debt *improvement* must be locked in with `--update-baseline` before
+//! it can merge — the ratchet only turns one way).
+
+use scp_analyze::analyze_workspace;
+use scp_analyze::files::find_workspace_root;
+use std::path::Path;
+
+fn workspace_root() -> std::path::PathBuf {
+    find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("analyze crate lives inside the workspace")
+}
+
+#[test]
+fn workspace_has_no_violations() {
+    let report = analyze_workspace(&workspace_root()).expect("analysis runs");
+    assert!(report.files_scanned > 50, "workspace walk looks truncated");
+    assert!(
+        report.deny_clean(),
+        "static-analysis violations (fix them or add a justified \
+         `// scp-allow(<rule>): <reason>`):\n{}",
+        report.render_human(true)
+    );
+}
+
+#[test]
+fn committed_baseline_is_in_sync() {
+    let report = analyze_workspace(&workspace_root()).expect("analysis runs");
+    assert!(
+        report.baseline_in_sync(),
+        "analyze-baseline.json is out of sync with the tree; run \
+         `cargo run -p scp-analyze -- --update-baseline` and commit the \
+         result:\n{}",
+        report.baseline_diff.join("\n")
+    );
+}
+
+#[test]
+fn scp_core_carries_no_ratcheted_debt() {
+    // PR-2 burned scp-core's panic-safety debt to zero; keep it there.
+    let report = analyze_workspace(&workspace_root()).expect("analysis runs");
+    let core_debt: Vec<_> = report
+        .observed
+        .counts
+        .iter()
+        .filter(|(file, _)| file.starts_with("crates/core/"))
+        .collect();
+    assert!(
+        core_debt.is_empty(),
+        "scp-core regained ratcheted debt: {core_debt:?}"
+    );
+}

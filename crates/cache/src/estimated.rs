@@ -74,6 +74,8 @@ impl<K: Copy + Eq + Hash + Ord> EstimatedOracleCache<K> {
             .map(|e| e.key)
             .collect();
         // Account churn as insertions/evictions for observability.
+        // scp-allow(hash-iteration): only the cardinality of the
+        // intersection is used, which is invariant to iteration order
         let kept = next.intersection(&self.resident).count();
         for _ in 0..(next.len() - kept) {
             self.stats.record_insertion();

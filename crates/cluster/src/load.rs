@@ -1,5 +1,7 @@
 //! Load accounting and imbalance statistics.
 
+use scp_core::is_negligible;
+
 /// An immutable snapshot of per-node loads with derived statistics.
 ///
 /// Loads are in whatever unit the producer used — queries/second for the
@@ -49,7 +51,7 @@ impl LoadSnapshot {
         self.loads
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("loads are finite"))
+            .max_by(|a, b| f64::total_cmp(a.1, b.1))
             .map(|(i, _)| i)
     }
 
@@ -71,7 +73,7 @@ impl LoadSnapshot {
     /// Coefficient of variation (stddev / mean); 0 for perfectly even load.
     pub fn coefficient_of_variation(&self) -> f64 {
         let mean = self.mean();
-        if mean == 0.0 || self.loads.len() < 2 {
+        if is_negligible(mean) || self.loads.len() < 2 {
             return 0.0;
         }
         let var = self
@@ -92,7 +94,7 @@ impl LoadSnapshot {
             return 0.0;
         }
         let mut sorted = self.loads.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("loads are finite"));
+        sorted.sort_by(f64::total_cmp);
         // Gini = (2 * sum_i i*x_i) / (n * total) - (n + 1) / n, i is 1-based.
         let weighted: f64 = sorted
             .iter()

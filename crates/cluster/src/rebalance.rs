@@ -137,7 +137,7 @@ pub fn rebalance(
             }
         };
         let Some(hot) = hot else { break };
-        if loads[hot] <= cfg.target_ratio * mean || loads[hot] == 0.0 {
+        if loads[hot] <= cfg.target_ratio * mean || scp_core::is_negligible(loads[hot]) {
             converged = true;
             break;
         }

@@ -250,9 +250,18 @@ pub fn optimal_subset_size_single_choice(n: usize, c: usize, m: u64, beta: f64) 
             hi = m2 - 1;
         }
     }
-    (lo..=hi)
-        .max_by(|&a, &b| gain(a).partial_cmp(&gain(b)).expect("gains are finite"))
-        .expect("non-empty range")
+    // Pick the best of the <= 3 remaining candidates with a plain scan;
+    // `>=` keeps the last maximum on ties, matching `Iterator::max_by`.
+    let mut best = lo;
+    let mut best_gain = gain(lo);
+    for x in lo + 1..=hi {
+        let g = gain(x);
+        if g >= best_gain {
+            best = x;
+            best_gain = g;
+        }
+    }
+    best
 }
 
 #[cfg(test)]

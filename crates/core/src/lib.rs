@@ -52,6 +52,7 @@ pub mod theorem;
 pub use error::CoreError;
 pub use gain::{AttackGain, Effectiveness};
 pub use params::SystemParams;
+pub use theorem::{is_negligible, POSITIVE_PROB_EPSILON};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, CoreError>;

@@ -28,6 +28,17 @@ use scp_workload::Pmf;
 /// "positive probability" means.
 pub const POSITIVE_PROB_EPSILON: f64 = 1e-12;
 
+/// Whether `v` is indistinguishable from zero at the workspace's shared
+/// rounding tolerance ([`POSITIVE_PROB_EPSILON`]).
+///
+/// Raw `== 0.0` comparisons on accumulated floats are how production and
+/// verification drift apart (the `float-eq` analyzer rule rejects them);
+/// route zero tests through this helper instead so every crate agrees on
+/// what "zero" means for derived quantities like loads and probabilities.
+pub fn is_negligible(v: f64) -> bool {
+    v.abs() <= POSITIVE_PROB_EPSILON
+}
+
 /// One Theorem-1 shift: moves `δ = min(h - p[i], p[j])` from `p[j]` to
 /// `p[i]`. Returns the δ actually moved.
 ///
@@ -42,6 +53,7 @@ pub fn shift_once(probs: &mut [f64], h: f64, i: usize, j: usize) -> Result<f64> 
             reason: format!("need i < j < len, got i={i}, j={j}, len={}", probs.len()),
         });
     }
+    // scp-allow(slice-index): i < j < probs.len() verified above
     let (pi, pj) = (probs[i], probs[j]);
     if !(h >= pi && pi >= pj && pj > 0.0) {
         return Err(CoreError::InvalidParameter {
@@ -50,7 +62,9 @@ pub fn shift_once(probs: &mut [f64], h: f64, i: usize, j: usize) -> Result<f64> 
         });
     }
     let delta = (h - pi).min(pj);
+    // scp-allow(slice-index): i < j < probs.len() verified above
     probs[i] += delta;
+    // scp-allow(slice-index): i < j < probs.len() verified above
     probs[j] -= delta;
     Ok(delta)
 }
@@ -92,6 +106,7 @@ pub fn canonicalize(pmf: &Pmf, c: usize) -> Result<CanonicalAttack> {
         });
     }
     let mut probs = pmf.as_slice().to_vec();
+    // scp-allow(slice-index): Pmf is non-empty and c <= len checked above
     let h = if c == 0 { probs[0] } else { probs[c - 1] };
 
     // Two-pointer sweep: fill each uncached key up to h from the lightest
@@ -101,10 +116,12 @@ pub fn canonicalize(pmf: &Pmf, c: usize) -> Result<CanonicalAttack> {
     let mut fill = c;
     let mut drain = probs.len() - 1;
     while fill < drain {
+        // scp-allow(slice-index): fill < drain < probs.len() by the loop bound
         if probs[fill] >= h {
             fill += 1;
             continue;
         }
+        // scp-allow(slice-index): fill < drain < probs.len() by the loop bound
         if probs[drain] <= 0.0 {
             drain -= 1;
             continue;

@@ -62,6 +62,8 @@ impl Json {
     /// The value as `u64`, if it is a non-negative integral number.
     pub fn as_u64(&self) -> Option<u64> {
         match self {
+            // scp-allow(float-eq): fract() == 0.0 is an exact IEEE-754
+            // integrality test, not a tolerance comparison
             Json::Num(v) if *v >= 0.0 && v.fract() == 0.0 && *v <= u64::MAX as f64 => {
                 Some(*v as u64)
             }
@@ -193,6 +195,8 @@ fn format_number(v: f64) -> String {
         // JSON has no Inf/NaN; journals never produce them, but be safe.
         return "null".to_string();
     }
+    // scp-allow(float-eq): fract() == 0.0 is an exact IEEE-754
+    // integrality test, not a tolerance comparison
     if v.fract() == 0.0 && v.abs() < 1e15 {
         format!("{}", v as i64)
     } else {
@@ -448,8 +452,8 @@ impl<'a> Parser<'a> {
                 return Err(self.err("expected exponent digits"));
             }
         }
-        let text =
-            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("number bytes are not ASCII"))?;
         text.parse::<f64>()
             .map(Json::Num)
             .map_err(|_| self.err("number out of range"))

@@ -5,6 +5,8 @@ use scp_repro::{ablation, fig3, fig4, fig5, Opts};
 
 fn main() {
     let opts = Opts::from_env();
+    // scp-allow(wall-clock): progress display only; never enters tables,
+    // CSVs or journals, so replays stay bit-for-bit identical
     let started = std::time::Instant::now();
 
     let mut failures = 0usize;
@@ -72,6 +74,8 @@ fn main() {
         }
     }
 
+    // scp-allow(wall-clock): progress display only; never enters tables,
+    // CSVs or journals, so replays stay bit-for-bit identical
     println!("done in {:.1}s", started.elapsed().as_secs_f64());
     if failures > 0 {
         eprintln!("{failures} experiment group(s) failed");

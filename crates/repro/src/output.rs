@@ -217,6 +217,8 @@ pub fn save_journals(dir: Option<&Path>, name: &str, book: &JournalBook) {
 
 /// Formats a float with sensible experiment precision.
 pub fn fmt_f(v: f64) -> String {
+    // scp-allow(float-eq): deliberate exact test so that only a true zero
+    // prints as "0"; near-zero residue must stay visible in tables
     if v == 0.0 {
         "0".to_string()
     } else if v.abs() >= 1000.0 {

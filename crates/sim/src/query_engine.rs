@@ -83,6 +83,8 @@ pub fn run_trace_simulation(
     for key in trace.iter() {
         *counts.entry(key).or_insert(0) += 1;
     }
+    // scp-allow(hash-iteration): the sort below imposes a total order
+    // (count desc, then key asc), so hash order cannot leak into results
     let mut ranked: Vec<(u64, u64)> = counts.into_iter().collect();
     ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
     let mut cache = cfg.build_cache(ranked.into_iter().map(|(k, _)| k));

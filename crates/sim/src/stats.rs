@@ -108,7 +108,7 @@ pub fn quantile(values: &[f64], q: f64) -> f64 {
     assert!(!values.is_empty(), "quantile of empty sample");
     assert!((0.0..=1.0).contains(&q), "q must be in [0,1], got {q}");
     let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("values are finite"));
+    sorted.sort_by(f64::total_cmp);
     let pos = q * (sorted.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;

@@ -180,6 +180,7 @@ impl MixtureSampler {
         // Float round-off: fall back to the last component.
         self.samplers
             .last_mut()
+            // scp-allow(panic-path): Mixture::new rejects empty lists
             .expect("mixture has components")
             .1
             .sample()

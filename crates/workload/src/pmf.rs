@@ -137,7 +137,7 @@ impl Pmf {
     /// Returns a copy sorted into canonical (descending popularity) order.
     pub fn to_sorted_descending(&self) -> Self {
         let mut probs = self.probs.clone();
-        probs.sort_by(|a, b| b.partial_cmp(a).expect("probabilities are finite"));
+        probs.sort_by(|a, b| f64::total_cmp(b, a));
         Self { probs }
     }
 

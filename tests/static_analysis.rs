@@ -1,0 +1,25 @@
+//! Root-suite mirror of the `scp-analyze` gate, so a plain `cargo test`
+//! from the workspace root fails on determinism/panic-safety violations
+//! even when nobody runs the analyzer binary. See `crates/analyze` for
+//! the rule set and README for the ratchet workflow.
+
+use scp_analyze::analyze_workspace;
+use scp_analyze::files::find_workspace_root;
+use std::path::Path;
+
+#[test]
+fn static_analysis_gate() {
+    let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("workspace root");
+    let report = analyze_workspace(&root).expect("analysis runs");
+    assert!(
+        report.deny_clean(),
+        "static-analysis violations:\n{}",
+        report.render_human(true)
+    );
+    assert!(
+        report.baseline_in_sync(),
+        "analyze-baseline.json out of sync; run \
+         `cargo run -p scp-analyze -- --update-baseline`:\n{}",
+        report.baseline_diff.join("\n")
+    );
+}
