@@ -115,8 +115,15 @@ pub fn rule_info(name: &str) -> Option<&'static RuleInfo> {
 const HASH_ITER_CRATES: &[&str] = &["scp-core", "scp-cluster", "scp-sim", "scp-cache"];
 
 /// Files allowed to read wall clocks: the runner measures wall time for
-/// journal metadata explicitly, and the bench harness is a timing tool.
-const WALL_CLOCK_WHITELIST: &[&str] = &["crates/sim/src/runner.rs", "crates/bench/"];
+/// journal metadata explicitly, the bench harness is a timing tool, and
+/// the serving engine's clock module is the single place the live path
+/// reads wall time (everything else in `crates/serve` must go through
+/// it, so shedding and reports stay a function of logical time).
+const WALL_CLOCK_WHITELIST: &[&str] = &[
+    "crates/sim/src/runner.rs",
+    "crates/bench/",
+    "crates/serve/src/clock.rs",
+];
 
 /// One finding, before suppression/baseline classification.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -731,6 +738,28 @@ mod tests {
             lines: vec!["let t = Instant::now();".into()],
         };
         assert!(check_file(&bench).is_empty());
+        let masked = mask("let t = Instant::now();\n");
+        let clock = SourceFile {
+            rel_path: "crates/serve/src/clock.rs".into(),
+            crate_name: "scp-serve".into(),
+            kind: FileKind::Library,
+            in_test: vec![false; 1],
+            masked,
+            lines: vec!["let t = Instant::now();".into()],
+        };
+        assert!(check_file(&clock).is_empty());
+        // Only the clock module is exempt — the rest of the serving
+        // engine must route wall-clock reads through it.
+        let masked = mask("let t = Instant::now();\n");
+        let engine = SourceFile {
+            rel_path: "crates/serve/src/engine.rs".into(),
+            crate_name: "scp-serve".into(),
+            kind: FileKind::Library,
+            in_test: vec![false; 1],
+            masked,
+            lines: vec!["let t = Instant::now();".into()],
+        };
+        assert_eq!(check_file(&engine).len(), 1);
     }
 
     #[test]

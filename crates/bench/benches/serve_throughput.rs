@@ -1,0 +1,81 @@
+//! Macro-benchmark: the live serving engine's query throughput on an
+//! 8-shard system, for both the deterministic replay path and the full
+//! threaded pipeline (clients → admission → SPSC fan-out → shard
+//! workers).
+//!
+//! With `SCP_BENCH_SMOKE=1` (the CI smoke mode) the bench shrinks its
+//! sample counts and then *enforces* the serving-layer floor: every
+//! engine must sustain at least 1M queries/minute, or the process exits
+//! non-zero.
+
+use scp_bench::harness::{Criterion, Throughput};
+use scp_bench::{criterion_group, criterion_main};
+use scp_serve::{run_deterministic, run_threaded, ServeConfig};
+use scp_sim::SimConfig;
+use std::hint::black_box;
+
+/// Queries each engine must move per minute in smoke mode.
+const SMOKE_FLOOR_PER_MIN: f64 = 1e6;
+
+fn smoke() -> bool {
+    std::env::var_os("SCP_BENCH_SMOKE").is_some_and(|v| v != "0")
+}
+
+/// The smoke-gate system: 8 shards under the optimal `x = c + 1` attack
+/// (the builder's `AttackHead` default), shedding enabled so the hot
+/// shard sheds instead of queueing without bound.
+fn eight_shard_config(total_queries: u64) -> ServeConfig {
+    let sim = SimConfig::builder()
+        .nodes(8)
+        .replication(3)
+        .cache_capacity(64)
+        .items(100_000)
+        .rate(1e5)
+        .seed(0x5E4E)
+        .build()
+        .expect("bench shape is valid");
+    let mut cfg = ServeConfig::new(sim);
+    cfg.total_queries = total_queries;
+    cfg.capacity_headroom = 1.5;
+    cfg
+}
+
+fn bench_serve(c: &mut Criterion) {
+    let (queries, samples) = if smoke() { (50_000, 3) } else { (200_000, 10) };
+
+    let mut group = c.benchmark_group("serve/8_shards");
+    group
+        .sample_size(samples)
+        .throughput(Throughput::Elements(queries));
+
+    let cfg = eight_shard_config(queries);
+    group.bench_function("deterministic", |b| {
+        b.iter(|| black_box(run_deterministic(&cfg).expect("deterministic run completes")))
+    });
+    group.bench_function("threaded", |b| {
+        b.iter(|| black_box(run_threaded(&cfg).expect("threaded run completes")))
+    });
+    group.finish();
+
+    if smoke() {
+        for r in c.results() {
+            let Some(Throughput::Elements(e)) = r.throughput else {
+                continue;
+            };
+            let per_min = e as f64 * 60e9 / r.mean_ns;
+            assert!(
+                per_min >= SMOKE_FLOOR_PER_MIN,
+                "{}: {per_min:.0} queries/min is below the 1M/min smoke floor",
+                r.id
+            );
+            println!(
+                "smoke gate: {} sustains {:.1}M queries/min (floor 1M)",
+                r.id,
+                per_min / 1e6
+            );
+        }
+    }
+}
+
+criterion_group!(serve_benches, bench_serve);
+criterion_main!(serve_benches);

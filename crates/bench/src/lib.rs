@@ -15,24 +15,21 @@
 
 pub mod harness;
 
-use scp_sim::config::{CacheKind, PartitionerKind, SelectorKind, SimConfig};
+use scp_sim::SimConfig;
 use scp_workload::AccessPattern;
 
 /// Scaled-down paper baseline shared by the engine benches: 1000 nodes,
 /// d = 3, 100k keys, perfect cache.
 pub fn bench_baseline(cache: usize, pattern: AccessPattern) -> SimConfig {
-    SimConfig {
-        nodes: 1000,
-        replication: 3,
-        cache_kind: CacheKind::Perfect,
-        cache_capacity: cache,
-        items: 100_000,
-        rate: 1e5,
-        pattern,
-        partitioner: PartitionerKind::Hash,
-        selector: SelectorKind::LeastLoaded,
-        seed: 0xBEAC4,
-    }
+    SimConfig::builder()
+        .cache_capacity(cache)
+        .items(100_000)
+        .pattern(pattern)
+        .seed(0xBEAC4)
+        .build()
+        // scp-allow(panic-path): fixture inputs are compile-time constants;
+        // an invalid baseline must abort the bench run loudly
+        .expect("bench baseline is valid")
 }
 
 /// The adversarial `x = c + 1` pattern over the bench key space.

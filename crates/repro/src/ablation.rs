@@ -19,24 +19,21 @@ use scp_sim::runner::{repeat, repeat_rate_simulation_journaled, GainAggregate};
 use scp_workload::permute::KeyMapping;
 use scp_workload::AccessPattern;
 
-fn base_sim(opts: &Opts) -> SimConfig {
+fn base_sim(opts: &Opts) -> Result<SimConfig> {
     let (nodes, items, cache) = if opts.fast {
         (100, 100_000, 20)
     } else {
         (1000, 1_000_000, 200)
     };
-    SimConfig {
-        nodes,
-        replication: 3,
-        cache_kind: CacheKind::Perfect,
-        cache_capacity: cache,
-        items,
-        rate: 1e5,
-        pattern: AccessPattern::uniform_subset(cache as u64 + 1, items).expect("x = c+1 is valid"),
-        partitioner: PartitionerKind::Hash,
-        selector: SelectorKind::LeastLoaded,
-        seed: opts.seed,
-    }
+    SimConfig::builder()
+        .nodes(nodes)
+        .cache_kind(opts.cache)
+        .cache_capacity(cache)
+        .items(items)
+        .partitioner(opts.partitioner)
+        .selector(opts.selector)
+        .seed(opts.seed)
+        .build()
 }
 
 /// A1 — replica-selection policies under the optimal attack.
@@ -55,7 +52,7 @@ pub fn selection(opts: &Opts, book: &mut JournalBook) -> Result<Table> {
         &["selector", "max_gain", "mean_gain"],
     );
     for kind in SelectorKind::ALL {
-        let mut sim = base_sim(opts);
+        let mut sim = base_sim(opts)?;
         sim.selector = kind;
         let out = repeat_rate_simulation_journaled(&sim, &rule, opts.threads)?;
         book.push(format!("a1/selector={}", kind.name()), out.journal);
@@ -84,7 +81,7 @@ pub fn partitioning(opts: &Opts, book: &mut JournalBook) -> Result<Table> {
     );
     // Attack sized to one node's key range so range partitioning has a
     // meaningful contiguous target.
-    let base = base_sim(opts);
+    let base = base_sim(opts)?;
     let x = (base.items / base.nodes as u64).max(base.cache_capacity as u64 + 1);
     for kind in PartitionerKind::ALL {
         let mut sim = base.clone();
@@ -142,7 +139,7 @@ pub fn partitioning(opts: &Opts, book: &mut JournalBook) -> Result<Table> {
 /// Propagates simulation errors.
 pub fn replication(opts: &Opts, book: &mut JournalBook) -> Result<Table> {
     let rule = opts.stop_rule(30);
-    let base = base_sim(opts);
+    let base = base_sim(opts)?;
     let mut t = Table::new(
         "Ablation A3: replication factor vs the per-d optimal adversary",
         &[
@@ -227,18 +224,16 @@ pub fn cache_policies(opts: &Opts) -> Result<Table> {
         }
         let mut row = vec![kind.name().to_string()];
         for pattern in [&zipf, &adversarial] {
-            let sim = SimConfig {
-                nodes,
-                replication: 3,
-                cache_kind: kind,
-                cache_capacity: cache,
-                items,
-                rate: 1e5,
-                pattern: pattern.clone(),
-                partitioner: PartitionerKind::Hash,
-                selector: SelectorKind::LeastLoaded,
-                seed: opts.seed ^ 0xAB4,
-            };
+            let sim = SimConfig::builder()
+                .nodes(nodes)
+                .cache_kind(kind)
+                .cache_capacity(cache)
+                .items(items)
+                .pattern(pattern.clone())
+                .partitioner(opts.partitioner)
+                .selector(opts.selector)
+                .seed(opts.seed ^ 0xAB4)
+                .build()?;
             let report = run_query_simulation(&sim, queries)?;
             let hit = report.cache_stats.map(|s| s.hit_rate()).unwrap_or_default();
             row.push(fmt_f(hit));
@@ -266,18 +261,15 @@ pub fn multi_frontend(opts: &Opts) -> Result<Table> {
     // front ends, so the routing mode decides whether it is absorbed.
     let frontends = 4usize;
     let x = (frontends * cache) as u64 + 1;
-    let cfg = SimConfig {
-        nodes,
-        replication: 3,
-        cache_kind: CacheKind::Perfect,
-        cache_capacity: cache,
-        items,
-        rate: 1e5,
-        pattern: AccessPattern::uniform_subset(x, items)?,
-        partitioner: PartitionerKind::Hash,
-        selector: SelectorKind::LeastLoaded,
-        seed: opts.seed ^ 0xA5,
-    };
+    let cfg = SimConfig::builder()
+        .nodes(nodes)
+        .cache_capacity(cache)
+        .items(items)
+        .attack_x(x)
+        .partitioner(opts.partitioner)
+        .selector(opts.selector)
+        .seed(opts.seed ^ 0xA5)
+        .build()?;
     let mut t = Table::new(
         format!(
             "Ablation A5: {frontends} front-end caches of {cache} entries vs x = {x} attack              (n={nodes}, m={items})"
@@ -317,18 +309,14 @@ pub fn cost_model(opts: &Opts) -> Result<Table> {
         (200, 200_000, 300, 500_000u64)
     };
     // Cache provisioned above c* so the pure-read attack is ineffective.
-    let cfg = SimConfig {
-        nodes,
-        replication: 3,
-        cache_kind: CacheKind::Perfect,
-        cache_capacity: cache,
-        items,
-        rate: 1e5,
-        pattern: AccessPattern::uniform_subset(cache as u64 + 1, items)?,
-        partitioner: PartitionerKind::Hash,
-        selector: SelectorKind::LeastLoaded,
-        seed: opts.seed ^ 0xA6,
-    };
+    let cfg = SimConfig::builder()
+        .nodes(nodes)
+        .cache_capacity(cache)
+        .items(items)
+        .partitioner(opts.partitioner)
+        .selector(opts.selector)
+        .seed(opts.seed ^ 0xA6)
+        .build()?;
     let mut t = Table::new(
         format!(
             "Ablation A6: read/write cost mixes under the x = c+1 attack              (n={nodes}, c={cache} >= c*, m={items})"
@@ -379,18 +367,15 @@ pub fn zipf_sensitivity(opts: &Opts, book: &mut JournalBook) -> Result<Table> {
         &["alpha", "cache_fraction", "max_gain"],
     );
     for alpha in [0.6, 0.8, 0.9, 1.01, 1.2, 1.5] {
-        let cfg = SimConfig {
-            nodes,
-            replication: 3,
-            cache_kind: CacheKind::Perfect,
-            cache_capacity: cache,
-            items,
-            rate: 1e5,
-            pattern: AccessPattern::zipf(alpha, items)?,
-            partitioner: PartitionerKind::Hash,
-            selector: SelectorKind::LeastLoaded,
-            seed: opts.seed ^ 0xA7,
-        };
+        let cfg = SimConfig::builder()
+            .nodes(nodes)
+            .cache_capacity(cache)
+            .items(items)
+            .pattern(AccessPattern::zipf(alpha, items)?)
+            .partitioner(opts.partitioner)
+            .selector(opts.selector)
+            .seed(opts.seed ^ 0xA7)
+            .build()?;
         let out = repeat_rate_simulation_journaled(&cfg, &rule, opts.threads)?;
         book.push(format!("a7/alpha={alpha}"), out.journal);
         t.push_row(vec![
@@ -417,17 +402,15 @@ pub fn rebalance_vs_cache(opts: &Opts) -> Result<Table> {
         (1000, 1_000_000)
     };
     let c_star = critical_cache_size(nodes, 3, &KParam::paper_fitted());
-    let mk = |cache: usize, pattern: AccessPattern| SimConfig {
-        nodes,
-        replication: 3,
-        cache_kind: CacheKind::Perfect,
-        cache_capacity: cache,
-        items,
-        rate: 1e5,
-        pattern,
-        partitioner: PartitionerKind::Hash,
-        selector: SelectorKind::LeastLoaded,
-        seed: opts.seed ^ 0xA8,
+    let mk = |cache: usize, pattern: AccessPattern| {
+        SimConfig::builder()
+            .nodes(nodes)
+            .cache_capacity(cache)
+            .items(items)
+            .pattern(pattern)
+            .seed(opts.seed ^ 0xA8)
+            .build()
+            .expect("A8 config is valid")
     };
     let mut t = Table::new(
         format!("Ablation A8: rebalancing vs caching (n={nodes}, m={items}, c* = {c_star})"),

@@ -11,9 +11,8 @@ use crate::opts::{stop_rule, Opts};
 use crate::output::{fmt_f, JournalBook, Table};
 use crate::Result;
 use scp_core::bounds::{attack_gain_bound, KParam};
-use scp_sim::config::SimConfig;
+use scp_sim::config::{CacheKind, PartitionerKind, SelectorKind, SimConfig};
 use scp_sim::runner::repeat_rate_simulation_journaled;
-use scp_workload::AccessPattern;
 
 /// Configuration of an x-sweep.
 #[derive(Debug, Clone, PartialEq)]
@@ -40,6 +39,12 @@ pub struct Fig3Config {
     pub seed: u64,
     /// Bound constant for the reference curve.
     pub k: KParam,
+    /// Front-end cache policy.
+    pub cache_kind: CacheKind,
+    /// Partitioning scheme.
+    pub partitioner: PartitionerKind,
+    /// Replica selection rule.
+    pub selector: SelectorKind,
 }
 
 impl Fig3Config {
@@ -63,6 +68,9 @@ impl Fig3Config {
             threads: opts.threads,
             seed: opts.seed,
             k: KParam::paper_fitted(),
+            cache_kind: opts.cache,
+            partitioner: opts.partitioner,
+            selector: opts.selector,
         }
     }
 }
@@ -108,18 +116,18 @@ pub fn run_journaled(cfg: &Fig3Config, book: &mut JournalBook) -> Result<Vec<Fig
     let rule = stop_rule(cfg.runs, cfg.ci_target);
     let mut rows = Vec::with_capacity(cfg.x_values.len());
     for &x in &cfg.x_values {
-        let sim = SimConfig {
-            nodes: cfg.nodes,
-            replication: cfg.replication,
-            cache_kind: scp_sim::config::CacheKind::Perfect,
-            cache_capacity: cfg.cache,
-            items: cfg.items,
-            rate: cfg.rate,
-            pattern: AccessPattern::uniform_subset(x, cfg.items)?,
-            partitioner: scp_sim::config::PartitionerKind::Hash,
-            selector: scp_sim::config::SelectorKind::LeastLoaded,
-            seed: cfg.seed ^ x,
-        };
+        let sim = SimConfig::builder()
+            .nodes(cfg.nodes)
+            .replication(cfg.replication)
+            .cache_kind(cfg.cache_kind)
+            .cache_capacity(cfg.cache)
+            .items(cfg.items)
+            .rate(cfg.rate)
+            .attack_x(x)
+            .partitioner(cfg.partitioner)
+            .selector(cfg.selector)
+            .seed(cfg.seed ^ x)
+            .build()?;
         let out = repeat_rate_simulation_journaled(&sim, &rule, cfg.threads)?;
         book.push(format!("x={x}"), out.journal);
         let params = sim.system_params()?;
@@ -189,6 +197,9 @@ mod tests {
             threads: 0,
             seed: 1,
             k: KParam::paper_fitted(),
+            cache_kind: CacheKind::Perfect,
+            partitioner: PartitionerKind::Hash,
+            selector: SelectorKind::LeastLoaded,
         }
     }
 

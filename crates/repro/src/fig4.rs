@@ -37,6 +37,12 @@ pub struct Fig4Config {
     pub threads: usize,
     /// Master seed.
     pub seed: u64,
+    /// Front-end cache policy.
+    pub cache_kind: CacheKind,
+    /// Partitioning scheme.
+    pub partitioner: PartitionerKind,
+    /// Replica selection rule.
+    pub selector: SelectorKind,
 }
 
 impl Fig4Config {
@@ -58,6 +64,9 @@ impl Fig4Config {
             ci_target: opts.ci_target,
             threads: opts.threads,
             seed: opts.seed,
+            cache_kind: opts.cache,
+            partitioner: opts.partitioner,
+            selector: opts.selector,
         }
     }
 }
@@ -83,18 +92,18 @@ fn gain_for(
     label: &str,
     book: &mut JournalBook,
 ) -> Result<f64> {
-    let sim = SimConfig {
-        nodes: n,
-        replication: base.replication,
-        cache_kind: CacheKind::Perfect,
-        cache_capacity: base.cache,
-        items: base.items,
-        rate: base.rate,
-        pattern,
-        partitioner: PartitionerKind::Hash,
-        selector: SelectorKind::LeastLoaded,
-        seed: base.seed ^ (n as u64) ^ (salt << 32),
-    };
+    let sim = SimConfig::builder()
+        .nodes(n)
+        .replication(base.replication)
+        .cache_kind(base.cache_kind)
+        .cache_capacity(base.cache)
+        .items(base.items)
+        .rate(base.rate)
+        .pattern(pattern)
+        .partitioner(base.partitioner)
+        .selector(base.selector)
+        .seed(base.seed ^ (n as u64) ^ (salt << 32))
+        .build()?;
     let rule = stop_rule(base.runs, base.ci_target);
     let out = repeat_rate_simulation_journaled(&sim, &rule, base.threads)?;
     book.push(format!("n={n}/{label}"), out.journal);
@@ -189,6 +198,9 @@ mod tests {
             ci_target: 0.0,
             threads: 0,
             seed: 2,
+            cache_kind: CacheKind::Perfect,
+            partitioner: PartitionerKind::Hash,
+            selector: SelectorKind::LeastLoaded,
         }
     }
 
@@ -233,17 +245,16 @@ mod tests {
         // throughput under Zipf") is about cache offload. Verify via one
         // direct run that Zipf's backend fraction is smaller.
         let cfg = tiny();
-        let mk = |pattern| SimConfig {
-            nodes: 100,
-            replication: 3,
-            cache_kind: CacheKind::Perfect,
-            cache_capacity: cfg.cache,
-            items: cfg.items,
-            rate: cfg.rate,
-            pattern,
-            partitioner: PartitionerKind::Hash,
-            selector: SelectorKind::LeastLoaded,
-            seed: 3,
+        let mk = |pattern| {
+            SimConfig::builder()
+                .nodes(100)
+                .cache_capacity(cfg.cache)
+                .items(cfg.items)
+                .rate(cfg.rate)
+                .pattern(pattern)
+                .seed(3)
+                .build()
+                .unwrap()
         };
         let zipf = scp_sim::rate_engine::run_rate_simulation(&mk(AccessPattern::zipf(
             1.01, cfg.items,

@@ -12,7 +12,6 @@ use crate::Result;
 use scp_core::bounds::{critical_cache_size, KParam};
 use scp_sim::config::{CacheKind, PartitionerKind, SelectorKind, SimConfig};
 use scp_sim::runner::repeat_rate_simulation_journaled;
-use scp_workload::AccessPattern;
 
 /// Configuration of the cache-size sweep.
 #[derive(Debug, Clone, PartialEq)]
@@ -37,6 +36,12 @@ pub struct Fig5Config {
     pub seed: u64,
     /// Bound constant for the reference `c*`.
     pub k: KParam,
+    /// Front-end cache policy.
+    pub cache_kind: CacheKind,
+    /// Partitioning scheme.
+    pub partitioner: PartitionerKind,
+    /// Replica selection rule.
+    pub selector: SelectorKind,
 }
 
 impl Fig5Config {
@@ -69,6 +74,9 @@ impl Fig5Config {
             threads: opts.threads,
             seed: opts.seed,
             k: KParam::paper_fitted(),
+            cache_kind: opts.cache,
+            partitioner: opts.partitioner,
+            selector: opts.selector,
         }
     }
 }
@@ -101,18 +109,18 @@ pub struct Fig5Outcome {
 }
 
 fn gain_at(cfg: &Fig5Config, c: usize, x: u64, book: &mut JournalBook) -> Result<f64> {
-    let sim = SimConfig {
-        nodes: cfg.nodes,
-        replication: cfg.replication,
-        cache_kind: CacheKind::Perfect,
-        cache_capacity: c,
-        items: cfg.items,
-        rate: cfg.rate,
-        pattern: AccessPattern::uniform_subset(x, cfg.items)?,
-        partitioner: PartitionerKind::Hash,
-        selector: SelectorKind::LeastLoaded,
-        seed: cfg.seed ^ ((c as u64) << 20) ^ x,
-    };
+    let sim = SimConfig::builder()
+        .nodes(cfg.nodes)
+        .replication(cfg.replication)
+        .cache_kind(cfg.cache_kind)
+        .cache_capacity(c)
+        .items(cfg.items)
+        .rate(cfg.rate)
+        .attack_x(x)
+        .partitioner(cfg.partitioner)
+        .selector(cfg.selector)
+        .seed(cfg.seed ^ ((c as u64) << 20) ^ x)
+        .build()?;
     let rule = stop_rule(cfg.runs, cfg.ci_target);
     let out = repeat_rate_simulation_journaled(&sim, &rule, cfg.threads)?;
     book.push(format!("c={c}/x={x}"), out.journal);
@@ -249,6 +257,9 @@ mod tests {
             threads: 0,
             seed: 4,
             k: KParam::paper_fitted(),
+            cache_kind: CacheKind::Perfect,
+            partitioner: PartitionerKind::Hash,
+            selector: SelectorKind::LeastLoaded,
         }
     }
 

@@ -1,5 +1,6 @@
 //! Minimal command-line options shared by all reproduction binaries.
 
+use scp_sim::config::{CacheKind, PartitionerKind, SelectorKind};
 use scp_sim::runner::StopRule;
 use std::path::PathBuf;
 
@@ -21,6 +22,13 @@ pub struct Opts {
     /// Target 95% CI half-width on the per-run gain; `> 0` enables
     /// adaptive early stopping of the repetition loop.
     pub ci_target: f64,
+    /// Front-end cache policy (experiments that sweep policies, like the
+    /// fig. 4 cache ablation, ignore this and sweep anyway).
+    pub cache: CacheKind,
+    /// Partitioning scheme mapping keys to replica groups.
+    pub partitioner: PartitionerKind,
+    /// Replica selection rule within a group.
+    pub selector: SelectorKind,
 }
 
 impl Default for Opts {
@@ -33,14 +41,18 @@ impl Default for Opts {
             seed: 20130708, // ICDCS'13 workshop date
             journal: None,
             ci_target: 0.0,
+            cache: CacheKind::Perfect,
+            partitioner: PartitionerKind::Hash,
+            selector: SelectorKind::LeastLoaded,
         }
     }
 }
 
 impl Opts {
     /// Parses `--runs N --threads N --out DIR --fast --seed N
-    /// --journal DIR --ci-target X` from an argument iterator (unknown
-    /// flags abort with a usage message).
+    /// --journal DIR --ci-target X --cache KIND --partitioner KIND
+    /// --selector KIND` from an argument iterator (unknown flags abort
+    /// with a usage message).
     pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Self {
         let mut opts = Self::default();
         let mut it = args.into_iter();
@@ -50,6 +62,9 @@ impl Opts {
                 "--threads" => opts.threads = expect_parse(&mut it, "--threads"),
                 "--seed" => opts.seed = expect_parse(&mut it, "--seed"),
                 "--ci-target" => opts.ci_target = expect_parse(&mut it, "--ci-target"),
+                "--cache" => opts.cache = expect_kind(&mut it, "--cache"),
+                "--partitioner" => opts.partitioner = expect_kind(&mut it, "--partitioner"),
+                "--selector" => opts.selector = expect_kind(&mut it, "--selector"),
                 "--out" => {
                     opts.out =
                         PathBuf::from(it.next().unwrap_or_else(|| usage("--out needs a dir")))
@@ -113,13 +128,29 @@ fn expect_parse<T: std::str::FromStr>(it: &mut impl Iterator<Item = String>, fla
         .unwrap_or_else(|| usage(&format!("{flag} needs a numeric value")))
 }
 
+/// Parses a kind-enum flag value, surfacing the enum's own error message
+/// (which lists the valid names) on a bad spelling.
+fn expect_kind<T>(it: &mut impl Iterator<Item = String>, flag: &str) -> T
+where
+    T: std::str::FromStr,
+    T::Err: std::fmt::Display,
+{
+    let value = it
+        .next()
+        .unwrap_or_else(|| usage(&format!("{flag} needs a value")));
+    value
+        .parse()
+        .unwrap_or_else(|e| usage(&format!("{flag}: {e}")))
+}
+
 fn usage(msg: &str) -> ! {
     if !msg.is_empty() {
         eprintln!("error: {msg}");
     }
     eprintln!(
         "usage: <bin> [--runs N] [--threads N] [--out DIR] [--seed N] [--fast]\n\
-         \x20            [--journal DIR] [--ci-target X]\n\
+         \x20            [--journal DIR] [--ci-target X] [--cache KIND]\n\
+         \x20            [--partitioner KIND] [--selector KIND]\n\
          \n\
          --runs N      repetitions per data point (default: per-experiment)\n\
          --threads N   worker threads (default: all cores)\n\
@@ -128,7 +159,16 @@ fn usage(msg: &str) -> ! {
          --fast        shrunken smoke-test configuration\n\
          --journal DIR write per-run journals (JSON + CSV) under DIR\n\
          --ci-target X stop each data point early once the 95% CI\n\
-         \x20             half-width of the gain drops below X"
+         \x20             half-width of the gain drops below X\n\
+         --cache KIND  front-end cache policy (default: perfect):\n\
+         \x20             {}\n\
+         --partitioner KIND  key partitioning (default: hash):\n\
+         \x20             {}\n\
+         --selector KIND     replica selection (default: least-loaded):\n\
+         \x20             {}",
+        CacheKind::ALL.map(|k| k.name()).join("|"),
+        PartitionerKind::ALL.map(|k| k.name()).join("|"),
+        SelectorKind::ALL.map(|k| k.name()).join("|"),
     );
     std::process::exit(2);
 }
@@ -150,6 +190,37 @@ mod tests {
         assert_eq!(o.out, PathBuf::from("target/repro"));
         assert_eq!(o.journal, None);
         assert_eq!(o.ci_target, 0.0);
+        assert_eq!(o.cache, CacheKind::Perfect);
+        assert_eq!(o.partitioner, PartitionerKind::Hash);
+        assert_eq!(o.selector, SelectorKind::LeastLoaded);
+    }
+
+    #[test]
+    fn parses_substrate_kinds_by_name() {
+        let o = parse(&[
+            "--cache",
+            "tinylfu",
+            "--partitioner",
+            "ring",
+            "--selector",
+            "round-robin",
+        ]);
+        assert_eq!(o.cache, CacheKind::TinyLfu);
+        assert_eq!(o.partitioner, PartitionerKind::Ring);
+        assert_eq!(o.selector, SelectorKind::RoundRobin);
+    }
+
+    #[test]
+    fn every_kind_name_parses_through_the_flags() {
+        for kind in CacheKind::ALL {
+            assert_eq!(parse(&["--cache", kind.name()]).cache, kind);
+        }
+        for kind in PartitionerKind::ALL {
+            assert_eq!(parse(&["--partitioner", kind.name()]).partitioner, kind);
+        }
+        for kind in SelectorKind::ALL {
+            assert_eq!(parse(&["--selector", kind.name()]).selector, kind);
+        }
     }
 
     #[test]

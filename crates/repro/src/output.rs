@@ -285,22 +285,17 @@ mod tests {
     }
 
     fn sample_book(runs: usize) -> JournalBook {
-        use scp_sim::config::{CacheKind, PartitionerKind, SelectorKind, SimConfig};
+        use scp_sim::config::SimConfig;
         use scp_sim::runner::{repeat_rate_simulation_journaled, StopRule};
-        use scp_workload::AccessPattern;
 
-        let cfg = SimConfig {
-            nodes: 30,
-            replication: 3,
-            cache_kind: CacheKind::Perfect,
-            cache_capacity: 5,
-            items: 500,
-            rate: 1e4,
-            pattern: AccessPattern::uniform_subset(6, 500).unwrap(),
-            partitioner: PartitionerKind::Hash,
-            selector: SelectorKind::LeastLoaded,
-            seed: 11,
-        };
+        let cfg = SimConfig::builder()
+            .nodes(30)
+            .cache_capacity(5)
+            .items(500)
+            .rate(1e4)
+            .seed(11)
+            .build()
+            .unwrap();
         let mut book = JournalBook::new();
         for (i, label) in ["x=6", "x=500"].iter().enumerate() {
             let mut point = cfg.clone();

@@ -1,0 +1,244 @@
+//! Serving-engine configuration and errors.
+
+use scp_sim::{SimConfig, SimError};
+
+/// Errors surfaced by the serving engine.
+#[derive(Debug)]
+pub enum ServeError {
+    /// A serving parameter was outside its legal range.
+    InvalidConfig {
+        /// The offending field.
+        field: &'static str,
+        /// Why the value was rejected.
+        reason: String,
+    },
+    /// The underlying simulation substrate rejected the configuration.
+    Sim(SimError),
+    /// An engine thread died; the payload is the rendered panic message.
+    WorkerPanic(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::InvalidConfig { field, reason } => {
+                write!(f, "invalid serve config `{field}`: {reason}")
+            }
+            ServeError::Sim(e) => write!(f, "simulation substrate: {e}"),
+            ServeError::WorkerPanic(msg) => write!(f, "engine worker panicked: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<SimError> for ServeError {
+    fn from(value: SimError) -> Self {
+        ServeError::Sim(value)
+    }
+}
+
+impl From<scp_workload::WorkloadError> for ServeError {
+    fn from(value: scp_workload::WorkloadError) -> Self {
+        ServeError::Sim(SimError::from(value))
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, ServeError>;
+
+/// A complete description of one serving run.
+///
+/// The embedded [`SimConfig`] fixes the *system shape* — `sim.nodes` is
+/// the shard count `S` (one backend worker per partition server), and the
+/// cache/partitioner/selector/pattern/seed mean exactly what they mean in
+/// the simulation engines, so a serving run and a [`rate
+/// engine`](scp_sim::rate_engine) run of the same `SimConfig` describe
+/// the same system. The remaining fields are live-path knobs: load
+/// generation, batching, queueing, and capacity.
+///
+/// # Capacity model
+///
+/// When `capacity_headroom > 0` every shard gets the paper's Section III
+/// provision `r_i = capacity_headroom · R / n` (queries/second of
+/// *offered, logical* time — arrivals pace a logical clock at the
+/// configured rate `R`, so shedding behavior is a deterministic function
+/// of the arrival sequence, not of how fast the host machine drains it).
+/// A shard driven past `r_i` sheds the excess instead of queueing it
+/// without bound. `capacity_headroom <= 0` disables shedding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeConfig {
+    /// System shape; `sim.nodes` is the shard count `S`.
+    pub sim: SimConfig,
+    /// Closed-loop load-generator threads (threaded mode only).
+    pub clients: usize,
+    /// Max outstanding (unacknowledged) requests per client.
+    pub client_window: usize,
+    /// Keys a client submits per intake push.
+    pub submit_batch: usize,
+    /// Max requests the admission stage packs into one shard batch.
+    pub batch_size: usize,
+    /// Per-shard queue capacity, in batches.
+    pub queue_capacity: usize,
+    /// Capacity headroom factor for `r_i` (`<= 0` disables shedding).
+    pub capacity_headroom: f64,
+    /// Stop after this many submitted queries (`0` = no quota).
+    pub total_queries: u64,
+    /// Threaded-mode wall-clock budget in milliseconds (`0` = no budget;
+    /// the quota must then be set).
+    pub duration_ms: u64,
+    /// Push retries before a full shard queue counts as backpressure
+    /// shedding.
+    pub push_retries: u32,
+}
+
+impl ServeConfig {
+    /// A serving run of the given system shape with conservative
+    /// live-path defaults: 4 clients with a 1024-request window,
+    /// 64-request admission batches, 64-batch queues, no shedding, and a
+    /// 200k-query quota.
+    pub fn new(sim: SimConfig) -> Self {
+        Self {
+            sim,
+            clients: 4,
+            client_window: 1024,
+            submit_batch: 64,
+            batch_size: 64,
+            queue_capacity: 64,
+            capacity_headroom: 0.0,
+            total_queries: 200_000,
+            duration_ms: 0,
+            push_retries: 256,
+        }
+    }
+
+    /// Copy with a derived seed for repetition `run` (delegates to
+    /// [`SimConfig::for_run`], so serve journals replay exactly like
+    /// simulation journals).
+    pub fn for_run(&self, run: u64) -> Self {
+        let mut cfg = self.clone();
+        cfg.sim = self.sim.for_run(run);
+        cfg
+    }
+
+    /// The per-shard capacity `r_i` in queries/second of logical time,
+    /// or `None` when shedding is disabled.
+    pub fn shard_capacity(&self) -> Option<f64> {
+        if self.capacity_headroom > 0.0 && self.sim.nodes > 0 {
+            Some(self.capacity_headroom * self.sim.rate / self.sim.nodes as f64)
+        } else {
+            None
+        }
+    }
+
+    /// Validates the serving knobs and the embedded system shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on an invalid [`SimConfig`] or nonsensical
+    /// live-path parameters (no clients, zero-sized batches or queues, or
+    /// a run with neither a quota nor a duration).
+    pub fn validate(&self) -> Result<()> {
+        self.sim.validate().map_err(ServeError::from)?;
+        if self.clients == 0 {
+            return Err(ServeError::InvalidConfig {
+                field: "clients",
+                reason: "need at least one load-generator client".to_owned(),
+            });
+        }
+        if self.client_window == 0 {
+            return Err(ServeError::InvalidConfig {
+                field: "client_window",
+                reason: "closed-loop window must be positive".to_owned(),
+            });
+        }
+        if self.submit_batch == 0 || self.batch_size == 0 {
+            return Err(ServeError::InvalidConfig {
+                field: "batch_size",
+                reason: "batch sizes must be positive".to_owned(),
+            });
+        }
+        if self.queue_capacity == 0 {
+            return Err(ServeError::InvalidConfig {
+                field: "queue_capacity",
+                reason: "shard queues need room for at least one batch".to_owned(),
+            });
+        }
+        if self.total_queries == 0 && self.duration_ms == 0 {
+            return Err(ServeError::InvalidConfig {
+                field: "total_queries",
+                reason: "set a query quota, a duration, or both".to_owned(),
+            });
+        }
+        if !self.sim.rate.is_finite() || self.sim.rate <= 0.0 {
+            return Err(ServeError::InvalidConfig {
+                field: "rate",
+                reason: format!(
+                    "logical arrival rate must be positive, got {}",
+                    self.sim.rate
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shape() -> SimConfig {
+        SimConfig::builder()
+            .nodes(8)
+            .replication(3)
+            .items(10_000)
+            .cache_capacity(16)
+            .seed(7)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn defaults_validate() {
+        ServeConfig::new(shape()).validate().unwrap();
+    }
+
+    #[test]
+    fn shard_capacity_follows_headroom() {
+        let mut cfg = ServeConfig::new(shape());
+        assert_eq!(cfg.shard_capacity(), None);
+        cfg.capacity_headroom = 2.0;
+        let r = cfg.shard_capacity().unwrap();
+        assert!((r - 2.0 * cfg.sim.rate / 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_knobs() {
+        let mut cfg = ServeConfig::new(shape());
+        cfg.clients = 0;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = ServeConfig::new(shape());
+        cfg.batch_size = 0;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = ServeConfig::new(shape());
+        cfg.queue_capacity = 0;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = ServeConfig::new(shape());
+        cfg.total_queries = 0;
+        cfg.duration_ms = 0;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn for_run_derives_sim_seed() {
+        let cfg = ServeConfig::new(shape());
+        let a = cfg.for_run(0);
+        let b = cfg.for_run(1);
+        assert_ne!(a.sim.seed, b.sim.seed);
+        assert_eq!(a.sim.seed, cfg.sim.for_run(0).seed);
+        assert_eq!(a.batch_size, cfg.batch_size);
+    }
+}

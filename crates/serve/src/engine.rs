@@ -1,0 +1,470 @@
+//! The serving core: admission, capacity accounting, and the
+//! deterministic single-threaded mode.
+//!
+//! Every query passes through the same **admission stage** in both modes:
+//! the provisioned front-end cache absorbs hits, misses are routed
+//! through the cluster (partitioner + replica selector — the exact
+//! machinery the simulation engines use), the target shard's token
+//! bucket enforces its provisioned capacity `r_i`, and survivors are
+//! buffered into per-shard batches. The deterministic mode then processes
+//! batches inline on the calling thread; the threaded mode (see
+//! [`crate::loadgen`]) pushes them over SPSC queues to shard workers.
+//!
+//! # Logical time
+//!
+//! Capacity is enforced against **logical arrival time**: the `k`-th
+//! admitted query arrives at `k / R` seconds, where `R` is the configured
+//! offered rate. Token buckets refill on that clock, so whether a shard
+//! sheds is a pure function of the arrival sequence — the same on a
+//! loaded laptop and an idle server, and identical between the
+//! deterministic and threaded modes for the same admission order.
+
+use crate::config::{Result, ServeConfig, ServeError};
+use scp_cache::Cache;
+use scp_cluster::{Cluster, KeyId};
+use scp_workload::permute::KeyMapping;
+use scp_workload::rng::mix;
+use scp_workload::stream::QueryStream;
+
+/// One query in flight: the key and the submitting client's index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Request {
+    /// The queried key id.
+    pub key: u64,
+    /// Index of the submitting load-generator client.
+    pub client: u32,
+}
+
+/// What travels over a shard queue.
+#[derive(Debug)]
+pub(crate) enum ShardMsg {
+    /// A batch of admitted requests for this shard.
+    Batch(Vec<Request>),
+    /// Graceful shutdown: drain everything before this, then exit.
+    Stop,
+}
+
+/// The per-request "work" a shard performs; folding these into a checksum
+/// keeps the processing loop honest (nothing for the optimizer to delete)
+/// and lets reports prove queues lost nothing in transit.
+pub(crate) fn work_token(key: u64) -> u64 {
+    mix(&[key, 0x1BAD_B002])
+}
+
+/// A token bucket enforcing a shard's provisioned rate `r_i` against
+/// logical time.
+#[derive(Debug, Clone)]
+pub struct TokenBucket {
+    rate: f64,
+    burst: f64,
+    tokens: f64,
+    last: f64,
+}
+
+impl TokenBucket {
+    /// A bucket refilling at `rate` tokens/second, holding at most
+    /// `burst` (floored at one so a unit request can ever pass).
+    pub fn new(rate: f64, burst: f64) -> Self {
+        let burst = burst.max(1.0);
+        Self {
+            rate: rate.max(0.0),
+            burst,
+            tokens: burst,
+            last: 0.0,
+        }
+    }
+
+    /// Refills for the logical time elapsed since the last call, then
+    /// tries to take one token. `false` means the caller should shed.
+    pub fn try_take(&mut self, now: f64) -> bool {
+        if now > self.last {
+            self.tokens = (self.tokens + (now - self.last) * self.rate).min(self.burst);
+            self.last = now;
+        }
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Tokens currently available.
+    pub fn available(&self) -> f64 {
+        self.tokens
+    }
+}
+
+/// Admission-side counters, all exact integers so conservation can be
+/// checked without tolerances.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct AdmitStats {
+    /// Queries that entered admission.
+    pub submitted: u64,
+    /// Served by the front-end cache.
+    pub hits: u64,
+    /// Whole replica group down.
+    pub unserved: u64,
+    /// Per-shard: routed to the shard (before capacity enforcement).
+    pub routed: Vec<u64>,
+    /// Per-shard: dropped by the shard's token bucket.
+    pub shed_capacity: Vec<u64>,
+    /// Per-shard: dropped because the shard queue stayed full.
+    pub shed_backpressure: Vec<u64>,
+    /// Per-shard: handed to a worker (or processed inline).
+    pub enqueued: Vec<u64>,
+    /// Per-shard: checksum of everything handed to a worker.
+    pub expected_checksum: Vec<u64>,
+    /// Per-shard histogram of queue depth (in batches) observed at each
+    /// successful dispatch; index = depth, clamped to the last bucket.
+    pub depth_hist: Vec<Vec<u64>>,
+}
+
+impl AdmitStats {
+    fn sized(shards: usize, queue_capacity: usize) -> Self {
+        Self {
+            routed: vec![0; shards],
+            shed_capacity: vec![0; shards],
+            shed_backpressure: vec![0; shards],
+            enqueued: vec![0; shards],
+            expected_checksum: vec![0; shards],
+            depth_hist: vec![vec![0; queue_capacity + 1]; shards],
+            ..Self::default()
+        }
+    }
+}
+
+fn bump(counters: &mut [u64], shard: usize) {
+    if let Some(c) = counters.get_mut(shard) {
+        *c += 1;
+    }
+}
+
+/// The outcome of admitting one request.
+#[derive(Debug)]
+pub(crate) enum Admitted {
+    /// Finished at the front end (cache hit, capacity shed, or
+    /// unserved); the submitter can be acknowledged immediately.
+    Completed,
+    /// Buffered toward a shard; `Some` carries a just-filled batch the
+    /// caller must now dispatch.
+    Buffered(Option<(usize, Vec<Request>)>),
+}
+
+/// The admission stage: cache, routing, capacity, batching.
+///
+/// Owned by exactly one thread (the calling thread in deterministic
+/// mode, the admission thread in threaded mode); nothing here is shared.
+pub(crate) struct Admission {
+    cache: Box<dyn Cache<u64>>,
+    cluster: Cluster,
+    buckets: Option<Vec<TokenBucket>>,
+    pending: Vec<Vec<Request>>,
+    batch_size: usize,
+    inv_rate: f64,
+    pub stats: AdmitStats,
+}
+
+impl Admission {
+    /// Builds the stage for `cfg`, seeding the perfect cache with the
+    /// pattern's true top-`c` keys exactly like the query engine does.
+    pub fn new(cfg: &ServeConfig, mapping: &KeyMapping) -> Result<Self> {
+        let shards = cfg.sim.nodes;
+        let top = (cfg.sim.cache_capacity as u64).min(cfg.sim.items);
+        let ranked = (0..top).map(|rank| mapping.apply(rank));
+        let cache = cfg.sim.build_cache(ranked);
+        let cluster = Cluster::new(cfg.sim.build_partitioner()?, cfg.sim.build_selector());
+        let buckets = cfg.shard_capacity().map(|r| {
+            let burst = (r * 0.01).max(8.0);
+            (0..shards).map(|_| TokenBucket::new(r, burst)).collect()
+        });
+        Ok(Self {
+            cache,
+            cluster,
+            buckets,
+            pending: (0..shards)
+                .map(|_| Vec::with_capacity(cfg.batch_size))
+                .collect(),
+            batch_size: cfg.batch_size,
+            inv_rate: 1.0 / cfg.sim.rate,
+            stats: AdmitStats::sized(shards, cfg.queue_capacity),
+        })
+    }
+
+    /// Pushes one request through cache → routing → capacity → batching.
+    pub fn admit(&mut self, req: Request) -> Admitted {
+        let now = self.stats.submitted as f64 * self.inv_rate;
+        self.stats.submitted += 1;
+
+        if self.cache.request(req.key).is_hit() {
+            self.stats.hits += 1;
+            return Admitted::Completed;
+        }
+        let shard = match self.cluster.route_query(KeyId::new(req.key)) {
+            Ok(node) => node.index(),
+            Err(_) => {
+                self.stats.unserved += 1;
+                return Admitted::Completed;
+            }
+        };
+        let Some(buf) = self.pending.get_mut(shard) else {
+            // Unreachable (the cluster only returns indices < n), but an
+            // unserved count is a safe, conserved answer.
+            self.stats.unserved += 1;
+            return Admitted::Completed;
+        };
+        bump(&mut self.stats.routed, shard);
+        if let Some(buckets) = &mut self.buckets {
+            if let Some(bucket) = buckets.get_mut(shard) {
+                if !bucket.try_take(now) {
+                    bump(&mut self.stats.shed_capacity, shard);
+                    return Admitted::Completed;
+                }
+            }
+        }
+        buf.push(req);
+        if buf.len() >= self.batch_size {
+            Admitted::Buffered(Some((shard, std::mem::take(buf))))
+        } else {
+            Admitted::Buffered(None)
+        }
+    }
+
+    /// Drains every non-empty partial batch (shutdown path).
+    pub fn flush_all(&mut self) -> Vec<(usize, Vec<Request>)> {
+        let mut out = Vec::new();
+        for (shard, buf) in self.pending.iter_mut().enumerate() {
+            if !buf.is_empty() {
+                out.push((shard, std::mem::take(buf)));
+            }
+        }
+        out
+    }
+
+    /// Records a batch as successfully handed to its shard (dispatch
+    /// succeeded, or the deterministic mode processed it inline).
+    pub fn note_enqueued(&mut self, shard: usize, count: u64, checksum: u64) {
+        if let Some(c) = self.stats.enqueued.get_mut(shard) {
+            *c += count;
+        }
+        if let Some(c) = self.stats.expected_checksum.get_mut(shard) {
+            *c = c.wrapping_add(checksum);
+        }
+    }
+
+    /// Records a batch dropped because the shard queue stayed full.
+    pub fn note_backpressure(&mut self, shard: usize, count: u64) {
+        if let Some(c) = self.stats.shed_backpressure.get_mut(shard) {
+            *c += count;
+        }
+    }
+
+    /// Records the observed queue depth (in batches) after a dispatch.
+    pub fn note_depth(&mut self, shard: usize, depth: usize) {
+        if let Some(hist) = self.stats.depth_hist.get_mut(shard) {
+            let slot = depth.min(hist.len().saturating_sub(1));
+            if let Some(c) = hist.get_mut(slot) {
+                *c += 1;
+            }
+        }
+    }
+
+    /// Consumes the stage, yielding its counters.
+    pub fn into_stats(self) -> AdmitStats {
+        self.stats
+    }
+}
+
+/// What one shard worker did (also produced by the inline processor in
+/// deterministic mode).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct WorkerStats {
+    /// Requests fully processed.
+    pub processed: u64,
+    /// Batches consumed.
+    pub batches: u64,
+    /// Fold of [`work_token`] over every processed key.
+    pub checksum: u64,
+}
+
+impl WorkerStats {
+    /// Processes one batch, acknowledging nobody (the caller owns
+    /// completion accounting).
+    pub fn process(&mut self, batch: &[Request]) {
+        self.batches += 1;
+        for req in batch {
+            self.checksum = self.checksum.wrapping_add(work_token(req.key));
+            self.processed += 1;
+        }
+    }
+}
+
+/// Builds the shared rank→key mapping for `cfg` (the query engine's
+/// `mix(seed, 3)` derivation, so serve runs see the same key space).
+pub(crate) fn build_mapping(cfg: &ServeConfig) -> Result<KeyMapping> {
+    KeyMapping::scattered(cfg.sim.items, mix(&[cfg.sim.seed, 3])).map_err(ServeError::from)
+}
+
+/// The deterministic mode's query stream: single sampler with the query
+/// engine's `mix(seed, 4)` derivation, so a deterministic serve run draws
+/// the *identical* query sequence as `run_query_simulation`.
+pub(crate) fn deterministic_stream(cfg: &ServeConfig, mapping: &KeyMapping) -> Result<QueryStream> {
+    QueryStream::with_mapping(&cfg.sim.pattern, mix(&[cfg.sim.seed, 4]), mapping.clone())
+        .map_err(ServeError::from)
+}
+
+/// Runs the engine single-threaded and bit-reproducibly: one sampler,
+/// inline batch processing, no queues and no wall-clock influence on any
+/// counter. The resulting load shape is directly comparable with the
+/// simulation engines for the same [`scp_sim::SimConfig`].
+///
+/// # Errors
+///
+/// Returns an error on invalid configuration or a missing query quota
+/// (`total_queries == 0`; the deterministic mode has no other stopping
+/// criterion).
+pub fn run_deterministic(cfg: &ServeConfig) -> Result<crate::report::ServeReport> {
+    cfg.validate()?;
+    if cfg.total_queries == 0 {
+        return Err(ServeError::InvalidConfig {
+            field: "total_queries",
+            reason: "deterministic mode stops on the query quota; set one".to_owned(),
+        });
+    }
+    let stopwatch = crate::clock::Stopwatch::started();
+    let mapping = build_mapping(cfg)?;
+    let mut stream = deterministic_stream(cfg, &mapping)?;
+    let mut admission = Admission::new(cfg, &mapping)?;
+    let mut workers: Vec<WorkerStats> = vec![WorkerStats::default(); cfg.sim.nodes];
+
+    let process_inline = |admission: &mut Admission,
+                          workers: &mut [WorkerStats],
+                          shard: usize,
+                          batch: Vec<Request>| {
+        let sum = batch
+            .iter()
+            .fold(0u64, |acc, r| acc.wrapping_add(work_token(r.key)));
+        admission.note_enqueued(shard, batch.len() as u64, sum);
+        admission.note_depth(shard, 0);
+        if let Some(w) = workers.get_mut(shard) {
+            w.process(&batch);
+        }
+    };
+
+    for _ in 0..cfg.total_queries {
+        let req = Request {
+            key: stream.next_key(),
+            client: 0,
+        };
+        if let Admitted::Buffered(Some((shard, batch))) = admission.admit(req) {
+            process_inline(&mut admission, &mut workers, shard, batch);
+        }
+    }
+    for (shard, batch) in admission.flush_all() {
+        process_inline(&mut admission, &mut workers, shard, batch);
+    }
+
+    Ok(crate::report::ServeReport::assemble(
+        admission.into_stats(),
+        &workers,
+        stopwatch.elapsed_secs(),
+        true,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scp_sim::SimConfig;
+
+    // With a perfect cache over x = c + 1 keys, only one key misses; its
+    // replicas receive between R/(x·d) (even split) and R/x (sticky
+    // selection), so n > h·x·d guarantees shedding under headroom h.
+    fn small(headroom: f64, x: u64) -> ServeConfig {
+        let sim = SimConfig::builder()
+            .nodes(50)
+            .replication(3)
+            .items(20_000)
+            .cache_capacity(10)
+            .attack_x(x)
+            .rate(1e4)
+            .seed(42)
+            .build()
+            .unwrap();
+        let mut cfg = ServeConfig::new(sim);
+        cfg.capacity_headroom = headroom;
+        cfg.total_queries = 50_000;
+        cfg
+    }
+
+    #[test]
+    fn token_bucket_enforces_rate() {
+        let mut b = TokenBucket::new(10.0, 5.0);
+        // Burst drains first.
+        let burst: usize = (0..5).filter(|_| b.try_take(0.0)).count();
+        assert_eq!(burst, 5);
+        assert!(!b.try_take(0.0));
+        // One second refills ten tokens (capped at burst = 5).
+        let refilled: usize = (0..20).filter(|_| b.try_take(1.0)).count();
+        assert_eq!(refilled, 5);
+    }
+
+    #[test]
+    fn token_bucket_ignores_time_going_backwards() {
+        let mut b = TokenBucket::new(10.0, 2.0);
+        assert!(b.try_take(5.0));
+        assert!(b.try_take(1.0), "stale timestamp must not panic or drain");
+    }
+
+    #[test]
+    fn deterministic_run_conserves_and_drains() {
+        let report = run_deterministic(&small(0.0, 11)).unwrap();
+        assert_eq!(report.submitted, 50_000);
+        assert!(report.is_conserved());
+        assert!(report.is_drained());
+        assert_eq!(report.shed_capacity(), 0);
+        assert!(report.cache_hits > 0);
+    }
+
+    #[test]
+    fn deterministic_run_is_reproducible() {
+        let a = run_deterministic(&small(0.0, 11)).unwrap();
+        let b = run_deterministic(&small(0.0, 11)).unwrap();
+        assert_eq!(a.submitted, b.submitted);
+        assert_eq!(a.cache_hits, b.cache_hits);
+        assert_eq!(
+            a.shards.iter().map(|s| s.routed).collect::<Vec<_>>(),
+            b.shards.iter().map(|s| s.routed).collect::<Vec<_>>()
+        );
+        assert_eq!(
+            a.shards.iter().map(|s| s.checksum).collect::<Vec<_>>(),
+            b.shards.iter().map(|s| s.checksum).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn overdriven_shard_sheds_instead_of_queueing() {
+        // x = c + 1 concentrates every miss on one key; with headroom
+        // below the resulting gain, its replica group must shed.
+        let report = run_deterministic(&small(1.2, 11)).unwrap();
+        assert!(report.shed_capacity() > 0, "attack must overflow r_i");
+        assert!(report.is_conserved());
+        assert!(report.is_drained());
+    }
+
+    #[test]
+    fn ample_headroom_never_sheds() {
+        // Headroom far above the attainable gain: capacity never binds.
+        let report = run_deterministic(&small(1000.0, 11)).unwrap();
+        assert_eq!(report.shed_capacity(), 0);
+        assert!(report.is_conserved());
+    }
+
+    #[test]
+    fn deterministic_mode_requires_quota() {
+        let mut cfg = small(0.0, 11);
+        cfg.total_queries = 0;
+        cfg.duration_ms = 50;
+        assert!(run_deterministic(&cfg).is_err());
+    }
+}

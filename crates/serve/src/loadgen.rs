@@ -1,0 +1,510 @@
+//! Closed-loop multi-threaded load generation and the threaded serving
+//! pipeline.
+//!
+//! Thread layout for a run over `S = sim.nodes` shards and `K` clients:
+//!
+//! ```text
+//!  K client threads ──▶ intake (Mutex<VecDeque> + Condvar)
+//!                              │
+//!                       admission thread
+//!                  cache → route → r_i bucket → batch
+//!                              │
+//!              S bounded SPSC queues (1 per shard)
+//!                              │
+//!                      S shard worker threads
+//! ```
+//!
+//! Clients are **closed-loop**: each keeps at most `client_window`
+//! requests outstanding, gated on a per-client completion counter that
+//! the admission stage bumps for front-end completions (hits, sheds,
+//! unserved) and workers bump for processed requests. Backpressure is
+//! end-to-end: a full shard queue first stalls dispatch (bounded
+//! retries), then sheds; a slow admission stage stalls clients through
+//! their windows.
+//!
+//! Shutdown is graceful by construction: the admission thread pushes a
+//! [`Stop`](crate::engine::ShardMsg) marker *after* the last batch of
+//! each shard queue, and FIFO order guarantees workers drain everything
+//! ahead of it. [`crate::report::ServeReport::is_drained`] cross-checks
+//! with per-shard work checksums.
+
+use crate::clock::Stopwatch;
+use crate::config::{Result, ServeConfig, ServeError};
+use crate::engine::{
+    build_mapping, work_token, Admission, Admitted, Request, ShardMsg, WorkerStats,
+};
+use crate::spsc::{self, Consumer, Producer};
+use scp_workload::rng::mix;
+use scp_workload::stream::QueryStream;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex, PoisonError};
+
+/// Client-side submissions waiting for the admission thread.
+struct IntakeState {
+    queue: VecDeque<Vec<Request>>,
+    open_clients: usize,
+}
+
+type Intake = (Mutex<IntakeState>, Condvar);
+
+fn lock_intake<'a>(intake: &'a Intake) -> std::sync::MutexGuard<'a, IntakeState> {
+    intake.0.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Acknowledges one request back to its submitting client.
+fn complete(completions: &[AtomicU64], client: u32) {
+    if let Some(counter) = completions.get(client as usize) {
+        counter.fetch_add(1, Ordering::Release);
+    }
+}
+
+/// Claims up to `want` queries from the shared submission quota.
+fn claim_quota(quota: &AtomicU64, want: u64) -> u64 {
+    let mut current = quota.load(Ordering::Relaxed);
+    loop {
+        if current == 0 {
+            return 0;
+        }
+        let take = want.min(current);
+        match quota.compare_exchange_weak(
+            current,
+            current - take,
+            Ordering::AcqRel,
+            Ordering::Relaxed,
+        ) {
+            Ok(_) => return take,
+            Err(seen) => current = seen,
+        }
+    }
+}
+
+/// One closed-loop client: claim quota, wait for window room, submit.
+fn client_loop(
+    id: u32,
+    mut stream: QueryStream,
+    cfg: &ServeConfig,
+    quota: &AtomicU64,
+    stop: &AtomicBool,
+    completions: &[AtomicU64],
+    intake: &Intake,
+) {
+    let window = cfg.client_window as u64;
+    let mut submitted = 0u64;
+    loop {
+        if stop.load(Ordering::Acquire) {
+            break;
+        }
+        let take = claim_quota(quota, cfg.submit_batch as u64);
+        if take == 0 {
+            break;
+        }
+        // Closed loop: block (politely) until the window has room for
+        // the whole claimed batch.
+        loop {
+            if stop.load(Ordering::Acquire) {
+                break;
+            }
+            let done = completions
+                .get(id as usize)
+                .map(|c| c.load(Ordering::Acquire))
+                .unwrap_or(submitted);
+            if submitted.saturating_sub(done) + take <= window {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        if stop.load(Ordering::Acquire) {
+            break;
+        }
+        let batch: Vec<Request> = (0..take)
+            .map(|_| Request {
+                key: stream.next_key(),
+                client: id,
+            })
+            .collect();
+        submitted += take;
+        {
+            let mut state = lock_intake(intake);
+            state.queue.push_back(batch);
+        }
+        intake.1.notify_one();
+    }
+    let mut state = lock_intake(intake);
+    state.open_clients = state.open_clients.saturating_sub(1);
+    drop(state);
+    intake.1.notify_all();
+}
+
+/// One shard worker: drain batches until the `Stop` marker.
+fn worker_loop(mut rx: Consumer<ShardMsg>, completions: &[AtomicU64]) -> WorkerStats {
+    let mut stats = WorkerStats::default();
+    loop {
+        match rx.try_pop() {
+            Some(ShardMsg::Batch(batch)) => {
+                stats.process(&batch);
+                for req in &batch {
+                    complete(completions, req.client);
+                }
+            }
+            Some(ShardMsg::Stop) => break,
+            None => std::thread::yield_now(),
+        }
+    }
+    stats
+}
+
+/// Pushes one batch to its shard queue with bounded retries; a queue
+/// that stays full sheds the whole batch as backpressure.
+fn dispatch(
+    cfg: &ServeConfig,
+    admission: &mut Admission,
+    producers: &mut [Producer<ShardMsg>],
+    completions: &[AtomicU64],
+    shard: usize,
+    batch: Vec<Request>,
+) {
+    let count = batch.len() as u64;
+    let checksum = batch
+        .iter()
+        .fold(0u64, |acc, r| acc.wrapping_add(work_token(r.key)));
+    let Some(tx) = producers.get_mut(shard) else {
+        // Unreachable (one producer per shard), but shedding is the
+        // conserved answer.
+        admission.note_backpressure(shard, count);
+        for req in &batch {
+            complete(completions, req.client);
+        }
+        return;
+    };
+    let mut msg = ShardMsg::Batch(batch);
+    let mut attempts = 0u32;
+    loop {
+        match tx.try_push(msg) {
+            Ok(()) => {
+                admission.note_enqueued(shard, count, checksum);
+                admission.note_depth(shard, tx.len());
+                return;
+            }
+            Err(back) => {
+                msg = back;
+                attempts += 1;
+                if attempts > cfg.push_retries {
+                    break;
+                }
+                std::thread::yield_now();
+            }
+        }
+    }
+    if let ShardMsg::Batch(batch) = msg {
+        admission.note_backpressure(shard, batch.len() as u64);
+        for req in &batch {
+            complete(completions, req.client);
+        }
+    }
+}
+
+/// What the admission thread found when it asked the intake for work.
+enum Polled {
+    Batch(Vec<Request>),
+    Idle,
+    Closed,
+}
+
+/// Pops one submission batch, waiting briefly when the intake is empty
+/// but clients are still running.
+fn poll_intake(intake: &Intake) -> Polled {
+    let mut state = lock_intake(intake);
+    if let Some(batch) = state.queue.pop_front() {
+        return Polled::Batch(batch);
+    }
+    if state.open_clients == 0 {
+        return Polled::Closed;
+    }
+    let (mut state, _) = intake
+        .1
+        .wait_timeout(state, std::time::Duration::from_millis(1))
+        .unwrap_or_else(PoisonError::into_inner);
+    match state.queue.pop_front() {
+        Some(batch) => Polled::Batch(batch),
+        None if state.open_clients == 0 => Polled::Closed,
+        None => Polled::Idle,
+    }
+}
+
+/// The admission thread: drain the intake through the admission stage,
+/// dispatch full batches, enforce the wall-clock budget, then flush and
+/// stop every shard.
+#[allow(clippy::too_many_arguments)]
+fn admission_loop(
+    cfg: &ServeConfig,
+    admission: &mut Admission,
+    producers: &mut [Producer<ShardMsg>],
+    completions: &[AtomicU64],
+    intake: &Intake,
+    stop: &AtomicBool,
+    stopwatch: &Stopwatch,
+) {
+    let budget_secs = cfg.duration_ms as f64 / 1000.0;
+    loop {
+        if cfg.duration_ms > 0
+            && !stop.load(Ordering::Acquire)
+            && stopwatch.elapsed_secs() >= budget_secs
+        {
+            stop.store(true, Ordering::Release);
+            intake.1.notify_all();
+        }
+        match poll_intake(intake) {
+            Polled::Batch(batch) => {
+                for req in batch {
+                    let client = req.client;
+                    match admission.admit(req) {
+                        Admitted::Completed => complete(completions, client),
+                        Admitted::Buffered(Some((shard, full))) => {
+                            dispatch(cfg, admission, producers, completions, shard, full);
+                        }
+                        Admitted::Buffered(None) => {}
+                    }
+                }
+            }
+            Polled::Idle => {}
+            Polled::Closed => break,
+        }
+    }
+    for (shard, batch) in admission.flush_all() {
+        dispatch(cfg, admission, producers, completions, shard, batch);
+    }
+    for tx in producers.iter_mut() {
+        let mut msg = ShardMsg::Stop;
+        // Workers are actively draining, so this terminates; a batch is
+        // never given up on here.
+        while let Err(back) = tx.try_push(msg) {
+            msg = back;
+            std::thread::yield_now();
+        }
+    }
+}
+
+fn join_thread<T>(handle: std::thread::ScopedJoinHandle<'_, T>) -> Result<T> {
+    handle.join().map_err(|payload| {
+        let text = if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_owned()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "non-string panic payload".to_owned()
+        };
+        ServeError::WorkerPanic(text)
+    })
+}
+
+/// Runs the full threaded pipeline: closed-loop clients, one admission
+/// thread, `sim.nodes` shard workers over bounded SPSC queues.
+///
+/// The run stops when the query quota is exhausted, the wall-clock
+/// budget elapses, or both; every queue is then drained gracefully (see
+/// the module docs). Per-shard *results* (which queries shed, which
+/// shard served what) are driven by logical time and the admission
+/// order; thread scheduling only affects wall-clock metadata and the
+/// interleaving of client streams.
+///
+/// # Errors
+///
+/// Returns an error on invalid configuration or a panicked engine
+/// thread.
+pub fn run_threaded(cfg: &ServeConfig) -> Result<crate::report::ServeReport> {
+    cfg.validate()?;
+    if cfg.client_window < cfg.submit_batch {
+        return Err(ServeError::InvalidConfig {
+            field: "client_window",
+            reason: format!(
+                "window {} cannot fit a submit batch of {}",
+                cfg.client_window, cfg.submit_batch
+            ),
+        });
+    }
+    let stopwatch = Stopwatch::started();
+    let mapping = build_mapping(cfg)?;
+    let mut admission = Admission::new(cfg, &mapping)?;
+    let shards = cfg.sim.nodes;
+
+    let mut producers: Vec<Producer<ShardMsg>> = Vec::with_capacity(shards);
+    let mut consumers: Vec<Consumer<ShardMsg>> = Vec::with_capacity(shards);
+    for _ in 0..shards {
+        let (tx, rx) = spsc::channel(cfg.queue_capacity);
+        producers.push(tx);
+        consumers.push(rx);
+    }
+
+    let mut streams = Vec::with_capacity(cfg.clients);
+    for client in 0..cfg.clients {
+        streams.push(QueryStream::with_mapping(
+            &cfg.sim.pattern,
+            mix(&[cfg.sim.seed, 4, client as u64 + 1]),
+            mapping.clone(),
+        )?);
+    }
+
+    let completions: Vec<AtomicU64> = (0..cfg.clients).map(|_| AtomicU64::new(0)).collect();
+    let stop = AtomicBool::new(false);
+    let quota = AtomicU64::new(if cfg.total_queries > 0 {
+        cfg.total_queries
+    } else {
+        u64::MAX
+    });
+    let intake: Intake = (
+        Mutex::new(IntakeState {
+            queue: VecDeque::new(),
+            open_clients: cfg.clients,
+        }),
+        Condvar::new(),
+    );
+
+    let workers = std::thread::scope(|scope| -> Result<Vec<WorkerStats>> {
+        let completions = &completions;
+        let stop = &stop;
+        let quota = &quota;
+        let intake = &intake;
+
+        let worker_handles: Vec<_> = consumers
+            .into_iter()
+            .map(|rx| scope.spawn(move || worker_loop(rx, completions)))
+            .collect();
+        let client_handles: Vec<_> = streams
+            .into_iter()
+            .enumerate()
+            .map(|(id, stream)| {
+                scope.spawn(move || {
+                    client_loop(id as u32, stream, cfg, quota, stop, completions, intake)
+                })
+            })
+            .collect();
+
+        admission_loop(
+            cfg,
+            &mut admission,
+            &mut producers,
+            completions,
+            intake,
+            stop,
+            &stopwatch,
+        );
+
+        for handle in client_handles {
+            join_thread(handle)?;
+        }
+        let mut stats = Vec::with_capacity(shards);
+        for handle in worker_handles {
+            stats.push(join_thread(handle)?);
+        }
+        Ok(stats)
+    })?;
+
+    Ok(crate::report::ServeReport::assemble(
+        admission.into_stats(),
+        &workers,
+        stopwatch.elapsed_secs(),
+        false,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scp_sim::SimConfig;
+
+    fn cfg(shards: usize, queries: u64) -> ServeConfig {
+        let sim = SimConfig::builder()
+            .nodes(shards)
+            .replication(3)
+            .items(50_000)
+            .cache_capacity(100)
+            .attack_x(101)
+            .rate(1e5)
+            .seed(2013)
+            .build()
+            .unwrap();
+        let mut cfg = ServeConfig::new(sim);
+        cfg.total_queries = queries;
+        cfg.clients = 3;
+        cfg
+    }
+
+    #[test]
+    fn threaded_run_conserves_and_drains() {
+        let report = run_threaded(&cfg(8, 120_000)).unwrap();
+        assert_eq!(report.submitted, 120_000);
+        assert!(report.is_conserved(), "exact conservation: {report:?}");
+        assert!(report.is_drained(), "graceful drain lost requests");
+        assert_eq!(report.served() + report.shed() + report.unserved, 120_000);
+        assert!(!report.deterministic);
+    }
+
+    #[test]
+    fn threaded_quota_is_exact_across_clients() {
+        // Quota not divisible by clients × submit_batch: the atomic
+        // claim still hands out exactly the quota.
+        let report = run_threaded(&cfg(4, 10_007)).unwrap();
+        assert_eq!(report.submitted, 10_007);
+        assert!(report.is_conserved());
+    }
+
+    #[test]
+    fn duration_budget_stops_an_unbounded_run() {
+        let mut c = cfg(4, 0);
+        c.duration_ms = 50;
+        let report = run_threaded(&c).unwrap();
+        assert!(report.submitted > 0, "should serve something in 50ms");
+        assert!(report.is_conserved());
+        assert!(report.is_drained());
+    }
+
+    #[test]
+    fn tiny_queues_shed_backpressure_but_conserve() {
+        let mut c = cfg(3, 80_000);
+        // Few shards, small batches, one-batch queues: admission
+        // outpaces drain often enough to exercise the retry/shed path.
+        c.queue_capacity = 1;
+        c.batch_size = 8;
+        c.push_retries = 0;
+        let report = run_threaded(&c).unwrap();
+        assert!(report.is_conserved());
+        assert!(report.is_drained());
+    }
+
+    #[test]
+    fn rejects_window_smaller_than_submit_batch() {
+        let mut c = cfg(4, 1000);
+        c.client_window = 8;
+        c.submit_batch = 64;
+        assert!(run_threaded(&c).is_err());
+    }
+
+    #[test]
+    fn capacity_shedding_engages_under_attack() {
+        // The one uncached key's replicas receive at least R/(x·d), so
+        // n > h·x·d (50 > 1.2 · 11 · 3) guarantees the excess over
+        // r_i = h·R/n is shed.
+        let sim = SimConfig::builder()
+            .nodes(50)
+            .replication(3)
+            .items(50_000)
+            .cache_capacity(10)
+            .attack_x(11)
+            .rate(1e5)
+            .seed(2013)
+            .build()
+            .unwrap();
+        let mut c = ServeConfig::new(sim);
+        c.total_queries = 200_000;
+        c.clients = 3;
+        c.capacity_headroom = 1.2;
+        let report = run_threaded(&c).unwrap();
+        assert!(
+            report.shed_capacity() > 0,
+            "x = c + 1 attack must drive hot shards past r_i"
+        );
+        assert!(report.is_conserved());
+        assert!(report.is_drained());
+    }
+}

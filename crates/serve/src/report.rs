@@ -1,0 +1,463 @@
+//! Serving-run reports and journal integration.
+//!
+//! A [`ServeReport`] is the live-path counterpart of the simulator's
+//! [`LoadReport`]: exact integer counters per shard (routed, processed,
+//! shed, queue depths) plus wall-clock throughput metadata. It bridges
+//! *into* a [`LoadReport`] so the paper's metrics — attack gain, cache
+//! fraction, conservation — apply unchanged, and batches of deterministic
+//! runs journal through the same [`RunJournal`] machinery as simulations.
+
+use crate::clock::Stopwatch;
+use crate::config::{Result, ServeConfig};
+use crate::engine::{run_deterministic, AdmitStats, WorkerStats};
+use scp_cluster::load::LoadSnapshot;
+use scp_json::Json;
+use scp_sim::journal::RunJournal;
+use scp_sim::runner::{repeat_with_stopping, GainAggregate, StopRule};
+use scp_sim::LoadReport;
+
+/// Queue-depth percentiles (in batches) observed at dispatch time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DepthStats {
+    /// Median observed depth.
+    pub p50: usize,
+    /// 95th-percentile observed depth.
+    pub p95: usize,
+    /// Maximum observed depth.
+    pub max: usize,
+}
+
+impl DepthStats {
+    /// Percentiles of a depth histogram (`hist[d]` = number of
+    /// dispatches that observed depth `d`). An empty histogram (no
+    /// dispatches) yields zeros.
+    pub fn from_hist(hist: &[u64]) -> Self {
+        let total: u64 = hist.iter().sum();
+        if total == 0 {
+            return Self::default();
+        }
+        let mut max = 0usize;
+        for (depth, &count) in hist.iter().enumerate() {
+            if count > 0 {
+                max = depth;
+            }
+        }
+        Self {
+            p50: Self::quantile(hist, total, 0.50),
+            p95: Self::quantile(hist, total, 0.95),
+            max,
+        }
+    }
+
+    fn quantile(hist: &[u64], total: u64, q: f64) -> usize {
+        let target = ((total as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (depth, &count) in hist.iter().enumerate() {
+            seen += count;
+            if seen >= target {
+                return depth;
+            }
+        }
+        hist.len().saturating_sub(1)
+    }
+
+    /// The stats as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("p50", Json::Num(self.p50 as f64)),
+            ("p95", Json::Num(self.p95 as f64)),
+            ("max", Json::Num(self.max as f64)),
+        ])
+    }
+}
+
+/// One shard's (= one backend node's) ledger for a run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardReport {
+    /// Queries routed here (before capacity enforcement).
+    pub routed: u64,
+    /// Queries handed to this shard's worker.
+    pub enqueued: u64,
+    /// Queries the worker fully processed.
+    pub processed: u64,
+    /// Dropped by the shard's token bucket (over `r_i`).
+    pub shed_capacity: u64,
+    /// Dropped because the shard queue stayed full.
+    pub shed_backpressure: u64,
+    /// Batches the worker consumed.
+    pub batches: u64,
+    /// Checksum the admission stage expected the worker to compute.
+    pub expected_checksum: u64,
+    /// Checksum the worker actually computed.
+    pub checksum: u64,
+    /// Queue depths observed at dispatch.
+    pub queue_depth: DepthStats,
+}
+
+impl ShardReport {
+    /// Total load this shard refused.
+    pub fn shed(&self) -> u64 {
+        self.shed_capacity + self.shed_backpressure
+    }
+
+    /// Whether shutdown drained this shard losslessly: everything
+    /// enqueued was processed, and the work checksums agree.
+    pub fn is_drained(&self) -> bool {
+        self.processed == self.enqueued && self.checksum == self.expected_checksum
+    }
+
+    /// The ledger as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("routed", Json::Num(self.routed as f64)),
+            ("enqueued", Json::Num(self.enqueued as f64)),
+            ("processed", Json::Num(self.processed as f64)),
+            ("shed_capacity", Json::Num(self.shed_capacity as f64)),
+            (
+                "shed_backpressure",
+                Json::Num(self.shed_backpressure as f64),
+            ),
+            ("batches", Json::Num(self.batches as f64)),
+            ("drained", Json::Bool(self.is_drained())),
+            ("queue_depth", self.queue_depth.to_json()),
+        ])
+    }
+}
+
+/// The complete outcome of one serving run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeReport {
+    /// Per-shard ledgers, indexed by shard (= node) id.
+    pub shards: Vec<ShardReport>,
+    /// Queries that entered admission.
+    pub submitted: u64,
+    /// Served by the front-end cache.
+    pub cache_hits: u64,
+    /// Lost because a whole replica group was down.
+    pub unserved: u64,
+    /// Wall-clock duration of the run in seconds (metadata only).
+    pub duration_secs: f64,
+    /// Whether the run used the deterministic single-threaded mode.
+    pub deterministic: bool,
+}
+
+impl ServeReport {
+    /// Assembles the report from admission- and worker-side counters.
+    pub(crate) fn assemble(
+        stats: AdmitStats,
+        workers: &[WorkerStats],
+        duration_secs: f64,
+        deterministic: bool,
+    ) -> Self {
+        let shards = stats
+            .routed
+            .iter()
+            .enumerate()
+            .map(|(i, &routed)| {
+                let get = |v: &[u64]| v.get(i).copied().unwrap_or(0);
+                let worker = workers.get(i).copied().unwrap_or_default();
+                ShardReport {
+                    routed,
+                    enqueued: get(&stats.enqueued),
+                    processed: worker.processed,
+                    shed_capacity: get(&stats.shed_capacity),
+                    shed_backpressure: get(&stats.shed_backpressure),
+                    batches: worker.batches,
+                    expected_checksum: get(&stats.expected_checksum),
+                    checksum: worker.checksum,
+                    queue_depth: stats
+                        .depth_hist
+                        .get(i)
+                        .map(|h| DepthStats::from_hist(h))
+                        .unwrap_or_default(),
+                }
+            })
+            .collect();
+        Self {
+            shards,
+            submitted: stats.submitted,
+            cache_hits: stats.hits,
+            unserved: stats.unserved,
+            duration_secs,
+            deterministic,
+        }
+    }
+
+    /// Total queries processed by shard workers.
+    pub fn processed(&self) -> u64 {
+        self.shards.iter().map(|s| s.processed).sum()
+    }
+
+    /// Total queries dropped by token buckets.
+    pub fn shed_capacity(&self) -> u64 {
+        self.shards.iter().map(|s| s.shed_capacity).sum()
+    }
+
+    /// Total queries dropped to backpressure.
+    pub fn shed_backpressure(&self) -> u64 {
+        self.shards.iter().map(|s| s.shed_backpressure).sum()
+    }
+
+    /// Total queries refused (capacity + backpressure).
+    pub fn shed(&self) -> u64 {
+        self.shed_capacity() + self.shed_backpressure()
+    }
+
+    /// Queries actually served: cache hits plus worker-processed.
+    pub fn served(&self) -> u64 {
+        self.cache_hits + self.processed()
+    }
+
+    /// Served queries per wall-clock second.
+    pub fn throughput_qps(&self) -> f64 {
+        if self.duration_secs > 0.0 {
+            self.served() as f64 / self.duration_secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Served queries per wall-clock minute (the smoke-gate unit).
+    pub fn throughput_qpm(&self) -> f64 {
+        self.throughput_qps() * 60.0
+    }
+
+    /// Exact-integer conservation: every submitted query is accounted
+    /// for exactly once across hits, worker hand-offs, sheds and
+    /// unserved.
+    pub fn is_conserved(&self) -> bool {
+        let enqueued: u64 = self.shards.iter().map(|s| s.enqueued).sum();
+        self.submitted == self.cache_hits + enqueued + self.shed() + self.unserved
+    }
+
+    /// Whether shutdown drained every shard losslessly (see
+    /// [`ShardReport::is_drained`]).
+    pub fn is_drained(&self) -> bool {
+        self.shards.iter().all(ShardReport::is_drained)
+    }
+
+    /// The run as a simulator [`LoadReport`]: routed load per shard,
+    /// cache hits as cache load. The paper's metrics (attack gain, cache
+    /// fraction) and tolerance-based conservation then apply unchanged.
+    pub fn to_load_report(&self) -> LoadReport {
+        LoadReport {
+            snapshot: LoadSnapshot::new(self.shards.iter().map(|s| s.routed as f64).collect()),
+            cache_load: self.cache_hits as f64,
+            offered: self.submitted as f64,
+            unserved: self.unserved as f64,
+            cache_stats: None,
+        }
+    }
+
+    /// The run's attack gain: max routed shard load over the even share.
+    pub fn gain(&self) -> f64 {
+        self.to_load_report().gain().value()
+    }
+
+    /// The report as a self-describing JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("mode", Json::Str(self.mode_name().to_owned())),
+            ("submitted", Json::Num(self.submitted as f64)),
+            ("cache_hits", Json::Num(self.cache_hits as f64)),
+            ("processed", Json::Num(self.processed() as f64)),
+            ("shed_capacity", Json::Num(self.shed_capacity() as f64)),
+            (
+                "shed_backpressure",
+                Json::Num(self.shed_backpressure() as f64),
+            ),
+            ("unserved", Json::Num(self.unserved as f64)),
+            ("duration_secs", Json::Num(self.duration_secs)),
+            ("throughput_qps", Json::Num(self.throughput_qps())),
+            ("gain", Json::Num(self.gain())),
+            ("conserved", Json::Bool(self.is_conserved())),
+            ("drained", Json::Bool(self.is_drained())),
+            (
+                "shards",
+                Json::arr(self.shards.iter().map(ShardReport::to_json)),
+            ),
+        ])
+    }
+
+    fn mode_name(&self) -> &'static str {
+        if self.deterministic {
+            "deterministic"
+        } else {
+            "threaded"
+        }
+    }
+}
+
+/// A batch of journaled deterministic serving runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournaledServe {
+    /// Per-run serve reports, in run order.
+    pub reports: Vec<ServeReport>,
+    /// Gain aggregate over the kept runs.
+    pub aggregate: GainAggregate,
+    /// Structured per-run records plus stopping metadata, identical in
+    /// shape to simulation journals.
+    pub journal: RunJournal,
+}
+
+/// Repeats the deterministic serving mode under a [`StopRule`] with
+/// derived per-run seeds ([`ServeConfig::for_run`]), journaling one
+/// record per repetition exactly like
+/// [`scp_sim::runner::repeat_rate_simulation_journaled`].
+///
+/// # Errors
+///
+/// Returns the first serving error encountered, if any.
+pub fn repeat_serve_journaled(
+    cfg: &ServeConfig,
+    rule: &StopRule,
+    threads: usize,
+) -> Result<JournaledServe> {
+    let outcome = repeat_with_stopping(
+        rule,
+        threads,
+        |i| {
+            let stopwatch = Stopwatch::started();
+            let report = run_deterministic(&cfg.for_run(i as u64));
+            (report, stopwatch.elapsed_secs())
+        },
+        // An errored run contributes zero to the stop statistic; the
+        // error aborts the whole batch below, so the value is never
+        // observable by callers.
+        |(report, _)| report.as_ref().map_or(0.0, |r| r.gain()),
+    );
+    let mut reports = Vec::with_capacity(outcome.results.len());
+    let mut durations = Vec::with_capacity(outcome.results.len());
+    for (report, duration) in outcome.results {
+        reports.push(report?);
+        durations.push(duration);
+    }
+    let load_reports: Vec<LoadReport> = reports.iter().map(ServeReport::to_load_report).collect();
+    let aggregate = GainAggregate::from_reports(&load_reports);
+    let journal = RunJournal::new(
+        &cfg.sim,
+        rule,
+        &load_reports,
+        &durations,
+        outcome.stopped_early,
+        outcome.ci_half_width,
+    );
+    Ok(JournaledServe {
+        reports,
+        aggregate,
+        journal,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scp_sim::SimConfig;
+
+    fn cfg() -> ServeConfig {
+        let sim = SimConfig::builder()
+            .nodes(12)
+            .replication(3)
+            .items(5_000)
+            .cache_capacity(20)
+            .attack_x(21)
+            .rate(1e4)
+            .seed(9)
+            .build()
+            .unwrap();
+        let mut cfg = ServeConfig::new(sim);
+        cfg.total_queries = 20_000;
+        cfg
+    }
+
+    #[test]
+    fn depth_stats_of_empty_histogram_are_zero() {
+        assert_eq!(DepthStats::from_hist(&[]), DepthStats::default());
+        assert_eq!(DepthStats::from_hist(&[0, 0, 0]), DepthStats::default());
+    }
+
+    #[test]
+    fn depth_stats_percentiles() {
+        // 90 dispatches at depth 0, 9 at depth 2, 1 at depth 5.
+        let mut hist = vec![0u64; 6];
+        hist[0] = 90;
+        hist[2] = 9;
+        hist[5] = 1;
+        let d = DepthStats::from_hist(&hist);
+        assert_eq!(d.p50, 0);
+        assert_eq!(d.p95, 2);
+        assert_eq!(d.max, 5);
+    }
+
+    #[test]
+    fn load_report_bridge_conserves() {
+        let report = run_deterministic(&cfg()).unwrap();
+        let load = report.to_load_report();
+        assert!(load.is_conserved(1e-12));
+        assert_eq!(load.offered, report.submitted as f64);
+        assert!(
+            (load.cache_fraction() - report.cache_hits as f64 / report.submitted as f64).abs()
+                < 1e-12
+        );
+        assert!((report.gain() - load.gain().value()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn json_round_trips_headline_numbers() {
+        let report = run_deterministic(&cfg()).unwrap();
+        let text = report.to_json().to_pretty_string();
+        let back = Json::parse(&text).unwrap();
+        assert_eq!(
+            back.get("submitted").and_then(Json::as_u64),
+            Some(report.submitted)
+        );
+        assert_eq!(back.get("conserved").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            back.get("shards").and_then(Json::as_array).map(|s| s.len()),
+            Some(12)
+        );
+        assert_eq!(
+            back.get("mode").and_then(Json::as_str),
+            Some("deterministic")
+        );
+    }
+
+    #[test]
+    fn journaled_batch_matches_simulation_journal_shape() {
+        let out = repeat_serve_journaled(&cfg(), &StopRule::fixed(3), 0).unwrap();
+        assert_eq!(out.reports.len(), 3);
+        assert_eq!(out.journal.records.len(), 3);
+        for (i, rec) in out.journal.records.iter().enumerate() {
+            assert_eq!(rec.run, i);
+            assert_eq!(rec.seed, cfg().sim.for_run(i as u64).seed);
+            assert!((rec.gain - out.reports[i].gain()).abs() < 1e-12);
+        }
+        // Distinct seeds produce distinct partitions, hence (almost
+        // surely) distinct load shapes.
+        assert!(
+            out.reports
+                .iter()
+                .map(|r| format!(
+                    "{:?}",
+                    r.shards.iter().map(|s| s.routed).collect::<Vec<_>>()
+                ))
+                .collect::<std::collections::HashSet<_>>()
+                .len()
+                > 1
+        );
+    }
+
+    #[test]
+    fn journaled_runs_parallel_equals_serial() {
+        // Wall-clock durations differ run to run; every *result* field
+        // must not.
+        let a = repeat_serve_journaled(&cfg(), &StopRule::fixed(4), 1).unwrap();
+        let b = repeat_serve_journaled(&cfg(), &StopRule::fixed(4), 4).unwrap();
+        assert_eq!(a.aggregate, b.aggregate);
+        for (ra, rb) in a.reports.iter().zip(&b.reports) {
+            assert_eq!(ra.shards, rb.shards);
+            assert_eq!(ra.submitted, rb.submitted);
+            assert_eq!(ra.cache_hits, rb.cache_hits);
+        }
+    }
+}

@@ -1,0 +1,248 @@
+//! A bounded single-producer / single-consumer queue.
+//!
+//! The serving engine fans admitted batches out to shard workers over one
+//! of these per shard: the admission thread is the only producer, the
+//! shard worker the only consumer. That pairing needs no locks at all —
+//! two atomic counters and a slot array are enough:
+//!
+//! * `tail` counts pushes and is written only by the producer;
+//! * `head` counts pops and is written only by the consumer;
+//! * slot `i % capacity` holds the `i`-th element in flight.
+//!
+//! A full queue rejects the push ([`Producer::try_push`] hands the value
+//! back), which is exactly the backpressure signal the admission stage
+//! turns into load shedding. Counters are monotonically increasing
+//! `u64`s, so index arithmetic never wraps in any realistic run
+//! (2^64 pushes at 10M/s is fifty thousand years).
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+struct Ring<T> {
+    slots: Box<[UnsafeCell<Option<T>>]>,
+    /// Pops so far; written only by the consumer.
+    head: AtomicU64,
+    /// Pushes so far; written only by the producer.
+    tail: AtomicU64,
+}
+
+// A slot is accessed mutably only by the producer (between reserving a
+// `tail` index and publishing it) or only by the consumer (between
+// observing a published `tail` and advancing `head`).
+// SAFETY: the acquire/release pairs on `tail` and `head` order all slot
+// accesses, so the ring moves between threads whenever `T` is Send.
+unsafe impl<T: Send> Send for Ring<T> {}
+// SAFETY: as for `Send` — every shared mutation is mediated by the
+// head/tail protocol, never by `&Ring` aliasing alone.
+unsafe impl<T: Send> Sync for Ring<T> {}
+
+impl<T> Ring<T> {
+    fn capacity(&self) -> u64 {
+        self.slots.len() as u64
+    }
+
+    fn len(&self) -> u64 {
+        let tail = self.tail.load(Ordering::Acquire);
+        let head = self.head.load(Ordering::Acquire);
+        tail.saturating_sub(head)
+    }
+}
+
+/// The sending half; owned by exactly one thread.
+pub struct Producer<T> {
+    ring: Arc<Ring<T>>,
+}
+
+/// The receiving half; owned by exactly one thread.
+pub struct Consumer<T> {
+    ring: Arc<Ring<T>>,
+}
+
+/// Creates a bounded SPSC queue holding at most `capacity` elements.
+///
+/// A zero capacity is rounded up to one so the queue can always make
+/// progress.
+pub fn channel<T>(capacity: usize) -> (Producer<T>, Consumer<T>) {
+    let capacity = capacity.max(1);
+    let slots: Box<[UnsafeCell<Option<T>>]> =
+        (0..capacity).map(|_| UnsafeCell::new(None)).collect();
+    let ring = Arc::new(Ring {
+        slots,
+        head: AtomicU64::new(0),
+        tail: AtomicU64::new(0),
+    });
+    (
+        Producer {
+            ring: Arc::clone(&ring),
+        },
+        Consumer { ring },
+    )
+}
+
+impl<T> Producer<T> {
+    /// Attempts to enqueue `item`; a full queue returns it unchanged
+    /// (the caller's backpressure signal).
+    pub fn try_push(&mut self, item: T) -> Result<(), T> {
+        let ring = &*self.ring;
+        let tail = ring.tail.load(Ordering::Relaxed);
+        let head = ring.head.load(Ordering::Acquire);
+        if tail - head >= ring.capacity() {
+            return Err(item);
+        }
+        let Some(slot) = ring.slots.get((tail % ring.capacity()) as usize) else {
+            // Unreachable (`x % len < len`), but refusing is a safe
+            // answer: the queue just looks full.
+            return Err(item);
+        };
+        // Index `tail` is not yet published, so the consumer never
+        // touches this slot until the release store below.
+        // SAFETY: we are the only producer; no other writer exists.
+        unsafe {
+            *slot.get() = Some(item);
+        }
+        ring.tail.store(tail + 1, Ordering::Release);
+        Ok(())
+    }
+
+    /// Elements currently queued.
+    pub fn len(&self) -> usize {
+        self.ring.len() as usize
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ring.len() == 0
+    }
+
+    /// The fixed capacity.
+    pub fn capacity(&self) -> usize {
+        self.ring.capacity() as usize
+    }
+}
+
+impl<T> Consumer<T> {
+    /// Dequeues the oldest element, or `None` when the queue is empty.
+    pub fn try_pop(&mut self) -> Option<T> {
+        let ring = &*self.ring;
+        let head = ring.head.load(Ordering::Relaxed);
+        let tail = ring.tail.load(Ordering::Acquire);
+        if head == tail {
+            return None;
+        }
+        let slot = ring.slots.get((head % ring.capacity()) as usize)?;
+        // `head < tail`: the producer published this slot with the
+        // release store on `tail` that our acquire load observed, and it
+        // will not rewrite the slot until `head` advances past it.
+        // SAFETY: we are the only consumer of a published slot.
+        let item = unsafe { (*slot.get()).take() };
+        ring.head.store(head + 1, Ordering::Release);
+        item
+    }
+
+    /// Elements currently queued.
+    pub fn len(&self) -> usize {
+        self.ring.len() as usize
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ring.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_within_capacity() {
+        let (mut tx, mut rx) = channel(4);
+        for i in 0..4 {
+            tx.try_push(i).unwrap();
+        }
+        assert_eq!(tx.len(), 4);
+        for i in 0..4 {
+            assert_eq!(rx.try_pop(), Some(i));
+        }
+        assert_eq!(rx.try_pop(), None);
+    }
+
+    #[test]
+    fn full_queue_rejects_and_returns_item() {
+        let (mut tx, mut rx) = channel(2);
+        tx.try_push("a").unwrap();
+        tx.try_push("b").unwrap();
+        assert_eq!(tx.try_push("c"), Err("c"));
+        assert_eq!(rx.try_pop(), Some("a"));
+        tx.try_push("c").unwrap();
+        assert_eq!(rx.try_pop(), Some("b"));
+        assert_eq!(rx.try_pop(), Some("c"));
+    }
+
+    #[test]
+    fn zero_capacity_rounds_up_to_one() {
+        let (mut tx, mut rx) = channel(0);
+        assert_eq!(tx.capacity(), 1);
+        tx.try_push(7u64).unwrap();
+        assert_eq!(tx.try_push(8), Err(8));
+        assert_eq!(rx.try_pop(), Some(7));
+    }
+
+    #[test]
+    fn wraps_around_many_times() {
+        let (mut tx, mut rx) = channel(3);
+        for round in 0u64..1000 {
+            tx.try_push(round).unwrap();
+            assert_eq!(rx.try_pop(), Some(round));
+        }
+        assert!(rx.is_empty());
+        assert!(tx.is_empty());
+    }
+
+    #[test]
+    fn cross_thread_transfer_is_lossless_and_ordered() {
+        const N: u64 = 200_000;
+        let (mut tx, mut rx) = channel(64);
+        let producer = std::thread::spawn(move || {
+            let mut next = 0u64;
+            while next < N {
+                match tx.try_push(next) {
+                    Ok(()) => next += 1,
+                    Err(_) => std::hint::spin_loop(),
+                }
+            }
+        });
+        let mut expected = 0u64;
+        while expected < N {
+            if let Some(got) = rx.try_pop() {
+                assert_eq!(got, expected);
+                expected += 1;
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        producer.join().unwrap();
+        assert!(rx.is_empty());
+    }
+
+    #[test]
+    fn drops_queued_items_with_the_ring() {
+        use std::sync::atomic::AtomicUsize;
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        #[derive(Debug)]
+        struct Counted;
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let (mut tx, rx) = channel(8);
+        for _ in 0..5 {
+            tx.try_push(Counted).unwrap();
+        }
+        drop(tx);
+        drop(rx);
+        assert_eq!(DROPS.load(Ordering::SeqCst), 5);
+    }
+}

@@ -17,6 +17,38 @@ use scp_core::params::SystemParams;
 use scp_workload::rng::mix;
 use scp_workload::AccessPattern;
 
+/// Builds the `Display`/`FromStr` pair for a kind enum so that the
+/// textual form always round-trips with [`name()`] (parsing is
+/// case-insensitive; rendering uses the canonical lower-case name).
+macro_rules! kind_text {
+    ($ty:ident, $field:literal) => {
+        impl std::fmt::Display for $ty {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.write_str(self.name())
+            }
+        }
+
+        impl std::str::FromStr for $ty {
+            type Err = SimError;
+
+            fn from_str(s: &str) -> Result<Self> {
+                $ty::ALL
+                    .iter()
+                    .find(|k| k.name().eq_ignore_ascii_case(s.trim()))
+                    .copied()
+                    .ok_or_else(|| SimError::InvalidConfig {
+                        field: $field,
+                        reason: format!(
+                            "unknown {} `{s}`; valid: {}",
+                            $field,
+                            $ty::ALL.map(|k| k.name()).join(", ")
+                        ),
+                    })
+            }
+        }
+    };
+}
+
 /// Which partitioning scheme maps keys to replica groups.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PartitionerKind {
@@ -51,6 +83,8 @@ impl PartitionerKind {
     }
 }
 
+kind_text!(PartitionerKind, "partitioner");
+
 /// Which rule picks the serving replica within a group.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SelectorKind {
@@ -83,6 +117,8 @@ impl SelectorKind {
         }
     }
 }
+
+kind_text!(SelectorKind, "selector");
 
 /// Which front-end cache policy filters queries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -141,6 +177,8 @@ impl CacheKind {
     }
 }
 
+kind_text!(CacheKind, "cache_kind");
+
 /// A complete description of one simulated system + workload.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimConfig {
@@ -166,7 +204,203 @@ pub struct SimConfig {
     pub seed: u64,
 }
 
+/// Deferred access-pattern choice of a [`SimConfigBuilder`].
+///
+/// The pattern depends on `items` (and, for the default attack, on the
+/// cache size), so the builder resolves it at [`SimConfigBuilder::build`]
+/// time instead of forcing callers to order their setter calls.
+#[derive(Debug, Clone, PartialEq)]
+enum PatternSpec {
+    /// The paper's optimal attack `x = c + 1` over the final key space.
+    AttackHead,
+    /// A uniform attack on exactly `x` keys of the final key space.
+    AttackX(u64),
+    /// A fully specified pattern, used verbatim.
+    Explicit(AccessPattern),
+}
+
+/// Step-by-step construction of a [`SimConfig`], starting from the
+/// paper's Section IV baseline.
+///
+/// Every field defaults to [`SimConfig::paper_baseline`] (1000 nodes,
+/// `d = 3`, 1M keys, 100k qps, hash partitioning, least-loaded selection,
+/// perfect cache, the repro suite's master seed) and the access pattern
+/// defaults to the optimal `x = c + 1` attack, so the shortest possible
+/// call already describes the paper's headline experiment:
+///
+/// ```
+/// use scp_sim::SimConfig;
+///
+/// let cfg = SimConfig::builder().cache_capacity(200).build()?;
+/// assert_eq!(cfg.nodes, 1000);
+/// assert_eq!(cfg.pattern.support_bound(), 201); // x = c + 1
+/// # Ok::<(), scp_sim::SimError>(())
+/// ```
+///
+/// [`build`](SimConfigBuilder::build) validates the assembled
+/// configuration, so an invalid `(n, d, c, m, R)` tuple or a pattern/key
+/// space mismatch is unrepresentable at the call site.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfigBuilder {
+    nodes: usize,
+    replication: usize,
+    cache_kind: CacheKind,
+    cache_capacity: usize,
+    items: u64,
+    rate: f64,
+    pattern: PatternSpec,
+    partitioner: PartitionerKind,
+    selector: SelectorKind,
+    seed: u64,
+}
+
+impl Default for SimConfigBuilder {
+    fn default() -> Self {
+        Self {
+            nodes: 1000,
+            replication: 3,
+            cache_kind: CacheKind::Perfect,
+            cache_capacity: 0,
+            items: 1_000_000,
+            rate: 1e5,
+            pattern: PatternSpec::AttackHead,
+            partitioner: PartitionerKind::Hash,
+            selector: SelectorKind::LeastLoaded,
+            seed: 20130708, // ICDCS'13 workshop date, the repro master seed
+        }
+    }
+}
+
+impl SimConfigBuilder {
+    /// Sets the number of back-end nodes `n`.
+    pub fn nodes(mut self, n: usize) -> Self {
+        self.nodes = n;
+        self
+    }
+
+    /// Sets the replication factor `d`.
+    pub fn replication(mut self, d: usize) -> Self {
+        self.replication = d;
+        self
+    }
+
+    /// Sets the front-end cache policy.
+    pub fn cache_kind(mut self, kind: CacheKind) -> Self {
+        self.cache_kind = kind;
+        self
+    }
+
+    /// Sets the front-end cache capacity `c`.
+    pub fn cache_capacity(mut self, c: usize) -> Self {
+        self.cache_capacity = c;
+        self
+    }
+
+    /// Sets the key-space size `m`.
+    pub fn items(mut self, m: u64) -> Self {
+        self.items = m;
+        self
+    }
+
+    /// Sets the aggregate client rate `R` in queries/second.
+    pub fn rate(mut self, r: f64) -> Self {
+        self.rate = r;
+        self
+    }
+
+    /// Uses an explicit access pattern (its key space must equal `items`).
+    pub fn pattern(mut self, pattern: AccessPattern) -> Self {
+        self.pattern = PatternSpec::Explicit(pattern);
+        self
+    }
+
+    /// Uses the uniform attack on exactly `x` keys of the key space —
+    /// the pattern is built against the final `items` at [`build`] time.
+    ///
+    /// [`build`]: SimConfigBuilder::build
+    pub fn attack_x(mut self, x: u64) -> Self {
+        self.pattern = PatternSpec::AttackX(x);
+        self
+    }
+
+    /// Sets the partitioning scheme.
+    pub fn partitioner(mut self, kind: PartitionerKind) -> Self {
+        self.partitioner = kind;
+        self
+    }
+
+    /// Sets the replica selection rule.
+    pub fn selector(mut self, kind: SelectorKind) -> Self {
+        self.selector = kind;
+        self
+    }
+
+    /// Sets the master seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Resolves the pattern, assembles the [`SimConfig`] and validates it.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the assembled configuration is invalid (bad
+    /// `(n, d, c, m, R)` tuple, oversized cache, pattern/key-space
+    /// mismatch, or an attack on more keys than the service stores).
+    pub fn build(self) -> Result<SimConfig> {
+        let pattern = match self.pattern {
+            PatternSpec::AttackHead => AccessPattern::uniform_subset(
+                (self.cache_capacity as u64 + 1).min(self.items),
+                self.items,
+            )
+            .map_err(SimError::from)?,
+            PatternSpec::AttackX(x) => {
+                AccessPattern::uniform_subset(x, self.items).map_err(SimError::from)?
+            }
+            PatternSpec::Explicit(p) => p,
+        };
+        let cfg = SimConfig {
+            nodes: self.nodes,
+            replication: self.replication,
+            cache_kind: self.cache_kind,
+            cache_capacity: self.cache_capacity,
+            items: self.items,
+            rate: self.rate,
+            pattern,
+            partitioner: self.partitioner,
+            selector: self.selector,
+            seed: self.seed,
+        };
+        cfg.validate()?;
+        Ok(cfg)
+    }
+}
+
 impl SimConfig {
+    /// Starts a builder at the paper's Section IV baseline (see
+    /// [`SimConfigBuilder`]).
+    pub fn builder() -> SimConfigBuilder {
+        SimConfigBuilder::default()
+    }
+
+    /// A builder pre-loaded with this configuration, for derived
+    /// variants: `cfg.to_builder().seed(43).build()?`.
+    pub fn to_builder(&self) -> SimConfigBuilder {
+        SimConfigBuilder {
+            nodes: self.nodes,
+            replication: self.replication,
+            cache_kind: self.cache_kind,
+            cache_capacity: self.cache_capacity,
+            items: self.items,
+            rate: self.rate,
+            pattern: PatternSpec::Explicit(self.pattern.clone()),
+            partitioner: self.partitioner,
+            selector: self.selector,
+            seed: self.seed,
+        }
+    }
+
     /// The paper's Section IV baseline: 1000 nodes, d = 3, 1M keys,
     /// 100k qps, hash partitioning, least-loaded selection, perfect cache.
     pub fn paper_baseline(cache_capacity: usize, pattern: AccessPattern, seed: u64) -> Self {
@@ -438,5 +672,130 @@ mod tests {
         assert_eq!(PartitionerKind::Hash.name(), "hash");
         assert_eq!(SelectorKind::LeastLoaded.name(), "least-loaded");
         assert_eq!(CacheKind::TinyLfu.name(), "tinylfu");
+    }
+
+    #[test]
+    fn cache_kind_text_round_trips_every_variant() {
+        for kind in CacheKind::ALL {
+            assert_eq!(kind.to_string(), kind.name());
+            assert_eq!(kind.name().parse::<CacheKind>().unwrap(), kind);
+        }
+    }
+
+    #[test]
+    fn partitioner_kind_text_round_trips_every_variant() {
+        for kind in PartitionerKind::ALL {
+            assert_eq!(kind.to_string(), kind.name());
+            assert_eq!(kind.name().parse::<PartitionerKind>().unwrap(), kind);
+        }
+    }
+
+    #[test]
+    fn selector_kind_text_round_trips_every_variant() {
+        for kind in SelectorKind::ALL {
+            assert_eq!(kind.to_string(), kind.name());
+            assert_eq!(kind.name().parse::<SelectorKind>().unwrap(), kind);
+        }
+    }
+
+    #[test]
+    fn kind_parsing_is_case_insensitive_and_rejects_junk() {
+        assert_eq!("TinyLFU".parse::<CacheKind>().unwrap(), CacheKind::TinyLfu);
+        assert_eq!(
+            " Least-Loaded ".parse::<SelectorKind>().unwrap(),
+            SelectorKind::LeastLoaded
+        );
+        let err = "quantum".parse::<PartitionerKind>().unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("quantum"), "{msg}");
+        assert!(msg.contains("rendezvous"), "lists valid names: {msg}");
+    }
+
+    #[test]
+    fn builder_defaults_match_paper_baseline() {
+        let built = SimConfig::builder().cache_capacity(200).build().unwrap();
+        let baseline = SimConfig::paper_baseline(
+            200,
+            AccessPattern::uniform_subset(201, 1_000_000).unwrap(),
+            20130708,
+        );
+        assert_eq!(built, baseline);
+    }
+
+    #[test]
+    fn builder_sets_every_field() {
+        let pattern = AccessPattern::zipf(1.1, 5000).unwrap();
+        let cfg = SimConfig::builder()
+            .nodes(20)
+            .replication(2)
+            .cache_kind(CacheKind::Lru)
+            .cache_capacity(7)
+            .items(5000)
+            .rate(123.0)
+            .pattern(pattern.clone())
+            .partitioner(PartitionerKind::Ring)
+            .selector(SelectorKind::Random)
+            .seed(99)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.nodes, 20);
+        assert_eq!(cfg.replication, 2);
+        assert_eq!(cfg.cache_kind, CacheKind::Lru);
+        assert_eq!(cfg.cache_capacity, 7);
+        assert_eq!(cfg.items, 5000);
+        assert_eq!(cfg.rate, 123.0);
+        assert_eq!(cfg.pattern, pattern);
+        assert_eq!(cfg.partitioner, PartitionerKind::Ring);
+        assert_eq!(cfg.selector, SelectorKind::Random);
+        assert_eq!(cfg.seed, 99);
+    }
+
+    #[test]
+    fn builder_attack_x_resolves_against_final_items() {
+        // attack_x before items: the pattern is still built over the
+        // final key space, so setter order cannot corrupt the config.
+        let cfg = SimConfig::builder()
+            .nodes(50)
+            .attack_x(11)
+            .items(2000)
+            .cache_capacity(10)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.pattern.support_bound(), 11);
+        assert_eq!(cfg.pattern.key_space(), 2000);
+    }
+
+    #[test]
+    fn builder_rejects_invalid_configs_at_build() {
+        // Oversized cache.
+        assert!(SimConfig::builder()
+            .nodes(10)
+            .items(100)
+            .cache_capacity(101)
+            .build()
+            .is_err());
+        // Replication above the node count.
+        assert!(SimConfig::builder()
+            .nodes(5)
+            .replication(6)
+            .items(100)
+            .build()
+            .is_err());
+        // Mismatched explicit pattern.
+        assert!(SimConfig::builder()
+            .nodes(10)
+            .items(100)
+            .pattern(AccessPattern::uniform_subset(5, 999).unwrap())
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn to_builder_round_trips_and_derives() {
+        let cfg = base_config();
+        assert_eq!(cfg.to_builder().build().unwrap(), cfg);
+        let derived = cfg.to_builder().seed(77).build().unwrap();
+        assert_eq!(derived.seed, 77);
+        assert_eq!(derived.pattern, cfg.pattern);
     }
 }

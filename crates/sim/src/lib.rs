@@ -59,7 +59,7 @@ pub mod rate_engine;
 pub mod runner;
 pub mod stats;
 
-pub use config::SimConfig;
+pub use config::{SimConfig, SimConfigBuilder};
 pub use error::SimError;
 pub use metrics::LoadReport;
 

@@ -7,25 +7,18 @@
 //! ```
 
 use secure_cache_provision::core::bounds::{critical_cache_size, KParam};
-use secure_cache_provision::sim::config::{CacheKind, PartitionerKind, SelectorKind, SimConfig};
+use secure_cache_provision::prelude::*;
 use secure_cache_provision::sim::critical::best_response_gain;
 use secure_cache_provision::sim::des::{run_des, DesConfig};
-use secure_cache_provision::workload::AccessPattern;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let (n, d, m, rate) = (200usize, 3usize, 200_000u64, 1e5f64);
-    let base = SimConfig {
-        nodes: n,
-        replication: d,
-        cache_kind: CacheKind::Perfect,
-        cache_capacity: 0,
-        items: m,
-        rate,
-        pattern: AccessPattern::uniform(m)?, // replaced per step
-        partitioner: PartitionerKind::Hash,
-        selector: SelectorKind::LeastLoaded,
-        seed: 1337,
-    };
+    let (n, d, m) = (200usize, 3usize, 200_000u64);
+    let base = SimConfig::builder()
+        .nodes(n)
+        .items(m)
+        .pattern(AccessPattern::uniform(m)?) // replaced per step
+        .seed(1337)
+        .build()?;
 
     let c_star = critical_cache_size(n, d, &KParam::paper_fitted());
     println!("n={n}, d={d}, m={m}: paper bound says c* = {c_star}\n");

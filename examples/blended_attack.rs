@@ -10,11 +10,9 @@
 //! cargo run --release --example blended_attack
 //! ```
 
-use secure_cache_provision::sim::config::{CacheKind, PartitionerKind, SelectorKind, SimConfig};
+use secure_cache_provision::prelude::*;
 use secure_cache_provision::sim::detector::{AttackDetector, DetectorConfig};
-use secure_cache_provision::sim::rate_engine::run_rate_simulation;
 use secure_cache_provision::workload::mixture::MixturePattern;
-use secure_cache_provision::workload::AccessPattern;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (n, m, cache) = (200usize, 200_000u64, 60usize); // c below c* ~ 241
@@ -41,18 +39,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ])?
             .to_explicit()?
         };
-        let cfg = SimConfig {
-            nodes: n,
-            replication: 3,
-            cache_kind: CacheKind::Perfect,
-            cache_capacity: cache,
-            items: m,
-            rate: 1e5,
-            pattern,
-            partitioner: PartitionerKind::Hash,
-            selector: SelectorKind::LeastLoaded,
-            seed: 0x5EA1 ^ interval,
-        };
+        let cfg = SimConfig::builder()
+            .nodes(n)
+            .items(m)
+            .cache_capacity(cache)
+            .pattern(pattern)
+            .seed(0x5EA1 ^ interval)
+            .build()?;
         let report = run_rate_simulation(&cfg)?;
         let state = detector.observe(&report);
         if state.alarmed && alarm_interval.is_none() {

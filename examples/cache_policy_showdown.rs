@@ -6,9 +6,7 @@
 //! cargo run --release --example cache_policy_showdown
 //! ```
 
-use secure_cache_provision::sim::config::{CacheKind, PartitionerKind, SelectorKind, SimConfig};
-use secure_cache_provision::sim::query_engine::run_query_simulation;
-use secure_cache_provision::workload::AccessPattern;
+use secure_cache_provision::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (n, m, cache, queries) = (100usize, 50_000u64, 250usize, 400_000u64);
@@ -39,18 +37,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ] {
         let mut cells = Vec::new();
         for (_, pattern) in &patterns {
-            let cfg = SimConfig {
-                nodes: n,
-                replication: 3,
-                cache_kind: kind,
-                cache_capacity: cache,
-                items: m,
-                rate: 1e5,
-                pattern: pattern.clone(),
-                partitioner: PartitionerKind::Hash,
-                selector: SelectorKind::LeastLoaded,
-                seed: 7,
-            };
+            let cfg = SimConfig::builder()
+                .nodes(n)
+                .cache_kind(kind)
+                .cache_capacity(cache)
+                .items(m)
+                .pattern(pattern.clone())
+                .seed(7)
+                .build()?;
             let r = run_query_simulation(&cfg, queries)?;
             let hit = r.cache_stats.map(|s| s.hit_rate()).unwrap_or_default();
             cells.push(format!(

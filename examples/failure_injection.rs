@@ -8,28 +8,22 @@
 
 use secure_cache_provision::cluster::capacity::Capacities;
 use secure_cache_provision::cluster::{Cluster, NodeId};
-use secure_cache_provision::sim::config::{CacheKind, PartitionerKind, SelectorKind, SimConfig};
+use secure_cache_provision::prelude::*;
 use secure_cache_provision::sim::rate_engine::run_rate_simulation_on;
-use secure_cache_provision::workload::AccessPattern;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let (n, d, m) = (100usize, 3usize, 100_000u64);
+    let (n, m) = (100usize, 100_000u64);
     let cache = 150usize; // provisioned: c* ~ 121 at k = 1.2
                           // A wide attack (x >> c) so uncached load touches every node: node
                           // failures then visibly concentrate traffic on the survivors.
     let attack_keys = 2000u64;
-    let cfg = SimConfig {
-        nodes: n,
-        replication: d,
-        cache_kind: CacheKind::Perfect,
-        cache_capacity: cache,
-        items: m,
-        rate: 1e5,
-        pattern: AccessPattern::uniform_subset(attack_keys, m)?,
-        partitioner: PartitionerKind::Hash,
-        selector: SelectorKind::LeastLoaded,
-        seed: 99,
-    };
+    let cfg = SimConfig::builder()
+        .nodes(n)
+        .items(m)
+        .cache_capacity(cache)
+        .attack_x(attack_keys)
+        .seed(99)
+        .build()?;
 
     let mut cluster = Cluster::new(cfg.build_partitioner()?, cfg.build_selector())
         .with_capacities(Capacities::uniform(n, 1500.0)?)?;

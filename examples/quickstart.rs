@@ -1,15 +1,17 @@
 //! Quickstart: size a front-end cache, attack the cluster, watch the
 //! provisioned cache shrug the attack off.
 //!
+//! Everything here comes in through the facade prelude; the simulation
+//! configs start from the builder's paper baseline and override only
+//! what this example changes.
+//!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
 use secure_cache_provision::core::adversary::{AdversaryStrategy, ReplicatedClusterAdversary};
-use secure_cache_provision::core::params::SystemParams;
-use secure_cache_provision::core::provision::Provisioner;
-use secure_cache_provision::sim::config::{CacheKind, PartitionerKind, SelectorKind, SimConfig};
-use secure_cache_provision::sim::rate_engine::run_rate_simulation;
+use secure_cache_provision::prelude::*;
+use secure_cache_provision::workload::AccessPattern as Pattern;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A mid-sized cluster: 500 back-end nodes, 3-way replication,
@@ -35,19 +37,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Let the paper's optimal adversary actually attack a simulated cluster.
     let adversary = ReplicatedClusterAdversary::new();
     let plan = adversary.plan(&params)?;
-    let simulate = |cache: usize, pattern| -> Result<f64, Box<dyn std::error::Error>> {
-        let cfg = SimConfig {
-            nodes: params.nodes(),
-            replication: params.replication(),
-            cache_kind: CacheKind::Perfect,
-            cache_capacity: cache,
-            items: params.items(),
-            rate: params.rate(),
-            pattern,
-            partitioner: PartitionerKind::Hash,
-            selector: SelectorKind::LeastLoaded,
-            seed: 2013,
-        };
+    let simulate = |cache: usize, pattern: Pattern| -> Result<f64, Box<dyn std::error::Error>> {
+        let cfg = SimConfig::builder()
+            .nodes(params.nodes())
+            .replication(params.replication())
+            .cache_capacity(cache)
+            .items(params.items())
+            .rate(params.rate())
+            .pattern(pattern)
+            .seed(2013)
+            .build()?;
         Ok(run_rate_simulation(&cfg)?.gain().value())
     };
 

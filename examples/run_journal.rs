@@ -7,25 +7,17 @@
 //! cargo run --release --example run_journal
 //! ```
 
-use secure_cache_provision::sim::config::{CacheKind, PartitionerKind, SelectorKind, SimConfig};
-use secure_cache_provision::sim::rate_engine::run_rate_simulation;
-use secure_cache_provision::sim::runner::{repeat_rate_simulation_journaled, StopRule};
-use secure_cache_provision::workload::AccessPattern;
+use secure_cache_provision::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (n, m, c) = (200usize, 200_000u64, 100usize);
-    let cfg = SimConfig {
-        nodes: n,
-        replication: 3,
-        cache_kind: CacheKind::Perfect,
-        cache_capacity: c,
-        items: m,
-        rate: 1e5,
-        pattern: AccessPattern::uniform_subset(c as u64 + 1, m)?,
-        partitioner: PartitionerKind::Hash,
-        selector: SelectorKind::LeastLoaded,
-        seed: 42,
-    };
+    // Builder defaults give the optimal x = c + 1 attack automatically.
+    let cfg = SimConfig::builder()
+        .nodes(n)
+        .items(m)
+        .cache_capacity(c)
+        .seed(42)
+        .build()?;
 
     // Up to 64 repetitions, but stop as soon as the 95% CI half-width of
     // the gain drops below 0.05 (never before 8 runs).

@@ -7,28 +7,24 @@
 use secure_cache_provision::core::adversary::{
     AdversaryStrategy, ReplicatedClusterAdversary, SmallCacheAdversary,
 };
-use secure_cache_provision::core::params::SystemParams;
-use secure_cache_provision::sim::config::{CacheKind, PartitionerKind, SelectorKind, SimConfig};
+use secure_cache_provision::prelude::*;
 use secure_cache_provision::sim::runner::repeat_rate_simulation;
-use secure_cache_provision::workload::AccessPattern;
 
 const NODES: usize = 200;
 const ITEMS: u64 = 200_000;
 const RATE: f64 = 1e5;
 
 fn sim_gain(d: usize, cache: usize, x: u64, runs: usize) -> f64 {
-    let cfg = SimConfig {
-        nodes: NODES,
-        replication: d,
-        cache_kind: CacheKind::Perfect,
-        cache_capacity: cache,
-        items: ITEMS,
-        rate: RATE,
-        pattern: AccessPattern::uniform_subset(x, ITEMS).unwrap(),
-        partitioner: PartitionerKind::Hash,
-        selector: SelectorKind::LeastLoaded,
-        seed: 0xFA4 ^ ((d as u64) << 32) ^ ((cache as u64) << 8) ^ x,
-    };
+    let cfg = SimConfig::builder()
+        .nodes(NODES)
+        .replication(d)
+        .cache_capacity(cache)
+        .items(ITEMS)
+        .rate(RATE)
+        .attack_x(x)
+        .seed(0xFA4 ^ ((d as u64) << 32) ^ ((cache as u64) << 8) ^ x)
+        .build()
+        .unwrap();
     let (_, agg) = repeat_rate_simulation(&cfg, runs, 0).unwrap();
     agg.max_gain()
 }

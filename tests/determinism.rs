@@ -1,29 +1,22 @@
 //! Reproducibility guarantees: every engine is a pure function of its
 //! seed, and parallel repetition never leaks thread scheduling.
 
-use secure_cache_provision::sim::config::{CacheKind, PartitionerKind, SelectorKind, SimConfig};
+use secure_cache_provision::prelude::*;
 use secure_cache_provision::sim::des::{run_des, DesConfig};
-use secure_cache_provision::sim::query_engine::run_query_simulation;
-use secure_cache_provision::sim::rate_engine::run_rate_simulation;
-use secure_cache_provision::sim::runner::{
-    repeat, repeat_rate_simulation, repeat_rate_simulation_journaled, StopRule,
-};
+use secure_cache_provision::sim::runner::{repeat, repeat_rate_simulation};
 use secure_cache_provision::workload::stream::QueryStream;
-use secure_cache_provision::workload::AccessPattern;
 
 fn config(seed: u64) -> SimConfig {
-    SimConfig {
-        nodes: 60,
-        replication: 3,
-        cache_kind: CacheKind::Perfect,
-        cache_capacity: 15,
-        items: 5_000,
-        rate: 1e4,
-        pattern: AccessPattern::zipf(1.01, 5_000).unwrap(),
-        partitioner: PartitionerKind::Ring,
-        selector: SelectorKind::LeastLoaded,
-        seed,
-    }
+    SimConfig::builder()
+        .nodes(60)
+        .cache_capacity(15)
+        .items(5_000)
+        .rate(1e4)
+        .pattern(AccessPattern::zipf(1.01, 5_000).unwrap())
+        .partitioner(PartitionerKind::Ring)
+        .seed(seed)
+        .build()
+        .expect("test config is valid")
 }
 
 #[test]

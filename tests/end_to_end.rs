@@ -6,11 +6,8 @@
 
 use secure_cache_provision::core::adversary::{AdversaryStrategy, ReplicatedClusterAdversary};
 use secure_cache_provision::core::bounds::KParam;
-use secure_cache_provision::core::params::SystemParams;
-use secure_cache_provision::core::provision::Provisioner;
-use secure_cache_provision::sim::config::{CacheKind, PartitionerKind, SelectorKind, SimConfig};
+use secure_cache_provision::prelude::*;
 use secure_cache_provision::sim::runner::repeat_rate_simulation;
-use secure_cache_provision::workload::AccessPattern;
 
 const NODES: usize = 100;
 const REPLICATION: usize = 3;
@@ -19,18 +16,16 @@ const RATE: f64 = 1e5;
 const RUNS: usize = 12;
 
 fn sim_config(cache: usize, pattern: AccessPattern, seed: u64) -> SimConfig {
-    SimConfig {
-        nodes: NODES,
-        replication: REPLICATION,
-        cache_kind: CacheKind::Perfect,
-        cache_capacity: cache,
-        items: ITEMS,
-        rate: RATE,
-        pattern,
-        partitioner: PartitionerKind::Hash,
-        selector: SelectorKind::LeastLoaded,
-        seed,
-    }
+    SimConfig::builder()
+        .nodes(NODES)
+        .replication(REPLICATION)
+        .cache_capacity(cache)
+        .items(ITEMS)
+        .rate(RATE)
+        .pattern(pattern)
+        .seed(seed)
+        .build()
+        .expect("test config is valid")
 }
 
 fn simulated_best_gain(cache: usize, seed: u64) -> f64 {
@@ -96,8 +91,16 @@ fn cache_size_independent_of_item_count() {
         let params = SystemParams::new(NODES, REPLICATION, c_star, items, RATE).unwrap();
         assert!(prov.is_protected(&params), "m={items} changed the verdict");
         let plan = ReplicatedClusterAdversary::new().plan(&params).unwrap();
-        let mut cfg = sim_config(c_star, plan.pattern, 6);
-        cfg.items = items;
+        let cfg = SimConfig::builder()
+            .nodes(NODES)
+            .replication(REPLICATION)
+            .cache_capacity(c_star)
+            .items(items)
+            .rate(RATE)
+            .pattern(plan.pattern)
+            .seed(6)
+            .build()
+            .expect("test config is valid");
         let (_, agg) = repeat_rate_simulation(&cfg, RUNS, 0).unwrap();
         assert!(
             agg.max_gain() <= 1.02,

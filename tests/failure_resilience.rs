@@ -3,25 +3,20 @@
 //! distinguishes attack hotspots from failure-induced imbalance.
 
 use secure_cache_provision::cluster::{Cluster, NodeId};
-use secure_cache_provision::sim::config::{CacheKind, PartitionerKind, SelectorKind, SimConfig};
+use secure_cache_provision::prelude::*;
 use secure_cache_provision::sim::des::{run_des_with_events, DesConfig, FailAction, NodeEvent};
 use secure_cache_provision::sim::detector::{AttackDetector, DetectorConfig};
-use secure_cache_provision::sim::rate_engine::{run_rate_simulation, run_rate_simulation_on};
-use secure_cache_provision::workload::AccessPattern;
+use secure_cache_provision::sim::rate_engine::run_rate_simulation_on;
 
 fn config(n: usize, c: usize, x: u64, seed: u64) -> SimConfig {
-    SimConfig {
-        nodes: n,
-        replication: 3,
-        cache_kind: CacheKind::Perfect,
-        cache_capacity: c,
-        items: 50_000,
-        rate: 1e5,
-        pattern: AccessPattern::uniform_subset(x, 50_000).unwrap(),
-        partitioner: PartitionerKind::Hash,
-        selector: SelectorKind::LeastLoaded,
-        seed,
-    }
+    SimConfig::builder()
+        .nodes(n)
+        .cache_capacity(c)
+        .items(50_000)
+        .attack_x(x)
+        .seed(seed)
+        .build()
+        .expect("test config is valid")
 }
 
 #[test]

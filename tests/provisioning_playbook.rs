@@ -2,29 +2,23 @@
 //! replication planning, validated against the simulated cluster.
 
 use secure_cache_provision::core::bounds::KParam;
-use secure_cache_provision::core::params::SystemParams;
-use secure_cache_provision::core::provision::Provisioner;
-use secure_cache_provision::sim::config::{CacheKind, PartitionerKind, SelectorKind, SimConfig};
+use secure_cache_provision::prelude::*;
 use secure_cache_provision::sim::runner::repeat_rate_simulation;
-use secure_cache_provision::workload::AccessPattern;
 
 const NODES: usize = 100;
 const ITEMS: u64 = 100_000;
 const RATE: f64 = 1e5;
 
 fn simulated_gain(cache: usize, x: u64, seed: u64) -> f64 {
-    let cfg = SimConfig {
-        nodes: NODES,
-        replication: 3,
-        cache_kind: CacheKind::Perfect,
-        cache_capacity: cache,
-        items: ITEMS,
-        rate: RATE,
-        pattern: AccessPattern::uniform_subset(x, ITEMS).unwrap(),
-        partitioner: PartitionerKind::Hash,
-        selector: SelectorKind::LeastLoaded,
-        seed,
-    };
+    let cfg = SimConfig::builder()
+        .nodes(NODES)
+        .cache_capacity(cache)
+        .items(ITEMS)
+        .rate(RATE)
+        .attack_x(x)
+        .seed(seed)
+        .build()
+        .unwrap();
     let (_, agg) = repeat_rate_simulation(&cfg, 10, 0).unwrap();
     agg.max_gain()
 }
@@ -63,18 +57,16 @@ fn replication_planning_matches_simulation() {
     assert!(d <= 4);
 
     // Simulate at the recommended d: both candidate plays fail.
-    let cfg = SimConfig {
-        nodes: NODES,
-        replication: d,
-        cache_kind: CacheKind::Perfect,
-        cache_capacity: budget,
-        items: ITEMS,
-        rate: RATE,
-        pattern: AccessPattern::uniform_subset(budget as u64 + 1, ITEMS).unwrap(),
-        partitioner: PartitionerKind::Hash,
-        selector: SelectorKind::LeastLoaded,
-        seed: 3,
-    };
+    let cfg = SimConfig::builder()
+        .nodes(NODES)
+        .replication(d)
+        .cache_capacity(budget)
+        .items(ITEMS)
+        .rate(RATE)
+        .attack_x(budget as u64 + 1)
+        .seed(3)
+        .build()
+        .unwrap();
     let (_, small_x) = repeat_rate_simulation(&cfg, 10, 0).unwrap();
     let mut whole = cfg.clone();
     whole.pattern = AccessPattern::uniform_subset(ITEMS, ITEMS).unwrap();
@@ -102,18 +94,14 @@ fn capacity_headroom_verdict_matches_des_saturation() {
     let needed = prov.report(&params).required_node_capacity;
 
     let mk = |service_rate: f64| DesConfig {
-        sim: SimConfig {
-            nodes: 20,
-            replication: 3,
-            cache_kind: CacheKind::Perfect,
-            cache_capacity: 5,
-            items: 1_000,
-            rate: 1e3,
-            pattern: AccessPattern::uniform_subset(6, 1_000).unwrap(),
-            partitioner: PartitionerKind::Hash,
-            selector: SelectorKind::LeastLoaded,
-            seed: 4,
-        },
+        sim: SimConfig::builder()
+            .nodes(20)
+            .cache_capacity(5)
+            .items(1_000)
+            .rate(1e3)
+            .seed(4)
+            .build()
+            .unwrap(),
         duration: 30.0,
         service_rate,
     };

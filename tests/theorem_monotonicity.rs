@@ -2,28 +2,25 @@
 //! Eq. (4) canonical shape never decreases the expected maximum load.
 
 use secure_cache_provision::core::theorem::{canonicalize, shift_once};
-use secure_cache_provision::sim::config::{CacheKind, PartitionerKind, SelectorKind, SimConfig};
+use secure_cache_provision::prelude::*;
 use secure_cache_provision::sim::runner::repeat_rate_simulation;
 use secure_cache_provision::workload::zipf::zipf_probs;
-use secure_cache_provision::workload::{AccessPattern, Pmf};
+use secure_cache_provision::workload::Pmf;
 
 const NODES: usize = 40;
 const CACHE: usize = 8;
 const RUNS: usize = 40;
 
 fn mean_max_gain(pmf: Pmf, seed: u64) -> f64 {
-    let cfg = SimConfig {
-        nodes: NODES,
-        replication: 3,
-        cache_kind: CacheKind::Perfect,
-        cache_capacity: CACHE,
-        items: pmf.len() as u64,
-        rate: 1e4,
-        pattern: AccessPattern::explicit(pmf),
-        partitioner: PartitionerKind::Hash,
-        selector: SelectorKind::LeastLoaded,
-        seed,
-    };
+    let cfg = SimConfig::builder()
+        .nodes(NODES)
+        .cache_capacity(CACHE)
+        .items(pmf.len() as u64)
+        .rate(1e4)
+        .pattern(AccessPattern::explicit(pmf))
+        .seed(seed)
+        .build()
+        .unwrap();
     let (_, agg) = repeat_rate_simulation(&cfg, RUNS, 0).unwrap();
     agg.mean_gain()
 }

@@ -1,25 +1,20 @@
 //! The Eq. (10) bound against simulation, across a parameter grid.
 
 use secure_cache_provision::core::bounds::{attack_gain_bound, critical_cache_size, KParam};
-use secure_cache_provision::core::params::SystemParams;
-use secure_cache_provision::sim::config::{CacheKind, PartitionerKind, SelectorKind, SimConfig};
+use secure_cache_provision::prelude::*;
 use secure_cache_provision::sim::critical::find_critical_cache_size;
 use secure_cache_provision::sim::runner::repeat_rate_simulation;
-use secure_cache_provision::workload::AccessPattern;
 
 fn sim_max_gain(n: usize, d: usize, c: usize, x: u64, m: u64, runs: usize) -> f64 {
-    let cfg = SimConfig {
-        nodes: n,
-        replication: d,
-        cache_kind: CacheKind::Perfect,
-        cache_capacity: c,
-        items: m,
-        rate: 1e5,
-        pattern: AccessPattern::uniform_subset(x, m).unwrap(),
-        partitioner: PartitionerKind::Hash,
-        selector: SelectorKind::LeastLoaded,
-        seed: 0xBEEF ^ (n as u64) ^ ((d as u64) << 8) ^ ((c as u64) << 16) ^ x,
-    };
+    let cfg = SimConfig::builder()
+        .nodes(n)
+        .replication(d)
+        .cache_capacity(c)
+        .items(m)
+        .attack_x(x)
+        .seed(0xBEEF ^ (n as u64) ^ ((d as u64) << 8) ^ ((c as u64) << 16) ^ x)
+        .build()
+        .unwrap();
     let (_, agg) = repeat_rate_simulation(&cfg, runs, 0).unwrap();
     agg.max_gain()
 }
@@ -64,18 +59,13 @@ fn empirical_critical_size_within_theory_bound() {
     // The theoretical c* upper-bounds the empirical critical point, and
     // should not be off by more than a small factor (the paper's "our
     // bound is tight" claim, Fig. 5).
-    let base = SimConfig {
-        nodes: 100,
-        replication: 3,
-        cache_kind: CacheKind::Perfect,
-        cache_capacity: 0,
-        items: 50_000,
-        rate: 1e5,
-        pattern: AccessPattern::uniform(50_000).unwrap(),
-        partitioner: PartitionerKind::Hash,
-        selector: SelectorKind::LeastLoaded,
-        seed: 77,
-    };
+    let base = SimConfig::builder()
+        .nodes(100)
+        .items(50_000)
+        .pattern(AccessPattern::uniform(50_000).unwrap())
+        .seed(77)
+        .build()
+        .unwrap();
     let cp = find_critical_cache_size(&base, 6, 0).unwrap();
     let theory = critical_cache_size(100, 3, &KParam::theory());
     assert!(
@@ -113,19 +103,17 @@ fn larger_replication_weakens_the_attack() {
 #[test]
 fn gain_scale_invariance_in_rate() {
     // Normalized gain must not depend on the absolute client rate.
-    let mk = |rate: f64| SimConfig {
-        nodes: 100,
-        replication: 3,
-        cache_kind: CacheKind::Perfect,
-        cache_capacity: 20,
-        items: 10_000,
-        rate,
-        pattern: AccessPattern::uniform_subset(21, 10_000).unwrap(),
-        partitioner: PartitionerKind::Hash,
-        selector: SelectorKind::LeastLoaded,
-        seed: 5,
+    let mk = |rate: f64| {
+        SimConfig::builder()
+            .nodes(100)
+            .cache_capacity(20)
+            .items(10_000)
+            .rate(rate)
+            .seed(5)
+            .build()
+            .unwrap()
     };
-    let lo = secure_cache_provision::sim::rate_engine::run_rate_simulation(&mk(1e3)).unwrap();
-    let hi = secure_cache_provision::sim::rate_engine::run_rate_simulation(&mk(1e7)).unwrap();
+    let lo = run_rate_simulation(&mk(1e3)).unwrap();
+    let hi = run_rate_simulation(&mk(1e7)).unwrap();
     assert!((lo.gain().value() - hi.gain().value()).abs() < 1e-9);
 }
