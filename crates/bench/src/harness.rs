@@ -84,6 +84,30 @@ pub struct BenchResult {
 }
 
 impl BenchResult {
+    /// The result as a JSON object (for committed `BENCH_*.json`
+    /// baselines).
+    pub fn to_json(&self) -> scp_json::Json {
+        use scp_json::Json;
+        let mut pairs = vec![
+            ("id", Json::Str(self.id.clone())),
+            ("mean_ns", Json::Num(self.mean_ns)),
+            ("stddev_ns", Json::Num(self.stddev_ns)),
+            ("min_ns", Json::Num(self.min_ns)),
+        ];
+        if let Some(t) = self.throughput {
+            let (count, unit) = match t {
+                Throughput::Elements(e) => (e as f64, "elements"),
+                Throughput::Bytes(b) => (b as f64, "bytes"),
+            };
+            pairs.push(("work_per_iter", Json::Num(count)));
+            pairs.push(("work_unit", Json::Str(unit.to_owned())));
+            if self.mean_ns > 0.0 {
+                pairs.push(("per_sec", Json::Num(count * 1e9 / self.mean_ns)));
+            }
+        }
+        Json::obj(pairs)
+    }
+
     fn from_samples(id: String, samples: &[f64], throughput: Option<Throughput>) -> Self {
         let n = samples.len().max(1) as f64;
         let mean = samples.iter().sum::<f64>() / n;
@@ -172,6 +196,12 @@ impl Criterion {
     /// All results recorded so far, in execution order.
     pub fn results(&self) -> &[BenchResult] {
         &self.results
+    }
+
+    /// All results as a JSON array, for committed `BENCH_*.json`
+    /// baselines.
+    pub fn results_json(&self) -> scp_json::Json {
+        scp_json::Json::arr(self.results.iter().map(BenchResult::to_json))
     }
 }
 

@@ -99,6 +99,19 @@ impl Cluster {
             .filtered(|n| self.alive[n.index()])
     }
 
+    /// Bulk assignment: the live replica group of every key, in input
+    /// order. Each key is hashed exactly once, so sweep-style consumers
+    /// can fetch the whole rank-to-group table in one call instead of
+    /// re-partitioning per grid point. On a fully-alive cluster every
+    /// returned group is the complete `d`-member group, in partition
+    /// order (the order replica selectors iterate for tie-breaking).
+    pub fn assign_ranks<I>(&self, keys: I) -> Vec<ReplicaGroup>
+    where
+        I: IntoIterator<Item = KeyId>,
+    {
+        keys.into_iter().map(|k| self.live_replicas(k)).collect()
+    }
+
     /// Routes one query of unit cost; returns the serving node.
     ///
     /// # Errors
@@ -362,6 +375,45 @@ mod tests {
         assert_eq!(c.queries_served(), 0);
         assert_eq!(c.snapshot().total(), 0.0);
         assert_eq!(c.unserved(), 0.0);
+    }
+
+    #[test]
+    fn reset_reuses_load_allocation() {
+        let mut c = small_cluster(Box::new(LeastLoadedSelector::new()));
+        for k in 0..50u64 {
+            c.route_query(KeyId::new(k)).unwrap();
+        }
+        let before = c.loads().as_ptr();
+        c.reset();
+        assert_eq!(
+            c.loads().as_ptr(),
+            before,
+            "reset must clear in place, not reallocate"
+        );
+        assert_eq!(c.snapshot().total(), 0.0);
+    }
+
+    #[test]
+    fn assign_ranks_matches_per_key_groups() {
+        let c = small_cluster(Box::new(LeastLoadedSelector::new()));
+        let keys: Vec<KeyId> = (0..40).map(KeyId::new).collect();
+        let bulk = c.assign_ranks(keys.iter().copied());
+        assert_eq!(bulk.len(), keys.len());
+        for (key, group) in keys.iter().zip(&bulk) {
+            assert_eq!(group.as_slice(), c.replica_group(*key).as_slice());
+            assert_eq!(group.len(), 3);
+        }
+    }
+
+    #[test]
+    fn assign_ranks_drops_dead_members() {
+        let mut c = small_cluster(Box::new(LeastLoadedSelector::new()));
+        let key = KeyId::new(5);
+        let victim = c.replica_group(key).as_slice()[1];
+        c.fail_node(victim).unwrap();
+        let bulk = c.assign_ranks([key]);
+        assert_eq!(bulk[0].len(), 2);
+        assert!(!bulk[0].contains(victim));
     }
 
     #[test]

@@ -16,6 +16,7 @@ use scp_sim::multi_frontend::{run_multi_frontend_simulation, FrontendRouting};
 use scp_sim::query_engine::run_query_simulation;
 use scp_sim::rate_engine::{run_rate_simulation, run_rate_simulation_with};
 use scp_sim::runner::{repeat, repeat_rate_simulation_journaled, GainAggregate};
+use scp_sim::sweep::{repeat_sweep_journaled, SweepPoint};
 use scp_workload::permute::KeyMapping;
 use scp_workload::AccessPattern;
 
@@ -166,14 +167,38 @@ pub fn replication(opts: &Opts, book: &mut JournalBook) -> Result<Table> {
         sim.replication = d;
         sim.pattern = plan.pattern.clone();
         sim.seed = base.seed ^ (d as u64);
-        let out = repeat_rate_simulation_journaled(&sim, &rule, opts.threads)?;
-        book.push(format!("a3/d={d}/optimal"), out.journal);
-        let agg = out.aggregate;
-        let mut wide = sim.clone();
-        wide.pattern = AccessPattern::uniform_subset(wide_x, base.items)?;
-        let wide_out = repeat_rate_simulation_journaled(&wide, &rule, opts.threads)?;
-        book.push(format!("a3/d={d}/wide"), wide_out.journal);
-        let wide_agg = wide_out.aggregate;
+        // Both plays (the per-d optimum and the wide attack) are
+        // equal-rate subsets, so one incremental sweep over shared
+        // per-run partitions evaluates them together.
+        let mut xs = vec![plan.x, wide_x];
+        xs.sort_unstable();
+        xs.dedup();
+        let points: Vec<SweepPoint> = xs
+            .iter()
+            .map(|&x| SweepPoint {
+                cache: sim.cache_capacity,
+                x,
+            })
+            .collect();
+        let swept = repeat_sweep_journaled(&sim, &points, &rule, opts.threads)?;
+        let run_at = |x: u64| {
+            swept
+                .iter()
+                .find(|r| r.point.x == x)
+                .ok_or_else(|| scp_sim::SimError::InvalidConfig {
+                    field: "points",
+                    reason: "internal: play missing from sweep grid".to_owned(),
+                })
+        };
+        let opt_run = run_at(plan.x)?;
+        let wide_run = run_at(wide_x)?;
+        book.push(
+            format!("a3/d={d}/optimal"),
+            opt_run.journaled.journal.clone(),
+        );
+        book.push(format!("a3/d={d}/wide"), wide_run.journaled.journal.clone());
+        let agg = opt_run.journaled.aggregate.clone();
+        let wide_agg = wide_run.journaled.aggregate.clone();
         // Note: for d = 1 this is Fan's asymptotic heavy-load estimate of
         // the expected max (not a strict bound in the sparse regime the
         // optimum lands in); for d >= 2 it is Eq. (10).

@@ -12,7 +12,7 @@ use crate::output::{fmt_f, JournalBook, Table};
 use crate::Result;
 use scp_core::bounds::{attack_gain_bound, KParam};
 use scp_sim::config::{CacheKind, PartitionerKind, SelectorKind, SimConfig};
-use scp_sim::runner::repeat_rate_simulation_journaled;
+use scp_sim::sweep::{repeat_sweep_journaled, SweepPoint};
 
 /// Configuration of an x-sweep.
 #[derive(Debug, Clone, PartialEq)]
@@ -61,7 +61,11 @@ impl Fig3Config {
             replication: 3,
             items,
             rate: 1e5,
-            x_values: log_spaced(cache as u64 + 1, items, 15),
+            // 60 log-spaced points: with the incremental sweep engine an
+            // additional grid point costs amortized O(Δx), so the curve
+            // can afford to be dense (the per-point engine priced grids
+            // at O(x) per point, which kept this at 15).
+            x_values: log_spaced(cache as u64 + 1, items, 60),
             cache,
             runs: opts.effective_runs(200),
             ci_target: opts.ci_target,
@@ -109,32 +113,52 @@ pub fn log_spaced(lo: u64, hi: u64, points: usize) -> Vec<u64> {
 /// Runs the sweep, collecting one [`RunJournal`](scp_sim::journal::RunJournal)
 /// per sweep point into `book` (labeled `x=<value>`).
 ///
+/// All `x` grid points are evaluated against the *same* per-run
+/// partitions in one incremental sweep pass ([`repeat_sweep_journaled`]);
+/// with an adaptive rule the stop decision is joint across the grid.
+///
 /// # Errors
 ///
 /// Propagates simulation errors.
 pub fn run_journaled(cfg: &Fig3Config, book: &mut JournalBook) -> Result<Vec<Fig3Row>> {
     let rule = stop_rule(cfg.runs, cfg.ci_target);
+    let base = SimConfig::builder()
+        .nodes(cfg.nodes)
+        .replication(cfg.replication)
+        .cache_kind(cfg.cache_kind)
+        .cache_capacity(cfg.cache)
+        .items(cfg.items)
+        .rate(cfg.rate)
+        .attack_x(
+            *cfg.x_values
+                .first()
+                .ok_or_else(|| scp_sim::SimError::InvalidConfig {
+                    field: "x_values",
+                    reason: "empty sweep grid".to_owned(),
+                })?,
+        )
+        .partitioner(cfg.partitioner)
+        .selector(cfg.selector)
+        .seed(cfg.seed)
+        .build()?;
+    let points: Vec<SweepPoint> = cfg
+        .x_values
+        .iter()
+        .map(|&x| SweepPoint {
+            cache: cfg.cache,
+            x,
+        })
+        .collect();
+    let swept = repeat_sweep_journaled(&base, &points, &rule, cfg.threads)?;
     let mut rows = Vec::with_capacity(cfg.x_values.len());
-    for &x in &cfg.x_values {
-        let sim = SimConfig::builder()
-            .nodes(cfg.nodes)
-            .replication(cfg.replication)
-            .cache_kind(cfg.cache_kind)
-            .cache_capacity(cfg.cache)
-            .items(cfg.items)
-            .rate(cfg.rate)
-            .attack_x(x)
-            .partitioner(cfg.partitioner)
-            .selector(cfg.selector)
-            .seed(cfg.seed ^ x)
-            .build()?;
-        let out = repeat_rate_simulation_journaled(&sim, &rule, cfg.threads)?;
-        book.push(format!("x={x}"), out.journal);
-        let params = sim.system_params()?;
+    for run in swept {
+        let x = run.point.x;
+        book.push(format!("x={x}"), run.journaled.journal);
+        let params = base.to_builder().attack_x(x).build()?.system_params()?;
         rows.push(Fig3Row {
             x,
-            sim_max_gain: out.aggregate.max_gain(),
-            sim_mean_gain: out.aggregate.mean_gain(),
+            sim_max_gain: run.journaled.aggregate.max_gain(),
+            sim_mean_gain: run.journaled.aggregate.mean_gain(),
             bound: attack_gain_bound(&params, x, &cfg.k).value(),
             bound_theory: attack_gain_bound(&params, x, &KParam::theory()).value(),
         });

@@ -12,6 +12,7 @@ use crate::output::{fmt_f, JournalBook, Table};
 use crate::Result;
 use scp_sim::config::{CacheKind, PartitionerKind, SelectorKind, SimConfig};
 use scp_sim::runner::repeat_rate_simulation_journaled;
+use scp_sim::sweep::{repeat_sweep_journaled, SweepPoint};
 use scp_workload::AccessPattern;
 
 /// Configuration of the n-sweep.
@@ -113,20 +114,58 @@ fn gain_for(
 /// Runs the sweep, collecting one journal per `(n, pattern)` data point
 /// into `book` (labeled `n=<count>/<pattern>`).
 ///
+/// The equal-rate rows (uniform = whole key space, adversarial
+/// `x = c + 1`) of each cluster size share one incremental sweep over the
+/// same per-run partitions; the Zipf row is not equal-rate and stays on
+/// the per-point engine.
+///
 /// # Errors
 ///
 /// Propagates simulation errors.
 pub fn run_journaled(cfg: &Fig4Config, book: &mut JournalBook) -> Result<Vec<Fig4Row>> {
+    let rule = stop_rule(cfg.runs, cfg.ci_target);
     let mut rows = Vec::with_capacity(cfg.node_counts.len());
     for &n in &cfg.node_counts {
-        let uniform = gain_for(
-            cfg,
-            n,
-            AccessPattern::uniform(cfg.items)?,
-            1,
-            "uniform",
-            book,
-        )?;
+        let base = SimConfig::builder()
+            .nodes(n)
+            .replication(cfg.replication)
+            .cache_kind(cfg.cache_kind)
+            .cache_capacity(cfg.cache)
+            .items(cfg.items)
+            .rate(cfg.rate)
+            .attack_x(cfg.items)
+            .partitioner(cfg.partitioner)
+            .selector(cfg.selector)
+            .seed(cfg.seed ^ (n as u64))
+            .build()?;
+        let adversarial_x = (cfg.cache as u64 + 1).min(cfg.items);
+        let mut points = vec![SweepPoint {
+            cache: cfg.cache,
+            x: cfg.items,
+        }];
+        if adversarial_x < cfg.items {
+            points.insert(
+                0,
+                SweepPoint {
+                    cache: cfg.cache,
+                    x: adversarial_x,
+                },
+            );
+        }
+        let mut swept = repeat_sweep_journaled(&base, &points, &rule, cfg.threads)?;
+        let Some(uniform_run) = swept.pop() else {
+            return Err(scp_sim::SimError::InvalidConfig {
+                field: "points",
+                reason: "internal: sweep returned no plays".to_owned(),
+            });
+        };
+        let uniform = uniform_run.journaled.aggregate.max_gain();
+        // `x = c + 1` saturates to the whole key space: same play.
+        let (adversarial, adversarial_journal) = match swept.pop() {
+            Some(run) => (run.journaled.aggregate.max_gain(), run.journaled.journal),
+            None => (uniform, uniform_run.journaled.journal.clone()),
+        };
+        book.push(format!("n={n}/uniform"), uniform_run.journaled.journal);
         let zipf = gain_for(
             cfg,
             n,
@@ -135,14 +174,7 @@ pub fn run_journaled(cfg: &Fig4Config, book: &mut JournalBook) -> Result<Vec<Fig
             "zipf",
             book,
         )?;
-        let adversarial = gain_for(
-            cfg,
-            n,
-            AccessPattern::uniform_subset(cfg.cache as u64 + 1, cfg.items)?,
-            3,
-            "adversarial",
-            book,
-        )?;
+        book.push(format!("n={n}/adversarial"), adversarial_journal);
         rows.push(Fig4Row {
             nodes: n,
             uniform,

@@ -11,7 +11,7 @@ use crate::output::{fmt_f, JournalBook, Table};
 use crate::Result;
 use scp_core::bounds::{critical_cache_size, KParam};
 use scp_sim::config::{CacheKind, PartitionerKind, SelectorKind, SimConfig};
-use scp_sim::runner::repeat_rate_simulation_journaled;
+use scp_sim::sweep::{repeat_sweep_journaled, SweepPoint};
 
 /// Configuration of the cache-size sweep.
 #[derive(Debug, Clone, PartialEq)]
@@ -108,40 +108,84 @@ pub struct Fig5Outcome {
     pub bound_critical: usize,
 }
 
-fn gain_at(cfg: &Fig5Config, c: usize, x: u64, book: &mut JournalBook) -> Result<f64> {
-    let sim = SimConfig::builder()
-        .nodes(cfg.nodes)
-        .replication(cfg.replication)
-        .cache_kind(cfg.cache_kind)
-        .cache_capacity(c)
-        .items(cfg.items)
-        .rate(cfg.rate)
-        .attack_x(x)
-        .partitioner(cfg.partitioner)
-        .selector(cfg.selector)
-        .seed(cfg.seed ^ ((c as u64) << 20) ^ x)
-        .build()?;
-    let rule = stop_rule(cfg.runs, cfg.ci_target);
-    let out = repeat_rate_simulation_journaled(&sim, &rule, cfg.threads)?;
-    book.push(format!("c={c}/x={x}"), out.journal);
-    Ok(out.aggregate.max_gain())
-}
-
 /// Runs the sweep, collecting one journal per `(c, x)` candidate play
 /// into `book` (labeled `c=<size>/x=<keys>`).
+///
+/// Every candidate play of every cache size is evaluated against the
+/// *same* per-run partitions in one incremental sweep pass
+/// ([`repeat_sweep_journaled`]); with an adaptive rule the stop decision
+/// is joint across the whole grid.
 ///
 /// # Errors
 ///
 /// Propagates simulation errors.
 pub fn run_journaled(cfg: &Fig5Config, book: &mut JournalBook) -> Result<Fig5Outcome> {
+    let bound_critical = critical_cache_size(cfg.nodes, cfg.replication, &cfg.k);
+    if cfg.cache_sizes.is_empty() {
+        return Ok(Fig5Outcome {
+            rows: Vec::new(),
+            empirical_critical: None,
+            bound_critical,
+        });
+    }
+    let rule = stop_rule(cfg.runs, cfg.ci_target);
+    let base = SimConfig::builder()
+        .nodes(cfg.nodes)
+        .replication(cfg.replication)
+        .cache_kind(cfg.cache_kind)
+        .cache_capacity(cfg.cache_sizes.first().copied().unwrap_or(0))
+        .items(cfg.items)
+        .rate(cfg.rate)
+        .attack_x(cfg.items)
+        .partitioner(cfg.partitioner)
+        .selector(cfg.selector)
+        .seed(cfg.seed)
+        .build()?;
+    // Per cache size: the `x = c + 1` play when it is a distinct subset,
+    // then the whole-key-space play.
+    let mut points = Vec::with_capacity(2 * cfg.cache_sizes.len());
+    for &c in &cfg.cache_sizes {
+        if (c as u64) + 1 < cfg.items {
+            points.push(SweepPoint {
+                cache: c,
+                x: c as u64 + 1,
+            });
+        }
+        points.push(SweepPoint {
+            cache: c,
+            x: cfg.items,
+        });
+    }
+    let swept = repeat_sweep_journaled(&base, &points, &rule, cfg.threads)?;
+
+    let mut plays = swept.into_iter();
+    let mut next_play = || {
+        plays
+            .next()
+            .ok_or_else(|| scp_sim::SimError::InvalidConfig {
+                field: "points",
+                reason: "internal: fewer sweep plays than candidate points".to_owned(),
+            })
+    };
     let mut rows = Vec::with_capacity(cfg.cache_sizes.len());
     for &c in &cfg.cache_sizes {
-        let gain_small_x = if (c as u64) < cfg.items {
-            gain_at(cfg, c, c as u64 + 1, book)?
+        let small_run = if (c as u64) + 1 < cfg.items {
+            Some(next_play()?)
         } else {
-            0.0
+            None
         };
-        let gain_all_keys = gain_at(cfg, c, cfg.items, book)?;
+        let all_run = next_play()?;
+        let gain_all_keys = all_run.journaled.aggregate.max_gain();
+        let gain_small_x = match &small_run {
+            Some(run) => run.journaled.aggregate.max_gain(),
+            // `x = c + 1` saturates to the whole key space: same play.
+            None if (c as u64) < cfg.items => gain_all_keys,
+            None => 0.0,
+        };
+        if let Some(run) = small_run {
+            book.push(format!("c={c}/x={}", run.point.x), run.journaled.journal);
+        }
+        book.push(format!("c={c}/x={}", cfg.items), all_run.journaled.journal);
         let (best_gain, best_x) = if gain_small_x >= gain_all_keys {
             (gain_small_x, c as u64 + 1)
         } else {
@@ -160,7 +204,7 @@ pub fn run_journaled(cfg: &Fig5Config, book: &mut JournalBook) -> Result<Fig5Out
     Ok(Fig5Outcome {
         rows,
         empirical_critical,
-        bound_critical: critical_cache_size(cfg.nodes, cfg.replication, &cfg.k),
+        bound_critical,
     })
 }
 

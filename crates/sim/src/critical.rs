@@ -4,13 +4,21 @@
 //! crosses 1.0. The best-response gain is monotone non-increasing in the
 //! cache size, so a bisection over `c` finds the empirical critical point
 //! with `O(log range)` gain evaluations.
+//!
+//! The search builds its per-run [`RunSweep`] structures **once** — one
+//! partition + key mapping per run, seeded exactly like the per-point
+//! path — and every bisection probe is then an incremental grid walk over
+//! those held sweeps instead of a fresh `runs`-repetition simulation.
+//! Probe gains are bit-identical to the old per-point path: reports match
+//! `run_rate_simulation` exactly (see [`crate::sweep`]), and the
+//! best-response fold (`f64::max`) is order-independent.
 
 use crate::config::SimConfig;
 use crate::error::SimError;
-use crate::runner::repeat_rate_simulation;
+use crate::runner::repeat;
+use crate::sweep::{effective_capacity, evaluate_many, RunSweep};
 use crate::Result;
 use scp_core::bounds::{optimal_subset_size, KParam};
-use scp_workload::AccessPattern;
 
 /// One probed candidate cache size in a critical-size search.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -116,32 +124,56 @@ where
     })
 }
 
+/// Builds one [`RunSweep`] per run (seeded `base.for_run(i)`, the same
+/// derivation the per-point repetition path uses), striped over threads.
+fn build_sweeps(base: &SimConfig, runs: usize, threads: usize) -> Result<Vec<RunSweep>> {
+    repeat(runs, threads, |i| {
+        RunSweep::new(&base.for_run(i as u64), base.items)
+    })
+    .into_iter()
+    .collect()
+}
+
+/// The best-response probe against held per-run sweeps: the max over the
+/// candidate plays (`x = c + 1` if it fits, and `x = m`) of the
+/// max-over-runs simulated gain.
+fn probe_gain(sweeps: &mut [RunSweep], base: &SimConfig, c: usize, threads: usize) -> Result<f64> {
+    let effective = effective_capacity(base, c)?;
+    let mut xs = Vec::with_capacity(2);
+    if (c as u64) + 1 < base.items {
+        xs.push(c as u64 + 1);
+    }
+    xs.push(base.items);
+    let mut best = 0.0f64;
+    for run in evaluate_many(sweeps, threads, effective, &xs) {
+        for report in run? {
+            best = best.max(report.gain().value());
+        }
+    }
+    Ok(best)
+}
+
 /// The adversary's best-response gain at cache size `c`: the max over the
 /// two candidate plays (`x = c + 1` and `x = m`) of the max-over-runs
 /// simulated gain.
+///
+/// Builds fresh per-run sweeps on every call; a bisection should use
+/// [`find_critical_cache_size`], which holds the sweeps across probes.
 ///
 /// # Errors
 ///
 /// Propagates simulation errors.
 pub fn best_response_gain(base: &SimConfig, c: usize, runs: usize, threads: usize) -> Result<f64> {
-    let mut best = 0.0f64;
-    let mut candidates = vec![base.items];
-    if (c as u64) + 1 < base.items {
-        candidates.push(c as u64 + 1);
-    }
-    for x in candidates {
-        let mut cfg = base.clone();
-        cfg.cache_capacity = c;
-        cfg.pattern = AccessPattern::uniform_subset(x, base.items)?;
-        let (_, agg) = repeat_rate_simulation(&cfg, runs, threads)?;
-        best = best.max(agg.max_gain());
-    }
-    Ok(best)
+    let mut sweeps = build_sweeps(base, runs, threads)?;
+    probe_gain(&mut sweeps, base, c, threads)
 }
 
 /// Locates the empirical critical cache size for a configuration by
-/// bisection of [`best_response_gain`], searching `c` in
+/// bisection of the best-response gain, searching `c` in
 /// `[0, theory_hint * 4]` where `theory_hint` is the theoretical `c*`.
+///
+/// The per-run partitions are built once up front; every probe of the
+/// bisection is an incremental sweep over them (see the module docs).
 ///
 /// # Errors
 ///
@@ -157,7 +189,8 @@ pub fn find_critical_cache_size(
         .saturating_mul(4)
         .min(base.items as usize)
         .max(base.nodes);
-    bisect_threshold(|c| best_response_gain(base, c, runs, threads), 0, hi, 1.0)
+    let mut sweeps = build_sweeps(base, runs, threads)?;
+    bisect_threshold(|c| probe_gain(&mut sweeps, base, c, threads), 0, hi, 1.0)
 }
 
 /// The theory-side worst `x` for reference alongside empirical searches.
@@ -170,6 +203,8 @@ pub fn theoretical_worst_x(cfg: &SimConfig, k: &KParam) -> Result<u64> {
 mod tests {
     use super::*;
     use crate::config::{CacheKind, PartitionerKind, SelectorKind};
+    use crate::runner::repeat_rate_simulation;
+    use scp_workload::AccessPattern;
 
     fn base(n: usize) -> SimConfig {
         SimConfig {

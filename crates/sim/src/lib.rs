@@ -13,11 +13,13 @@
 //!   exponential service per node, for latency/saturation questions
 //!   (the `r_i >= E[L_max]` capacity discussion closing Section III).
 //!
-//! [`runner`] executes independent repetitions in parallel with
-//! deterministic per-run seeds and CI-driven adaptive stopping;
-//! [`journal`] records one structured observability record per
+//! [`sweep`] evaluates whole `(x, c)` grids against one partition per
+//! run, bit-identical to the per-point rate engine but an order of
+//! magnitude faster; [`runner`] executes independent repetitions in
+//! parallel with deterministic per-run seeds and CI-driven adaptive
+//! stopping; [`journal`] records one structured observability record per
 //! repetition; [`critical`] locates empirical critical cache sizes by
-//! bisection; [`stats`] aggregates.
+//! bisection over per-run sweeps; [`stats`] aggregates.
 //!
 //! # Example
 //!
@@ -58,6 +60,7 @@ pub mod query_engine;
 pub mod rate_engine;
 pub mod runner;
 pub mod stats;
+pub mod sweep;
 
 pub use config::{SimConfig, SimConfigBuilder};
 pub use error::SimError;

@@ -34,7 +34,7 @@ use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
 /// Chooses a worker count: explicit `threads`, or available parallelism.
-fn resolve_threads(threads: usize) -> usize {
+pub(crate) fn resolve_threads(threads: usize) -> usize {
     if threads > 0 {
         threads
     } else {
@@ -53,6 +53,18 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     } else {
         "non-string panic payload".to_owned()
     }
+}
+
+/// Runs `f` and returns its result together with the elapsed wall-clock
+/// seconds.
+///
+/// Timing lives here (and not at call sites) because wall-clock reads are
+/// confined to this module by the repo's determinism lint: results must
+/// never depend on time, only observability records may.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let started = Instant::now();
+    let value = f();
+    (value, started.elapsed().as_secs_f64())
 }
 
 /// Runs `job(run_index)` for `0..runs`, in parallel, returning results in
@@ -196,6 +208,42 @@ impl StopRule {
         }
         None
     }
+
+    /// The stop point for a **vector-valued** per-run statistic: the
+    /// smallest `k` in `[min_runs, len]` where *every* component's prefix
+    /// CI half-width is at most `ci_target`. Like [`StopRule::stop_point`]
+    /// this is a pure function of the rows in run order, so sweeps stay
+    /// thread-count invariant.
+    fn stop_point_multi(&self, rows: &[Vec<f64>]) -> Option<usize> {
+        if !self.is_adaptive() {
+            return None;
+        }
+        let width = rows.first().map(Vec::len)?;
+        let mut stats: Vec<RunningStats> = (0..width).map(|_| RunningStats::new()).collect();
+        for (i, row) in rows.iter().enumerate() {
+            debug_assert_eq!(row.len(), width, "ragged metric rows");
+            for (s, &v) in stats.iter_mut().zip(row) {
+                s.push(v);
+            }
+            let k = i + 1;
+            if k >= self.min_runs && stats.iter().all(|s| s.ci95_half_width() <= self.ci_target) {
+                return Some(k);
+            }
+        }
+        None
+    }
+}
+
+/// Per-component CI95 half-widths over metric rows (one row per run).
+fn component_ci_half_widths(rows: &[Vec<f64>]) -> Vec<f64> {
+    let width = rows.first().map(Vec::len).unwrap_or(0);
+    let mut stats: Vec<RunningStats> = (0..width).map(|_| RunningStats::new()).collect();
+    for row in rows {
+        for (s, &v) in stats.iter_mut().zip(row) {
+            s.push(v);
+        }
+    }
+    stats.iter().map(RunningStats::ci95_half_width).collect()
 }
 
 /// Outcome of an adaptive repetition.
@@ -280,6 +328,80 @@ where
     }
 }
 
+/// Outcome of an adaptive repetition with a vector-valued per-run
+/// statistic (e.g. one gain per grid point of a sweep).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiAdaptiveOutcome<T> {
+    /// Results for runs `0..stop`, in run order.
+    pub results: Vec<T>,
+    /// One metric row per kept run, in run order.
+    pub metrics: Vec<Vec<f64>>,
+    /// Whether the CI criterion stopped the loop before `max_runs`.
+    pub stopped_early: bool,
+    /// CI95 half-width of each metric component over the kept runs.
+    pub ci_half_widths: Vec<f64>,
+}
+
+/// Repeats `job` under a [`StopRule`] with a **vector-valued** per-run
+/// statistic: the batch stops at the smallest prefix where *every*
+/// component's CI half-width reaches `ci_target`.
+///
+/// All metric rows must have the same length. Like
+/// [`repeat_with_stopping`], the stop point is a pure function of the
+/// rows in run order, so results are thread-count invariant.
+pub fn repeat_with_stopping_multi<T, F, M>(
+    rule: &StopRule,
+    threads: usize,
+    job: F,
+    metric: M,
+) -> MultiAdaptiveOutcome<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+    M: Fn(&T) -> Vec<f64>,
+{
+    if !rule.is_adaptive() {
+        let results = repeat(rule.max_runs, threads, &job);
+        let metrics: Vec<Vec<f64>> = results.iter().map(&metric).collect();
+        return MultiAdaptiveOutcome {
+            ci_half_widths: component_ci_half_widths(&metrics),
+            results,
+            metrics,
+            stopped_early: false,
+        };
+    }
+
+    let workers = resolve_threads(threads).min(rule.max_runs).max(1);
+    let mut results: Vec<T> = Vec::with_capacity(rule.min_runs);
+    let mut metrics: Vec<Vec<f64>> = Vec::with_capacity(rule.min_runs);
+    loop {
+        let lo = results.len();
+        let target = if lo == 0 {
+            rule.min_runs.min(rule.max_runs)
+        } else {
+            (lo + workers).min(rule.max_runs)
+        };
+        let mut batch = repeat(target - lo, threads, |i| job(lo + i));
+        metrics.extend(batch.iter().map(&metric));
+        results.append(&mut batch);
+
+        if let Some(stop) = rule.stop_point_multi(&metrics) {
+            results.truncate(stop);
+            metrics.truncate(stop);
+            break;
+        }
+        if results.len() >= rule.max_runs {
+            break;
+        }
+    }
+    MultiAdaptiveOutcome {
+        stopped_early: results.len() < rule.max_runs,
+        ci_half_widths: component_ci_half_widths(&metrics),
+        results,
+        metrics,
+    }
+}
+
 /// Aggregate of the attack gain across repetitions.
 #[derive(Debug, Clone, PartialEq)]
 pub struct GainAggregate {
@@ -340,11 +462,7 @@ pub fn repeat_rate_simulation_journaled(
     let outcome = repeat_with_stopping(
         rule,
         threads,
-        |i| {
-            let started = Instant::now();
-            let report = run_rate_simulation(&cfg.for_run(i as u64));
-            (report, started.elapsed().as_secs_f64())
-        },
+        |i| timed(|| run_rate_simulation(&cfg.for_run(i as u64))),
         // Errors contribute a zero gain to the stop statistic; they abort
         // the whole repetition below, so the value never reaches callers.
         |(report, _)| report.as_ref().map_or(0.0, |r| r.gain().value()),

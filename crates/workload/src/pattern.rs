@@ -311,6 +311,40 @@ impl PatternSampler {
             SamplerKind::Alias(a) => a.sample(&mut self.rng),
         }
     }
+
+    /// Fills `out` with the next `out.len()` ranks — the same stream as
+    /// that many [`PatternSampler::sample`] calls (identical RNG
+    /// consumption), dispatching on the pattern kind once per batch
+    /// instead of once per query.
+    pub fn sample_batch(&mut self, out: &mut [u64]) {
+        let Self { kind, rng } = self;
+        match kind {
+            SamplerKind::UniformBelow(x) => {
+                for slot in out.iter_mut() {
+                    *slot = next_below(rng, *x);
+                }
+            }
+            SamplerKind::HeadTail { x, head_mass } => {
+                for slot in out.iter_mut() {
+                    *slot = if next_f64(rng) < *head_mass {
+                        next_below(rng, *x - 1)
+                    } else {
+                        *x - 1
+                    };
+                }
+            }
+            SamplerKind::Zipf(z) => {
+                for slot in out.iter_mut() {
+                    *slot = z.sample(rng);
+                }
+            }
+            SamplerKind::Alias(a) => {
+                for slot in out.iter_mut() {
+                    *slot = a.sample(rng);
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -419,6 +453,27 @@ mod tests {
         let xs: Vec<u64> = (0..100).map(|_| a.sample()).collect();
         let ys: Vec<u64> = (0..100).map(|_| b.sample()).collect();
         assert_eq!(xs, ys);
+    }
+
+    #[test]
+    fn sample_batch_matches_per_call_stream() {
+        let patterns = [
+            AccessPattern::uniform_subset(5, 100).unwrap(),
+            AccessPattern::head_tail(5, 100, 0.21).unwrap(),
+            AccessPattern::zipf(1.01, 100).unwrap(),
+            AccessPattern::uniform(100).unwrap(),
+        ];
+        for p in &patterns {
+            let mut one_by_one = p.sampler(31).unwrap();
+            let mut batched = p.sampler(31).unwrap();
+            let expected: Vec<u64> = (0..1000).map(|_| one_by_one.sample()).collect();
+            let mut got = vec![0u64; 1000];
+            // Uneven chunks so batching boundaries are exercised.
+            for chunk in got.chunks_mut(333) {
+                batched.sample_batch(chunk);
+            }
+            assert_eq!(got, expected, "{}", p.describe());
+        }
     }
 
     #[test]
