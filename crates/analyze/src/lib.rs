@@ -23,16 +23,21 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod callgraph;
 pub mod files;
+pub mod interleave;
 pub mod lexer;
 pub mod pragma;
 pub mod report;
 pub mod rules;
+pub mod surface;
+pub mod syntax;
 
 use baseline::{Baseline, BASELINE_FILE};
 use report::Report;
 use std::io;
 use std::path::Path;
+use surface::{Surface, SurfaceReport, SURFACE_FILE};
 
 /// Analyzes every workspace `.rs` file under `root` and classifies the
 /// findings against the committed baseline (an absent baseline file is an
@@ -86,5 +91,52 @@ pub fn store_baseline(root: &Path, baseline: &Baseline) -> io::Result<()> {
     std::fs::write(
         root.join(BASELINE_FILE),
         baseline.to_json().to_pretty_string(),
+    )
+}
+
+/// Builds the workspace call graph and classifies its panic surface
+/// against the committed `panic-surface.json` (an absent file is an
+/// empty surface).
+///
+/// # Errors
+///
+/// Returns an I/O error if sources cannot be read, or a surface parse
+/// error as [`io::ErrorKind::InvalidData`].
+pub fn analyze_panic_surface(root: &Path) -> io::Result<SurfaceReport> {
+    let committed = load_surface(root)?;
+    let sources = files::collect_sources(root)?;
+    let graph = callgraph::build(&sources);
+    Ok(SurfaceReport::build(&graph, &committed))
+}
+
+/// Loads the committed panic surface from `root`, or an empty one if the
+/// file does not exist yet.
+///
+/// # Errors
+///
+/// Returns [`io::ErrorKind::InvalidData`] for a malformed surface file.
+pub fn load_surface(root: &Path) -> io::Result<Surface> {
+    let path = root.join(SURFACE_FILE);
+    if !path.exists() {
+        return Ok(Surface::default());
+    }
+    let text = std::fs::read_to_string(&path)?;
+    Surface::parse(&text)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{SURFACE_FILE}: {e}")))
+}
+
+/// Writes the observed surface (with its per-crate summary) to the
+/// committed location under `root`.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn store_surface(root: &Path, report: &SurfaceReport) -> io::Result<()> {
+    std::fs::write(
+        root.join(SURFACE_FILE),
+        report
+            .observed
+            .to_json(&report.per_crate)
+            .to_pretty_string(),
     )
 }

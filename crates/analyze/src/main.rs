@@ -10,7 +10,8 @@
 
 use scp_analyze::baseline::BASELINE_FILE;
 use scp_analyze::files::find_workspace_root;
-use scp_analyze::{analyze_workspace, store_baseline};
+use scp_analyze::surface::SURFACE_FILE;
+use scp_analyze::{analyze_panic_surface, analyze_workspace, store_baseline, store_surface};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -79,6 +80,13 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    let surface = match analyze_panic_surface(&root) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("scp-analyze: {e}");
+            return ExitCode::from(2);
+        }
+    };
 
     if opts.update_baseline {
         if let Err(e) = store_baseline(&root, &report.observed) {
@@ -89,6 +97,15 @@ fn main() -> ExitCode {
             "scp-analyze: wrote {} ({} files with ratcheted debt)",
             BASELINE_FILE,
             report.observed.counts.len()
+        );
+        if let Err(e) = store_surface(&root, &surface) {
+            eprintln!("scp-analyze: writing {SURFACE_FILE}: {e}");
+            return ExitCode::from(2);
+        }
+        println!(
+            "scp-analyze: wrote {} ({} panic-reachable pub fns)",
+            SURFACE_FILE,
+            surface.observed.functions.len()
         );
         // Violations of deny rules still gate below even after an update.
     }
@@ -105,6 +122,31 @@ fn main() -> ExitCode {
         None => print!("{}", report.render_human(opts.verbose)),
     }
 
+    // Keep stdout pure JSON under `--json -`.
+    if opts.json.as_deref() != Some("-") {
+        println!(
+            "panic surface: {} of {} pub fns reach a panic site ({} fns, {} edges in the call graph)",
+            surface.observed.functions.len(),
+            surface.per_crate.values().map(|c| c.pub_fns).sum::<u64>(),
+            surface.fn_count,
+            surface.edge_count,
+        );
+        if opts.verbose {
+            for (name, c) in &surface.per_crate {
+                println!(
+                    "  {:28} {:3} reachable / {:3} pub",
+                    name, c.reachable, c.pub_fns
+                );
+            }
+        }
+        for id in &surface.added {
+            println!("  entered the panic surface: {id}");
+        }
+        for id in &surface.removed {
+            println!("  left the panic surface (re-lock with --update-baseline): {id}");
+        }
+    }
+
     let mut failed = false;
     if opts.deny && !report.deny_clean() {
         eprintln!(
@@ -113,10 +155,24 @@ fn main() -> ExitCode {
         );
         failed = true;
     }
+    if opts.deny && !opts.update_baseline && !surface.no_regressions() {
+        eprintln!(
+            "scp-analyze: --deny: {} pub fn(s) entered the panic surface",
+            surface.added.len()
+        );
+        failed = true;
+    }
     if opts.check_baseline && !opts.update_baseline && !report.baseline_in_sync() {
         eprintln!(
             "scp-analyze: --check-baseline: {BASELINE_FILE} out of sync ({} difference(s))",
             report.baseline_diff.len()
+        );
+        failed = true;
+    }
+    if opts.check_baseline && !opts.update_baseline && !surface.in_sync() {
+        eprintln!(
+            "scp-analyze: --check-baseline: {SURFACE_FILE} out of sync ({} difference(s))",
+            surface.added.len() + surface.removed.len()
         );
         failed = true;
     }

@@ -18,6 +18,9 @@
 //! | `unsafe-hygiene` | deny | an `unsafe` token without a `// SAFETY:` comment nearby |
 //! | `invalid-pragma` | deny | malformed `scp-allow` comment |
 //! | `unused-allow` | deny | `scp-allow` that suppressed nothing |
+//! | `ordering-comment` | deny | atomic `Ordering::` use without an `// ORDERING:` justification |
+//! | `concurrency-primitive` | deny | `Mutex`/`RwLock`/`Condvar`/`spawn`/`static mut` outside the whitelist |
+//! | `narrow-cast` | deny | narrowing `as` cast (`as u32` & co.) in library code |
 //! | `panic-path` | ratcheted | `unwrap`/`expect`/`panic!`-family in library code |
 //! | `slice-index` | ratcheted | `expr[...]` indexing in library code |
 //! | `float-eq` | ratcheted | `==`/`!=` against a float literal |
@@ -78,6 +81,22 @@ pub const RULES: &[RuleInfo] = &[
         description: "scp-allow pragma that suppresses nothing",
     },
     RuleInfo {
+        name: "ordering-comment",
+        enforcement: Enforcement::Deny,
+        description: "atomic `Ordering::` use without an `// ORDERING:` justification",
+    },
+    RuleInfo {
+        name: "concurrency-primitive",
+        enforcement: Enforcement::Deny,
+        description:
+            "threads/locks (`spawn`, `Mutex`, `RwLock`, `static mut`) outside the whitelist",
+    },
+    RuleInfo {
+        name: "narrow-cast",
+        enforcement: Enforcement::Deny,
+        description: "narrowing `as` cast in library code; prefer `try_from` or a lossless `from`",
+    },
+    RuleInfo {
         name: "panic-path",
         enforcement: Enforcement::Ratcheted,
         description: "unwrap/expect/panic! in non-test library code",
@@ -124,6 +143,26 @@ const WALL_CLOCK_WHITELIST: &[&str] = &[
     "crates/bench/",
     "crates/serve/src/clock.rs",
 ];
+
+/// Files allowed to use concurrency primitives (`thread::spawn`,
+/// `Mutex`, `RwLock`, `Condvar`, `static mut`). Everything else must be
+/// single-threaded or built on the SPSC ring: the determinism claims
+/// hinge on thread interactions being confined to the few audited sites
+/// below (the sweep/runner fan-out, the load generator's pipeline, the
+/// ring itself, and the interleaving explorer that model-checks it).
+const CONCURRENCY_WHITELIST: &[&str] = &[
+    "crates/sim/src/runner.rs",
+    "crates/sim/src/sweep.rs",
+    "crates/serve/src/loadgen.rs",
+    "crates/serve/src/spsc.rs",
+    "crates/analyze/src/interleave.rs",
+];
+
+/// Files exempt from `ordering-comment`: the interleaving explorer
+/// *interprets* `Ordering` values handed to its shim (matching on every
+/// variant), so per-use justifications would be noise there. Real atomic
+/// call sites — spsc.rs, loadgen.rs — still justify every ordering.
+const ORDERING_COMMENT_EXEMPT: &[&str] = &["crates/analyze/src/interleave.rs"];
 
 /// One finding, before suppression/baseline classification.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -174,6 +213,7 @@ pub fn check_file(file: &SourceFile) -> Vec<Finding> {
             check_panic_path(line, &mut emit);
             check_slice_index(line, &mut emit);
             check_float_eq(line, &mut emit);
+            check_narrow_cast(line, &mut emit);
             if HASH_ITER_CRATES.contains(&file.crate_name.as_str()) {
                 check_hash_iteration(line, &hash_names, &mut emit);
             }
@@ -182,6 +222,12 @@ pub fn check_file(file: &SourceFile) -> Vec<Finding> {
                 .any(|w| file.rel_path.starts_with(w) || file.rel_path == *w)
             {
                 check_wall_clock(line, &mut emit);
+            }
+            if !CONCURRENCY_WHITELIST.contains(&file.rel_path.as_str()) {
+                check_concurrency(line, &mut emit);
+            }
+            if !ORDERING_COMMENT_EXEMPT.contains(&file.rel_path.as_str()) {
+                check_ordering_comment(line, idx, &code_lines, &comment_lines, &mut emit);
             }
             check_env_entropy(line, &mut emit);
         }
@@ -193,6 +239,32 @@ pub fn check_file(file: &SourceFile) -> Vec<Finding> {
 
 fn library_code(kind: FileKind) -> bool {
     matches!(kind, FileKind::Library | FileKind::Binary)
+}
+
+/// 1-based lines of `file` carrying a panic-capable site (`panic-path` or
+/// `slice-index`), **before** suppression — the call-graph panic surface
+/// counts these even when an `scp-allow` pragma justifies them, because a
+/// justified `unwrap` can still panic; the pragma documents why it should
+/// not, the surface report records that it could.
+pub fn panic_site_lines(file: &SourceFile) -> Vec<usize> {
+    let mut out = Vec::new();
+    if !library_code(file.kind) {
+        return out;
+    }
+    for (idx, line) in file.masked.code_lines().iter().enumerate() {
+        let lineno = idx + 1;
+        if file.is_test_line(lineno) {
+            continue;
+        }
+        let mut hit = false;
+        let mut emit = |_rule: &'static str, _msg: String| hit = true;
+        check_panic_path(line, &mut emit);
+        check_slice_index(line, &mut emit);
+        if hit {
+            out.push(lineno);
+        }
+    }
+    out
 }
 
 fn apply_pragmas(file: &SourceFile, mut findings: Vec<Finding>) -> Vec<Finding> {
@@ -574,6 +646,116 @@ fn check_env_entropy(line: &str, emit: &mut impl FnMut(&'static str, String)) {
                 emit(
                     "env-entropy",
                     format!("`env::{tok}` makes behavior depend on the environment"),
+                );
+            }
+        }
+    }
+}
+
+/// Memory-ordering variant names (`std::sync::atomic::Ordering`). The
+/// `cmp::Ordering` variants (`Less`/`Equal`/`Greater`) never collide.
+const ATOMIC_ORDERINGS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+fn check_ordering_comment(
+    line: &str,
+    idx: usize,
+    code_lines: &[&str],
+    comment_lines: &[&str],
+    emit: &mut impl FnMut(&'static str, String),
+) {
+    for variant in ATOMIC_ORDERINGS {
+        for pos in token_positions(line, variant) {
+            if !line.get(..pos).unwrap_or("").ends_with("Ordering::") {
+                continue;
+            }
+            if !ordering_documented(idx, code_lines, comment_lines) {
+                emit(
+                    "ordering-comment",
+                    format!(
+                        "`Ordering::{variant}` without an `/ ORDERING:` comment \
+                         justifying the choice"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Whether line `idx` (0-based) carries an `ORDERING:` comment, either on
+/// the line itself or in the contiguous comment-only block directly above
+/// it (multi-line justifications are the norm).
+fn ordering_documented(idx: usize, code_lines: &[&str], comment_lines: &[&str]) -> bool {
+    let has = |i: usize| {
+        comment_lines
+            .get(i)
+            .is_some_and(|c| c.contains("ORDERING:"))
+    };
+    if has(idx) {
+        return true;
+    }
+    let mut j = idx;
+    while j > 0 && idx - j < 16 {
+        j -= 1;
+        // Stop at the first line that has real code on it; blank and
+        // comment-only lines extend the window upward.
+        if code_lines.get(j).is_some_and(|c| !c.trim().is_empty()) {
+            return false;
+        }
+        if has(j) {
+            return true;
+        }
+    }
+    false
+}
+
+fn check_concurrency(line: &str, emit: &mut impl FnMut(&'static str, String)) {
+    for ty in ["Mutex", "RwLock", "Condvar"] {
+        if !token_positions(line, ty).is_empty() {
+            emit(
+                "concurrency-primitive",
+                format!("`{ty}` outside the concurrency whitelist"),
+            );
+        }
+    }
+    for method in ["spawn", "scope"] {
+        for pos in token_positions(line, method) {
+            let before = line.get(..pos).unwrap_or("");
+            let after = line.get(pos + method.len()..).unwrap_or("");
+            if after.starts_with('(') && (before.ends_with("thread::") || before.ends_with('.')) {
+                emit(
+                    "concurrency-primitive",
+                    format!("`{method}` spawns threads outside the concurrency whitelist"),
+                );
+            }
+        }
+    }
+    for pos in token_positions(line, "static") {
+        let rest = line.get(pos + "static".len()..).unwrap_or("").trim_start();
+        if rest.starts_with("mut ") {
+            emit(
+                "concurrency-primitive",
+                "`static mut` is an unsynchronized global".to_owned(),
+            );
+        }
+    }
+}
+
+/// Integer types an `as` cast may silently truncate into. `usize`/`u64`
+/// and the float types are widening (or at least platform-word) targets
+/// on every tier this workspace supports, and stay allowed.
+const NARROW_TARGETS: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32"];
+
+fn check_narrow_cast(line: &str, emit: &mut impl FnMut(&'static str, String)) {
+    for pos in token_positions(line, "as") {
+        let rest = line.get(pos + 2..).unwrap_or("").trim_start();
+        for target in NARROW_TARGETS {
+            let Some(after) = rest.strip_prefix(target) else {
+                continue;
+            };
+            if !after.as_bytes().first().is_some_and(|&b| is_ident(b)) {
+                emit(
+                    "narrow-cast",
+                    format!("`as {target}` can truncate silently; prefer `{target}::try_from`"),
                 );
             }
         }

@@ -1,0 +1,260 @@
+//! The ratcheted panic-surface report.
+//!
+//! Where [`crate::baseline`] ratchets per-line finding *counts*, this
+//! module ratchets a *set*: the identities of every `pub` library
+//! function that can transitively reach a panic-capable site
+//! (`unwrap`/`expect`/`panic!`/indexing — the `panic-path` and
+//! `slice-index` rules, counted pre-suppression) through the
+//! [`crate::callgraph`]. The set is committed as `panic-surface.json`;
+//! the gate enforces that it can only shrink:
+//!
+//! * a `pub` function **entering** the surface fails `--deny` (new
+//!   panic-reachable API is rejected);
+//! * a function **leaving** the surface (or being deleted/renamed) passes
+//!   `--deny` but fails `--check-baseline` until the file is regenerated
+//!   with `--update-baseline`, locking the improvement in.
+//!
+//! Because call-graph resolution is overapproximate (see
+//! [`crate::callgraph`]), membership means "the analyzer cannot rule a
+//! panic out", not "a panic is reachable in practice". That is the right
+//! polarity for a ratchet: false edges can only keep a function *in* the
+//! surface, never silently drop it.
+
+use crate::callgraph::CallGraph;
+use scp_json::Json;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// File name of the committed surface, relative to the workspace root.
+pub const SURFACE_FILE: &str = "panic-surface.json";
+
+/// Schema version written into the file.
+pub const SURFACE_VERSION: u64 = 1;
+
+/// The committed (or observed) surface: a set of function identifiers
+/// (`rel_path::qualified_name`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Surface {
+    /// Panic-reachable `pub` library functions.
+    pub functions: BTreeSet<String>,
+}
+
+/// Per-crate aggregates, for reports and EXPERIMENTS.md.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CrateSurface {
+    /// `pub` library functions that can reach a panic site.
+    pub reachable: u64,
+    /// All `pub` library functions seen.
+    pub pub_fns: u64,
+}
+
+/// The observed surface classified against the committed one.
+#[derive(Debug, Default)]
+pub struct SurfaceReport {
+    /// What the call graph computed this run.
+    pub observed: Surface,
+    /// What `panic-surface.json` promised.
+    pub committed: Surface,
+    /// Functions that entered the surface (regressions — fail `--deny`).
+    pub added: Vec<String>,
+    /// Functions that left the surface (improvements — require
+    /// `--update-baseline` to re-lock).
+    pub removed: Vec<String>,
+    /// Observed per-crate aggregates.
+    pub per_crate: BTreeMap<String, CrateSurface>,
+    /// Total functions in the call graph (including non-`pub`).
+    pub fn_count: usize,
+    /// Total resolved call edges.
+    pub edge_count: usize,
+}
+
+impl Surface {
+    /// Extracts the surface from a built call graph: `pub` functions in
+    /// library files that reach a panic site.
+    pub fn from_graph(graph: &CallGraph) -> Self {
+        let functions = graph
+            .fns
+            .iter()
+            .filter(|f| f.is_pub && f.reaches_panic)
+            .map(|f| f.id.clone())
+            .collect();
+        Self { functions }
+    }
+
+    /// Serializes to the committed JSON form. The `summary` block is
+    /// informational (per-crate counts derived from the id paths);
+    /// [`Surface::parse`] ignores it.
+    pub fn to_json(&self, per_crate: &BTreeMap<String, CrateSurface>) -> Json {
+        let summary: BTreeMap<String, Json> = per_crate
+            .iter()
+            .map(|(name, c)| {
+                (
+                    name.clone(),
+                    Json::obj([
+                        ("reachable", Json::Num(c.reachable as f64)),
+                        ("pub_fns", Json::Num(c.pub_fns as f64)),
+                    ]),
+                )
+            })
+            .collect();
+        Json::obj([
+            ("version", Json::Num(SURFACE_VERSION as f64)),
+            ("summary", Json::Obj(summary)),
+            (
+                "functions",
+                Json::arr(self.functions.iter().map(|f| Json::Str(f.clone()))),
+            ),
+        ])
+    }
+
+    /// Parses the committed JSON form.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed construct.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let json = Json::parse(text).map_err(|e| e.to_string())?;
+        let version = json
+            .get("version")
+            .and_then(Json::as_u64)
+            .ok_or("surface missing numeric `version`")?;
+        if version != SURFACE_VERSION {
+            return Err(format!(
+                "surface version {version} unsupported (expected {SURFACE_VERSION})"
+            ));
+        }
+        let items = json
+            .get("functions")
+            .and_then(Json::as_array)
+            .ok_or("surface missing `functions` array")?;
+        let mut functions = BTreeSet::new();
+        for item in items {
+            let id = item
+                .as_str()
+                .ok_or("surface `functions` entry is not a string")?;
+            functions.insert(id.to_owned());
+        }
+        Ok(Self { functions })
+    }
+}
+
+impl SurfaceReport {
+    /// Classifies `graph`'s surface against the committed one.
+    pub fn build(graph: &CallGraph, committed: &Surface) -> Self {
+        let observed = Surface::from_graph(graph);
+        let added: Vec<String> = observed
+            .functions
+            .difference(&committed.functions)
+            .cloned()
+            .collect();
+        let removed: Vec<String> = committed
+            .functions
+            .difference(&observed.functions)
+            .cloned()
+            .collect();
+        let mut per_crate: BTreeMap<String, CrateSurface> = BTreeMap::new();
+        for f in &graph.fns {
+            if !f.is_pub {
+                continue;
+            }
+            let entry = per_crate.entry(f.crate_name.clone()).or_default();
+            entry.pub_fns += 1;
+            if f.reaches_panic {
+                entry.reachable += 1;
+            }
+        }
+        Self {
+            observed,
+            committed: committed.clone(),
+            added,
+            removed,
+            per_crate,
+            fn_count: graph.fns.len(),
+            edge_count: graph.edge_count,
+        }
+    }
+
+    /// No function entered the surface (the `--deny` condition).
+    pub fn no_regressions(&self) -> bool {
+        self.added.is_empty()
+    }
+
+    /// The committed file matches reality exactly (the `--check-baseline`
+    /// condition).
+    pub fn in_sync(&self) -> bool {
+        self.added.is_empty() && self.removed.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph;
+    use crate::files::SourceFile;
+
+    fn graph() -> CallGraph {
+        callgraph::build(&[SourceFile::from_source(
+            "crates/sim/src/g.rs",
+            "pub fn risky() { x.unwrap(); }\n\
+             pub fn wraps() { risky(); }\n\
+             pub fn clean() -> u64 { 1 }\n\
+             fn internal() { y.unwrap(); }\n",
+        )])
+    }
+
+    #[test]
+    fn surface_is_pub_reachable_only() {
+        let s = Surface::from_graph(&graph());
+        let ids: Vec<&str> = s.functions.iter().map(String::as_str).collect();
+        assert_eq!(
+            ids,
+            vec!["crates/sim/src/g.rs::risky", "crates/sim/src/g.rs::wraps"],
+            "clean is out; internal is non-pub"
+        );
+    }
+
+    #[test]
+    fn roundtrips_through_json() {
+        let g = graph();
+        let report = SurfaceReport::build(&g, &Surface::default());
+        let text = report
+            .observed
+            .to_json(&report.per_crate)
+            .to_pretty_string();
+        let back = Surface::parse(&text).expect("parse");
+        assert_eq!(report.observed, back);
+    }
+
+    #[test]
+    fn report_classifies_added_and_removed() {
+        let g = graph();
+        let mut committed = Surface::from_graph(&g);
+        committed
+            .functions
+            .insert("crates/sim/src/g.rs::ghost".to_owned());
+        committed.functions.remove("crates/sim/src/g.rs::wraps");
+        let report = SurfaceReport::build(&g, &committed);
+        assert_eq!(report.added, vec!["crates/sim/src/g.rs::wraps"]);
+        assert_eq!(report.removed, vec!["crates/sim/src/g.rs::ghost"]);
+        assert!(!report.no_regressions());
+        assert!(!report.in_sync());
+    }
+
+    #[test]
+    fn in_sync_when_committed_matches() {
+        let g = graph();
+        let committed = Surface::from_graph(&g);
+        let report = SurfaceReport::build(&g, &committed);
+        assert!(report.no_regressions() && report.in_sync());
+        let sim = report.per_crate.get("scp-sim").expect("crate entry");
+        assert_eq!(sim.pub_fns, 3);
+        assert_eq!(sim.reachable, 2);
+    }
+
+    #[test]
+    fn rejects_bad_versions_and_shapes() {
+        assert!(Surface::parse("{}").is_err());
+        assert!(Surface::parse("{\"version\":99,\"functions\":[]}").is_err());
+        assert!(Surface::parse("{\"version\":1,\"functions\":[3]}").is_err());
+        assert!(Surface::parse("{\"version\":1,\"functions\":[]}").is_ok());
+    }
+}

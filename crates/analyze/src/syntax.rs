@@ -1,0 +1,767 @@
+//! A brace-tree item parser layered on the lexer's code mask.
+//!
+//! The line-level rules of PR 2 see one line at a time; the flow-aware
+//! checks of this PR (the call-graph panic surface, `#[cfg(test)]`
+//! scoping by *item region* rather than by textual heuristic) need real
+//! structure: which functions exist, where each one's body starts and
+//! ends, which `impl`/`mod` it lives in, and what the file imports.
+//!
+//! The parser runs on the **code mask** (see [`crate::lexer`]), so brace
+//! counting and keyword matching can never be fooled by braces or
+//! keywords inside strings and comments. It is *total*: malformed input
+//! degrades to fewer/looser items, never to a panic — the compiler owns
+//! syntax errors, this module only needs spans that are right for
+//! compiling code.
+//!
+//! The grammar subset it understands:
+//!
+//! * items with bodies: `fn`, `mod`, `impl`, `trait`, `struct`, `enum`,
+//!   `union` — each with its `{ ... }` extent found by depth counting
+//!   (or its terminating `;` for bodiless forms);
+//! * item *preludes*: everything between the previous item boundary and
+//!   the keyword, scanned for `pub` and `#[cfg(test)]`;
+//! * nested items: an `fn` inside an `fn`, a `mod` inside a `mod` — the
+//!   result is a tree, and every item knows its ancestors' names;
+//! * `use` declarations, including braced groups, `as` renames and
+//!   globs — flattened into one [`UseDecl`] per imported leaf.
+
+use crate::lexer::MaskedSource;
+
+/// What kind of item a node of the tree is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ItemKind {
+    /// A `fn` item (free, associated, or nested).
+    Fn,
+    /// A `mod name { ... }` (or `mod name;`) item.
+    Mod,
+    /// An `impl` block; the name is the implemented-for type.
+    Impl,
+    /// A `trait` definition.
+    Trait,
+    /// A `struct`, `enum` or `union` definition.
+    Type,
+}
+
+/// One node of the item tree.
+#[derive(Debug, Clone)]
+pub struct Item {
+    /// Item kind.
+    pub kind: ItemKind,
+    /// The item's own name (type name for `impl` blocks; empty when no
+    /// name could be recovered).
+    pub name: String,
+    /// Whether the prelude carries any `pub` modifier (including
+    /// restricted forms like `pub(crate)`).
+    pub is_pub: bool,
+    /// Whether the prelude carries `#[cfg(test)]`, or an ancestor does.
+    pub cfg_test: bool,
+    /// Byte range `[start, end)` in the code mask covering the prelude,
+    /// header and body (through the closing `}` or `;`).
+    pub span: (usize, usize),
+    /// Byte range of the body interior (between the braces), when the
+    /// item has a braced body.
+    pub body: Option<(usize, usize)>,
+    /// Nested items found inside the body.
+    pub children: Vec<Item>,
+}
+
+/// One imported leaf from a `use` declaration: `use a::b::{c, d as e};`
+/// flattens to two of these.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UseDecl {
+    /// Full path segments, e.g. `["scp_core", "bounds", "upper_bound"]`;
+    /// a glob import ends with `"*"`.
+    pub path: Vec<String>,
+    /// The name the import binds locally (the rename after `as`, or the
+    /// last path segment).
+    pub name: String,
+}
+
+/// A function flattened out of the tree, with its lexical context.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Bare function name.
+    pub name: String,
+    /// `::`-joined enclosing item names plus the function name, e.g.
+    /// `Producer::try_push` or `tests::roundtrip`.
+    pub qualified: String,
+    /// Whether the function itself carries a `pub` modifier.
+    pub is_pub: bool,
+    /// Whether the function or any ancestor is `#[cfg(test)]`.
+    pub cfg_test: bool,
+    /// Byte span of the whole item (prelude through closing brace).
+    pub span: (usize, usize),
+    /// Byte span of the body interior, when the function has one.
+    pub body: Option<(usize, usize)>,
+    /// 1-based first and last line of the span (inclusive).
+    pub lines: (usize, usize),
+}
+
+/// A parsed file: the item tree plus the flattened views the call graph
+/// consumes.
+#[derive(Debug, Clone)]
+pub struct ParsedFile {
+    /// Top-level items, in source order.
+    pub items: Vec<Item>,
+    /// Every function in the file, in source order, with context.
+    pub fns: Vec<FnItem>,
+    /// Every `use` leaf in the file.
+    pub uses: Vec<UseDecl>,
+}
+
+/// Parses one masked source file into its item tree and flattened views.
+pub fn parse(masked: &MaskedSource) -> ParsedFile {
+    let code = masked.code.as_str();
+    let items = parse_region(code, 0, code.len(), false);
+    let mut fns = Vec::new();
+    flatten_fns(code, &items, &mut Vec::new(), &mut fns);
+    let uses = parse_uses(code);
+    ParsedFile { items, fns, uses }
+}
+
+fn is_ident(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Byte at `i`, or NUL past the end. The parser promises totality, so
+/// every byte access goes through this instead of indexing.
+pub(crate) fn at(bytes: &[u8], i: usize) -> u8 {
+    bytes.get(i).copied().unwrap_or(0)
+}
+
+/// Substring `[a, b)`, or empty when the range is out of bounds (ranges
+/// here always come from byte scans over the same string, but the
+/// non-panicking form keeps the totality promise checkable).
+pub(crate) fn sub(s: &str, a: usize, b: usize) -> &str {
+    s.get(a..b.min(s.len())).unwrap_or("")
+}
+
+/// Suffix starting at `a`, or empty when out of bounds.
+pub(crate) fn tail(s: &str, a: usize) -> &str {
+    s.get(a..).unwrap_or("")
+}
+
+/// Item keywords the scanner recognizes (each further guarded at the
+/// match site).
+const ITEM_KEYWORDS: &[(&str, ItemKind)] = &[
+    ("fn", ItemKind::Fn),
+    ("mod", ItemKind::Mod),
+    ("impl", ItemKind::Impl),
+    ("trait", ItemKind::Trait),
+    ("struct", ItemKind::Type),
+    ("enum", ItemKind::Type),
+    ("union", ItemKind::Type),
+];
+
+/// Finds the next word token starting at or after `from`; returns
+/// `(start, end)` of the token.
+fn next_token(bytes: &[u8], mut from: usize, end: usize) -> Option<(usize, usize)> {
+    while from < end && !is_ident(at(bytes, from)) {
+        from += 1;
+    }
+    if from >= end {
+        return None;
+    }
+    let start = from;
+    while from < end && is_ident(at(bytes, from)) {
+        from += 1;
+    }
+    Some((start, from))
+}
+
+/// The first non-whitespace byte at or after `from` (within `end`).
+fn next_nonspace(bytes: &[u8], mut from: usize, end: usize) -> Option<(usize, u8)> {
+    while from < end {
+        let b = at(bytes, from);
+        if !b.is_ascii_whitespace() {
+            return Some((from, b));
+        }
+        from += 1;
+    }
+    None
+}
+
+/// Scans `[start, end)` of the code mask for items; `parent_test` marks
+/// everything found as test code.
+fn parse_region(code: &str, start: usize, end: usize, parent_test: bool) -> Vec<Item> {
+    let bytes = code.as_bytes();
+    let mut items = Vec::new();
+    let mut cursor = start;
+    // The last item/statement boundary seen, bounding the next prelude.
+    let mut boundary = start;
+    while let Some((tok_start, tok_end)) = next_token(bytes, cursor, end) {
+        let tok = sub(code, tok_start, tok_end);
+        let kind = ITEM_KEYWORDS
+            .iter()
+            .find(|(kw, _)| *kw == tok)
+            .map(|(_, k)| *k);
+        let Some(kind) = kind else {
+            // Keep the boundary current: `;`, `{`, `}` between tokens
+            // reset where the next item's prelude can start.
+            boundary = advance_boundary(bytes, boundary, tok_end, end);
+            cursor = tok_end;
+            continue;
+        };
+        if let Some(item) = parse_item(code, kind, boundary, tok_start, tok_end, end, parent_test) {
+            cursor = item.span.1;
+            boundary = item.span.1;
+            items.push(item);
+        } else {
+            boundary = advance_boundary(bytes, boundary, tok_end, end);
+            cursor = tok_end;
+        }
+    }
+    items
+}
+
+/// Moves the prelude boundary forward past any `;`/`{`/`}` in
+/// `[boundary, upto)`.
+fn advance_boundary(bytes: &[u8], boundary: usize, upto: usize, end: usize) -> usize {
+    let mut b = boundary;
+    let upto = upto.min(end);
+    let mut i = b;
+    while i < upto {
+        if matches!(at(bytes, i), b';' | b'{' | b'}') {
+            b = i + 1;
+        }
+        i += 1;
+    }
+    b
+}
+
+/// Parses one item whose keyword occupies `[kw_start, kw_end)`. Returns
+/// `None` when the keyword turns out not to start an item (e.g. an
+/// `fn(u64) -> u64` pointer type, `s.union(...)`).
+fn parse_item(
+    code: &str,
+    kind: ItemKind,
+    boundary: usize,
+    kw_start: usize,
+    kw_end: usize,
+    end: usize,
+    parent_test: bool,
+) -> Option<Item> {
+    let bytes = code.as_bytes();
+    // A keyword preceded by `.` (method call) or `::` is not an item.
+    if kw_start > 0 && matches!(at(bytes, kw_start - 1), b'.' | b':') {
+        return None;
+    }
+    let name = match kind {
+        ItemKind::Impl => String::new(), // resolved from the header below
+        _ => {
+            let (name_start, name_end) = next_token(bytes, kw_end, end)?;
+            // The name must directly follow the keyword (only whitespace
+            // between), otherwise `fn` was a type like `fn(u64) -> u64`.
+            if let Some((pos, b)) = next_nonspace(bytes, kw_end, end) {
+                if pos < name_start && b != b'<' {
+                    return None;
+                }
+            }
+            if matches!(next_nonspace(bytes, kw_end, end), Some((_, b'('))) {
+                return None;
+            }
+            sub(code, name_start, name_end).to_owned()
+        }
+    };
+
+    // Find the body `{` or the terminating `;`, whichever comes first.
+    // Item headers (signature, generics, where clause, impl header)
+    // contain no braces in the grammar subset we care about.
+    let mut i = kw_end;
+    let mut open = None;
+    while i < end {
+        match at(bytes, i) {
+            b'{' => {
+                open = Some(i);
+                break;
+            }
+            b';' => break,
+            _ => i += 1,
+        }
+    }
+
+    let name = if kind == ItemKind::Impl {
+        impl_name(sub(code, kw_end, open.unwrap_or(i).min(end)))
+    } else {
+        name
+    };
+
+    let prelude = sub(code, boundary, kw_start);
+    let is_pub = has_token(prelude, "pub");
+    let attr_from = attr_window_start(code, boundary, kw_start);
+    let cfg_test = parent_test || sub(code, attr_from, kw_start).contains("#[cfg(test)]");
+
+    match open {
+        Some(open_at) => {
+            let close = match_brace(bytes, open_at, end);
+            let body = (open_at + 1, close.saturating_sub(1).max(open_at + 1));
+            let children = parse_region(code, body.0, body.1, cfg_test);
+            Some(Item {
+                kind,
+                name,
+                is_pub,
+                cfg_test,
+                span: (attr_from.min(kw_start), close),
+                body: Some(body),
+                children,
+            })
+        }
+        None => Some(Item {
+            kind,
+            name,
+            is_pub,
+            cfg_test,
+            span: (attr_from.min(kw_start), (i + 1).min(end)),
+            body: None,
+            children: Vec::new(),
+        }),
+    }
+}
+
+/// The index just past the `}` matching the `{` at `open` (or `end` when
+/// the input runs out first).
+fn match_brace(bytes: &[u8], open: usize, end: usize) -> usize {
+    let mut depth = 0usize;
+    let mut j = open;
+    while j < end {
+        match at(bytes, j) {
+            b'{' => depth += 1,
+            b'}' => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    end
+}
+
+/// Walks the prelude back from `kw_start` to include contiguous
+/// attribute lines (`#[...]`), so `#[cfg(test)]` two lines above the
+/// keyword still counts as this item's.
+fn attr_window_start(code: &str, boundary: usize, kw_start: usize) -> usize {
+    let prelude = sub(code, boundary, kw_start);
+    match prelude.find("#[") {
+        Some(off) => boundary + off,
+        None => kw_start - trailing_modifiers(prelude),
+    }
+}
+
+/// Length of the trailing modifier run (`pub`, `const`, `async`,
+/// `unsafe`, `extern`, whitespace) of a prelude — the part that visually
+/// belongs to the item.
+fn trailing_modifiers(prelude: &str) -> usize {
+    let trimmed = prelude.trim_end();
+    let mut keep = prelude.len() - trimmed.len();
+    let mut rest = trimmed;
+    loop {
+        let before = rest.trim_end_matches(|c: char| c.is_alphanumeric() || c == '_');
+        let word = tail(rest, before.len());
+        if matches!(
+            word,
+            "pub" | "const" | "async" | "unsafe" | "extern" | "default"
+        ) && !word.is_empty()
+        {
+            keep += word.len();
+            let unspaced = before.trim_end();
+            keep += before.len() - unspaced.len();
+            rest = unspaced;
+            // `pub(crate)`-style restriction parens.
+            if rest.ends_with(')') {
+                if let Some(open) = rest.rfind('(') {
+                    keep += rest.len() - open;
+                    rest = sub(rest, 0, open).trim_end();
+                }
+            }
+        } else {
+            break;
+        }
+    }
+    keep
+}
+
+/// Whether `text` contains `tok` as a standalone word.
+fn has_token(text: &str, tok: &str) -> bool {
+    let bytes = text.as_bytes();
+    let mut from = 0usize;
+    while let Some(off) = tail(text, from).find(tok) {
+        let start = from + off;
+        let end = start + tok.len();
+        let left_ok = start == 0 || !is_ident(at(bytes, start - 1));
+        let right_ok = end >= bytes.len() || !is_ident(at(bytes, end));
+        if left_ok && right_ok {
+            return true;
+        }
+        from = start + 1;
+    }
+    false
+}
+
+/// Extracts the implemented-for type name from an `impl` header (the
+/// text between `impl` and the opening brace).
+fn impl_name(header: &str) -> String {
+    // `impl<T> Trait for Type<T>` — the type is what follows the last
+    // top-level ` for `; otherwise the whole header is the type.
+    let header = strip_generics(header);
+    let target = match split_last_for(&header) {
+        Some(after_for) => after_for,
+        None => header.as_str().to_owned(),
+    };
+    // Last path segment, stripped of generics and references.
+    let target = target.trim().trim_start_matches('&').trim();
+    let target = target.split('<').next().unwrap_or(target).trim();
+    let seg = target.rsplit("::").next().unwrap_or(target).trim();
+    seg.chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect()
+}
+
+/// Removes one leading `<...>` generics group (depth-counted) from an
+/// impl header.
+fn strip_generics(header: &str) -> String {
+    let trimmed = header.trim_start();
+    if !trimmed.starts_with('<') {
+        return trimmed.to_owned();
+    }
+    let mut depth = 0i32;
+    for (i, c) in trimmed.char_indices() {
+        match c {
+            '<' => depth += 1,
+            '>' => {
+                depth -= 1;
+                if depth == 0 {
+                    return tail(trimmed, i + 1).to_owned();
+                }
+            }
+            _ => {}
+        }
+    }
+    trimmed.to_owned()
+}
+
+/// The text after the last ` for ` that sits outside angle brackets.
+fn split_last_for(header: &str) -> Option<String> {
+    let bytes = header.as_bytes();
+    let mut depth = 0i32;
+    let mut last: Option<usize> = None;
+    let mut i = 0usize;
+    while i < bytes.len() {
+        match at(bytes, i) {
+            b'<' => depth += 1,
+            b'>' => depth -= 1,
+            b'f' if depth == 0 && tail(header, i).starts_with("for") => {
+                let left_ok = i == 0 || !is_ident(at(bytes, i - 1));
+                let right_ok = !is_ident(at(bytes, i + 3));
+                if left_ok && right_ok {
+                    last = Some(i + 3);
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    last.map(|from| tail(header, from).to_owned())
+}
+
+/// Flattens the tree into [`FnItem`]s, accumulating context names.
+fn flatten_fns(code: &str, items: &[Item], ctx: &mut Vec<String>, out: &mut Vec<FnItem>) {
+    for item in items {
+        if item.kind == ItemKind::Fn {
+            let qualified = if ctx.is_empty() {
+                item.name.clone()
+            } else {
+                format!("{}::{}", ctx.join("::"), item.name)
+            };
+            out.push(FnItem {
+                name: item.name.clone(),
+                qualified,
+                is_pub: item.is_pub,
+                cfg_test: item.cfg_test,
+                span: item.span,
+                body: item.body,
+                lines: line_span(code, item.span),
+            });
+        }
+        let named = !item.name.is_empty();
+        if named {
+            ctx.push(item.name.clone());
+        }
+        flatten_fns(code, &item.children, ctx, out);
+        if named {
+            ctx.pop();
+        }
+    }
+}
+
+/// `(first, last)` 1-based lines of a byte span. Leading whitespace of
+/// the span (the newline/indent run a prelude may start with) is skipped
+/// so `first` is the line the item's text actually starts on.
+fn line_span(code: &str, span: (usize, usize)) -> (usize, usize) {
+    let bytes = code.as_bytes();
+    let end = span.1.min(code.len());
+    let mut start = span.0.min(code.len());
+    while start < end && at(bytes, start).is_ascii_whitespace() {
+        start += 1;
+    }
+    let first = sub(code, 0, start).matches('\n').count() + 1;
+    let last = sub(code, 0, end).matches('\n').count() + 1;
+    (first, last)
+}
+
+// ------------------------------------------------------------------- uses
+
+/// Parses every `use` declaration of the file into flattened leaves.
+fn parse_uses(code: &str) -> Vec<UseDecl> {
+    let bytes = code.as_bytes();
+    let mut out = Vec::new();
+    let mut from = 0usize;
+    while let Some((tok_start, tok_end)) = next_token(bytes, from, bytes.len()) {
+        from = tok_end;
+        if sub(code, tok_start, tok_end) != "use" {
+            continue;
+        }
+        // Take everything up to the terminating `;`.
+        let Some(semi) = tail(code, tok_end).find(';') else {
+            break;
+        };
+        let decl = sub(code, tok_end, tok_end + semi);
+        flatten_use(decl.trim(), &mut Vec::new(), &mut out);
+        from = tok_end + semi + 1;
+    }
+    out
+}
+
+/// Recursively flattens one use-path (possibly a braced group) onto
+/// `prefix`.
+fn flatten_use(decl: &str, prefix: &mut Vec<String>, out: &mut Vec<UseDecl>) {
+    let decl = decl.trim();
+    if decl.is_empty() {
+        return;
+    }
+    // A braced group: split on top-level commas, recurse per element.
+    if let Some(stripped) = decl.strip_prefix('{') {
+        let inner = stripped.strip_suffix('}').unwrap_or(stripped);
+        for part in split_top_commas(inner) {
+            flatten_use(&part, prefix, out);
+        }
+        return;
+    }
+    match decl.find("::") {
+        Some(sep) if !tail(decl, sep + 2).trim_start().is_empty() => {
+            let head = sub(decl, 0, sep).trim();
+            if !head.is_empty() {
+                prefix.push(head.to_owned());
+            }
+            flatten_use(tail(decl, sep + 2), prefix, out);
+            if !head.is_empty() {
+                prefix.pop();
+            }
+        }
+        _ => {
+            // A leaf: `name`, `name as alias`, or `*`.
+            let mut words = decl.split_whitespace();
+            let leaf = words.next().unwrap_or("").trim_matches(',').to_owned();
+            let alias = match (words.next(), words.next()) {
+                (Some("as"), Some(a)) => a.to_owned(),
+                _ => leaf.clone(),
+            };
+            if leaf.is_empty() {
+                return;
+            }
+            let mut path = prefix.clone();
+            path.push(leaf);
+            out.push(UseDecl { path, name: alias });
+        }
+    }
+}
+
+/// Splits on commas that sit outside nested braces.
+fn split_top_commas(s: &str) -> Vec<String> {
+    let mut parts = Vec::new();
+    let mut depth = 0i32;
+    let mut cur = String::new();
+    for c in s.chars() {
+        match c {
+            '{' => {
+                depth += 1;
+                cur.push(c);
+            }
+            '}' => {
+                depth -= 1;
+                cur.push(c);
+            }
+            ',' if depth == 0 => {
+                parts.push(std::mem::take(&mut cur));
+            }
+            _ => cur.push(c),
+        }
+    }
+    if !cur.trim().is_empty() {
+        parts.push(cur);
+    }
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::mask;
+
+    fn fns_of(src: &str) -> Vec<FnItem> {
+        parse(&mask(src)).fns
+    }
+
+    #[test]
+    fn finds_free_and_associated_fns() {
+        let src = "pub fn free() { body(); }\n\
+                   struct S;\n\
+                   impl S {\n\
+                   \x20   pub fn method(&self) -> u64 { 1 }\n\
+                   \x20   fn private(&self) {}\n\
+                   }\n";
+        let fns = fns_of(src);
+        let names: Vec<&str> = fns.iter().map(|f| f.qualified.as_str()).collect();
+        assert_eq!(names, vec!["free", "S::method", "S::private"]);
+        assert!(fns[0].is_pub && fns[1].is_pub && !fns[2].is_pub);
+    }
+
+    #[test]
+    fn impl_trait_for_type_uses_the_type_name() {
+        let src = "impl<T: Clone> Iterator for Wrapper<T> {\n\
+                   \x20   fn next(&mut self) -> Option<T> { None }\n\
+                   }\n";
+        let fns = fns_of(src);
+        assert_eq!(fns[0].qualified, "Wrapper::next");
+    }
+
+    #[test]
+    fn fn_pointer_types_are_not_items() {
+        let src = "struct S { call: fn(u64) -> u64 }\nfn real() {}\n";
+        let fns = fns_of(src);
+        assert_eq!(fns.len(), 1);
+        assert_eq!(fns[0].name, "real");
+    }
+
+    #[test]
+    fn method_calls_named_like_keywords_are_not_items() {
+        let src = "fn f(a: &std::collections::HashSet<u8>, b: &std::collections::HashSet<u8>) {\n\
+                   \x20   let _n = a.union(b).count();\n\
+                   }\n";
+        let fns = fns_of(src);
+        assert_eq!(fns.len(), 1);
+    }
+
+    #[test]
+    fn nested_fns_carry_context() {
+        let src = "mod outer {\n\
+                   \x20   pub fn parent() {\n\
+                   \x20       fn helper() {}\n\
+                   \x20       helper();\n\
+                   \x20   }\n\
+                   }\n";
+        let fns = fns_of(src);
+        let names: Vec<&str> = fns.iter().map(|f| f.qualified.as_str()).collect();
+        assert_eq!(names, vec!["outer::parent", "outer::parent::helper"]);
+    }
+
+    #[test]
+    fn cfg_test_marks_items_and_descendants() {
+        let src = "fn live() {}\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                   \x20   fn helper() {}\n\
+                   \x20   #[test]\n\
+                   \x20   fn case() { helper(); }\n\
+                   }\n";
+        let fns = fns_of(src);
+        assert!(!fns[0].cfg_test);
+        assert!(fns[1].cfg_test && fns[2].cfg_test);
+    }
+
+    #[test]
+    fn braces_in_masked_literals_do_not_break_spans() {
+        let src = "fn a() { let s = \"}}}{\"; }\nfn b() {}\n";
+        let fns = fns_of(src);
+        assert_eq!(fns.len(), 2);
+        assert!(fns[0].span.1 <= fns[1].span.0);
+    }
+
+    #[test]
+    fn where_clauses_and_return_impls_do_not_confuse_bodies() {
+        let src = "pub fn make<T>() -> impl Iterator<Item = T>\n\
+                   where\n\
+                   \x20   T: Default,\n\
+                   {\n\
+                   \x20   std::iter::empty()\n\
+                   }\n";
+        let fns = fns_of(src);
+        assert_eq!(fns.len(), 1);
+        assert!(fns[0].body.is_some());
+    }
+
+    #[test]
+    fn trait_method_declarations_without_bodies() {
+        let src = "pub trait T {\n\
+                   \x20   fn required(&self) -> u64;\n\
+                   \x20   fn provided(&self) -> u64 { 0 }\n\
+                   }\n";
+        let fns = fns_of(src);
+        assert_eq!(fns.len(), 2);
+        assert!(fns[0].body.is_none());
+        assert!(fns[1].body.is_some());
+        assert_eq!(fns[0].qualified, "T::required");
+    }
+
+    #[test]
+    fn use_decls_flatten_groups_renames_and_globs() {
+        let src = "use scp_core::bounds::upper_bound;\n\
+                   use scp_json::{Json, parse as parse_json};\n\
+                   use std::collections::{BTreeMap, btree_map::Entry};\n\
+                   use scp_sim::*;\n";
+        let uses = parse(&mask(src)).uses;
+        let names: Vec<&str> = uses.iter().map(|u| u.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "upper_bound",
+                "Json",
+                "parse_json",
+                "BTreeMap",
+                "Entry",
+                "*"
+            ]
+        );
+        assert_eq!(uses[0].path, vec!["scp_core", "bounds", "upper_bound"]);
+        assert_eq!(uses[2].path[0], "scp_json");
+    }
+
+    #[test]
+    fn unterminated_input_is_total() {
+        for src in ["fn f() {", "impl {", "mod m {", "use a::{b", "fn"] {
+            let _ = parse(&mask(src));
+        }
+    }
+
+    #[test]
+    fn spans_nest_and_do_not_overlap() {
+        let src = "fn a() { if x { y(); } }\n\
+                   mod m {\n\
+                   \x20   fn b() {}\n\
+                   \x20   fn c() {}\n\
+                   }\n";
+        let parsed = parse(&mask(src));
+        let top = &parsed.items;
+        assert_eq!(top.len(), 2);
+        assert!(top[0].span.1 <= top[1].span.0);
+        let m = &top[1];
+        assert_eq!(m.children.len(), 2);
+        for child in &m.children {
+            let body = m.body.expect("mod body");
+            assert!(child.span.0 >= body.0 && child.span.1 <= body.1);
+        }
+        assert!(m.children[0].span.1 <= m.children[1].span.0);
+    }
+}

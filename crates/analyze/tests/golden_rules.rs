@@ -202,6 +202,125 @@ fn golden_float_eq_integer_comparison_ok() {
     assert!(active_rules(src).is_empty());
 }
 
+// --- ordering-comment ---------------------------------------------------
+
+#[test]
+fn golden_ordering_without_comment() {
+    let src = "use std::sync::atomic::{AtomicU64, Ordering};\n\
+               fn f(a: &AtomicU64) -> u64 {\n\
+               \x20   a.load(Ordering::Relaxed)\n\
+               }\n";
+    assert_eq!(active_rules(src), vec!["ordering-comment"]);
+}
+
+#[test]
+fn golden_ordering_same_line_comment() {
+    let src = "use std::sync::atomic::{AtomicU64, Ordering};\n\
+               fn f(a: &AtomicU64) -> u64 {\n\
+               \x20   a.load(Ordering::Relaxed) // ORDERING: single-writer counter\n\
+               }\n";
+    assert!(active_rules(src).is_empty());
+}
+
+#[test]
+fn golden_ordering_comment_block_above() {
+    let src = "use std::sync::atomic::{AtomicU64, Ordering};\n\
+               fn f(a: &AtomicU64) -> u64 {\n\
+               \x20   // ORDERING: relaxed is enough — this counter is\n\
+               \x20   // monitoring-only and tolerates staleness.\n\
+               \x20   a.load(Ordering::Relaxed)\n\
+               }\n";
+    assert!(active_rules(src).is_empty());
+}
+
+#[test]
+fn golden_ordering_window_stops_at_code() {
+    // A justification separated from the use by a code line does not count.
+    let src = "use std::sync::atomic::{AtomicU64, Ordering};\n\
+               fn f(a: &AtomicU64) -> u64 {\n\
+               \x20   // ORDERING: this comment is about the line below\n\
+               \x20   let x = 1u64;\n\
+               \x20   x + a.load(Ordering::Acquire)\n\
+               }\n";
+    assert_eq!(active_rules(src), vec!["ordering-comment"]);
+}
+
+#[test]
+fn golden_ordering_exempt_file() {
+    // The interleaving explorer matches on `Ordering` variants as data;
+    // requiring a justification per match arm would be noise.
+    let src = "use std::sync::atomic::{AtomicU64, Ordering};\n\
+               fn f(a: &AtomicU64) -> u64 {\n\
+               \x20   a.load(Ordering::Relaxed)\n\
+               }\n";
+    let f = check_file(&SourceFile::from_source(
+        "crates/analyze/src/interleave.rs",
+        src,
+    ));
+    assert!(f.iter().all(|f| f.rule != "ordering-comment"), "{f:?}");
+}
+
+// --- concurrency-primitive ----------------------------------------------
+
+#[test]
+fn golden_concurrency_mutex() {
+    let src = "use std::sync::Mutex;\n\
+               fn f() -> u64 { *Mutex::new(7u64).lock().unwrap_or_else(|e| e.into_inner()) }\n";
+    let rules = active_rules(src);
+    assert!(rules.contains(&"concurrency-primitive"), "{rules:?}");
+}
+
+#[test]
+fn golden_concurrency_thread_spawn() {
+    let src = "fn f() { std::thread::spawn(|| {}); }\n";
+    assert_eq!(active_rules(src), vec!["concurrency-primitive"]);
+}
+
+#[test]
+fn golden_concurrency_static_mut() {
+    let src = "static mut COUNTER: u64 = 0;\n";
+    assert_eq!(active_rules(src), vec!["concurrency-primitive"]);
+}
+
+#[test]
+fn golden_concurrency_whitelisted_file() {
+    let src = "use std::sync::Mutex;\n\
+               fn f() { let _m = Mutex::new(0u64); }\n";
+    let f = check_file(&SourceFile::from_source("crates/sim/src/runner.rs", src));
+    assert!(f.iter().all(|f| f.rule != "concurrency-primitive"), "{f:?}");
+}
+
+#[test]
+fn golden_concurrency_lookalike_names_ok() {
+    // `spawn`/`scope` only count with a `thread::` or method receiver,
+    // and `Mutex` must be the whole token.
+    let src = "fn spawner() {}\n\
+               fn f(scope_id: u64) -> u64 { spawner(); scope_id }\n";
+    assert!(active_rules(src).is_empty());
+}
+
+// --- narrow-cast --------------------------------------------------------
+
+#[test]
+fn golden_narrow_cast_u32() {
+    let src = "fn f(x: u64) -> u32 { x as u32 }\n";
+    assert_eq!(active_rules(src), vec!["narrow-cast"]);
+}
+
+#[test]
+fn golden_narrow_cast_widening_ok() {
+    let src = "fn f(x: u32) -> u64 { x as u64 }\n\
+               fn g(x: u32) -> usize { x as usize }\n\
+               fn h(x: u32) -> f64 { x as f64 }\n";
+    assert!(active_rules(src).is_empty());
+}
+
+#[test]
+fn golden_narrow_cast_try_from_ok() {
+    let src = "fn f(x: u64) -> u32 { u32::try_from(x).unwrap_or(u32::MAX) }\n";
+    assert!(active_rules(src).is_empty());
+}
+
 // --- suppression forms --------------------------------------------------
 
 #[test]
@@ -254,4 +373,57 @@ fn golden_allow_only_covers_named_rule() {
     let f = findings(src);
     let active: Vec<_> = f.iter().filter(|f| !f.suppressed).map(|f| f.rule).collect();
     assert_eq!(active, vec!["float-eq"], "float-eq must survive: {f:?}");
+}
+
+// --- suppression forms for the new rule families ------------------------
+
+#[test]
+fn golden_allow_narrow_cast_preceding_line() {
+    let src = "fn f(x: u64) -> u32 {\n\
+               \x20   // scp-allow(narrow-cast): hash is pre-masked to 32 bits\n\
+               \x20   x as u32\n\
+               }\n";
+    let f = findings(src);
+    assert!(f.iter().all(|f| f.suppressed), "{f:?}");
+    assert_eq!(f.len(), 1, "finding still recorded, just suppressed");
+}
+
+#[test]
+fn golden_allow_ordering_comment_same_line() {
+    let src = "use std::sync::atomic::{AtomicU64, Ordering};\n\
+               fn f(a: &AtomicU64) -> u64 { a.load(Ordering::Relaxed) } \
+               // scp-allow(ordering-comment): justified in the module doc\n";
+    let f = findings(src);
+    assert!(f.iter().all(|f| f.suppressed), "{f:?}");
+}
+
+#[test]
+fn golden_allow_concurrency_primitive_with_reason() {
+    let src = "fn f() {\n\
+               \x20   // scp-allow(concurrency-primitive): test fixture thread\n\
+               \x20   std::thread::spawn(|| {});\n\
+               }\n";
+    let f = findings(src);
+    assert!(f.iter().all(|f| f.suppressed), "{f:?}");
+}
+
+#[test]
+fn golden_allow_new_rule_requires_reason() {
+    let src = "fn f(x: u64) -> u32 {\n\
+               \x20   // scp-allow(narrow-cast)\n\
+               \x20   x as u32\n\
+               }\n";
+    let rules = active_rules(src);
+    assert!(rules.contains(&"invalid-pragma"), "{rules:?}");
+    assert!(rules.contains(&"narrow-cast"), "not suppressed: {rules:?}");
+}
+
+#[test]
+fn golden_allow_new_rule_names_are_known_to_the_meta_rules() {
+    // A new-rule pragma that suppresses nothing is `unused-allow`, not
+    // `invalid-pragma` — the name itself is recognized.
+    for rule in ["ordering-comment", "concurrency-primitive", "narrow-cast"] {
+        let src = format!("// scp-allow({rule}): nothing here\nfn f() {{}}\n");
+        assert_eq!(active_rules(&src), vec!["unused-allow"], "{rule}");
+    }
 }

@@ -40,6 +40,54 @@ fn committed_baseline_is_in_sync() {
 }
 
 #[test]
+fn committed_panic_surface_is_in_sync_and_never_grows() {
+    // The set-based ratchet: a pub fn may leave the committed
+    // `panic-surface.json` freely, but entering it (or drifting out of
+    // sync) must be an explicit `--update-baseline` commit.
+    let root = workspace_root();
+    let surface = scp_analyze::analyze_panic_surface(&root).expect("call graph builds");
+    assert!(
+        surface.no_regressions(),
+        "pub fns entered the panic surface:\n{}",
+        surface.added.join("\n")
+    );
+    assert!(
+        surface.in_sync(),
+        "panic-surface.json is out of sync with the tree; run \
+         `cargo run -p scp-analyze -- --update-baseline` and commit the \
+         result:\nadded: {}\nremoved: {}",
+        surface.added.join(", "),
+        surface.removed.join(", ")
+    );
+}
+
+#[test]
+fn new_analyzer_code_carries_no_ratcheted_debt() {
+    // Everything added by the flow-aware analyzer (parser, call graph,
+    // surface ratchet, interleaving explorer) was written index-free and
+    // unwrap-free; keep it that way.
+    let report = analyze_workspace(&workspace_root()).expect("analysis runs");
+    let fresh: Vec<_> = report
+        .observed
+        .counts
+        .iter()
+        .filter(|(file, _)| {
+            [
+                "crates/analyze/src/syntax.rs",
+                "crates/analyze/src/callgraph.rs",
+                "crates/analyze/src/surface.rs",
+                "crates/analyze/src/interleave.rs",
+            ]
+            .contains(&file.as_str())
+        })
+        .collect();
+    assert!(
+        fresh.is_empty(),
+        "new analyzer modules regained ratcheted debt: {fresh:?}"
+    );
+}
+
+#[test]
 fn scp_core_carries_no_ratcheted_debt() {
     // PR-2 burned scp-core's panic-safety debt to zero; keep it there.
     let report = analyze_workspace(&workspace_root()).expect("analysis runs");

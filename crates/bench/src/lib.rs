@@ -34,7 +34,11 @@ pub fn bench_baseline(cache: usize, pattern: AccessPattern) -> SimConfig {
 
 /// The adversarial `x = c + 1` pattern over the bench key space.
 pub fn adversarial_pattern(cache: usize) -> AccessPattern {
-    AccessPattern::uniform_subset(cache as u64 + 1, 100_000).expect("valid subset")
+    let m = 100_000u64;
+    // Clamping into `1 <= x <= m` makes the constructor infallible for
+    // any `cache`; the fallback is unreachable but keeps this total.
+    let x = (cache as u64).saturating_add(1).clamp(1, m);
+    AccessPattern::uniform_subset(x, m).unwrap_or(AccessPattern::UniformSubset { x: 1, m })
 }
 
 #[cfg(test)]

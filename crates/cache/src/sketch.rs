@@ -51,16 +51,17 @@ impl CountMinSketch {
         }
     }
 
-    fn slot(&self, row: usize, index: usize) -> (usize, u32) {
+    fn slot(&self, row: usize, index: usize) -> (usize, usize) {
         let words_per_row = self.width / 16;
         let word = row * words_per_row + index / 16;
-        let shift = ((index % 16) * 4) as u32;
+        let shift = (index % 16) * 4;
         (word, shift)
     }
 
     fn get(&self, row: usize, index: usize) -> u8 {
         let (word, shift) = self.slot(row, index);
-        ((self.table[word] >> shift) & 0xF) as u8
+        // The 0xF mask makes the lane fit u8; saturation is unreachable.
+        u8::try_from((self.table[word] >> shift) & 0xF).unwrap_or(Self::MAX_COUNT)
     }
 
     fn bump(&mut self, row: usize, index: usize) {

@@ -68,7 +68,7 @@ impl<K: Copy + Eq + Hash + std::fmt::Debug> TinyLfuCache<K> {
 
     fn frequency(&self, key: &K) -> u32 {
         let base = if self.doorkeeper.contains(key) { 1 } else { 0 };
-        base + self.sketch.estimate(key) as u32
+        base + u32::from(self.sketch.estimate(key))
     }
 
     /// Estimated popularity of a key as seen by the admission filter.

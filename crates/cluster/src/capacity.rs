@@ -96,7 +96,7 @@ impl Capacities {
             .take(self.rates.len())
             .enumerate()
             .filter(|&(i, &load)| load > self.rates[i])
-            .map(|(i, _)| NodeId::new(i as u32))
+            .map(|(i, _)| NodeId::from_index(i))
             .collect()
     }
 

@@ -50,6 +50,13 @@ impl NodeId {
         Self(index)
     }
 
+    /// Builds a node id from a container index. Cluster sizes are far
+    /// below `u32::MAX`; a (practically unreachable) larger index
+    /// saturates instead of truncating.
+    pub fn from_index(index: usize) -> Self {
+        Self(u32::try_from(index).unwrap_or(u32::MAX))
+    }
+
     /// The node index as `usize`, for indexing load vectors.
     pub const fn index(self) -> usize {
         self.0 as usize

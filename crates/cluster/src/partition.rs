@@ -165,7 +165,9 @@ fn validate_n_d(n: usize, d: usize) -> Result<()> {
 /// (fixed-point multiply).
 #[inline]
 fn hash_to_index(hash: u64, n: usize) -> u32 {
-    (((hash as u128) * (n as u128)) >> 64) as u32
+    // The product shifted down 64 bits is strictly below `n`, so it fits
+    // `u32` for any real cluster size; saturate rather than truncate.
+    u32::try_from((u128::from(hash) * (n as u128)) >> 64).unwrap_or(u32::MAX)
 }
 
 /// Independent random placement: each key's group is `d` distinct nodes
@@ -259,7 +261,7 @@ impl ConsistentHashRing {
             for v in 0..vnodes {
                 points.push((
                     mix(&[seed, node as u64, v as u64]),
-                    NodeId::new(node as u32),
+                    NodeId::from_index(node),
                 ));
             }
         }
@@ -323,7 +325,8 @@ impl Partitioner for RendezvousPartitioner {
         // a sorted array beats a heap.
         let mut best: [(u64, u32); MAX_REPLICATION] = [(0, 0); MAX_REPLICATION];
         let mut filled = 0usize;
-        for node in 0..self.n as u32 {
+        let n = u32::try_from(self.n).unwrap_or(u32::MAX);
+        for node in 0..n {
             let score = mix(&[self.seed, key.value(), node as u64]);
             if filled < self.d {
                 best[filled] = (score, node);
@@ -394,7 +397,7 @@ impl Partitioner for RangePartitioner {
         let k = key.value().min(self.m - 1);
         let primary = ((k as u128 * self.n as u128) / self.m as u128) as usize;
         (0..self.d)
-            .map(|i| NodeId::new(((primary + i) % self.n) as u32))
+            .map(|i| NodeId::from_index((primary + i) % self.n))
             .collect()
     }
 

@@ -175,7 +175,7 @@ pub fn rebalance(
         keys_on[to.index()].push(idx);
         migrations.push(Migration {
             key: a.key,
-            from: NodeId::new(hot as u32),
+            from: NodeId::from_index(hot),
             to,
             rate: a.rate,
         });

@@ -55,12 +55,16 @@ fn lock_intake<'a>(intake: &'a Intake) -> std::sync::MutexGuard<'a, IntakeState>
 /// Acknowledges one request back to its submitting client.
 fn complete(completions: &[AtomicU64], client: u32) {
     if let Some(counter) = completions.get(client as usize) {
+        // ORDERING: Release pairs with the client's Acquire load so the
+        // completed request's effects are visible before the count is.
         counter.fetch_add(1, Ordering::Release);
     }
 }
 
 /// Claims up to `want` queries from the shared submission quota.
 fn claim_quota(quota: &AtomicU64, want: u64) -> u64 {
+    // ORDERING: Relaxed is enough for the optimistic first read; the
+    // compare-exchange below revalidates it.
     let mut current = quota.load(Ordering::Relaxed);
     loop {
         if current == 0 {
@@ -70,7 +74,10 @@ fn claim_quota(quota: &AtomicU64, want: u64) -> u64 {
         match quota.compare_exchange_weak(
             current,
             current - take,
+            // ORDERING: AcqRel on success makes quota handoff a
+            // synchronization point between competing clients.
             Ordering::AcqRel,
+            // ORDERING: failure only refreshes `current` for the retry.
             Ordering::Relaxed,
         ) {
             Ok(_) => return take,
@@ -92,6 +99,8 @@ fn client_loop(
     let window = cfg.client_window as u64;
     let mut submitted = 0u64;
     loop {
+        // ORDERING: Acquire pairs with the Release store in the stop
+        // flag so everything before shutdown is visible here.
         if stop.load(Ordering::Acquire) {
             break;
         }
@@ -102,11 +111,14 @@ fn client_loop(
         // Closed loop: block (politely) until the window has room for
         // the whole claimed batch.
         loop {
+            // ORDERING: Acquire pairs with the stop flag's Release store.
             if stop.load(Ordering::Acquire) {
                 break;
             }
             let done = completions
                 .get(id as usize)
+                // ORDERING: Acquire pairs with the worker's Release
+                // increment in `complete`.
                 .map(|c| c.load(Ordering::Acquire))
                 .unwrap_or(submitted);
             if submitted.saturating_sub(done) + take <= window {
@@ -114,6 +126,7 @@ fn client_loop(
             }
             std::thread::yield_now();
         }
+        // ORDERING: Acquire pairs with the stop flag's Release store.
         if stop.load(Ordering::Acquire) {
             break;
         }
@@ -248,9 +261,13 @@ fn admission_loop(
     let budget_secs = cfg.duration_ms as f64 / 1000.0;
     loop {
         if cfg.duration_ms > 0
+            // ORDERING: Acquire pairs with the Release store below (and
+            // any other setter) so the deadline fires exactly once.
             && !stop.load(Ordering::Acquire)
             && stopwatch.elapsed_secs() >= budget_secs
         {
+            // ORDERING: Release publishes the shutdown decision to the
+            // clients' Acquire loads.
             stop.store(true, Ordering::Release);
             intake.1.notify_all();
         }
@@ -374,9 +391,8 @@ pub fn run_threaded(cfg: &ServeConfig) -> Result<crate::report::ServeReport> {
             .into_iter()
             .enumerate()
             .map(|(id, stream)| {
-                scope.spawn(move || {
-                    client_loop(id as u32, stream, cfg, quota, stop, completions, intake)
-                })
+                let id = u32::try_from(id).unwrap_or(u32::MAX);
+                scope.spawn(move || client_loop(id, stream, cfg, quota, stop, completions, intake))
             })
             .collect();
 

@@ -14,40 +14,221 @@
 //! turns into load shedding. Counters are monotonically increasing
 //! `u64`s, so index arithmetic never wraps in any realistic run
 //! (2^64 pushes at 10M/s is fifty thousand years).
+//!
+//! # The substrate seam
+//!
+//! The algorithm itself lives in [`RingCore`], generic over the two
+//! memory primitives it touches: an atomic 64-bit counter
+//! ([`AtomicWord`]) and an interiorly-mutable slot ([`SlotCell`]). The
+//! production queue instantiates it with `std` atomics and `UnsafeCell`
+//! slots (zero-cost — the generics monomorphize to exactly the
+//! hand-written code). `scp-analyze`'s interleaving explorer instantiates
+//! the *same* algorithm with instrumented shim types and exhaustively
+//! model-checks bounded producer/consumer schedules, so the code verified
+//! by the explorer is byte-for-byte the code running in production — no
+//! `cfg`-forked copy that could drift.
 
 use std::cell::UnsafeCell;
+use std::marker::PhantomData;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-struct Ring<T> {
-    slots: Box<[UnsafeCell<Option<T>>]>,
-    /// Pops so far; written only by the consumer.
-    head: AtomicU64,
-    /// Pushes so far; written only by the producer.
-    tail: AtomicU64,
+/// An atomic 64-bit counter as the ring algorithm sees it: real
+/// [`AtomicU64`] in production, an instrumented shim under the
+/// interleaving explorer. Implementations must provide genuine atomic
+/// load/store with at least the requested ordering.
+pub trait AtomicWord {
+    /// Atomically loads the value with ordering `order`.
+    fn load(&self, order: Ordering) -> u64;
+    /// Atomically stores `val` with ordering `order`.
+    fn store(&self, val: u64, order: Ordering);
+}
+
+impl AtomicWord for AtomicU64 {
+    fn load(&self, order: Ordering) -> u64 {
+        AtomicU64::load(self, order)
+    }
+
+    fn store(&self, val: u64, order: Ordering) {
+        AtomicU64::store(self, val, order)
+    }
+}
+
+/// One interiorly-mutable element slot of the ring.
+///
+/// Both methods take `&self`: the SPSC head/tail protocol — not the type
+/// system — guarantees exclusive access, which is why they are `unsafe`.
+pub trait SlotCell<T> {
+    /// Writes `item` into the slot.
+    ///
+    /// # Safety
+    ///
+    /// The caller must be the sole accessor of this slot for the duration
+    /// of the call (in the ring: the producer, between reserving a `tail`
+    /// index and publishing it).
+    // SAFETY: contract stated in the `# Safety` section above.
+    unsafe fn put(&self, item: T);
+
+    /// Takes the slot's current contents.
+    ///
+    /// # Safety
+    ///
+    /// The caller must be the sole accessor of this slot for the duration
+    /// of the call (in the ring: the consumer, between observing a
+    /// published `tail` and advancing `head`).
+    // SAFETY: contract stated in the `# Safety` section above.
+    unsafe fn take(&self) -> Option<T>;
+}
+
+/// The production slot: a bare `UnsafeCell`, no instrumentation.
+pub struct StdSlot<T>(UnsafeCell<Option<T>>);
+
+impl<T> Default for StdSlot<T> {
+    fn default() -> Self {
+        Self(UnsafeCell::new(None))
+    }
 }
 
 // A slot is accessed mutably only by the producer (between reserving a
 // `tail` index and publishing it) or only by the consumer (between
 // observing a published `tail` and advancing `head`).
 // SAFETY: the acquire/release pairs on `tail` and `head` order all slot
-// accesses, so the ring moves between threads whenever `T` is Send.
-unsafe impl<T: Send> Send for Ring<T> {}
+// accesses, so the slot moves between threads whenever `T` is Send.
+unsafe impl<T: Send> Send for StdSlot<T> {}
 // SAFETY: as for `Send` — every shared mutation is mediated by the
-// head/tail protocol, never by `&Ring` aliasing alone.
-unsafe impl<T: Send> Sync for Ring<T> {}
+// head/tail protocol, never by `&StdSlot` aliasing alone.
+unsafe impl<T: Send> Sync for StdSlot<T> {}
 
-impl<T> Ring<T> {
+impl<T> SlotCell<T> for StdSlot<T> {
+    // SAFETY: precondition inherited from the trait (caller is the
+    // slot's sole accessor for the duration of the call).
+    unsafe fn put(&self, item: T) {
+        // SAFETY: forwarded to the caller — sole-accessor is this
+        // method's own precondition.
+        unsafe {
+            *self.0.get() = Some(item);
+        }
+    }
+
+    // SAFETY: precondition inherited from the trait (caller is the
+    // slot's sole accessor for the duration of the call).
+    unsafe fn take(&self) -> Option<T> {
+        // SAFETY: forwarded to the caller — sole-accessor is this
+        // method's own precondition.
+        unsafe { (*self.0.get()).take() }
+    }
+}
+
+/// The ring algorithm, generic over its memory substrate.
+///
+/// This is the *entire* lock-free logic of the queue; [`Producer`] and
+/// [`Consumer`] are thin single-owner handles around an `Arc` of it. The
+/// interleaving explorer in `scp-analyze` drives these very methods under
+/// a deterministic scheduler, so any ordering bug here is caught by a
+/// tier-1 test, not just by code review.
+pub struct RingCore<T, A, S> {
+    slots: Box<[S]>,
+    /// Pops so far; written only by the consumer.
+    head: A,
+    /// Pushes so far; written only by the producer.
+    tail: A,
+    marker: PhantomData<fn(T) -> T>,
+}
+
+impl<T, A: AtomicWord, S: SlotCell<T>> RingCore<T, A, S> {
+    /// Assembles a ring from pre-built parts (both counters must read 0).
+    /// An empty `slots` is given one default slot so the ring can always
+    /// make progress.
+    pub fn from_parts(head: A, tail: A, mut slots: Vec<S>) -> Self
+    where
+        S: Default,
+    {
+        if slots.is_empty() {
+            slots.push(S::default());
+        }
+        Self {
+            slots: slots.into_boxed_slice(),
+            head,
+            tail,
+            marker: PhantomData,
+        }
+    }
+
     fn capacity(&self) -> u64 {
         self.slots.len() as u64
     }
 
     fn len(&self) -> u64 {
+        // ORDERING: acquire both counters so a len() observed by either
+        // side is no staler than the last publication it synchronized
+        // with; len is monitoring-only and needs no slot contents.
         let tail = self.tail.load(Ordering::Acquire);
+        // ORDERING: see above — paired acquire for the head counter.
         let head = self.head.load(Ordering::Acquire);
         tail.saturating_sub(head)
     }
+
+    /// The producer's half of the protocol. Must only ever be called from
+    /// one thread at a time (enforced by [`Producer`] taking `&mut self`).
+    pub fn try_push_core(&self, item: T) -> Result<(), T> {
+        // ORDERING: relaxed is enough — `tail` is written only by this
+        // thread, so it always reads its own latest value.
+        let tail = self.tail.load(Ordering::Relaxed);
+        // ORDERING: acquire pairs with the consumer's release store of
+        // `head`, making the consumer's take() of the recycled slot
+        // happen-before our overwrite of it.
+        let head = self.head.load(Ordering::Acquire);
+        if tail - head >= self.capacity() {
+            return Err(item);
+        }
+        let Some(slot) = self.slots.get((tail % self.capacity()) as usize) else {
+            // Unreachable (`x % len < len`), but refusing is a safe
+            // answer: the queue just looks full.
+            return Err(item);
+        };
+        // Index `tail` is not yet published, so the consumer never
+        // touches this slot until the release store below.
+        // SAFETY: we are the only producer; no other writer exists.
+        unsafe {
+            slot.put(item);
+        }
+        // ORDERING: release publishes the slot write above — the
+        // consumer's acquire load of `tail` that sees `tail + 1` also
+        // sees the filled slot. Weakening this to relaxed is the exact
+        // bug the interleaving explorer's regression test injects.
+        self.tail.store(tail + 1, Ordering::Release);
+        Ok(())
+    }
+
+    /// The consumer's half of the protocol. Must only ever be called from
+    /// one thread at a time (enforced by [`Consumer`] taking `&mut self`).
+    pub fn try_pop_core(&self) -> Option<T> {
+        // ORDERING: relaxed is enough — `head` is written only by this
+        // thread, so it always reads its own latest value.
+        let head = self.head.load(Ordering::Relaxed);
+        // ORDERING: acquire pairs with the producer's release store of
+        // `tail`, making the producer's slot write happen-before our
+        // take() below.
+        let tail = self.tail.load(Ordering::Acquire);
+        if head == tail {
+            return None;
+        }
+        let slot = self.slots.get((head % self.capacity()) as usize)?;
+        // `head < tail`: the producer published this slot with the
+        // release store on `tail` that our acquire load observed, and it
+        // will not rewrite the slot until `head` advances past it.
+        // SAFETY: we are the only consumer of a published slot.
+        let item = unsafe { slot.take() };
+        // ORDERING: release publishes the take() above — the producer's
+        // acquire load of `head` that sees `head + 1` knows the slot is
+        // free for reuse.
+        self.head.store(head + 1, Ordering::Release);
+        item
+    }
 }
+
+/// The production ring: `std` atomics, `UnsafeCell` slots.
+type Ring<T> = RingCore<T, AtomicU64, StdSlot<T>>;
 
 /// The sending half; owned by exactly one thread.
 pub struct Producer<T> {
@@ -65,13 +246,12 @@ pub struct Consumer<T> {
 /// progress.
 pub fn channel<T>(capacity: usize) -> (Producer<T>, Consumer<T>) {
     let capacity = capacity.max(1);
-    let slots: Box<[UnsafeCell<Option<T>>]> =
-        (0..capacity).map(|_| UnsafeCell::new(None)).collect();
-    let ring = Arc::new(Ring {
+    let slots: Vec<StdSlot<T>> = (0..capacity).map(|_| StdSlot::default()).collect();
+    let ring = Arc::new(Ring::from_parts(
+        AtomicU64::new(0),
+        AtomicU64::new(0),
         slots,
-        head: AtomicU64::new(0),
-        tail: AtomicU64::new(0),
-    });
+    ));
     (
         Producer {
             ring: Arc::clone(&ring),
@@ -84,25 +264,7 @@ impl<T> Producer<T> {
     /// Attempts to enqueue `item`; a full queue returns it unchanged
     /// (the caller's backpressure signal).
     pub fn try_push(&mut self, item: T) -> Result<(), T> {
-        let ring = &*self.ring;
-        let tail = ring.tail.load(Ordering::Relaxed);
-        let head = ring.head.load(Ordering::Acquire);
-        if tail - head >= ring.capacity() {
-            return Err(item);
-        }
-        let Some(slot) = ring.slots.get((tail % ring.capacity()) as usize) else {
-            // Unreachable (`x % len < len`), but refusing is a safe
-            // answer: the queue just looks full.
-            return Err(item);
-        };
-        // Index `tail` is not yet published, so the consumer never
-        // touches this slot until the release store below.
-        // SAFETY: we are the only producer; no other writer exists.
-        unsafe {
-            *slot.get() = Some(item);
-        }
-        ring.tail.store(tail + 1, Ordering::Release);
-        Ok(())
+        self.ring.try_push_core(item)
     }
 
     /// Elements currently queued.
@@ -124,20 +286,7 @@ impl<T> Producer<T> {
 impl<T> Consumer<T> {
     /// Dequeues the oldest element, or `None` when the queue is empty.
     pub fn try_pop(&mut self) -> Option<T> {
-        let ring = &*self.ring;
-        let head = ring.head.load(Ordering::Relaxed);
-        let tail = ring.tail.load(Ordering::Acquire);
-        if head == tail {
-            return None;
-        }
-        let slot = ring.slots.get((head % ring.capacity()) as usize)?;
-        // `head < tail`: the producer published this slot with the
-        // release store on `tail` that our acquire load observed, and it
-        // will not rewrite the slot until `head` advances past it.
-        // SAFETY: we are the only consumer of a published slot.
-        let item = unsafe { (*slot.get()).take() };
-        ring.head.store(head + 1, Ordering::Release);
-        item
+        self.ring.try_pop_core()
     }
 
     /// Elements currently queued.

@@ -292,7 +292,7 @@ fn run_des_core(
     for (i, e) in node_events.iter().enumerate() {
         events.push(Reverse(Event {
             time: e.at,
-            kind: EventKind::Admin(i as u32),
+            kind: EventKind::Admin(u32::try_from(i).unwrap_or(u32::MAX)),
         }));
     }
     let mut lost = 0u64;

@@ -156,7 +156,7 @@ impl RunSweep {
                 });
             }
             for &node in group.as_slice() {
-                groups.push(node.index() as u32);
+                groups.push(node.value());
             }
         }
         Ok(Self {

@@ -65,10 +65,11 @@ impl AliasSampler {
         let mut small: Vec<u32> = Vec::with_capacity(n);
         let mut large: Vec<u32> = Vec::with_capacity(n);
         for (i, &p) in scaled.iter().enumerate() {
+            let i = u32::try_from(i).unwrap_or(u32::MAX);
             if p < 1.0 {
-                small.push(i as u32);
+                small.push(i);
             } else {
-                large.push(i as u32);
+                large.push(i);
             }
         }
 

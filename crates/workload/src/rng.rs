@@ -20,7 +20,8 @@ pub trait Rng {
     /// The next 32 random bits (the high half of [`Rng::next_u64`], which
     /// are the strongest bits of xoshiro-family generators).
     fn next_u32(&mut self) -> u32 {
-        (self.next_u64() >> 32) as u32
+        // The shift leaves only the high 32 bits, so this always fits.
+        u32::try_from(self.next_u64() >> 32).unwrap_or(u32::MAX)
     }
 
     /// Fills `dest` with random bytes, 8 at a time.
