@@ -101,6 +101,15 @@ pub trait Cache<K: Copy + Eq + Hash + fmt::Debug>: fmt::Debug {
     /// Short policy name for reports (e.g. `"lru"`).
     fn name(&self) -> &'static str;
 
+    /// Number of frequency-sketch halving resets performed so far.
+    ///
+    /// Zero for policies without a frequency sketch; W-TinyLFU overrides
+    /// this so serving reports can export how often the admission filter
+    /// aged its estimates (each reset also clears the doorkeeper).
+    fn sketch_resets(&self) -> u64 {
+        0
+    }
+
     /// Pre-populates the cache by requesting each key once, then resets
     /// statistics; convenient for warm-start experiments.
     fn warm<I: IntoIterator<Item = K>>(&mut self, keys: I)

@@ -60,9 +60,19 @@ impl<K: Copy + Eq + Hash + std::fmt::Debug> TinyLfuCache<K> {
 
     fn record_access(&mut self, key: &K) {
         // The doorkeeper absorbs first occurrences; repeat offenders go to
-        // the sketch.
+        // the sketch. Both paths advance the sample window, and every
+        // halving reset also clears the doorkeeper (per the W-TinyLFU
+        // paper): "seen once" is scoped to the current sample period, not
+        // the whole run, or the Bloom filter saturates and answers true
+        // for every key.
+        let resets_before = self.sketch.resets();
         if self.doorkeeper.insert(key) {
             self.sketch.increment(key);
+        } else {
+            self.sketch.observe_sample();
+        }
+        if self.sketch.resets() != resets_before {
+            self.doorkeeper.clear();
         }
     }
 
@@ -74,6 +84,11 @@ impl<K: Copy + Eq + Hash + std::fmt::Debug> TinyLfuCache<K> {
     /// Estimated popularity of a key as seen by the admission filter.
     pub fn admission_frequency(&self, key: &K) -> u32 {
         self.frequency(key)
+    }
+
+    /// Number of sketch halving resets (each also cleared the doorkeeper).
+    pub fn sketch_resets(&self) -> u64 {
+        self.sketch.resets()
     }
 
     fn try_admit(&mut self, candidate: K) {
@@ -154,6 +169,10 @@ impl<K: Copy + Eq + Hash + std::fmt::Debug> Cache<K> for TinyLfuCache<K> {
     fn name(&self) -> &'static str {
         "tinylfu"
     }
+
+    fn sketch_resets(&self) -> u64 {
+        self.sketch.resets()
+    }
 }
 
 #[cfg(test)]
@@ -193,8 +212,11 @@ mod tests {
         }
         assert!(c.contains(&1) && c.contains(&2) && c.contains(&3));
         let before_rejections = c.stats().rejections();
-        // A stream of one-hit wonders must not displace them.
-        for k in 100..160u32 {
+        // A stream of one-hit wonders must not displace them. Stay inside
+        // the current sample period (capacity 4 → 40 accesses): once the
+        // sketch halves, untouched residents legitimately age toward
+        // eviction — that freshness is the point of the reset.
+        for k in 100..115u32 {
             c.request(k);
         }
         assert!(c.contains(&1) && c.contains(&2) && c.contains(&3));
@@ -250,12 +272,42 @@ mod tests {
     #[test]
     fn clear_resets_all_structures() {
         let mut c = TinyLfuCache::new(8);
-        for k in 0..20u32 {
+        for k in 0..200u32 {
             c.request(k);
             c.request(k);
         }
+        assert!(c.sketch_resets() > 0, "enough traffic to age the sketch");
         c.clear();
         assert_eq!(c.len(), 0);
         assert_eq!(c.admission_frequency(&1), 0);
+        assert_eq!(c.sketch_resets(), 0, "telemetry must clear with the data");
+    }
+
+    #[test]
+    fn doorkeeper_resets_with_sketch_halving() {
+        // capacity 100 → sample size 1000, doorkeeper 1024 bits. Drive
+        // 2000 distinct keys: every access ticks the sample window (the
+        // doorkeeper absorbs them all), so halvings fire at accesses 1000,
+        // 1500 and 2000 — the last one lands exactly on the final access,
+        // leaving a freshly cleared doorkeeper. Before the fix the
+        // doorkeeper was never cleared (and an all-distinct stream never
+        // even halved): 2000 keys in 1024 bits saturate the filter and
+        // every fresh key reads as already-seen.
+        let mut c = TinyLfuCache::new(100);
+        for k in 0..2000u64 {
+            c.request(k);
+        }
+        assert!(
+            c.sketch_resets() >= 2,
+            "distinct-key stream must still age the sketch, got {} resets",
+            c.sketch_resets()
+        );
+        let fp = (1_000_000..1_010_000u64)
+            .filter(|k| c.admission_frequency(k) > 0)
+            .count();
+        assert!(
+            fp < 500,
+            "false-positive rate must recover after reset: {fp}/10000 fresh keys read as seen"
+        );
     }
 }

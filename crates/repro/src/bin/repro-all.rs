@@ -1,7 +1,7 @@
 //! Regenerates every figure of the paper plus the ablations in one go.
 
 use scp_repro::output::{save_journals, JournalBook};
-use scp_repro::{ablation, fig3, fig4, fig5, Opts};
+use scp_repro::{ablation, fig3, fig4, fig5, gap, Opts};
 
 fn main() {
     let opts = Opts::from_env();
@@ -70,6 +70,22 @@ fn main() {
         }
         Err(e) => {
             eprintln!("ablations failed: {e}");
+            failures += 1;
+        }
+    }
+
+    let cfg_gap = gap::GapConfig::paper(&opts);
+    match gap::run(&cfg_gap) {
+        Ok(outcome) => {
+            save(&gap::table_margin(&cfg_gap, &outcome.margins), "gap_margin");
+            save(
+                &gap::table_rotation(&cfg_gap, &outcome.rotations),
+                "gap_rotation",
+            );
+            save(&gap::table_pow(&cfg_gap, &outcome.pow), "gap_pow");
+        }
+        Err(e) => {
+            eprintln!("gap failed: {e}");
             failures += 1;
         }
     }

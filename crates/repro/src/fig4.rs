@@ -10,7 +10,7 @@
 use crate::opts::{stop_rule, Opts};
 use crate::output::{fmt_f, JournalBook, Table};
 use crate::Result;
-use scp_sim::config::{CacheKind, PartitionerKind, SelectorKind, SimConfig};
+use scp_sim::config::{AdmissionKind, CacheKind, PartitionerKind, SelectorKind, SimConfig};
 use scp_sim::runner::repeat_rate_simulation_journaled;
 use scp_sim::sweep::{repeat_sweep_journaled, SweepPoint};
 use scp_workload::AccessPattern;
@@ -40,6 +40,8 @@ pub struct Fig4Config {
     pub seed: u64,
     /// Front-end cache policy.
     pub cache_kind: CacheKind,
+    /// Oracle-informed vs online-learned cache admission.
+    pub admission: AdmissionKind,
     /// Partitioning scheme.
     pub partitioner: PartitionerKind,
     /// Replica selection rule.
@@ -66,6 +68,7 @@ impl Fig4Config {
             threads: opts.threads,
             seed: opts.seed,
             cache_kind: opts.cache,
+            admission: opts.admission,
             partitioner: opts.partitioner,
             selector: opts.selector,
         }
@@ -97,6 +100,7 @@ fn gain_for(
         .nodes(n)
         .replication(base.replication)
         .cache_kind(base.cache_kind)
+        .admission(base.admission)
         .cache_capacity(base.cache)
         .items(base.items)
         .rate(base.rate)
@@ -124,12 +128,51 @@ fn gain_for(
 /// Propagates simulation errors.
 pub fn run_journaled(cfg: &Fig4Config, book: &mut JournalBook) -> Result<Vec<Fig4Row>> {
     let rule = stop_rule(cfg.runs, cfg.ci_target);
+    // The incremental sweep models the steady-state oracle; under online
+    // admission the equal-rate rows fall back to the per-point rate
+    // engine, whose online path measures the learned cache empirically.
+    let online = cfg.admission == AdmissionKind::Online && cfg.cache_kind != CacheKind::None;
     let mut rows = Vec::with_capacity(cfg.node_counts.len());
     for &n in &cfg.node_counts {
+        let adversarial_x = (cfg.cache as u64 + 1).min(cfg.items);
+        if online {
+            let uniform = gain_for(
+                cfg,
+                n,
+                AccessPattern::uniform_subset(cfg.items, cfg.items)?,
+                0,
+                "uniform",
+                book,
+            )?;
+            let zipf = gain_for(
+                cfg,
+                n,
+                AccessPattern::zipf(cfg.zipf_alpha, cfg.items)?,
+                2,
+                "zipf",
+                book,
+            )?;
+            let adversarial = gain_for(
+                cfg,
+                n,
+                AccessPattern::uniform_subset(adversarial_x, cfg.items)?,
+                1,
+                "adversarial",
+                book,
+            )?;
+            rows.push(Fig4Row {
+                nodes: n,
+                uniform,
+                zipf,
+                adversarial,
+            });
+            continue;
+        }
         let base = SimConfig::builder()
             .nodes(n)
             .replication(cfg.replication)
             .cache_kind(cfg.cache_kind)
+            .admission(cfg.admission)
             .cache_capacity(cfg.cache)
             .items(cfg.items)
             .rate(cfg.rate)
@@ -138,7 +181,6 @@ pub fn run_journaled(cfg: &Fig4Config, book: &mut JournalBook) -> Result<Vec<Fig
             .selector(cfg.selector)
             .seed(cfg.seed ^ (n as u64))
             .build()?;
-        let adversarial_x = (cfg.cache as u64 + 1).min(cfg.items);
         let mut points = vec![SweepPoint {
             cache: cfg.cache,
             x: cfg.items,
@@ -231,8 +273,32 @@ mod tests {
             threads: 0,
             seed: 2,
             cache_kind: CacheKind::Perfect,
+            admission: AdmissionKind::Oracle,
             partitioner: PartitionerKind::Hash,
             selector: SelectorKind::LeastLoaded,
+        }
+    }
+
+    #[test]
+    fn online_admission_runs_through_the_rate_engine() {
+        // The sweep cannot model online admission; the fallback must
+        // produce clean, journaled rows for every pattern.
+        let mut cfg = tiny();
+        cfg.admission = AdmissionKind::Online;
+        cfg.node_counts = vec![50];
+        cfg.runs = 2;
+        let mut book = JournalBook::new();
+        let rows = run_journaled(&cfg, &mut book).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(book.len(), 3);
+        let labels: Vec<&str> = book.labels().collect();
+        assert!(labels.contains(&"n=50/uniform"));
+        assert!(labels.contains(&"n=50/zipf"));
+        assert!(labels.contains(&"n=50/adversarial"));
+        for r in &rows {
+            for gain in [r.uniform, r.zipf, r.adversarial] {
+                assert!(gain.is_finite() && gain > 0.0, "gain {gain}");
+            }
         }
     }
 

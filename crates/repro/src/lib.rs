@@ -8,6 +8,7 @@
 //! | `fig4`  | Figure 4    | c=100, n-sweep, uniform / Zipf(1.01) / adversarial |
 //! | `fig5`  | Figure 5(a)+(b) | c-sweep: best achievable gain + chosen x |
 //! | `ablations` | DESIGN.md A1–A8 | selection, partitioning, replication, cache policies, front-end fleets, costs, skew, rebalancing |
+//! | `gap` | oracle-vs-online admission gap + PoW shield (beyond the paper) | stationary margin, rotating attacker, difficulty curve |
 //! | `repro-all` | everything above | |
 //!
 //! Every binary prints aligned tables and writes CSV files under
@@ -21,6 +22,7 @@ pub mod ablation;
 pub mod fig3;
 pub mod fig4;
 pub mod fig5;
+pub mod gap;
 pub mod opts;
 pub mod output;
 

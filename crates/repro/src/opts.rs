@@ -1,6 +1,6 @@
 //! Minimal command-line options shared by all reproduction binaries.
 
-use scp_sim::config::{CacheKind, PartitionerKind, SelectorKind};
+use scp_sim::config::{AdmissionKind, CacheKind, PartitionerKind, SelectorKind};
 use scp_sim::runner::StopRule;
 use std::path::PathBuf;
 
@@ -25,6 +25,14 @@ pub struct Opts {
     /// Front-end cache policy (experiments that sweep policies, like the
     /// fig. 4 cache ablation, ignore this and sweep anyway).
     pub cache: CacheKind,
+    /// Oracle-informed vs online-learned cache admission.
+    pub admission: AdmissionKind,
+    /// Proof-of-work difficulty in leading zero bits (0 = shield off);
+    /// consumed by the serving-path experiments.
+    pub pow_difficulty: u32,
+    /// Attacker key-set rotation period in queries (0 = static attack);
+    /// consumed by the admission-gap experiments.
+    pub attack_rotate: u64,
     /// Partitioning scheme mapping keys to replica groups.
     pub partitioner: PartitionerKind,
     /// Replica selection rule within a group.
@@ -42,6 +50,9 @@ impl Default for Opts {
             journal: None,
             ci_target: 0.0,
             cache: CacheKind::Perfect,
+            admission: AdmissionKind::Oracle,
+            pow_difficulty: 0,
+            attack_rotate: 0,
             partitioner: PartitionerKind::Hash,
             selector: SelectorKind::LeastLoaded,
         }
@@ -50,7 +61,8 @@ impl Default for Opts {
 
 impl Opts {
     /// Parses `--runs N --threads N --out DIR --fast --seed N
-    /// --journal DIR --ci-target X --cache KIND --partitioner KIND
+    /// --journal DIR --ci-target X --cache KIND --admission KIND
+    /// --pow-difficulty D --attack-rotate P --partitioner KIND
     /// --selector KIND` from an argument iterator (unknown flags abort
     /// with a usage message).
     pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Self {
@@ -63,6 +75,11 @@ impl Opts {
                 "--seed" => opts.seed = expect_parse(&mut it, "--seed"),
                 "--ci-target" => opts.ci_target = expect_parse(&mut it, "--ci-target"),
                 "--cache" => opts.cache = expect_kind(&mut it, "--cache"),
+                "--admission" => opts.admission = expect_kind(&mut it, "--admission"),
+                "--pow-difficulty" => {
+                    opts.pow_difficulty = expect_parse(&mut it, "--pow-difficulty")
+                }
+                "--attack-rotate" => opts.attack_rotate = expect_parse(&mut it, "--attack-rotate"),
                 "--partitioner" => opts.partitioner = expect_kind(&mut it, "--partitioner"),
                 "--selector" => opts.selector = expect_kind(&mut it, "--selector"),
                 "--out" => {
@@ -162,11 +179,16 @@ fn usage(msg: &str) -> ! {
          \x20             half-width of the gain drops below X\n\
          --cache KIND  front-end cache policy (default: perfect):\n\
          \x20             {}\n\
+         --admission KIND    cache admission (default: oracle): {}\n\
+         --pow-difficulty D  proof-of-work leading zero bits (default: 0 = off)\n\
+         --attack-rotate P   attacker redraws its keys every P queries\n\
+         \x20             (default: 0 = static attack)\n\
          --partitioner KIND  key partitioning (default: hash):\n\
          \x20             {}\n\
          --selector KIND     replica selection (default: least-loaded):\n\
          \x20             {}",
         CacheKind::ALL.map(|k| k.name()).join("|"),
+        AdmissionKind::ALL.map(|k| k.name()).join("|"),
         PartitionerKind::ALL.map(|k| k.name()).join("|"),
         SelectorKind::ALL.map(|k| k.name()).join("|"),
     );
@@ -191,8 +213,29 @@ mod tests {
         assert_eq!(o.journal, None);
         assert_eq!(o.ci_target, 0.0);
         assert_eq!(o.cache, CacheKind::Perfect);
+        assert_eq!(o.admission, AdmissionKind::Oracle);
+        assert_eq!(o.pow_difficulty, 0);
+        assert_eq!(o.attack_rotate, 0);
         assert_eq!(o.partitioner, PartitionerKind::Hash);
         assert_eq!(o.selector, SelectorKind::LeastLoaded);
+    }
+
+    #[test]
+    fn parses_admission_and_shield_flags() {
+        let o = parse(&[
+            "--admission",
+            "online",
+            "--pow-difficulty",
+            "8",
+            "--attack-rotate",
+            "5000",
+        ]);
+        assert_eq!(o.admission, AdmissionKind::Online);
+        assert_eq!(o.pow_difficulty, 8);
+        assert_eq!(o.attack_rotate, 5000);
+        for kind in AdmissionKind::ALL {
+            assert_eq!(parse(&["--admission", kind.name()]).admission, kind);
+        }
     }
 
     #[test]

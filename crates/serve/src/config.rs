@@ -1,5 +1,6 @@
 //! Serving-engine configuration and errors.
 
+use crate::pow::PowShield;
 use scp_sim::{SimConfig, SimError};
 
 /// Errors surfaced by the serving engine.
@@ -90,6 +91,17 @@ pub struct ServeConfig {
     /// Push retries before a full shard queue counts as backpressure
     /// shedding.
     pub push_retries: u32,
+    /// Optional proof-of-work shield for the `c < c*` regime (see
+    /// [`crate::pow`]); `None` disables it.
+    pub pow: Option<PowShield>,
+    /// The first `attack_clients` client indices model the attacker
+    /// fleet: they never attach proof-of-work, so with the shield on
+    /// their traffic is rejected at admission. `0` means every client is
+    /// legitimate.
+    pub attack_clients: usize,
+    /// Length of the per-window gain-tracking window in logical seconds
+    /// (`<= 0` disables per-window gain telemetry).
+    pub gain_window_secs: f64,
 }
 
 impl ServeConfig {
@@ -109,6 +121,9 @@ impl ServeConfig {
             total_queries: 200_000,
             duration_ms: 0,
             push_retries: 256,
+            pow: None,
+            attack_clients: 0,
+            gain_window_secs: 1.0,
         }
     }
 
@@ -178,6 +193,29 @@ impl ServeConfig {
                     self.sim.rate
                 ),
             });
+        }
+        if let Some(pow) = &self.pow {
+            if pow.difficulty > 30 {
+                return Err(ServeError::InvalidConfig {
+                    field: "pow.difficulty",
+                    reason: format!(
+                        "difficulty {} would cost 2^{} hashes per honest query; cap is 30",
+                        pow.difficulty, pow.difficulty
+                    ),
+                });
+            }
+            if !pow.window_secs.is_finite() || pow.window_secs <= 0.0 {
+                return Err(ServeError::InvalidConfig {
+                    field: "pow.window_secs",
+                    reason: format!("nonce window must be positive, got {}", pow.window_secs),
+                });
+            }
+            if pow.replay_capacity == 0 {
+                return Err(ServeError::InvalidConfig {
+                    field: "pow.replay_capacity",
+                    reason: "the replay cache needs room for at least one digest".to_owned(),
+                });
+            }
         }
         Ok(())
     }

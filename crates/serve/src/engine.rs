@@ -20,11 +20,14 @@
 //! deterministic and threaded modes for the same admission order.
 
 use crate::config::{Result, ServeConfig, ServeError};
+use crate::pow::{PowVerdict, PowVerifier};
 use scp_cache::Cache;
 use scp_cluster::{Cluster, KeyId};
 use scp_workload::permute::KeyMapping;
 use scp_workload::rng::mix;
 use scp_workload::stream::QueryStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// One query in flight: the key and the submitting client's index.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,6 +36,9 @@ pub struct Request {
     pub key: u64,
     /// Index of the submitting load-generator client.
     pub client: u32,
+    /// Proof-of-work nonce attached by the client (`None` when the
+    /// shield is off or the client declined to solve).
+    pub pow: Option<u64>,
 }
 
 /// What travels over a shard queue.
@@ -118,6 +124,38 @@ pub(crate) struct AdmitStats {
     /// Per-shard histogram of queue depth (in batches) observed at each
     /// successful dispatch; index = depth, clamped to the last bucket.
     pub depth_hist: Vec<Vec<u64>>,
+    /// Rejected by the proof-of-work shield (a completion class of its
+    /// own in the conservation law).
+    pub pow_rejected: u64,
+    /// Total hash attempts clients spent solving proofs (the measurable
+    /// work factor; expected `2^difficulty` per accepted query).
+    pub pow_attempts: u64,
+    /// Counters for clients modeling legitimate traffic.
+    pub legit: LaneStats,
+    /// Counters for clients modeling the attacker fleet.
+    pub attack: LaneStats,
+    /// Attack gain (`n · max routed / total routed`) per logical
+    /// gain-tracking window, in window order.
+    pub window_gains: Vec<f64>,
+    /// Admission-filter rejections reported by the cache policy.
+    pub cache_rejections: u64,
+    /// Frequency-sketch halving resets reported by the cache policy.
+    pub sketch_resets: u64,
+    /// Quota claimed by clients but refunded on early stop (threaded
+    /// mode; makes `submitted + quota_unclaimed == total_queries` exact).
+    pub quota_unclaimed: u64,
+}
+
+/// Per-traffic-class admission counters (legitimate vs modeled-attacker
+/// clients, split by the configured `attack_clients` prefix).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LaneStats {
+    /// Queries from this class that entered admission.
+    pub submitted: u64,
+    /// Front-end cache hits for this class.
+    pub hits: u64,
+    /// Queries from this class rejected by the proof-of-work shield.
+    pub pow_rejected: u64,
 }
 
 impl AdmitStats {
@@ -162,6 +200,14 @@ pub(crate) struct Admission {
     pending: Vec<Vec<Request>>,
     batch_size: usize,
     inv_rate: f64,
+    pow: Option<PowVerifier>,
+    /// The current window's server nonce, published for threaded
+    /// clients (rspow's `GetNonce`, as one atomic word).
+    pow_publish: Arc<AtomicU64>,
+    attack_clients: usize,
+    gain_window_secs: f64,
+    gain_window_index: u64,
+    window_routed: Vec<u64>,
     pub stats: AdmitStats,
 }
 
@@ -178,6 +224,11 @@ impl Admission {
             let burst = (r * 0.01).max(8.0);
             (0..shards).map(|_| TokenBucket::new(r, burst)).collect()
         });
+        let pow = cfg
+            .pow
+            .as_ref()
+            .map(|shield| PowVerifier::new(shield, cfg.sim.seed));
+        let initial_nonce = pow.as_ref().map_or(0, |p| p.server_nonce(0));
         Ok(Self {
             cache,
             cluster,
@@ -187,17 +238,114 @@ impl Admission {
                 .collect(),
             batch_size: cfg.batch_size,
             inv_rate: 1.0 / cfg.sim.rate,
+            pow,
+            pow_publish: Arc::new(AtomicU64::new(initial_nonce)),
+            attack_clients: cfg.attack_clients,
+            gain_window_secs: cfg.gain_window_secs,
+            gain_window_index: 0,
+            window_routed: vec![0; shards],
             stats: AdmitStats::sized(shards, cfg.queue_capacity),
         })
     }
 
-    /// Pushes one request through cache → routing → capacity → batching.
+    /// Handle for threaded clients to fetch the live server nonce plus
+    /// the difficulty target; `None` when the shield is off.
+    pub fn pow_handle(&self) -> Option<(Arc<AtomicU64>, u32)> {
+        self.pow
+            .as_ref()
+            .map(|p| (Arc::clone(&self.pow_publish), p.difficulty()))
+    }
+
+    /// Deterministic-mode client helper: solve the proof the shield will
+    /// demand for the *next* arrival. Returns `None` for attacker
+    /// clients (they decline to work) and when the shield is off; hash
+    /// attempts are accumulated into [`AdmitStats::pow_attempts`].
+    pub fn solve_next(&mut self, client: u32, key: u64) -> Option<u64> {
+        let pow = self.pow.as_ref()?;
+        if (client as usize) < self.attack_clients {
+            return None;
+        }
+        let now = self.stats.submitted as f64 * self.inv_rate;
+        let server_nonce = pow.server_nonce(pow.window_at(now));
+        let start = crate::pow::scan_start(client, self.stats.submitted);
+        let (nonce, attempts) =
+            crate::pow::solve_from(server_nonce, client, key, pow.difficulty(), start);
+        self.stats.pow_attempts += attempts;
+        Some(nonce)
+    }
+
+    /// Rolls the proof-of-work nonce window and the gain-tracking window
+    /// forward to logical time `now`.
+    fn roll_windows(&mut self, now: f64) {
+        if let Some(pow) = &mut self.pow {
+            let window = pow.window_at(now);
+            if pow.advance_to(window) {
+                let nonce = pow.server_nonce(window);
+                // ORDERING: Relaxed — the published nonce is
+                // self-validating (a client holding the previous one is
+                // covered by the verifier's one-window grace), so nothing
+                // else needs to be ordered with this store.
+                self.pow_publish.store(nonce, Ordering::Relaxed);
+            }
+        }
+        if self.gain_window_secs > 0.0 {
+            let index = (now / self.gain_window_secs) as u64;
+            if index != self.gain_window_index {
+                self.finish_gain_window();
+                self.gain_window_index = index;
+            }
+        }
+    }
+
+    /// Closes the current gain window: records `n · max / total` over
+    /// the window's routed counts, then zeroes them.
+    fn finish_gain_window(&mut self) {
+        let total: u64 = self.window_routed.iter().sum();
+        if total == 0 {
+            return;
+        }
+        let max = self.window_routed.iter().copied().max().unwrap_or(0);
+        let shards = self.window_routed.len() as f64;
+        self.stats
+            .window_gains
+            .push(max as f64 * shards / total as f64);
+        for count in &mut self.window_routed {
+            *count = 0;
+        }
+    }
+
+    /// Pushes one request through shield → cache → routing → capacity →
+    /// batching.
     pub fn admit(&mut self, req: Request) -> Admitted {
         let now = self.stats.submitted as f64 * self.inv_rate;
+        self.roll_windows(now);
         self.stats.submitted += 1;
+        let attack = (req.client as usize) < self.attack_clients;
+        if attack {
+            self.stats.attack.submitted += 1;
+        } else {
+            self.stats.legit.submitted += 1;
+        }
+
+        if let Some(pow) = &mut self.pow {
+            if pow.verify(now, req.client, req.key, req.pow) != PowVerdict::Accepted {
+                self.stats.pow_rejected += 1;
+                if attack {
+                    self.stats.attack.pow_rejected += 1;
+                } else {
+                    self.stats.legit.pow_rejected += 1;
+                }
+                return Admitted::Completed;
+            }
+        }
 
         if self.cache.request(req.key).is_hit() {
             self.stats.hits += 1;
+            if attack {
+                self.stats.attack.hits += 1;
+            } else {
+                self.stats.legit.hits += 1;
+            }
             return Admitted::Completed;
         }
         let shard = match self.cluster.route_query(KeyId::new(req.key)) {
@@ -214,6 +362,7 @@ impl Admission {
             return Admitted::Completed;
         };
         bump(&mut self.stats.routed, shard);
+        bump(&mut self.window_routed, shard);
         if let Some(buckets) = &mut self.buckets {
             if let Some(bucket) = buckets.get_mut(shard) {
                 if !bucket.try_take(now) {
@@ -269,8 +418,12 @@ impl Admission {
         }
     }
 
-    /// Consumes the stage, yielding its counters.
-    pub fn into_stats(self) -> AdmitStats {
+    /// Consumes the stage, yielding its counters (closing the final gain
+    /// window and folding in the cache policy's telemetry).
+    pub fn into_stats(mut self) -> AdmitStats {
+        self.finish_gain_window();
+        self.stats.cache_rejections = self.cache.stats().rejections();
+        self.stats.sketch_resets = self.cache.sketch_resets();
         self.stats
     }
 }
@@ -352,9 +505,14 @@ pub fn run_deterministic(cfg: &ServeConfig) -> Result<crate::report::ServeReport
     };
 
     for _ in 0..cfg.total_queries {
+        let key = stream.next_key();
+        // The single deterministic client solves the shield's challenge
+        // unless it is configured as the attacker (attack_clients > 0).
+        let pow = admission.solve_next(0, key);
         let req = Request {
-            key: stream.next_key(),
+            key,
             client: 0,
+            pow,
         };
         if let Admitted::Buffered(Some((shard, batch))) = admission.admit(req) {
             process_inline(&mut admission, &mut workers, shard, batch);
@@ -458,6 +616,64 @@ mod tests {
         let report = run_deterministic(&small(1000.0, 11)).unwrap();
         assert_eq!(report.shed_capacity(), 0);
         assert!(report.is_conserved());
+    }
+
+    #[test]
+    fn pow_shield_preserves_hits_when_clients_solve() {
+        let base = run_deterministic(&small(0.0, 11)).unwrap();
+        let mut cfg = small(0.0, 11);
+        cfg.pow = Some(crate::pow::PowShield::new(4));
+        let shielded = run_deterministic(&cfg).unwrap();
+        // The single deterministic client solves every puzzle, so the
+        // shield must be transparent to the admission outcome.
+        assert_eq!(shielded.pow_rejected, 0);
+        assert_eq!(shielded.cache_hits, base.cache_hits);
+        assert_eq!(shielded.submitted, base.submitted);
+        assert!(shielded.pow_attempts >= shielded.submitted);
+        assert!(shielded.is_conserved());
+    }
+
+    #[test]
+    fn pow_shield_rejects_workless_deterministic_attacker() {
+        let mut cfg = small(0.0, 11);
+        cfg.pow = Some(crate::pow::PowShield::new(4));
+        cfg.attack_clients = 1; // the lone client 0 skips solving
+        let report = run_deterministic(&cfg).unwrap();
+        assert_eq!(report.pow_rejected, report.submitted);
+        assert_eq!(report.cache_hits, 0);
+        assert_eq!(report.attack.pow_rejected, report.submitted);
+        assert_eq!(report.legit.submitted, 0);
+        assert_eq!(report.pow_attempts, 0, "no work was ever performed");
+        assert!(report.is_conserved());
+        assert!(report.is_drained());
+    }
+
+    #[test]
+    fn pow_shield_runs_are_reproducible() {
+        let mut cfg = small(0.0, 11);
+        cfg.pow = Some(crate::pow::PowShield::new(6));
+        let a = run_deterministic(&cfg).unwrap();
+        let b = run_deterministic(&cfg).unwrap();
+        assert_eq!(a.pow_attempts, b.pow_attempts);
+        assert_eq!(a.cache_hits, b.cache_hits);
+        assert_eq!(
+            a.shards.iter().map(|s| s.checksum).collect::<Vec<_>>(),
+            b.shards.iter().map(|s| s.checksum).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn per_window_gain_telemetry_tracks_the_attack() {
+        let mut cfg = small(0.0, 11);
+        cfg.gain_window_secs = 0.5;
+        let report = run_deterministic(&cfg).unwrap();
+        assert!(
+            !report.window_gains.is_empty(),
+            "a 5-second run at 0.5s windows must log windows"
+        );
+        for g in &report.window_gains {
+            assert!(*g >= 1.0, "per-window gain below uniform: {g}");
+        }
     }
 
     #[test]

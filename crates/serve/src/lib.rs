@@ -59,10 +59,12 @@ pub mod clock;
 pub mod config;
 pub mod engine;
 pub mod loadgen;
+pub mod pow;
 pub mod report;
 pub mod spsc;
 
 pub use config::{Result, ServeConfig, ServeError};
-pub use engine::{run_deterministic, Request, TokenBucket};
+pub use engine::{run_deterministic, LaneStats, Request, TokenBucket};
 pub use loadgen::run_threaded;
+pub use pow::{PowShield, PowVerdict, PowVerifier};
 pub use report::{repeat_serve_journaled, DepthStats, JournaledServe, ServeReport, ShardReport};

@@ -86,7 +86,13 @@ fn claim_quota(quota: &AtomicU64, want: u64) -> u64 {
     }
 }
 
-/// One closed-loop client: claim quota, wait for window room, submit.
+/// One closed-loop client: claim quota, wait for window room, solve the
+/// proof-of-work challenge if configured, submit.
+///
+/// `pow` carries the admission stage's published server nonce and the
+/// difficulty target; it is `None` when the shield is off or this client
+/// models an attacker that declines to work.
+#[allow(clippy::too_many_arguments)]
 fn client_loop(
     id: u32,
     mut stream: QueryStream,
@@ -95,6 +101,8 @@ fn client_loop(
     stop: &AtomicBool,
     completions: &[AtomicU64],
     intake: &Intake,
+    pow: Option<(&AtomicU64, u32)>,
+    pow_attempts: &AtomicU64,
 ) {
     let window = cfg.client_window as u64;
     let mut submitted = 0u64;
@@ -128,12 +136,40 @@ fn client_loop(
         }
         // ORDERING: Acquire pairs with the stop flag's Release store.
         if stop.load(Ordering::Acquire) {
+            // The batch was claimed but will never be submitted: refund it
+            // or the run under-reports `submitted` against the configured
+            // total with no accounting bucket.
+            // ORDERING: AcqRel pairs with claim_quota's compare-exchange
+            // so the refund is visible to any client still claiming and to
+            // the final quota read after the threads join.
+            quota.fetch_add(take, Ordering::AcqRel);
             break;
         }
         let batch: Vec<Request> = (0..take)
-            .map(|_| Request {
-                key: stream.next_key(),
-                client: id,
+            .enumerate()
+            .map(|(offset, _)| {
+                let key = stream.next_key();
+                let pow = pow.map(|(published, difficulty)| {
+                    // ORDERING: Relaxed — the published nonce is
+                    // self-validating; a stale read is covered by the
+                    // verifier's one-window grace.
+                    let server_nonce = published.load(Ordering::Relaxed);
+                    // A fresh scan start per request: re-solving the same
+                    // key must yield a new digest or the replay cache
+                    // would reject the honest repeat.
+                    let start = crate::pow::scan_start(id, submitted + offset as u64);
+                    let (nonce, attempts) =
+                        crate::pow::solve_from(server_nonce, id, key, difficulty, start);
+                    // ORDERING: Relaxed — a statistics counter folded in
+                    // only after every thread has joined.
+                    pow_attempts.fetch_add(attempts, Ordering::Relaxed);
+                    nonce
+                });
+                Request {
+                    key,
+                    client: id,
+                    pow,
+                }
             })
             .collect();
         submitted += take;
@@ -363,6 +399,8 @@ pub fn run_threaded(cfg: &ServeConfig) -> Result<crate::report::ServeReport> {
     }
 
     let completions: Vec<AtomicU64> = (0..cfg.clients).map(|_| AtomicU64::new(0)).collect();
+    let pow_handle = admission.pow_handle();
+    let pow_attempts = AtomicU64::new(0);
     let stop = AtomicBool::new(false);
     let quota = AtomicU64::new(if cfg.total_queries > 0 {
         cfg.total_queries
@@ -382,6 +420,8 @@ pub fn run_threaded(cfg: &ServeConfig) -> Result<crate::report::ServeReport> {
         let stop = &stop;
         let quota = &quota;
         let intake = &intake;
+        let pow_handle = &pow_handle;
+        let pow_attempts = &pow_attempts;
 
         let worker_handles: Vec<_> = consumers
             .into_iter()
@@ -391,8 +431,28 @@ pub fn run_threaded(cfg: &ServeConfig) -> Result<crate::report::ServeReport> {
             .into_iter()
             .enumerate()
             .map(|(id, stream)| {
+                let attacker = id < cfg.attack_clients;
                 let id = u32::try_from(id).unwrap_or(u32::MAX);
-                scope.spawn(move || client_loop(id, stream, cfg, quota, stop, completions, intake))
+                let pow = pow_handle.as_ref().and_then(|(published, difficulty)| {
+                    if attacker {
+                        None
+                    } else {
+                        Some((published.as_ref(), *difficulty))
+                    }
+                });
+                scope.spawn(move || {
+                    client_loop(
+                        id,
+                        stream,
+                        cfg,
+                        quota,
+                        stop,
+                        completions,
+                        intake,
+                        pow,
+                        pow_attempts,
+                    )
+                })
             })
             .collect();
 
@@ -416,8 +476,18 @@ pub fn run_threaded(cfg: &ServeConfig) -> Result<crate::report::ServeReport> {
         Ok(stats)
     })?;
 
+    let mut stats = admission.into_stats();
+    if cfg.total_queries > 0 {
+        // ORDERING: Acquire pairs with the clients' AcqRel refunds and
+        // claims; every client has joined, so this is the final balance.
+        stats.quota_unclaimed = quota.load(Ordering::Acquire);
+    }
+    // ORDERING: Relaxed — all solver threads have joined; this is a
+    // plain read of a statistics counter.
+    stats.pow_attempts += pow_attempts.load(Ordering::Relaxed);
+
     Ok(crate::report::ServeReport::assemble(
-        admission.into_stats(),
+        stats,
         &workers,
         stopwatch.elapsed_secs(),
         false,
@@ -494,6 +564,57 @@ mod tests {
         c.client_window = 8;
         c.submit_batch = 64;
         assert!(run_threaded(&c).is_err());
+    }
+
+    #[test]
+    fn early_stop_refunds_claimed_quota_exactly() {
+        // Regression: a client that claimed a batch and then observed
+        // the stop flag used to drop its claim on the floor, so
+        // submitted + quota_unclaimed fell short of total_queries.
+        // A short duration budget against a huge quota forces the stop
+        // to land between claim and submit on some thread eventually.
+        for attempt in 0..4u64 {
+            let mut c = cfg(3, 50_000_000);
+            c.duration_ms = 25 + attempt * 10;
+            c.queue_capacity = 2;
+            c.batch_size = 8;
+            let report = run_threaded(&c).unwrap();
+            assert!(report.submitted < 50_000_000, "run must stop early");
+            assert_eq!(
+                report.submitted + report.quota_unclaimed,
+                50_000_000,
+                "claimed-but-unsubmitted quota must be refunded"
+            );
+            assert!(report.is_conserved());
+            assert!(report.is_drained());
+        }
+    }
+
+    #[test]
+    fn pow_shield_rejects_attackers_and_passes_legit_threaded() {
+        let mut c = cfg(4, 40_000);
+        c.pow = Some(crate::pow::PowShield::new(4));
+        c.attack_clients = 1; // client 0 never attaches work
+        let report = run_threaded(&c).unwrap();
+        assert!(report.is_conserved());
+        assert!(report.is_drained());
+        assert_eq!(
+            report.attack.pow_rejected, report.attack.submitted,
+            "workless attacker traffic must be rejected wholesale"
+        );
+        assert_eq!(
+            report.legit.pow_rejected, 0,
+            "honest solvers must never be rejected: {report:?}"
+        );
+        assert_eq!(
+            report.legit.submitted + report.attack.submitted,
+            report.submitted
+        );
+        assert_eq!(report.pow_rejected, report.attack.pow_rejected);
+        assert!(
+            report.pow_attempts >= report.legit.submitted,
+            "every honest request costs at least one hash attempt"
+        );
     }
 
     #[test]

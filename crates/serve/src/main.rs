@@ -9,21 +9,26 @@
 //!   shards, shedding (not stalling) under the `x = c + 1` attack, and
 //!   deterministic-mode gain agreeing with the rate engine.
 
-use scp_serve::{repeat_serve_journaled, run_deterministic, run_threaded, ServeConfig};
-use scp_sim::config::{CacheKind, PartitionerKind, SelectorKind};
+use scp_serve::{repeat_serve_journaled, run_deterministic, run_threaded, PowShield, ServeConfig};
+use scp_sim::config::{AdmissionKind, CacheKind, PartitionerKind, SelectorKind};
 use scp_sim::rate_engine::run_rate_simulation;
 use scp_sim::runner::StopRule;
 use scp_sim::SimConfig;
+use scp_workload::AccessPattern;
 
 #[derive(Debug, Clone)]
 struct ServeOpts {
     shards: usize,
     replication: usize,
     cache: CacheKind,
+    admission: AdmissionKind,
     cache_capacity: usize,
     items: u64,
     rate: f64,
     attack_x: u64,
+    attack_rotate: u64,
+    attack_clients: usize,
+    pow_difficulty: u32,
     partitioner: PartitionerKind,
     selector: SelectorKind,
     seed: u64,
@@ -48,10 +53,14 @@ impl Default for ServeOpts {
             shards: 8,
             replication: 3,
             cache: CacheKind::Perfect,
+            admission: AdmissionKind::Oracle,
             cache_capacity: 100,
             items: 1_000_000,
             rate: 1e5,
             attack_x: 0,
+            attack_rotate: 0,
+            attack_clients: 0,
+            pow_difficulty: 0,
             partitioner: PartitionerKind::Hash,
             selector: SelectorKind::LeastLoaded,
             seed: 20130708,
@@ -83,10 +92,14 @@ fn usage(msg: &str) -> ! {
          --shards N          backend shards = nodes n (default 8)\n\
          --replication D     replica group size d (default 3)\n\
          --cache KIND        {cache}\n\
+         --admission KIND    {adm} (online swaps perfect for tinylfu)\n\
          --cache-capacity C  front-end cache entries (default 100)\n\
          --items N           key-space size (default 1000000)\n\
          --rate R            offered logical rate, queries/s (default 1e5)\n\
          --attack-x X        attack over X keys (default 0 = c + 1)\n\
+         --attack-rotate P   attacker redraws its X keys every P queries\n\
+         --attack-clients K  first K client ids skip proof-of-work\n\
+         --pow-difficulty D  require D leading zero bits of work (default 0 = off)\n\
          --partitioner KIND  {part}\n\
          --selector KIND     {sel}\n\
          --seed N            master seed (default 20130708)\n\
@@ -108,6 +121,7 @@ fn usage(msg: &str) -> ! {
          --json              print the full JSON report\n\
          --smoke             run the CI acceptance gates and exit",
         cache = kind_list(CacheKind::ALL.iter().map(|k| k.name())),
+        adm = kind_list(AdmissionKind::ALL.iter().map(|k| k.name())),
         part = kind_list(PartitionerKind::ALL.iter().map(|k| k.name())),
         sel = kind_list(SelectorKind::ALL.iter().map(|k| k.name())),
     );
@@ -148,10 +162,14 @@ fn parse_opts<I: IntoIterator<Item = String>>(args: I) -> ServeOpts {
             "--shards" => o.shards = expect_parse(&mut it, "--shards"),
             "--replication" => o.replication = expect_parse(&mut it, "--replication"),
             "--cache" => o.cache = expect_kind(&mut it, "--cache"),
+            "--admission" => o.admission = expect_kind(&mut it, "--admission"),
             "--cache-capacity" => o.cache_capacity = expect_parse(&mut it, "--cache-capacity"),
             "--items" => o.items = expect_parse(&mut it, "--items"),
             "--rate" => o.rate = expect_parse(&mut it, "--rate"),
             "--attack-x" => o.attack_x = expect_parse(&mut it, "--attack-x"),
+            "--attack-rotate" => o.attack_rotate = expect_parse(&mut it, "--attack-rotate"),
+            "--attack-clients" => o.attack_clients = expect_parse(&mut it, "--attack-clients"),
+            "--pow-difficulty" => o.pow_difficulty = expect_parse(&mut it, "--pow-difficulty"),
             "--partitioner" => o.partitioner = expect_kind(&mut it, "--partitioner"),
             "--selector" => o.selector = expect_kind(&mut it, "--selector"),
             "--seed" => o.seed = expect_parse(&mut it, "--seed"),
@@ -180,13 +198,29 @@ fn build_config(o: &ServeOpts) -> ServeConfig {
         .nodes(o.shards)
         .replication(o.replication)
         .cache_kind(o.cache)
+        .admission(o.admission)
         .cache_capacity(o.cache_capacity)
         .items(o.items)
         .rate(o.rate)
         .partitioner(o.partitioner)
         .selector(o.selector)
         .seed(o.seed);
-    if o.attack_x > 0 {
+    if o.attack_rotate > 0 {
+        // Rotating attack: the same x keys as --attack-x (or the default
+        // x = c + 1), but redrawn every P queries.
+        let x = if o.attack_x > 0 {
+            o.attack_x
+        } else {
+            o.cache_capacity as u64 + 1
+        };
+        match AccessPattern::rotating_subset(x, o.items, o.attack_rotate) {
+            Ok(pattern) => builder = builder.pattern(pattern),
+            Err(e) => {
+                eprintln!("error: --attack-rotate: {e}");
+                std::process::exit(2);
+            }
+        }
+    } else if o.attack_x > 0 {
         builder = builder.attack_x(o.attack_x);
     }
     let sim = match builder.build() {
@@ -205,6 +239,10 @@ fn build_config(o: &ServeOpts) -> ServeConfig {
     cfg.capacity_headroom = o.headroom;
     cfg.total_queries = o.queries;
     cfg.duration_ms = o.duration_ms;
+    cfg.attack_clients = o.attack_clients;
+    if o.pow_difficulty > 0 {
+        cfg.pow = Some(PowShield::new(o.pow_difficulty));
+    }
     cfg
 }
 
@@ -230,6 +268,25 @@ fn print_summary(report: &scp_serve::ServeReport) {
         report.is_conserved(),
         report.is_drained(),
     );
+    if report.pow_rejected > 0 || report.pow_attempts > 0 {
+        println!(
+            "pow_rejected={} pow_attempts={} legit(sub={} hits={} rej={}) attack(sub={} hits={} rej={})",
+            report.pow_rejected,
+            report.pow_attempts,
+            report.legit.submitted,
+            report.legit.hits,
+            report.legit.pow_rejected,
+            report.attack.submitted,
+            report.attack.hits,
+            report.attack.pow_rejected,
+        );
+    }
+    if report.sketch_resets > 0 {
+        println!(
+            "sketch_resets={} cache_rejections={}",
+            report.sketch_resets, report.cache_rejections
+        );
+    }
 }
 
 fn emit(report: &scp_serve::ServeReport, json: bool) {
@@ -339,6 +396,82 @@ fn run_smoke(o: &ServeOpts) -> ! {
                 );
             }
             Err(e) => ok = gate("gain-vs-rate-engine", false, &format!("error: {e}")),
+        }
+    }
+
+    // Gate 4: the PoW shield is transparent to solvers and a wall to
+    // workless attackers on the same c < c* configuration.
+    let mut pow = ServeOpts {
+        shards: 50,
+        cache_capacity: 10,
+        attack_x: 11,
+        items: 100_000,
+        queries: 50_000,
+        pow_difficulty: 4,
+        seed: o.seed,
+        ..ServeOpts::default()
+    };
+    pow.deterministic = true;
+    let honest = run_deterministic(&build_config(&pow));
+    pow.attack_clients = 1;
+    let workless = run_deterministic(&build_config(&pow));
+    match (honest, workless) {
+        (Ok(h), Ok(w)) => {
+            ok &= gate(
+                "pow-shield",
+                h.pow_rejected == 0
+                    && h.cache_hits > 0
+                    && w.pow_rejected == w.submitted
+                    && h.is_conserved()
+                    && w.is_conserved(),
+                &format!(
+                    "solver rejected {}/{} with {} hits; workless rejected {}/{}",
+                    h.pow_rejected, h.submitted, h.cache_hits, w.pow_rejected, w.submitted
+                ),
+            );
+        }
+        (h, w) => {
+            let e = h.err().or(w.err()).map(|e| e.to_string()).unwrap_or_default();
+            ok = gate("pow-shield", false, &format!("error: {e}"));
+        }
+    }
+
+    // Gate 5: online admission learns a static attack but loses ground
+    // when the attacker rotates faster than the sketch adapts.
+    let mut online = ServeOpts {
+        shards: 50,
+        cache_capacity: 100,
+        attack_x: 500,
+        items: 100_000,
+        queries: 300_000,
+        admission: AdmissionKind::Online,
+        seed: o.seed,
+        ..ServeOpts::default()
+    };
+    online.deterministic = true;
+    let static_run = run_deterministic(&build_config(&online));
+    online.attack_rotate = 500;
+    let rotating_run = run_deterministic(&build_config(&online));
+    match (static_run, rotating_run) {
+        (Ok(s), Ok(r)) => {
+            let s_hits = s.cache_hits as f64 / s.submitted.max(1) as f64;
+            let r_hits = r.cache_hits as f64 / r.submitted.max(1) as f64;
+            ok &= gate(
+                "online-admission-gap",
+                s.sketch_resets > 0
+                    && s_hits > r_hits
+                    && s.is_conserved()
+                    && r.is_conserved(),
+                &format!(
+                    "static hit ratio {s_hits:.4} vs rotating {r_hits:.4} \
+                     ({} sketch resets)",
+                    s.sketch_resets
+                ),
+            );
+        }
+        (s, r) => {
+            let e = s.err().or(r.err()).map(|e| e.to_string()).unwrap_or_default();
+            ok = gate("online-admission-gap", false, &format!("error: {e}"));
         }
     }
 

@@ -9,7 +9,7 @@
 
 use crate::clock::Stopwatch;
 use crate::config::{Result, ServeConfig};
-use crate::engine::{run_deterministic, AdmitStats, WorkerStats};
+use crate::engine::{run_deterministic, AdmitStats, LaneStats, WorkerStats};
 use scp_cluster::load::LoadSnapshot;
 use scp_json::Json;
 use scp_sim::journal::RunJournal;
@@ -135,6 +135,27 @@ pub struct ServeReport {
     pub cache_hits: u64,
     /// Lost because a whole replica group was down.
     pub unserved: u64,
+    /// Rejected by the proof-of-work shield (its own completion class in
+    /// the conservation law).
+    pub pow_rejected: u64,
+    /// Total hash attempts clients spent solving shield challenges; the
+    /// measured work factor is `pow_attempts / accepted queries`.
+    pub pow_attempts: u64,
+    /// Admission counters for the legitimate-client lane.
+    pub legit: LaneStats,
+    /// Admission counters for the modeled-attacker lane.
+    pub attack: LaneStats,
+    /// Attack gain per logical gain-tracking window, in window order.
+    pub window_gains: Vec<f64>,
+    /// Admission-filter rejections reported by the cache policy (W-TinyLFU
+    /// candidates that lost to the probation victim; 0 for stateless
+    /// policies).
+    pub cache_rejections: u64,
+    /// Frequency-sketch halving resets reported by the cache policy.
+    pub sketch_resets: u64,
+    /// Quota clients claimed but refunded on early stop; whenever a quota
+    /// is set, `submitted + quota_unclaimed == total_queries` exactly.
+    pub quota_unclaimed: u64,
     /// Wall-clock duration of the run in seconds (metadata only).
     pub duration_secs: f64,
     /// Whether the run used the deterministic single-threaded mode.
@@ -178,6 +199,14 @@ impl ServeReport {
             submitted: stats.submitted,
             cache_hits: stats.hits,
             unserved: stats.unserved,
+            pow_rejected: stats.pow_rejected,
+            pow_attempts: stats.pow_attempts,
+            legit: stats.legit,
+            attack: stats.attack,
+            window_gains: stats.window_gains,
+            cache_rejections: stats.cache_rejections,
+            sketch_resets: stats.sketch_resets,
+            quota_unclaimed: stats.quota_unclaimed,
             duration_secs,
             deterministic,
         }
@@ -223,11 +252,12 @@ impl ServeReport {
     }
 
     /// Exact-integer conservation: every submitted query is accounted
-    /// for exactly once across hits, worker hand-offs, sheds and
-    /// unserved.
+    /// for exactly once across hits, worker hand-offs, sheds, unserved
+    /// and proof-of-work rejections.
     pub fn is_conserved(&self) -> bool {
         let enqueued: u64 = self.shards.iter().map(|s| s.enqueued).sum();
-        self.submitted == self.cache_hits + enqueued + self.shed() + self.unserved
+        self.submitted
+            == self.cache_hits + enqueued + self.shed() + self.unserved + self.pow_rejected
     }
 
     /// Whether shutdown drained every shard losslessly (see
@@ -267,6 +297,17 @@ impl ServeReport {
                 Json::Num(self.shed_backpressure() as f64),
             ),
             ("unserved", Json::Num(self.unserved as f64)),
+            ("pow_rejected", Json::Num(self.pow_rejected as f64)),
+            ("pow_attempts", Json::Num(self.pow_attempts as f64)),
+            ("legit", Self::lane_json(&self.legit)),
+            ("attack", Self::lane_json(&self.attack)),
+            (
+                "window_gains",
+                Json::arr(self.window_gains.iter().map(|&g| Json::Num(g))),
+            ),
+            ("cache_rejections", Json::Num(self.cache_rejections as f64)),
+            ("sketch_resets", Json::Num(self.sketch_resets as f64)),
+            ("quota_unclaimed", Json::Num(self.quota_unclaimed as f64)),
             ("duration_secs", Json::Num(self.duration_secs)),
             ("throughput_qps", Json::Num(self.throughput_qps())),
             ("gain", Json::Num(self.gain())),
@@ -276,6 +317,14 @@ impl ServeReport {
                 "shards",
                 Json::arr(self.shards.iter().map(ShardReport::to_json)),
             ),
+        ])
+    }
+
+    fn lane_json(lane: &LaneStats) -> Json {
+        Json::obj([
+            ("submitted", Json::Num(lane.submitted as f64)),
+            ("hits", Json::Num(lane.hits as f64)),
+            ("pow_rejected", Json::Num(lane.pow_rejected as f64)),
         ])
     }
 
@@ -298,6 +347,21 @@ pub struct JournaledServe {
     /// Structured per-run records plus stopping metadata, identical in
     /// shape to simulation journals.
     pub journal: RunJournal,
+}
+
+impl JournaledServe {
+    /// The batch as JSON: the simulation-shaped journal plus a
+    /// `serve_runs` array carrying the serve-only metrics (PoW rejects,
+    /// sketch resets, admission rejections, per-window gains) per run.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("journal", self.journal.to_json()),
+            (
+                "serve_runs",
+                Json::arr(self.reports.iter().map(ServeReport::to_json)),
+            ),
+        ])
+    }
 }
 
 /// Repeats the deterministic serving mode under a [`StopRule`] with

@@ -70,7 +70,7 @@ pub fn collect_assignments(cfg: &SimConfig, cache_capacity: usize) -> Result<Vec
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::{CacheKind, PartitionerKind, SelectorKind};
+    use crate::config::{AdmissionKind, CacheKind, PartitionerKind, SelectorKind};
     use crate::rate_engine::run_rate_simulation;
     use scp_cluster::load::LoadSnapshot;
     use scp_workload::AccessPattern;
@@ -80,6 +80,7 @@ mod tests {
             nodes: 40,
             replication: 3,
             cache_kind: CacheKind::Perfect,
+            admission: AdmissionKind::Oracle,
             cache_capacity: c,
             items: 2_000,
             rate: 1e4,

@@ -179,6 +179,39 @@ impl CacheKind {
 
 kind_text!(CacheKind, "cache_kind");
 
+/// Where the provisioned cache's notion of popularity comes from.
+///
+/// The paper's provisioning theorems assume the cache holds the true
+/// `c` most popular keys — an oracle. A deployable system has to learn
+/// popularity online from the query stream instead; this knob selects
+/// between the two so the oracle-vs-online *gain gap* can be measured
+/// on otherwise identical configurations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AdmissionKind {
+    /// Use the configured `cache_kind` verbatim (the paper's
+    /// [`CacheKind::Perfect`] oracle by default).
+    Oracle,
+    /// Online sketch-driven admission: a [`CacheKind::Perfect`] cache is
+    /// replaced by [`CacheKind::TinyLfu`]; every other policy already
+    /// learns online and is kept as-is.
+    Online,
+}
+
+impl AdmissionKind {
+    /// All kinds, for ablation sweeps.
+    pub const ALL: [AdmissionKind; 2] = [AdmissionKind::Oracle, AdmissionKind::Online];
+
+    /// Short name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            AdmissionKind::Oracle => "oracle",
+            AdmissionKind::Online => "online",
+        }
+    }
+}
+
+kind_text!(AdmissionKind, "admission");
+
 /// A complete description of one simulated system + workload.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimConfig {
@@ -188,6 +221,8 @@ pub struct SimConfig {
     pub replication: usize,
     /// Front-end cache policy.
     pub cache_kind: CacheKind,
+    /// Whether the cache is oracle-informed or learns popularity online.
+    pub admission: AdmissionKind,
     /// Front-end cache capacity `c`.
     pub cache_capacity: usize,
     /// Key-space size `m`.
@@ -245,6 +280,7 @@ pub struct SimConfigBuilder {
     nodes: usize,
     replication: usize,
     cache_kind: CacheKind,
+    admission: AdmissionKind,
     cache_capacity: usize,
     items: u64,
     rate: f64,
@@ -260,6 +296,7 @@ impl Default for SimConfigBuilder {
             nodes: 1000,
             replication: 3,
             cache_kind: CacheKind::Perfect,
+            admission: AdmissionKind::Oracle,
             cache_capacity: 0,
             items: 1_000_000,
             rate: 1e5,
@@ -287,6 +324,12 @@ impl SimConfigBuilder {
     /// Sets the front-end cache policy.
     pub fn cache_kind(mut self, kind: CacheKind) -> Self {
         self.cache_kind = kind;
+        self
+    }
+
+    /// Sets oracle-informed vs online-learned cache admission.
+    pub fn admission(mut self, kind: AdmissionKind) -> Self {
+        self.admission = kind;
         self
     }
 
@@ -364,6 +407,7 @@ impl SimConfigBuilder {
             nodes: self.nodes,
             replication: self.replication,
             cache_kind: self.cache_kind,
+            admission: self.admission,
             cache_capacity: self.cache_capacity,
             items: self.items,
             rate: self.rate,
@@ -391,6 +435,7 @@ impl SimConfig {
             nodes: self.nodes,
             replication: self.replication,
             cache_kind: self.cache_kind,
+            admission: self.admission,
             cache_capacity: self.cache_capacity,
             items: self.items,
             rate: self.rate,
@@ -408,6 +453,7 @@ impl SimConfig {
             nodes: 1000,
             replication: 3,
             cache_kind: CacheKind::Perfect,
+            admission: AdmissionKind::Oracle,
             cache_capacity,
             items: 1_000_000,
             rate: 1e5,
@@ -481,6 +527,11 @@ impl SimConfig {
             ("nodes", Json::Num(self.nodes as f64)),
             ("replication", Json::Num(self.replication as f64)),
             ("cache_kind", Json::Str(self.cache_kind.name().to_owned())),
+            ("admission", Json::Str(self.admission.name().to_owned())),
+            (
+                "effective_cache_kind",
+                Json::Str(self.effective_cache_kind().name().to_owned()),
+            ),
             ("cache_capacity", Json::Num(self.cache_capacity as f64)),
             ("items", Json::Num(self.items as f64)),
             ("rate", Json::Num(self.rate)),
@@ -537,13 +588,25 @@ impl SimConfig {
         }
     }
 
-    /// Builds the configured cache over `u64` key ids.
+    /// The cache policy actually instantiated once the admission knob is
+    /// applied: [`AdmissionKind::Online`] swaps the
+    /// [`CacheKind::Perfect`] oracle for [`CacheKind::TinyLfu`]; every
+    /// other combination is the configured policy verbatim.
+    pub fn effective_cache_kind(&self) -> CacheKind {
+        match (self.admission, self.cache_kind) {
+            (AdmissionKind::Online, CacheKind::Perfect) => CacheKind::TinyLfu,
+            (_, kind) => kind,
+        }
+    }
+
+    /// Builds the configured cache over `u64` key ids, honoring the
+    /// admission knob (see [`SimConfig::effective_cache_kind`]).
     ///
     /// `ranked_keys` supplies the true popularity order for
     /// [`CacheKind::Perfect`]; other policies ignore it.
     pub fn build_cache<I: IntoIterator<Item = u64>>(&self, ranked_keys: I) -> Box<dyn Cache<u64>> {
         let c = self.cache_capacity;
-        match self.cache_kind {
+        match self.effective_cache_kind() {
             CacheKind::Perfect => Box::new(PerfectCache::new(c, ranked_keys)),
             CacheKind::Lru => Box::new(LruCache::new(c)),
             CacheKind::Lfu => Box::new(LfuCache::new(c)),
@@ -567,6 +630,7 @@ mod tests {
             nodes: 10,
             replication: 3,
             cache_kind: CacheKind::Perfect,
+            admission: AdmissionKind::Oracle,
             cache_capacity: 5,
             items: 100,
             rate: 1e3,
@@ -672,6 +736,27 @@ mod tests {
         assert_eq!(PartitionerKind::Hash.name(), "hash");
         assert_eq!(SelectorKind::LeastLoaded.name(), "least-loaded");
         assert_eq!(CacheKind::TinyLfu.name(), "tinylfu");
+    }
+
+    #[test]
+    fn admission_kind_text_round_trips_every_variant() {
+        for kind in AdmissionKind::ALL {
+            assert_eq!(kind.to_string(), kind.name());
+            assert_eq!(kind.name().parse::<AdmissionKind>().unwrap(), kind);
+        }
+        assert!("psychic".parse::<AdmissionKind>().is_err());
+    }
+
+    #[test]
+    fn online_admission_swaps_the_oracle_for_tinylfu() {
+        let mut cfg = base_config();
+        assert_eq!(cfg.effective_cache_kind(), CacheKind::Perfect);
+        cfg.admission = AdmissionKind::Online;
+        assert_eq!(cfg.effective_cache_kind(), CacheKind::TinyLfu);
+        assert_eq!(cfg.build_cache(0..5).name(), "tinylfu");
+        // Non-oracle policies are untouched by the knob.
+        cfg.cache_kind = CacheKind::Lru;
+        assert_eq!(cfg.effective_cache_kind(), CacheKind::Lru);
     }
 
     #[test]

@@ -165,7 +165,7 @@ pub fn run_weighted_query_simulation(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::{CacheKind, PartitionerKind, SelectorKind};
+    use crate::config::{AdmissionKind, CacheKind, PartitionerKind, SelectorKind};
     use scp_workload::AccessPattern;
 
     fn config(c: usize, x: u64) -> SimConfig {
@@ -173,6 +173,7 @@ mod tests {
             nodes: 50,
             replication: 3,
             cache_kind: CacheKind::Perfect,
+            admission: AdmissionKind::Oracle,
             cache_capacity: c,
             items: 5_000,
             rate: 1e4,

@@ -202,7 +202,7 @@ pub fn theoretical_worst_x(cfg: &SimConfig, k: &KParam) -> Result<u64> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::{CacheKind, PartitionerKind, SelectorKind};
+    use crate::config::{AdmissionKind, CacheKind, PartitionerKind, SelectorKind};
     use crate::runner::repeat_rate_simulation;
     use scp_workload::AccessPattern;
 
@@ -211,6 +211,7 @@ mod tests {
             nodes: n,
             replication: 3,
             cache_kind: CacheKind::Perfect,
+            admission: AdmissionKind::Oracle,
             cache_capacity: 0, // varied by the search
             items: 50_000,
             rate: 1e4,

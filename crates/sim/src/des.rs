@@ -432,7 +432,7 @@ fn run_des_core(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::{CacheKind, PartitionerKind, SelectorKind};
+    use crate::config::{AdmissionKind, CacheKind, PartitionerKind, SelectorKind};
     use scp_workload::AccessPattern;
 
     fn des_config(rate: f64, service_rate: f64, pattern: AccessPattern, c: usize) -> DesConfig {
@@ -441,6 +441,7 @@ mod tests {
                 nodes: 20,
                 replication: 3,
                 cache_kind: CacheKind::Perfect,
+                admission: AdmissionKind::Oracle,
                 cache_capacity: c,
                 items: 1000,
                 rate,

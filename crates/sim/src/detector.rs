@@ -132,7 +132,7 @@ impl AttackDetector {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::{CacheKind, PartitionerKind, SelectorKind, SimConfig};
+    use crate::config::{AdmissionKind, CacheKind, PartitionerKind, SelectorKind, SimConfig};
     use crate::query_engine::run_query_simulation;
     use scp_cluster::load::LoadSnapshot;
     use scp_workload::AccessPattern;
@@ -201,6 +201,7 @@ mod tests {
             nodes: 50,
             replication: 3,
             cache_kind: CacheKind::Perfect,
+            admission: AdmissionKind::Oracle,
             cache_capacity: 25,
             items: 10_000,
             rate: 1e4,

@@ -193,7 +193,7 @@ impl RunJournal {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::{CacheKind, PartitionerKind, SelectorKind};
+    use crate::config::{AdmissionKind, CacheKind, PartitionerKind, SelectorKind};
     use crate::runner::repeat_rate_simulation_journaled;
     use scp_workload::AccessPattern;
 
@@ -202,6 +202,7 @@ mod tests {
             nodes: 40,
             replication: 3,
             cache_kind: CacheKind::Perfect,
+            admission: AdmissionKind::Oracle,
             cache_capacity: 8,
             items: 1000,
             rate: 1e4,

@@ -24,13 +24,14 @@
 //! # Example
 //!
 //! ```
-//! use scp_sim::config::{CacheKind, PartitionerKind, SelectorKind, SimConfig};
+//! use scp_sim::config::{AdmissionKind, CacheKind, PartitionerKind, SelectorKind, SimConfig};
 //! use scp_workload::AccessPattern;
 //!
 //! let cfg = SimConfig {
 //!     nodes: 50,
 //!     replication: 3,
 //!     cache_kind: CacheKind::Perfect,
+//!     admission: AdmissionKind::Oracle,
 //!     cache_capacity: 10,
 //!     items: 10_000,
 //!     rate: 1e4,
@@ -62,7 +63,7 @@ pub mod runner;
 pub mod stats;
 pub mod sweep;
 
-pub use config::{SimConfig, SimConfigBuilder};
+pub use config::{AdmissionKind, SimConfig, SimConfigBuilder};
 pub use error::SimError;
 pub use metrics::LoadReport;
 

@@ -147,7 +147,7 @@ fn frontend_for_key(key: u64, frontends: usize) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::{CacheKind, PartitionerKind, SelectorKind};
+    use crate::config::{AdmissionKind, CacheKind, PartitionerKind, SelectorKind};
     use crate::query_engine::run_query_simulation;
     use scp_workload::AccessPattern;
 
@@ -156,6 +156,7 @@ mod tests {
             nodes: 50,
             replication: 3,
             cache_kind: CacheKind::Perfect,
+            admission: AdmissionKind::Oracle,
             cache_capacity: c,
             items: 5_000,
             rate: 1e4,

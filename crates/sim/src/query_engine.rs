@@ -129,7 +129,7 @@ pub fn run_trace_simulation(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::{CacheKind, PartitionerKind, SelectorKind};
+    use crate::config::{AdmissionKind, CacheKind, PartitionerKind, SelectorKind};
     use crate::rate_engine::run_rate_simulation;
     use scp_workload::AccessPattern;
 
@@ -138,6 +138,7 @@ mod tests {
             nodes: 50,
             replication: 3,
             cache_kind: kind,
+            admission: AdmissionKind::Oracle,
             cache_capacity: c,
             items: 5000,
             rate: 1e4,

@@ -8,7 +8,7 @@
 //! paper's "x different keys are queried at the same rate, and the load of
 //! the most loaded nodes is recorded" (Section IV).
 
-use crate::config::{CacheKind, SimConfig};
+use crate::config::{AdmissionKind, CacheKind, SimConfig};
 use crate::error::SimError;
 use crate::metrics::LoadReport;
 use crate::Result;
@@ -18,15 +18,23 @@ use scp_workload::rng::mix;
 
 /// Runs one rate-propagation simulation.
 ///
-/// Requires [`CacheKind::Perfect`] or [`CacheKind::None`]: steady-state
-/// rates have no notion of recency, so replacement policies need the
-/// [`crate::query_engine`] instead.
+/// Under [`AdmissionKind::Oracle`] this requires [`CacheKind::Perfect`]
+/// or [`CacheKind::None`]: steady-state rates have no notion of recency,
+/// so replacement policies need the [`crate::query_engine`] instead.
+/// Under [`AdmissionKind::Online`] the effective cache (W-TinyLFU for a
+/// perfect-oracle config) is instead *measured*: a seeded rank stream
+/// drives it to empirical per-rank hit probabilities, which then scale
+/// each rank's propagated rate.
 ///
 /// # Errors
 ///
 /// Returns an error on invalid configs or unsupported cache kinds.
 pub fn run_rate_simulation(cfg: &SimConfig) -> Result<LoadReport> {
     cfg.validate()?;
+    if cfg.admission == AdmissionKind::Online && cfg.effective_cache_kind() != CacheKind::None {
+        let mut cluster = Cluster::new(cfg.build_partitioner()?, cfg.build_selector());
+        return run_rate_simulation_online(cfg, &mut cluster);
+    }
     let cache_capacity = match cfg.cache_kind {
         CacheKind::Perfect => cfg.cache_capacity,
         CacheKind::None => 0,
@@ -121,10 +129,81 @@ pub fn run_rate_simulation_with(
     })
 }
 
+/// Steady-state propagation under online admission.
+///
+/// The oracle path's hard `rank < c` cut assumes the cache magically
+/// holds the `c` most popular keys. Here the effective cache is driven
+/// with a seeded rank stream drawn from the configured pattern — a
+/// warmup half, then a measured half whose per-rank hit frequencies
+/// become the admission filter: rank load `R·p` splits into
+/// `R·p·ĥ(rank)` absorbed by the cache and the residual propagated to
+/// the cluster. This makes the gap between provable oracle provisioning
+/// and a deployable sketch-driven cache directly measurable.
+fn run_rate_simulation_online(cfg: &SimConfig, cluster: &mut Cluster) -> Result<LoadReport> {
+    cluster.reset();
+    let mapping = KeyMapping::scattered(cfg.items, mix(&[cfg.seed, 3]))?;
+    let probs = cfg.pattern.rank_probs();
+    let support = probs.support_bound();
+
+    let mut cache = cfg.build_cache(0..cfg.cache_capacity as u64);
+    // Seed lane 5: distinct from the mapping (3) and the query engine's
+    // sampling stream (4) so engines stay independently reproducible.
+    let mut sampler = cfg.pattern.sampler(mix(&[cfg.seed, 5]))?;
+
+    // Enough draws for the admission sketch to cross several halving
+    // windows (sample size is 10·c) at any capacity.
+    let measured = 50_000_u64.max(cfg.cache_capacity as u64 * 200);
+    for _ in 0..measured {
+        let _ = cache.request(sampler.sample());
+    }
+    cache.reset_stats();
+    let mut hits = vec![0u64; support as usize];
+    let mut draws = vec![0u64; support as usize];
+    for _ in 0..measured {
+        let rank = sampler.sample();
+        let hit = cache.request(rank).is_hit();
+        if let Some(d) = draws.get_mut(rank as usize) {
+            *d += 1;
+            if hit {
+                if let Some(h) = hits.get_mut(rank as usize) {
+                    *h += 1;
+                }
+            }
+        }
+    }
+
+    let mut cache_load = 0.0;
+    for rank in 0..support {
+        let p = probs.get(rank);
+        if p <= 0.0 {
+            continue;
+        }
+        let rate = cfg.rate * p;
+        let d = draws.get(rank as usize).copied().unwrap_or(0);
+        let h = hits.get(rank as usize).copied().unwrap_or(0);
+        let hit_prob = if d > 0 { h as f64 / d as f64 } else { 0.0 };
+        cache_load += rate * hit_prob;
+        let residual = rate * (1.0 - hit_prob);
+        if residual > 0.0 {
+            let key = KeyId::new(mapping.apply(rank));
+            // NoLiveReplica is accounted as unserved inside the cluster.
+            let _ = cluster.apply_rate(key, residual);
+        }
+    }
+
+    Ok(LoadReport {
+        snapshot: cluster.snapshot(),
+        cache_load,
+        offered: cfg.rate,
+        unserved: cluster.unserved(),
+        cache_stats: Some(*cache.stats()),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::{PartitionerKind, SelectorKind};
+    use crate::config::{AdmissionKind, PartitionerKind, SelectorKind};
     use scp_workload::AccessPattern;
 
     fn config(c: usize, x: u64) -> SimConfig {
@@ -132,6 +211,7 @@ mod tests {
             nodes: 100,
             replication: 3,
             cache_kind: CacheKind::Perfect,
+            admission: AdmissionKind::Oracle,
             cache_capacity: c,
             items: 10_000,
             rate: 1e4,
@@ -185,6 +265,43 @@ mod tests {
                 ..
             })
         ));
+    }
+
+    #[test]
+    fn online_admission_approaches_the_oracle_on_zipf() {
+        let mut cfg = config(100, 1);
+        cfg.pattern = AccessPattern::zipf(1.01, 10_000).unwrap();
+        let oracle = run_rate_simulation(&cfg).unwrap();
+        cfg.admission = AdmissionKind::Online;
+        let online = run_rate_simulation(&cfg).unwrap();
+        assert!(online.is_conserved(1e-9));
+        assert!(
+            online.cache_fraction() > 0.75 * oracle.cache_fraction(),
+            "online {} vs oracle {}",
+            online.cache_fraction(),
+            oracle.cache_fraction()
+        );
+        // Learning can only lose mass relative to the true top-c cut.
+        assert!(online.cache_fraction() <= oracle.cache_fraction() + 1e-9);
+    }
+
+    #[test]
+    fn online_admission_is_deterministic() {
+        let mut cfg = config(10, 50);
+        cfg.admission = AdmissionKind::Online;
+        let a = run_rate_simulation(&cfg).unwrap();
+        let b = run_rate_simulation(&cfg).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn online_admission_accepts_replacement_policies() {
+        let mut cfg = config(10, 50);
+        cfg.cache_kind = CacheKind::Lru;
+        cfg.admission = AdmissionKind::Online;
+        let r = run_rate_simulation(&cfg).unwrap();
+        assert!(r.is_conserved(1e-9));
+        assert!(r.cache_load > 0.0, "an online LRU must absorb something");
     }
 
     #[test]

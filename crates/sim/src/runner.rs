@@ -507,7 +507,7 @@ pub fn repeat_rate_simulation(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::{CacheKind, PartitionerKind, SelectorKind};
+    use crate::config::{AdmissionKind, CacheKind, PartitionerKind, SelectorKind};
     use scp_workload::AccessPattern;
 
     fn config() -> SimConfig {
@@ -515,6 +515,7 @@ mod tests {
             nodes: 50,
             replication: 3,
             cache_kind: CacheKind::Perfect,
+            admission: AdmissionKind::Oracle,
             cache_capacity: 10,
             items: 2000,
             rate: 1e4,

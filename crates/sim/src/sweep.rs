@@ -190,6 +190,83 @@ impl RunSweep {
     /// Returns an error if `x_values` is empty, not strictly ascending,
     /// or reaches outside `[1, x_max]`.
     pub fn evaluate(&mut self, cache_capacity: usize, x_values: &[u64]) -> Result<Vec<LoadReport>> {
+        let (offered, sticky, d) = (self.offered, self.sticky, self.replication);
+        self.walk(cache_capacity, x_values, move |x| {
+            // Per-rank probability and rate, spelled exactly as
+            // `RankProbs::get` computes them for the equal-rate patterns.
+            let rate = offered * (1.0 / x as f64);
+            // The engine adds `rate` once per cached rank, left to right.
+            let cached = x.min(cache_capacity as u64);
+            let mut cache_load = 0.0;
+            for _ in 0..cached {
+                cache_load += rate;
+            }
+            let addend = if sticky { rate } else { rate / d as f64 };
+            PointLoads { addend, cache_load }
+        })
+    }
+
+    /// Evaluates the `x` grid under *online* sketch-driven admission at
+    /// hit efficiency `efficiency` (`η ∈ [0, 1]`).
+    ///
+    /// The oracle model of [`RunSweep::evaluate`] pins the `c` most
+    /// popular ranks and routes none of their traffic. An online cache
+    /// cannot pre-pin anything against an equal-rate `x`-subset: it holds
+    /// about `min(c, x)` of the `x` keys at any instant, and admission
+    /// churn spreads the hits uniformly over them, so *every* key reaches
+    /// the backend with the residual rate
+    /// `(R/x) · (1 − η·min(c, x)/x)`. `η` captures how much of that ideal
+    /// hit mass the sketch actually realizes: `η → 1` once frequency
+    /// estimates converge on a stationary workload, `η → 0` when the
+    /// attacker rotates its key set faster than the sketch's halving
+    /// window adapts. `efficiency = 0` (or `cache_capacity = 0`) is
+    /// bit-identical to `evaluate(0, x_values)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `efficiency` is outside `[0, 1]` or the grid
+    /// violates the [`RunSweep::evaluate`] contract.
+    pub fn evaluate_online(
+        &mut self,
+        cache_capacity: usize,
+        efficiency: f64,
+        x_values: &[u64],
+    ) -> Result<Vec<LoadReport>> {
+        if !efficiency.is_finite() || !(0.0..=1.0).contains(&efficiency) {
+            return Err(SimError::InvalidConfig {
+                field: "efficiency",
+                reason: format!("hit efficiency must lie in [0, 1], got {efficiency}"),
+            });
+        }
+        let (offered, sticky, d) = (self.offered, self.sticky, self.replication);
+        // Route from rank 0: online admission caches a *fraction* of
+        // every rank's rate instead of the oracle's whole-rank prefix.
+        self.walk(0, x_values, move |x| {
+            let rate = offered * (1.0 / x as f64);
+            let hit = efficiency * ((cache_capacity as u64).min(x) as f64 / x as f64);
+            let residual = rate * (1.0 - hit);
+            let addend = if sticky {
+                residual
+            } else {
+                residual / d as f64
+            };
+            PointLoads {
+                addend,
+                cache_load: offered * hit,
+            }
+        })
+    }
+
+    /// Shared grid walk: validates the grid, routes ranks
+    /// `skip_ranks..x` incrementally, and reconstructs one report per
+    /// point from the integer counts using the per-point load shape
+    /// supplied by `loads_at`.
+    fn walk(
+        &mut self,
+        skip_ranks: usize,
+        x_values: &[u64],
+        loads_at: impl Fn(u64) -> PointLoads,
+    ) -> Result<Vec<LoadReport>> {
         let (first, last) = match (x_values.first(), x_values.last()) {
             (Some(&first), Some(&last)) => (first, last),
             _ => {
@@ -227,13 +304,13 @@ impl RunSweep {
         } = self;
         let (d, offered, sticky) = (*replication, *offered, *sticky);
         let mut max_count: u32 = 0;
-        let mut next_rank = cache_capacity as u64;
-        let mut group_iter = groups.chunks_exact(d).skip(cache_capacity);
+        let mut next_rank = skip_ranks as u64;
+        let mut group_iter = groups.chunks_exact(d).skip(skip_ranks);
         let mut out = Vec::with_capacity(x_values.len());
         for &x in x_values {
-            // Route ranks `next_rank..x` — exactly the uncached ranks the
-            // per-point engine routes for pattern support `x`, in the
-            // same order, continuing from the previous grid point.
+            // Route ranks `next_rank..x` — exactly the backend-visible
+            // ranks the per-point engine routes for pattern support `x`,
+            // in the same order, continuing from the previous grid point.
             let todo = x.saturating_sub(next_rank) as usize;
             for group in group_iter.by_ref().take(todo) {
                 if sticky {
@@ -267,13 +344,8 @@ impl RunSweep {
                 counts,
                 table,
                 loads,
-                ReportShape {
-                    offered,
-                    sticky,
-                    replication: d,
-                },
-                cache_capacity,
-                x,
+                offered,
+                loads_at(x),
                 max_count,
             ));
         }
@@ -281,12 +353,12 @@ impl RunSweep {
     }
 }
 
-/// The per-run constants [`report_at`] needs to reconstruct a report.
+/// One grid point's load shape: the repeated addend each chosen node
+/// receives per routed rank, and the total load the cache absorbs.
 #[derive(Clone, Copy)]
-struct ReportShape {
-    offered: f64,
-    sticky: bool,
-    replication: usize,
+struct PointLoads {
+    addend: f64,
+    cache_load: f64,
 }
 
 /// Reconstructs the per-point engine's exact `LoadReport` for the current
@@ -296,34 +368,16 @@ fn report_at(
     counts: &[u32],
     table: &mut Vec<f64>,
     loads: &mut Vec<f64>,
-    shape: ReportShape,
-    cache_capacity: usize,
-    x: u64,
+    offered: f64,
+    point: PointLoads,
     max_count: u32,
 ) -> LoadReport {
-    // Per-rank probability and rate, spelled exactly as
-    // `RankProbs::get` computes them for the equal-rate patterns.
-    let p = 1.0 / x as f64;
-    let rate = shape.offered * p;
-
-    // The engine adds `rate` once per cached rank, left to right.
-    let cached = x.min(cache_capacity as u64);
-    let mut cache_load = 0.0;
-    for _ in 0..cached {
-        cache_load += rate;
-    }
-
     // Backend loads from the repeated-sum table (module docs).
-    let addend = if shape.sticky {
-        rate
-    } else {
-        rate / shape.replication as f64
-    };
     table.clear();
     table.push(0.0);
     let mut acc = 0.0;
     for _ in 0..max_count {
-        acc += addend;
+        acc += point.addend;
         table.push(acc);
     }
     loads.clear();
@@ -335,8 +389,8 @@ fn report_at(
 
     LoadReport {
         snapshot: LoadSnapshot::new(loads.clone()),
-        cache_load,
-        offered: shape.offered,
+        cache_load: point.cache_load,
+        offered,
         unserved: 0.0,
         cache_stats: None,
     }
@@ -409,15 +463,18 @@ pub struct SweepRun {
 }
 
 /// Resolves the *effective* front-end capacity for a nominal cache size
-/// under `base.cache_kind`, exactly as the rate engine does: `perfect`
-/// serves the top `c` ranks, `none` bypasses the cache entirely.
+/// under `base.effective_cache_kind()`, exactly as the rate engine does:
+/// `perfect` serves the top `c` ranks, `none` bypasses the cache
+/// entirely.
 ///
 /// # Errors
 ///
-/// Rejects stateful cache kinds, which the steady-state sweep cannot
-/// model.
+/// Rejects stateful cache kinds — including `perfect` demoted to
+/// W-TinyLFU by online admission — which the steady-state oracle walk
+/// cannot model (use [`IncrementalSweep::evaluate_online`] or the rate
+/// engine's online path instead).
 pub fn effective_capacity(base: &SimConfig, cache: usize) -> Result<usize> {
-    match base.cache_kind {
+    match base.effective_cache_kind() {
         CacheKind::Perfect => Ok(cache),
         CacheKind::None => Ok(0),
         other => Err(SimError::InvalidConfig {
@@ -680,6 +737,66 @@ mod tests {
         // x = m reproduces the Uniform pattern itself bit-for-bit.
         let report = sweep.evaluate(10, &[2_000]).unwrap().remove(0);
         assert_eq!(report, run_rate_simulation(&cfg).unwrap());
+    }
+
+    #[test]
+    fn online_with_zero_efficiency_matches_uncached_oracle() {
+        let cfg = base(SelectorKind::LeastLoaded);
+        let mut sweep = RunSweep::new(&cfg, 2_000).unwrap();
+        let grid = [11, 40, 500, 2_000];
+        let oracle = sweep.evaluate(0, &grid).unwrap();
+        let online = sweep.evaluate_online(10, 0.0, &grid).unwrap();
+        assert_eq!(oracle, online, "η = 0 must degenerate to no caching");
+        let no_cache = sweep.evaluate_online(0, 1.0, &grid).unwrap();
+        assert_eq!(oracle, no_cache, "c = 0 must degenerate to no caching");
+    }
+
+    #[test]
+    fn online_gain_improves_monotonically_with_efficiency() {
+        let cfg = base(SelectorKind::LeastLoaded);
+        let mut sweep = RunSweep::new(&cfg, 2_000).unwrap();
+        let grid = [40, 500];
+        let mut last_max = f64::INFINITY;
+        for eta in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            let reports = sweep.evaluate_online(10, eta, &grid).unwrap();
+            let max = reports[0].max_load();
+            assert!(
+                max <= last_max + 1e-12,
+                "η={eta}: max load {max} above {last_max}"
+            );
+            last_max = max;
+            // Conservation: cache + backend must still carry R exactly.
+            for r in &reports {
+                assert!(r.is_conserved(1e-9), "η={eta}");
+            }
+        }
+    }
+
+    #[test]
+    fn online_rejects_bad_efficiency() {
+        let cfg = base(SelectorKind::LeastLoaded);
+        let mut sweep = RunSweep::new(&cfg, 100).unwrap();
+        assert!(sweep.evaluate_online(10, -0.1, &[50]).is_err());
+        assert!(sweep.evaluate_online(10, 1.1, &[50]).is_err());
+        assert!(sweep.evaluate_online(10, f64::NAN, &[50]).is_err());
+        assert!(sweep.evaluate_online(10, 0.5, &[50]).is_ok());
+    }
+
+    #[test]
+    fn online_spreads_residual_over_every_attacked_key() {
+        // x = c + 1: the oracle concentrates R/x on the one uncached key,
+        // while the online model leaves each of the x keys a thin
+        // residual — so its max load must be far below the oracle's.
+        let cfg = base(SelectorKind::LeastLoaded);
+        let mut sweep = RunSweep::new(&cfg, 2_000).unwrap();
+        let oracle = sweep.evaluate(10, &[11]).unwrap();
+        let online = sweep.evaluate_online(10, 1.0, &[11]).unwrap();
+        assert!(
+            online[0].max_load() < oracle[0].max_load() / 2.0,
+            "online {} vs oracle {}",
+            online[0].max_load(),
+            oracle[0].max_load()
+        );
     }
 
     #[test]

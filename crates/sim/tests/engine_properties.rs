@@ -6,7 +6,7 @@
 //! property-testing framework, so every failure reproduces exactly from the
 //! constants below.
 
-use scp_sim::config::{CacheKind, PartitionerKind, SelectorKind, SimConfig};
+use scp_sim::config::{AdmissionKind, CacheKind, PartitionerKind, SelectorKind, SimConfig};
 use scp_sim::query_engine::run_query_simulation;
 use scp_sim::rate_engine::run_rate_simulation;
 use scp_workload::rng::{next_below, next_f64, Rng, Xoshiro256StarStar};
@@ -50,6 +50,7 @@ fn arb_config(gen: &mut Xoshiro256StarStar) -> SimConfig {
         nodes,
         replication,
         cache_kind: CacheKind::Perfect,
+        admission: AdmissionKind::Oracle,
         cache_capacity,
         items,
         rate: 1e4,

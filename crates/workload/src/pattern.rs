@@ -7,6 +7,8 @@
 //! [`PatternSampler`] (used by the query-sampling and discrete-event
 //! engines).
 
+use std::collections::HashSet;
+
 use crate::alias::AliasSampler;
 use crate::error::WorkloadError;
 use crate::pmf::Pmf;
@@ -58,6 +60,20 @@ pub enum AccessPattern {
     /// An arbitrary explicit distribution over ranks `0..pmf.len()`
     /// (the key space equals the pmf length).
     Explicit(Pmf),
+    /// An adaptive adversary: queries uniformly over a working set of `x`
+    /// ranks drawn without replacement from the `m`-rank space, and
+    /// re-draws the whole set every `period` queries. Each instantaneous
+    /// set is the Eq. (4) optimal shape, but rotating faster than an
+    /// online admission sketch can adapt starves its frequency estimates;
+    /// the long-run marginal over ranks is uniform `1/m`.
+    RotatingSubset {
+        /// Number of distinct ranks queried between redraws.
+        x: u64,
+        /// Size of the key space.
+        m: u64,
+        /// Queries issued against each working set before redrawing.
+        period: u64,
+    },
 }
 
 impl AccessPattern {
@@ -136,13 +152,36 @@ impl AccessPattern {
         AccessPattern::Explicit(pmf)
     }
 
+    /// Uniform queries over an `x`-rank working set redrawn every
+    /// `period` queries (see [`AccessPattern::RotatingSubset`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless `1 <= x <= m` and `period >= 1`.
+    pub fn rotating_subset(x: u64, m: u64, period: u64) -> Result<Self> {
+        if x == 0 || x > m {
+            return Err(WorkloadError::InvalidParameter {
+                name: "x",
+                reason: format!("need 1 <= x <= m, got x={x}, m={m}"),
+            });
+        }
+        if period == 0 {
+            return Err(WorkloadError::InvalidParameter {
+                name: "period",
+                reason: "must be at least 1 query per working set".into(),
+            });
+        }
+        Ok(AccessPattern::RotatingSubset { x, m, period })
+    }
+
     /// Size of the key space the pattern is defined over.
     pub fn key_space(&self) -> u64 {
         match *self {
             AccessPattern::UniformSubset { m, .. }
             | AccessPattern::HeadTail { m, .. }
             | AccessPattern::Zipf { m, .. }
-            | AccessPattern::Uniform { m } => m,
+            | AccessPattern::Uniform { m }
+            | AccessPattern::RotatingSubset { m, .. } => m,
             AccessPattern::Explicit(ref pmf) => pmf.len() as u64,
         }
     }
@@ -153,7 +192,11 @@ impl AccessPattern {
     pub fn support_bound(&self) -> u64 {
         match *self {
             AccessPattern::UniformSubset { x, .. } | AccessPattern::HeadTail { x, .. } => x,
-            AccessPattern::Zipf { m, .. } | AccessPattern::Uniform { m } => m,
+            // Every rank can land in some working set, so the marginal
+            // support is the whole space.
+            AccessPattern::Zipf { m, .. }
+            | AccessPattern::Uniform { m }
+            | AccessPattern::RotatingSubset { m, .. } => m,
             AccessPattern::Explicit(ref pmf) => pmf.len() as u64,
         }
     }
@@ -188,6 +231,15 @@ impl AccessPattern {
             AccessPattern::Explicit(ref pmf) => {
                 SamplerKind::Alias(AliasSampler::new(pmf.as_slice())?)
             }
+            AccessPattern::RotatingSubset { x, m, period } => {
+                SamplerKind::Rotating(RotatingState {
+                    x,
+                    m,
+                    period,
+                    current: Vec::new(),
+                    until_redraw: 0,
+                })
+            }
         };
         Ok(PatternSampler {
             kind,
@@ -203,6 +255,9 @@ impl AccessPattern {
             AccessPattern::Zipf { alpha, m } => format!("zipf(alpha={alpha}, m={m})"),
             AccessPattern::Uniform { m } => format!("uniform(m={m})"),
             AccessPattern::Explicit(ref pmf) => format!("explicit({} ranks)", pmf.len()),
+            AccessPattern::RotatingSubset { x, m, period } => {
+                format!("rotating-subset(x={x}, m={m}, period={period})")
+            }
         }
     }
 }
@@ -242,7 +297,9 @@ impl RankProbs<'_> {
                     0.0
                 }
             }
-            AccessPattern::Uniform { m } => {
+            // A rotating working set is drawn uniformly, so the marginal
+            // over ranks is exactly uniform.
+            AccessPattern::Uniform { m } | AccessPattern::RotatingSubset { m, .. } => {
                 if rank < m {
                     1.0 / m as f64
                 } else {
@@ -274,7 +331,9 @@ impl RankProbs<'_> {
         let c = c.min(self.support_bound());
         match *self.pattern {
             AccessPattern::UniformSubset { x, .. } => c.min(x) as f64 / x as f64,
-            AccessPattern::Uniform { m } => c as f64 / m as f64,
+            AccessPattern::Uniform { m } | AccessPattern::RotatingSubset { m, .. } => {
+                c as f64 / m as f64
+            }
             _ => (0..c).map(|r| self.get(r)).sum(),
         }
     }
@@ -286,6 +345,43 @@ enum SamplerKind {
     HeadTail { x: u64, head_mass: f64 },
     Zipf(ZipfSampler),
     Alias(AliasSampler),
+    Rotating(RotatingState),
+}
+
+/// Sampler state for [`AccessPattern::RotatingSubset`]: the current
+/// working set and a countdown to the next redraw.
+#[derive(Debug, Clone)]
+struct RotatingState {
+    x: u64,
+    m: u64,
+    period: u64,
+    current: Vec<u64>,
+    until_redraw: u64,
+}
+
+impl RotatingState {
+    fn draw(&mut self, rng: &mut Xoshiro256StarStar) -> u64 {
+        if self.until_redraw == 0 {
+            self.redraw(rng);
+            self.until_redraw = self.period;
+        }
+        self.until_redraw -= 1;
+        let slot = next_below(rng, self.x) as usize;
+        self.current.get(slot).copied().unwrap_or(0)
+    }
+
+    /// Rejection-samples `x` distinct ranks below `m` into the working
+    /// set. `x <= m` is enforced at construction, so this terminates.
+    fn redraw(&mut self, rng: &mut Xoshiro256StarStar) {
+        self.current.clear();
+        let mut member: HashSet<u64> = HashSet::with_capacity(self.x as usize);
+        while (self.current.len() as u64) < self.x {
+            let candidate = next_below(rng, self.m);
+            if member.insert(candidate) {
+                self.current.push(candidate);
+            }
+        }
+    }
 }
 
 /// A seeded, deterministic sampler of ranks for an [`AccessPattern`].
@@ -298,17 +394,19 @@ pub struct PatternSampler {
 impl PatternSampler {
     /// Draws the next rank.
     pub fn sample(&mut self) -> u64 {
-        match &self.kind {
-            SamplerKind::UniformBelow(x) => next_below(&mut self.rng, *x),
+        let Self { kind, rng } = self;
+        match kind {
+            SamplerKind::UniformBelow(x) => next_below(rng, *x),
             SamplerKind::HeadTail { x, head_mass } => {
-                if next_f64(&mut self.rng) < *head_mass {
-                    next_below(&mut self.rng, x - 1)
+                if next_f64(rng) < *head_mass {
+                    next_below(rng, *x - 1)
                 } else {
-                    x - 1
+                    *x - 1
                 }
             }
-            SamplerKind::Zipf(z) => z.sample(&mut self.rng),
-            SamplerKind::Alias(a) => a.sample(&mut self.rng),
+            SamplerKind::Zipf(z) => z.sample(rng),
+            SamplerKind::Alias(a) => a.sample(rng),
+            SamplerKind::Rotating(state) => state.draw(rng),
         }
     }
 
@@ -341,6 +439,11 @@ impl PatternSampler {
             SamplerKind::Alias(a) => {
                 for slot in out.iter_mut() {
                     *slot = a.sample(rng);
+                }
+            }
+            SamplerKind::Rotating(state) => {
+                for slot in out.iter_mut() {
+                    *slot = state.draw(rng);
                 }
             }
         }
@@ -387,6 +490,7 @@ mod tests {
             AccessPattern::zipf(1.01, 100).unwrap(),
             AccessPattern::uniform(100).unwrap(),
             AccessPattern::explicit(Pmf::uniform(100).unwrap()),
+            AccessPattern::rotating_subset(7, 100, 50).unwrap(),
         ];
         for p in &patterns {
             let rp = p.rank_probs();
@@ -434,6 +538,7 @@ mod tests {
             AccessPattern::head_tail(5, 100, 0.21).unwrap(),
             AccessPattern::zipf(1.01, 100).unwrap(),
             AccessPattern::uniform(100).unwrap(),
+            AccessPattern::rotating_subset(5, 100, 37).unwrap(),
         ];
         for p in &patterns {
             let bound = p.support_bound();
@@ -462,6 +567,7 @@ mod tests {
             AccessPattern::head_tail(5, 100, 0.21).unwrap(),
             AccessPattern::zipf(1.01, 100).unwrap(),
             AccessPattern::uniform(100).unwrap(),
+            AccessPattern::rotating_subset(5, 100, 37).unwrap(),
         ];
         for p in &patterns {
             let mut one_by_one = p.sampler(31).unwrap();
@@ -492,6 +598,64 @@ mod tests {
             assert!(
                 (freq - exact).abs() < 0.01,
                 "rank {r}: frequency {freq} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn rotating_subset_validation() {
+        assert!(AccessPattern::rotating_subset(0, 10, 5).is_err());
+        assert!(AccessPattern::rotating_subset(11, 10, 5).is_err());
+        assert!(AccessPattern::rotating_subset(5, 10, 0).is_err());
+        assert!(AccessPattern::rotating_subset(10, 10, 1).is_ok());
+    }
+
+    #[test]
+    fn rotating_subset_uses_x_distinct_ranks_per_period() {
+        let p = AccessPattern::rotating_subset(5, 1000, 200).unwrap();
+        let mut s = p.sampler(11).unwrap();
+        for _ in 0..10 {
+            let mut seen = std::collections::HashSet::new();
+            for _ in 0..200 {
+                seen.insert(s.sample());
+            }
+            assert!(
+                seen.len() <= 5,
+                "one period must stay inside its working set, saw {}",
+                seen.len()
+            );
+        }
+    }
+
+    #[test]
+    fn rotating_subset_redraws_its_working_set() {
+        let p = AccessPattern::rotating_subset(5, 100_000, 100).unwrap();
+        let mut s = p.sampler(13).unwrap();
+        let first: std::collections::HashSet<u64> = (0..100).map(|_| s.sample()).collect();
+        let second: std::collections::HashSet<u64> = (0..100).map(|_| s.sample()).collect();
+        // With m = 100_000 the chance any rank carries over is tiny.
+        assert!(
+            first.intersection(&second).count() < 5,
+            "periods must draw fresh working sets"
+        );
+    }
+
+    #[test]
+    fn rotating_subset_marginal_is_uniform() {
+        let m = 20u64;
+        let p = AccessPattern::rotating_subset(4, m, 8).unwrap();
+        let mut s = p.sampler(29).unwrap();
+        let draws = 400_000usize;
+        let mut counts = vec![0usize; m as usize];
+        for _ in 0..draws {
+            counts[s.sample() as usize] += 1;
+        }
+        let expected = draws as f64 / m as f64;
+        for (r, &cnt) in counts.iter().enumerate() {
+            let ratio = cnt as f64 / expected;
+            assert!(
+                (0.9..1.1).contains(&ratio),
+                "rank {r}: {cnt} draws, ratio {ratio} off uniform"
             );
         }
     }

@@ -100,7 +100,7 @@ pub mod prelude {
     pub use scp_serve::{
         repeat_serve_journaled, run_deterministic, run_threaded, ServeConfig, ServeReport,
     };
-    pub use scp_sim::config::{CacheKind, PartitionerKind, SelectorKind};
+    pub use scp_sim::config::{AdmissionKind, CacheKind, PartitionerKind, SelectorKind};
     pub use scp_sim::query_engine::run_query_simulation;
     pub use scp_sim::rate_engine::run_rate_simulation;
     pub use scp_sim::runner::{repeat_rate_simulation_journaled, StopRule};
