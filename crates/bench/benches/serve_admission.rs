@@ -25,11 +25,7 @@ fn smoke() -> bool {
 /// The smoke-gate system: 8 shards under the optimal `x = c + 1` attack
 /// (the builder's `AttackHead` default), one admission knob varied per
 /// scenario.
-fn admission_config(
-    total_queries: u64,
-    admission: AdmissionKind,
-    difficulty: u32,
-) -> ServeConfig {
+fn admission_config(total_queries: u64, admission: AdmissionKind, difficulty: u32) -> ServeConfig {
     let sim = SimConfig::builder()
         .nodes(8)
         .replication(3)

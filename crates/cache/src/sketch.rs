@@ -280,7 +280,11 @@ mod tests {
         for _ in 0..9 {
             s.observe_sample();
         }
-        assert_eq!(s.resets(), 1, "absorbed accesses must still trigger halving");
+        assert_eq!(
+            s.resets(),
+            1,
+            "absorbed accesses must still trigger halving"
+        );
     }
 
     #[test]
@@ -317,6 +321,9 @@ mod tests {
             d.insert(&k);
         }
         let fp = (1_000_000..1_010_000u64).filter(|k| d.contains(k)).count();
-        assert!(fp < 220, "large-capacity false positive rate too high: {fp}/10000");
+        assert!(
+            fp < 220,
+            "large-capacity false positive rate too high: {fp}/10000"
+        );
     }
 }

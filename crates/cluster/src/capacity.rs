@@ -72,7 +72,9 @@ impl Capacities {
     ///
     /// Panics if the node is out of range.
     pub fn rate(&self, node: NodeId) -> f64 {
-        self.rates[node.index()]
+        let rate = self.rates.get(node.index()).copied();
+        assert!(rate.is_some(), "node {} out of range", node.index());
+        rate.unwrap_or(f64::NAN)
     }
 
     /// All capacities.

@@ -6,6 +6,7 @@ use crate::ids::{KeyId, NodeId};
 use crate::load::LoadSnapshot;
 use crate::partition::{Partitioner, ReplicaGroup};
 use crate::select::{RateAssignment, ReplicaSelector};
+use crate::topology::Topology;
 use crate::Result;
 
 /// A randomly partitioned cluster with replication.
@@ -44,7 +45,10 @@ pub struct Cluster {
 impl Cluster {
     /// Assembles a cluster from a partitioner and a replica selector.
     pub fn new(partitioner: Box<dyn Partitioner>, selector: Box<dyn ReplicaSelector>) -> Self {
-        let n = partitioner.node_count();
+        // Size by the index bound, not the member count: sparse
+        // topologies (after joins with non-contiguous ids) can return
+        // indices beyond the member count.
+        let n = partitioner.index_bound();
         Self {
             partitioner,
             selector,
@@ -96,7 +100,7 @@ impl Cluster {
     pub fn live_replicas(&self, key: KeyId) -> ReplicaGroup {
         self.partitioner
             .replica_group(key)
-            .filtered(|n| self.alive[n.index()])
+            .filtered(|n| self.alive.get(n.index()).copied().unwrap_or(false))
     }
 
     /// Bulk assignment: the live replica group of every key, in input
@@ -239,6 +243,50 @@ impl Cluster {
             Some(c) => c.saturated_nodes(&self.snapshot()),
             None => Vec::new(),
         }
+    }
+
+    /// Applies a new topology epoch: rebuilds the partitioner, grows the
+    /// load/liveness vectors to the new index bound (never shrinks — the
+    /// loads of departed nodes are history the conservation law still
+    /// counts), and re-derives liveness from the topology. Sticky
+    /// selectors re-pin affected keys lazily, exactly as after
+    /// [`Cluster::fail_node`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the topology cannot support the partitioner's
+    /// replication factor, or if attached capacities are too short for
+    /// the grown cluster; the cluster is unchanged on error.
+    pub fn reshard(&mut self, topology: &Topology) -> Result<()> {
+        if let Some(c) = &self.capacities {
+            if c.node_count() < topology.index_bound() {
+                return Err(ClusterError::InvalidParameter {
+                    name: "capacities",
+                    reason: format!(
+                        "{} capacities but resharding to index bound {}",
+                        c.node_count(),
+                        topology.index_bound()
+                    ),
+                });
+            }
+        }
+        self.partitioner.rebuild(topology)?;
+        let bound = self.partitioner.index_bound();
+        if bound > self.loads.len() {
+            self.loads.resize(bound, 0.0);
+            self.alive.resize(bound, true);
+        }
+        // Liveness follows the topology: members adopt their recorded
+        // state; slots with no member (holes and departed nodes) go dead
+        // so `live_nodes` reports the serving set. Routing never reaches
+        // non-member slots anyway — no partitioner returns them.
+        self.alive.fill(false);
+        for member in topology.members() {
+            if let Some(slot) = self.alive.get_mut(member.id.index()) {
+                *slot = member.alive;
+            }
+        }
+        Ok(())
     }
 
     /// Clears loads, counters and selector state (pins, round-robin
@@ -427,6 +475,82 @@ mod tests {
             .with_capacities(Capacities::uniform(10, 0.5).unwrap())
             .unwrap();
         assert!(c.saturated_nodes().is_empty());
+    }
+
+    #[test]
+    fn reshard_grows_loads_and_tracks_liveness() {
+        let mut t = Topology::with_nodes(10).unwrap();
+        let mut c = Cluster::new(
+            Box::new(crate::multiprobe::MultiProbePartitioner::new(10, 3, 42).unwrap()),
+            Box::new(LeastLoadedSelector::new()),
+        );
+        for k in 0..200u64 {
+            c.route_query(KeyId::new(k)).unwrap();
+        }
+        let total_before = c.snapshot().total();
+        t.join(NodeId::new(15)).unwrap();
+        t.crash(NodeId::new(2)).unwrap();
+        c.reshard(&t).unwrap();
+        assert_eq!(c.node_count(), 16, "grown to the new index bound");
+        assert!(c.is_alive(NodeId::new(15)));
+        assert!(!c.is_alive(NodeId::new(2)), "crash carries into liveness");
+        assert!(!c.is_alive(NodeId::new(12)), "holes are dead slots");
+        assert!(
+            (c.snapshot().total() - total_before).abs() < 1e-9,
+            "reshard must not invent or destroy load"
+        );
+        // New node serves traffic after the reshard.
+        let mut hit_joiner = false;
+        for k in 0..3000u64 {
+            if c.route_query(KeyId::new(k)).unwrap() == NodeId::new(15) {
+                hit_joiner = true;
+                break;
+            }
+        }
+        assert!(hit_joiner, "joiner never served after reshard");
+    }
+
+    #[test]
+    fn reshard_never_shrinks_and_departed_loads_survive() {
+        let mut t = Topology::with_nodes(10).unwrap();
+        let mut c = Cluster::new(
+            Box::new(crate::multiprobe::MultiProbePartitioner::new(10, 2, 7).unwrap()),
+            Box::new(LeastLoadedSelector::new()),
+        );
+        for k in 0..200u64 {
+            c.route_query(KeyId::new(k)).unwrap();
+        }
+        let total = c.snapshot().total();
+        t.leave(NodeId::new(9)).unwrap();
+        c.reshard(&t).unwrap();
+        assert_eq!(c.node_count(), 10, "load vector keeps departed slots");
+        assert!(!c.is_alive(NodeId::new(9)));
+        assert_eq!(c.live_nodes(), 9);
+        assert!((c.snapshot().total() - total).abs() < 1e-9);
+        for _ in 0..50 {
+            let n = c.route_query(KeyId::new(77)).unwrap();
+            assert_ne!(n, NodeId::new(9), "routed to a departed node");
+        }
+    }
+
+    #[test]
+    fn reshard_rejects_topologies_below_replication() {
+        let mut c = small_cluster(Box::new(LeastLoadedSelector::new()));
+        let t = Topology::with_nodes(2).unwrap();
+        assert!(c.reshard(&t).is_err(), "d=3 needs at least 3 members");
+        assert_eq!(c.node_count(), 10, "failed reshard leaves cluster intact");
+        assert_eq!(c.live_nodes(), 10);
+    }
+
+    #[test]
+    fn reshard_guards_attached_capacities() {
+        let mut c = small_cluster(Box::new(LeastLoadedSelector::new()))
+            .with_capacities(Capacities::uniform(10, 2.0).unwrap())
+            .unwrap();
+        let mut t = Topology::with_nodes(10).unwrap();
+        t.join(NodeId::new(20)).unwrap();
+        assert!(c.reshard(&t).is_err(), "capacities too short for growth");
+        assert_eq!(c.live_nodes(), 10, "failed reshard must not touch liveness");
     }
 
     #[test]

@@ -17,6 +17,11 @@ pub enum ClusterError {
     UnknownNode(NodeId),
     /// No live replica could serve the key (all group members failed).
     NoLiveReplica(KeyId),
+    /// A replica group already holds [`MAX_REPLICATION`] nodes; the
+    /// payload is the node that could not be appended.
+    ///
+    /// [`MAX_REPLICATION`]: crate::partition::MAX_REPLICATION
+    ReplicaGroupFull(NodeId),
 }
 
 impl fmt::Display for ClusterError {
@@ -28,6 +33,9 @@ impl fmt::Display for ClusterError {
             ClusterError::UnknownNode(node) => write!(f, "unknown node {node}"),
             ClusterError::NoLiveReplica(key) => {
                 write!(f, "no live replica can serve key {key}")
+            }
+            ClusterError::ReplicaGroupFull(node) => {
+                write!(f, "replica group is full; cannot add {node}")
             }
         }
     }

@@ -34,15 +34,19 @@ pub mod cluster;
 pub mod error;
 pub mod ids;
 pub mod load;
+pub mod multiprobe;
 pub mod partition;
 pub mod rebalance;
 pub mod select;
+pub mod topology;
 
 pub use cluster::Cluster;
 pub use error::ClusterError;
 pub use ids::{KeyId, NodeId};
-pub use partition::{Partitioner, ReplicaGroup, MAX_REPLICATION};
+pub use multiprobe::MultiProbePartitioner;
+pub use partition::{Partitioner, PartitionerKind, PartitionerSpec, ReplicaGroup, MAX_REPLICATION};
 pub use select::ReplicaSelector;
+pub use topology::{MigrationPlan, Topology};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, ClusterError>;

@@ -2,14 +2,26 @@
 //!
 //! The paper's analysis assumes *randomized partitioning*: the mapping of
 //! keys to replica groups is opaque to clients, and any two keys map
-//! independently. [`HashPartitioner`], [`ConsistentHashRing`] and
-//! [`RendezvousPartitioner`] satisfy this; [`RangePartitioner`] does not
-//! (lexicographically close keys share groups, the BigTable/HBase case the
-//! paper explicitly excludes) and exists to demonstrate why that exclusion
-//! matters.
+//! independently. [`HashPartitioner`], [`ConsistentHashRing`],
+//! [`RendezvousPartitioner`] and [`MultiProbePartitioner`] satisfy this;
+//! [`RangePartitioner`] does not (lexicographically close keys share
+//! groups, the BigTable/HBase case the paper explicitly excludes) and
+//! exists to demonstrate why that exclusion matters.
+//!
+//! Construction goes through the validated [`PartitionerSpec`] builder:
+//! one surface for every scheme, over either a dense node count or an
+//! explicit epoch-versioned [`Topology`]. Every partitioner also exposes
+//! a membership seam — [`Partitioner::rebuild`] re-derives placement for
+//! a new topology epoch, and the movement between two epochs is an
+//! explicit [`MigrationPlan`].
+//!
+//! [`MultiProbePartitioner`]: crate::multiprobe::MultiProbePartitioner
+//! [`MigrationPlan`]: crate::topology::MigrationPlan
 
 use crate::error::ClusterError;
 use crate::ids::{KeyId, NodeId};
+use crate::multiprobe::MultiProbePartitioner;
+use crate::topology::Topology;
 use crate::Result;
 use scp_workload::rng::mix;
 use std::fmt;
@@ -39,18 +51,35 @@ impl ReplicaGroup {
         }
     }
 
-    /// Appends a node.
+    /// Appends a node, rejecting overflow.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the group is already at [`MAX_REPLICATION`].
-    pub fn push(&mut self, node: NodeId) {
-        assert!(
-            (self.len as usize) < MAX_REPLICATION,
-            "replica group overflow"
-        );
-        self.nodes[self.len as usize] = node;
-        self.len += 1;
+    /// Returns [`ClusterError::ReplicaGroupFull`] if the group already
+    /// holds [`MAX_REPLICATION`] nodes.
+    pub fn try_push(&mut self, node: NodeId) -> Result<()> {
+        match self.nodes.get_mut(self.len as usize) {
+            Some(slot) => {
+                *slot = node;
+                self.len += 1;
+                Ok(())
+            }
+            None => Err(ClusterError::ReplicaGroupFull(node)),
+        }
+    }
+
+    /// Infallible append for callers that have already validated
+    /// `d <= MAX_REPLICATION` (every partitioner does, at construction).
+    /// An overflow is silently dropped in release (debug-asserted), never
+    /// memory-unsafe.
+    pub(crate) fn push_unchecked(&mut self, node: NodeId) {
+        match self.nodes.get_mut(self.len as usize) {
+            Some(slot) => {
+                *slot = node;
+                self.len += 1;
+            }
+            None => debug_assert!(false, "replica group overflow"),
+        }
     }
 
     /// Number of replicas in the group.
@@ -84,7 +113,8 @@ impl ReplicaGroup {
         let mut out = ReplicaGroup::new();
         for &n in self.as_slice() {
             if keep(n) {
-                out.push(n);
+                // The copy can never exceed the source's length.
+                out.push_unchecked(n);
             }
         }
         out
@@ -104,10 +134,19 @@ impl fmt::Debug for ReplicaGroup {
 }
 
 impl FromIterator<NodeId> for ReplicaGroup {
+    /// Collects up to [`MAX_REPLICATION`] nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the iterator yields more than [`MAX_REPLICATION`]
+    /// nodes; collect into a `Vec` and use [`ReplicaGroup::try_push`]
+    /// when the length is not statically bounded.
     fn from_iter<T: IntoIterator<Item = NodeId>>(iter: T) -> Self {
         let mut g = ReplicaGroup::new();
         for n in iter {
-            g.push(n);
+            // scp-allow(panic-path): documented contract; the bound is
+            // statically known at every in-tree call site
+            g.try_push(n).expect("replica group overflow");
         }
         g
     }
@@ -126,20 +165,39 @@ impl<'a> IntoIterator for &'a ReplicaGroup {
 ///
 /// Implementations must be pure functions of `(self, key)`: the same key
 /// always yields the same group ("costly to shift results" — partitioning
-/// is stable on the timescale of an experiment).
+/// is stable on the timescale of an experiment). Placement changes only
+/// through the explicit [`Partitioner::rebuild`] membership seam.
 pub trait Partitioner: Send + Sync + fmt::Debug {
     /// The replica group serving `key`. Always returns exactly
     /// [`Partitioner::replication_factor`] distinct nodes.
     fn replica_group(&self, key: KeyId) -> ReplicaGroup;
 
-    /// Number of back-end nodes `n`.
+    /// Number of back-end nodes `n` (topology members, alive or not).
     fn node_count(&self) -> usize;
 
     /// Replication factor `d`.
     fn replication_factor(&self) -> usize;
+
+    /// Exclusive upper bound on the node *indices* this partitioner can
+    /// return. Equals [`Partitioner::node_count`] for dense `0..n-1`
+    /// topologies; larger when membership is sparse (after joins with
+    /// non-contiguous ids). Load vectors must be at least this long.
+    fn index_bound(&self) -> usize {
+        self.node_count()
+    }
+
+    /// Re-derives placement for a new topology epoch, preserving the
+    /// scheme's movement guarantees (minimal for ring/rendezvous/
+    /// multi-probe, wholesale for hash/range).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the topology cannot support the configured
+    /// replication factor. On error the partitioner is unchanged.
+    fn rebuild(&mut self, topology: &Topology) -> Result<()>;
 }
 
-fn validate_n_d(n: usize, d: usize) -> Result<()> {
+pub(crate) fn validate_n_d(n: usize, d: usize) -> Result<()> {
     if n == 0 {
         return Err(ClusterError::InvalidParameter {
             name: "n",
@@ -161,6 +219,15 @@ fn validate_n_d(n: usize, d: usize) -> Result<()> {
     Ok(())
 }
 
+fn member_ids(topology: &Topology) -> Vec<NodeId> {
+    topology.members().iter().map(|m| m.id).collect()
+}
+
+/// Exclusive index bound of a sorted member list.
+fn members_bound(members: &[NodeId]) -> usize {
+    members.last().map_or(0, |n| n.index() + 1)
+}
+
 /// Maps a 64-bit hash to `[0, n)` without modulo bias
 /// (fixed-point multiply).
 #[inline]
@@ -175,23 +242,44 @@ fn hash_to_index(hash: u64, n: usize) -> u32 {
 ///
 /// This is the partitioner the paper's model assumes — every key maps
 /// independently and uniformly, like GFS chunk placement or a hashed
-/// key-value store.
+/// key-value store. The flip side: placement depends on the member
+/// *count*, so a membership change remaps nearly every key (the contrast
+/// the `reshard` experiment measures against multi-probe).
 #[derive(Debug, Clone)]
 pub struct HashPartitioner {
-    n: usize,
+    // Sorted member ids; placement hashes into positions of this list.
+    members: Vec<NodeId>,
     d: usize,
     seed: u64,
 }
 
 impl HashPartitioner {
-    /// Creates the partitioner for `n` nodes with replication `d`.
+    /// Creates the partitioner for a dense `n`-node topology.
     ///
     /// # Errors
     ///
     /// Returns an error unless `1 <= d <= min(n, MAX_REPLICATION)`.
     pub fn new(n: usize, d: usize, seed: u64) -> Result<Self> {
         validate_n_d(n, d)?;
-        Ok(Self { n, d, seed })
+        Ok(Self {
+            members: (0..n).map(NodeId::from_index).collect(),
+            d,
+            seed,
+        })
+    }
+
+    /// Creates the partitioner over an explicit topology.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless `1 <= d <= min(n, MAX_REPLICATION)`.
+    pub fn from_topology(topology: &Topology, d: usize, seed: u64) -> Result<Self> {
+        validate_n_d(topology.len(), d)?;
+        Ok(Self {
+            members: member_ids(topology),
+            d,
+            seed,
+        })
     }
 }
 
@@ -201,9 +289,11 @@ impl Partitioner for HashPartitioner {
         let mut attempt = 0u64;
         while group.len() < self.d {
             let h = mix(&[self.seed, key.value(), attempt]);
-            let node = NodeId::new(hash_to_index(h, self.n));
-            if !group.contains(node) {
-                group.push(node);
+            let slot = hash_to_index(h, self.members.len()) as usize;
+            if let Some(&node) = self.members.get(slot) {
+                if !group.contains(node) {
+                    group.push_unchecked(node);
+                }
             }
             attempt += 1;
         }
@@ -211,11 +301,21 @@ impl Partitioner for HashPartitioner {
     }
 
     fn node_count(&self) -> usize {
-        self.n
+        self.members.len()
     }
 
     fn replication_factor(&self) -> usize {
         self.d
+    }
+
+    fn index_bound(&self) -> usize {
+        members_bound(&self.members)
+    }
+
+    fn rebuild(&mut self, topology: &Topology) -> Result<()> {
+        validate_n_d(topology.len(), self.d)?;
+        self.members = member_ids(topology);
+        Ok(())
     }
 }
 
@@ -227,7 +327,9 @@ pub struct ConsistentHashRing {
     points: Vec<(u64, NodeId)>,
     n: usize,
     d: usize,
+    vnodes: usize,
     seed: u64,
+    bound: usize,
 }
 
 impl ConsistentHashRing {
@@ -249,25 +351,33 @@ impl ConsistentHashRing {
     ///
     /// Returns an error on invalid `n`/`d` or `vnodes == 0`.
     pub fn with_vnodes(n: usize, d: usize, vnodes: usize, seed: u64) -> Result<Self> {
-        validate_n_d(n, d)?;
+        let topology = Topology::with_nodes(n)?;
+        Self::from_topology(&topology, d, vnodes, seed)
+    }
+
+    /// Creates a ring over an explicit topology.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on invalid `n`/`d` or `vnodes == 0`.
+    pub fn from_topology(topology: &Topology, d: usize, vnodes: usize, seed: u64) -> Result<Self> {
+        validate_n_d(topology.len(), d)?;
         if vnodes == 0 {
             return Err(ClusterError::InvalidParameter {
                 name: "vnodes",
                 reason: "need at least one virtual node per node".to_owned(),
             });
         }
-        let mut points = Vec::with_capacity(n * vnodes);
-        for node in 0..n {
-            for v in 0..vnodes {
-                points.push((
-                    mix(&[seed, node as u64, v as u64]),
-                    NodeId::from_index(node),
-                ));
-            }
-        }
-        points.sort_unstable();
-        points.dedup_by_key(|p| p.0);
-        Ok(Self { points, n, d, seed })
+        let mut slf = Self {
+            points: Vec::with_capacity(topology.len() * vnodes),
+            n: topology.len(),
+            d,
+            vnodes,
+            seed,
+            bound: 0,
+        };
+        slf.rebuild(topology)?;
+        Ok(slf)
     }
 }
 
@@ -276,10 +386,15 @@ impl Partitioner for ConsistentHashRing {
         let h = mix(&[self.seed, key.value()]);
         let start = self.points.partition_point(|&(p, _)| p < h) % self.points.len();
         let mut group = ReplicaGroup::new();
-        for offset in 0..self.points.len() {
-            let (_, node) = self.points[(start + offset) % self.points.len()];
+        for &(_, node) in self
+            .points
+            .iter()
+            .cycle()
+            .skip(start)
+            .take(self.points.len())
+        {
             if !group.contains(node) {
-                group.push(node);
+                group.push_unchecked(node);
                 if group.len() == self.d {
                     break;
                 }
@@ -295,27 +410,69 @@ impl Partitioner for ConsistentHashRing {
     fn replication_factor(&self) -> usize {
         self.d
     }
+
+    fn index_bound(&self) -> usize {
+        self.bound
+    }
+
+    fn rebuild(&mut self, topology: &Topology) -> Result<()> {
+        validate_n_d(topology.len(), self.d)?;
+        self.points.clear();
+        self.points.reserve(topology.len() * self.vnodes);
+        for member in topology.members() {
+            for v in 0..self.vnodes {
+                self.points.push((
+                    mix(&[self.seed, u64::from(member.id.value()), v as u64]),
+                    member.id,
+                ));
+            }
+        }
+        self.points.sort_unstable();
+        self.points.dedup_by_key(|p| p.0);
+        self.n = topology.len();
+        self.bound = topology.index_bound();
+        Ok(())
+    }
 }
 
 /// Rendezvous (highest-random-weight) hashing: the group is the `d` nodes
 /// with the highest `hash(key, node)` scores. O(n) per lookup but with
-/// perfectly balanced group membership.
+/// perfectly balanced group membership and minimal movement (scores are
+/// per-node, so members keep their scores across epochs).
 #[derive(Debug, Clone)]
 pub struct RendezvousPartitioner {
-    n: usize,
+    members: Vec<NodeId>,
     d: usize,
     seed: u64,
 }
 
 impl RendezvousPartitioner {
-    /// Creates the partitioner.
+    /// Creates the partitioner for a dense `n`-node topology.
     ///
     /// # Errors
     ///
     /// Returns an error unless `1 <= d <= min(n, MAX_REPLICATION)`.
     pub fn new(n: usize, d: usize, seed: u64) -> Result<Self> {
         validate_n_d(n, d)?;
-        Ok(Self { n, d, seed })
+        Ok(Self {
+            members: (0..n).map(NodeId::from_index).collect(),
+            d,
+            seed,
+        })
+    }
+
+    /// Creates the partitioner over an explicit topology.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless `1 <= d <= min(n, MAX_REPLICATION)`.
+    pub fn from_topology(topology: &Topology, d: usize, seed: u64) -> Result<Self> {
+        validate_n_d(topology.len(), d)?;
+        Ok(Self {
+            members: member_ids(topology),
+            d,
+            seed,
+        })
     }
 }
 
@@ -325,37 +482,57 @@ impl Partitioner for RendezvousPartitioner {
         // a sorted array beats a heap.
         let mut best: [(u64, u32); MAX_REPLICATION] = [(0, 0); MAX_REPLICATION];
         let mut filled = 0usize;
-        let n = u32::try_from(self.n).unwrap_or(u32::MAX);
-        for node in 0..n {
-            let score = mix(&[self.seed, key.value(), node as u64]);
+        for &member in &self.members {
+            let node = member.value();
+            let score = mix(&[self.seed, key.value(), u64::from(node)]);
             if filled < self.d {
-                best[filled] = (score, node);
+                if let Some(slot) = best.get_mut(filled) {
+                    *slot = (score, node);
+                }
                 filled += 1;
                 if filled == self.d {
-                    best[..filled].sort_unstable_by(|a, b| b.cmp(a));
+                    let (prefix, _) = best.split_at_mut(filled);
+                    prefix.sort_unstable_by(|a, b| b.cmp(a));
                 }
-            } else if score > best[self.d - 1].0 {
+            } else if best.get(self.d - 1).is_some_and(|p| score > p.0) {
                 // Insert into the sorted prefix.
                 let mut i = self.d - 1;
-                best[i] = (score, node);
-                while i > 0 && best[i].0 > best[i - 1].0 {
+                if let Some(slot) = best.get_mut(i) {
+                    *slot = (score, node);
+                }
+                while i > 0 {
+                    let cur = best.get(i).map_or(0, |p| p.0);
+                    let prev = best.get(i - 1).map_or(u64::MAX, |p| p.0);
+                    if cur <= prev {
+                        break;
+                    }
                     best.swap(i, i - 1);
                     i -= 1;
                 }
             }
         }
-        best[..filled]
-            .iter()
+        best.iter()
+            .take(filled)
             .map(|&(_, n)| NodeId::new(n))
             .collect()
     }
 
     fn node_count(&self) -> usize {
-        self.n
+        self.members.len()
     }
 
     fn replication_factor(&self) -> usize {
         self.d
+    }
+
+    fn index_bound(&self) -> usize {
+        members_bound(&self.members)
+    }
+
+    fn rebuild(&mut self, topology: &Topology) -> Result<()> {
+        validate_n_d(topology.len(), self.d)?;
+        self.members = member_ids(topology);
+        Ok(())
     }
 }
 
@@ -369,13 +546,13 @@ impl Partitioner for RendezvousPartitioner {
 /// in Section II.A.
 #[derive(Debug, Clone)]
 pub struct RangePartitioner {
-    n: usize,
+    members: Vec<NodeId>,
     d: usize,
     m: u64,
 }
 
 impl RangePartitioner {
-    /// Creates the partitioner for an `m`-key space.
+    /// Creates the partitioner for an `m`-key space on a dense topology.
     ///
     /// # Errors
     ///
@@ -388,25 +565,280 @@ impl RangePartitioner {
                 reason: "key space must be non-empty".to_owned(),
             });
         }
-        Ok(Self { n, d, m })
+        Ok(Self {
+            members: (0..n).map(NodeId::from_index).collect(),
+            d,
+            m,
+        })
+    }
+
+    /// Creates the partitioner over an explicit topology.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on invalid `n`/`d` or `m == 0`.
+    pub fn from_topology(topology: &Topology, d: usize, m: u64) -> Result<Self> {
+        validate_n_d(topology.len(), d)?;
+        if m == 0 {
+            return Err(ClusterError::InvalidParameter {
+                name: "m",
+                reason: "key space must be non-empty".to_owned(),
+            });
+        }
+        Ok(Self {
+            members: member_ids(topology),
+            d,
+            m,
+        })
     }
 }
 
 impl Partitioner for RangePartitioner {
     fn replica_group(&self, key: KeyId) -> ReplicaGroup {
+        let n = self.members.len();
         let k = key.value().min(self.m - 1);
-        let primary = ((k as u128 * self.n as u128) / self.m as u128) as usize;
+        let primary = ((k as u128 * n as u128) / self.m as u128) as usize;
         (0..self.d)
-            .map(|i| NodeId::from_index((primary + i) % self.n))
+            .filter_map(|i| self.members.get((primary + i) % n).copied())
             .collect()
     }
 
     fn node_count(&self) -> usize {
-        self.n
+        self.members.len()
     }
 
     fn replication_factor(&self) -> usize {
         self.d
+    }
+
+    fn index_bound(&self) -> usize {
+        members_bound(&self.members)
+    }
+
+    fn rebuild(&mut self, topology: &Topology) -> Result<()> {
+        validate_n_d(topology.len(), self.d)?;
+        self.members = member_ids(topology);
+        Ok(())
+    }
+}
+
+/// Which partitioning scheme maps keys to replica groups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PartitionerKind {
+    /// Independent random placement (the paper's model).
+    Hash,
+    /// Consistent-hashing ring with virtual nodes.
+    Ring,
+    /// Rendezvous / highest-random-weight hashing.
+    Rendezvous,
+    /// Contiguous ranges — violates the randomized-partitioning
+    /// assumption; kept as the paper's excluded counter-example.
+    Range,
+    /// Multi-probe consistent hashing: O(1) storage per node, tunable
+    /// 1+ε peak-to-average, minimal movement on membership change.
+    MultiProbe,
+}
+
+impl PartitionerKind {
+    /// All kinds, for ablation sweeps.
+    pub const ALL: [PartitionerKind; 5] = [
+        PartitionerKind::Hash,
+        PartitionerKind::Ring,
+        PartitionerKind::Rendezvous,
+        PartitionerKind::Range,
+        PartitionerKind::MultiProbe,
+    ];
+
+    /// Short name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            PartitionerKind::Hash => "hash",
+            PartitionerKind::Ring => "ring",
+            PartitionerKind::Rendezvous => "rendezvous",
+            PartitionerKind::Range => "range",
+            PartitionerKind::MultiProbe => "multi-probe",
+        }
+    }
+}
+
+impl fmt::Display for PartitionerKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for PartitionerKind {
+    type Err = ClusterError;
+
+    fn from_str(s: &str) -> Result<Self> {
+        PartitionerKind::ALL
+            .iter()
+            .find(|k| k.name().eq_ignore_ascii_case(s.trim()))
+            .copied()
+            .ok_or_else(|| ClusterError::InvalidParameter {
+                name: "partitioner",
+                reason: format!(
+                    "unknown partitioner `{s}`; valid: {}",
+                    PartitionerKind::ALL.map(|k| k.name()).join(", ")
+                ),
+            })
+    }
+}
+
+/// Validated, kind-agnostic construction of any [`Partitioner`].
+///
+/// Replaces the positional constructors (`HashPartitioner::new(n, d,
+/// seed)` vs `RangePartitioner::new(n, d, m)` …) with one builder every
+/// layer shares — the sim config, the sweep and rate engines, `scp-serve`
+/// and the repro binaries all construct through a spec, so adding a
+/// scheme is a one-line change per call site.
+///
+/// ```
+/// use scp_cluster::partition::{PartitionerKind, PartitionerSpec};
+///
+/// let p = PartitionerSpec::new(PartitionerKind::MultiProbe)
+///     .nodes(100)
+///     .replication(3)
+///     .seed(42)
+///     .build()?;
+/// assert_eq!(p.node_count(), 100);
+/// # Ok::<(), scp_cluster::ClusterError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct PartitionerSpec {
+    kind: PartitionerKind,
+    nodes: Option<usize>,
+    topology: Option<Topology>,
+    replication: usize,
+    seed: u64,
+    items: Option<u64>,
+    vnodes: usize,
+    probes: usize,
+}
+
+impl PartitionerSpec {
+    /// Starts a spec for `kind`. A node count or topology is required;
+    /// everything else defaults (`d = 1`, `seed = 0`, scheme defaults
+    /// for virtual nodes and probes).
+    pub fn new(kind: PartitionerKind) -> Self {
+        Self {
+            kind,
+            nodes: None,
+            topology: None,
+            replication: 1,
+            seed: 0,
+            items: None,
+            vnodes: ConsistentHashRing::DEFAULT_VNODES,
+            probes: MultiProbePartitioner::DEFAULT_PROBES,
+        }
+    }
+
+    /// The scheme this spec builds.
+    pub fn kind(&self) -> PartitionerKind {
+        self.kind
+    }
+
+    /// Uses a dense epoch-0 topology of `n` uniform nodes.
+    pub fn nodes(mut self, n: usize) -> Self {
+        self.nodes = Some(n);
+        self.topology = None;
+        self
+    }
+
+    /// Uses an explicit topology (weights, sparse ids, liveness).
+    pub fn topology(mut self, topology: Topology) -> Self {
+        self.topology = Some(topology);
+        self.nodes = None;
+        self
+    }
+
+    /// Sets the replication factor `d` (default 1).
+    pub fn replication(mut self, d: usize) -> Self {
+        self.replication = d;
+        self
+    }
+
+    /// Sets the placement seed (default 0).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the key-space size `m` (required by
+    /// [`PartitionerKind::Range`], ignored by the hashed schemes).
+    pub fn items(mut self, m: u64) -> Self {
+        self.items = Some(m);
+        self
+    }
+
+    /// Overrides the virtual nodes per node for
+    /// [`PartitionerKind::Ring`].
+    pub fn vnodes(mut self, vnodes: usize) -> Self {
+        self.vnodes = vnodes;
+        self
+    }
+
+    /// Overrides the probes per lookup for
+    /// [`PartitionerKind::MultiProbe`].
+    pub fn probes(mut self, probes: usize) -> Self {
+        self.probes = probes;
+        self
+    }
+
+    /// Builds the partitioner, validating the assembled parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if neither [`nodes`](Self::nodes) nor
+    /// [`topology`](Self::topology) was given, on an invalid `(n, d)`
+    /// pair, or on missing/invalid scheme parameters (`items` for range,
+    /// `vnodes`/`probes` for ring/multi-probe).
+    pub fn build(&self) -> Result<Box<dyn Partitioner>> {
+        let owned;
+        let topology = match (&self.topology, self.nodes) {
+            (Some(t), _) => t,
+            (None, Some(n)) => {
+                owned = Topology::with_nodes(n)?;
+                &owned
+            }
+            (None, None) => {
+                return Err(ClusterError::InvalidParameter {
+                    name: "topology",
+                    reason: "spec needs nodes(n) or topology(t)".to_owned(),
+                })
+            }
+        };
+        let d = self.replication;
+        // `Box::from`, not `Box::new`: the panic-surface callgraph
+        // resolves `Box::new()` against every in-scope `new`.
+        let p: Box<dyn Partitioner> = match self.kind {
+            PartitionerKind::Hash => {
+                Box::from(HashPartitioner::from_topology(topology, d, self.seed)?)
+            }
+            PartitionerKind::Ring => Box::from(ConsistentHashRing::from_topology(
+                topology,
+                d,
+                self.vnodes,
+                self.seed,
+            )?),
+            PartitionerKind::Rendezvous => Box::from(RendezvousPartitioner::from_topology(
+                topology, d, self.seed,
+            )?),
+            PartitionerKind::Range => {
+                let m = self.items.ok_or_else(|| ClusterError::InvalidParameter {
+                    name: "items",
+                    reason: "range partitioning needs the key-space size; call items(m)".to_owned(),
+                })?;
+                Box::from(RangePartitioner::from_topology(topology, d, m)?)
+            }
+            PartitionerKind::MultiProbe => Box::from(MultiProbePartitioner::from_topology(
+                topology,
+                d,
+                self.probes,
+                self.seed,
+            )?),
+        };
+        Ok(p)
     }
 }
 
@@ -416,20 +848,26 @@ mod tests {
     use scp_workload::rng::{next_below, Rng, Xoshiro256StarStar};
 
     fn all_partitioners(n: usize, d: usize, m: u64) -> Vec<Box<dyn Partitioner>> {
-        vec![
-            Box::new(HashPartitioner::new(n, d, 1).unwrap()),
-            Box::new(ConsistentHashRing::new(n, d, 1).unwrap()),
-            Box::new(RendezvousPartitioner::new(n, d, 1).unwrap()),
-            Box::new(RangePartitioner::new(n, d, m).unwrap()),
-        ]
+        PartitionerKind::ALL
+            .iter()
+            .map(|&kind| {
+                PartitionerSpec::new(kind)
+                    .nodes(n)
+                    .replication(d)
+                    .seed(1)
+                    .items(m)
+                    .build()
+                    .unwrap()
+            })
+            .collect()
     }
 
     #[test]
     fn replica_group_basics() {
         let mut g = ReplicaGroup::new();
         assert!(g.is_empty());
-        g.push(NodeId::new(3));
-        g.push(NodeId::new(5));
+        g.try_push(NodeId::new(3)).unwrap();
+        g.try_push(NodeId::new(5)).unwrap();
         assert_eq!(g.len(), 2);
         assert!(g.contains(NodeId::new(3)));
         assert!(!g.contains(NodeId::new(4)));
@@ -439,12 +877,15 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "replica group overflow")]
-    fn replica_group_overflow_panics() {
+    fn replica_group_overflow_is_rejected_not_panicking() {
         let mut g = ReplicaGroup::new();
-        for i in 0..=MAX_REPLICATION as u32 {
-            g.push(NodeId::new(i));
+        for i in 0..MAX_REPLICATION as u32 {
+            g.try_push(NodeId::new(i)).unwrap();
         }
+        let err = g.try_push(NodeId::new(99)).unwrap_err();
+        assert_eq!(err, ClusterError::ReplicaGroupFull(NodeId::new(99)));
+        assert_eq!(g.len(), MAX_REPLICATION, "failed push must not mutate");
+        assert!(!g.contains(NodeId::new(99)));
     }
 
     #[test]
@@ -492,6 +933,117 @@ mod tests {
             let mut nodes: Vec<usize> = g.iter().map(|n| n.index()).collect();
             nodes.sort_unstable();
             assert_eq!(nodes, vec![0, 1, 2, 3], "{p:?}");
+        }
+    }
+
+    #[test]
+    fn spec_matches_positional_constructors_bit_for_bit() {
+        // The sweep engine's bit-identity promise rides on this: spec
+        // construction must reproduce the positional constructors
+        // exactly for every pre-existing kind.
+        let (n, d, m, seed) = (60, 3, 3000, 0xABCD_1234u64);
+        let pairs: Vec<(Box<dyn Partitioner>, Box<dyn Partitioner>)> = vec![
+            (
+                Box::new(HashPartitioner::new(n, d, seed).unwrap()),
+                PartitionerSpec::new(PartitionerKind::Hash)
+                    .nodes(n)
+                    .replication(d)
+                    .seed(seed)
+                    .build()
+                    .unwrap(),
+            ),
+            (
+                Box::new(ConsistentHashRing::new(n, d, seed).unwrap()),
+                PartitionerSpec::new(PartitionerKind::Ring)
+                    .nodes(n)
+                    .replication(d)
+                    .seed(seed)
+                    .build()
+                    .unwrap(),
+            ),
+            (
+                Box::new(RendezvousPartitioner::new(n, d, seed).unwrap()),
+                PartitionerSpec::new(PartitionerKind::Rendezvous)
+                    .nodes(n)
+                    .replication(d)
+                    .seed(seed)
+                    .build()
+                    .unwrap(),
+            ),
+            (
+                Box::new(RangePartitioner::new(n, d, m).unwrap()),
+                PartitionerSpec::new(PartitionerKind::Range)
+                    .nodes(n)
+                    .replication(d)
+                    .items(m)
+                    .build()
+                    .unwrap(),
+            ),
+        ];
+        for (positional, spec) in &pairs {
+            for k in 0..500u64 {
+                assert_eq!(
+                    positional.replica_group(KeyId::new(k)).as_slice(),
+                    spec.replica_group(KeyId::new(k)).as_slice(),
+                    "{positional:?} diverges from its spec at key {k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn spec_requires_a_node_source_and_range_needs_items() {
+        assert!(PartitionerSpec::new(PartitionerKind::Hash).build().is_err());
+        assert!(PartitionerSpec::new(PartitionerKind::Range)
+            .nodes(10)
+            .build()
+            .is_err());
+        assert!(PartitionerSpec::new(PartitionerKind::Range)
+            .nodes(10)
+            .items(100)
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn kind_text_round_trips_including_multiprobe() {
+        for kind in PartitionerKind::ALL {
+            assert_eq!(kind.to_string(), kind.name());
+            assert_eq!(kind.name().parse::<PartitionerKind>().unwrap(), kind);
+        }
+        assert_eq!(
+            " Multi-Probe ".parse::<PartitionerKind>().unwrap(),
+            PartitionerKind::MultiProbe
+        );
+        let err = "quantum".parse::<PartitionerKind>().unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("quantum"), "{msg}");
+        assert!(msg.contains("multi-probe"), "lists valid names: {msg}");
+    }
+
+    #[test]
+    fn rebuild_moves_keys_only_for_set_changes() {
+        let mut t = Topology::with_nodes(30).unwrap();
+        for kind in PartitionerKind::ALL {
+            let mut p = PartitionerSpec::new(kind)
+                .topology(t.clone())
+                .replication(3)
+                .seed(5)
+                .items(1000)
+                .build()
+                .unwrap();
+            let before: Vec<_> = (0..100).map(|k| p.replica_group(KeyId::new(k))).collect();
+            // Crash: same member set, rebuild is a placement no-op.
+            t.crash(NodeId::new(2)).unwrap();
+            p.rebuild(&t).unwrap();
+            for (k, b) in before.iter().enumerate() {
+                assert_eq!(
+                    p.replica_group(KeyId::new(k as u64)).as_slice(),
+                    b.as_slice(),
+                    "{kind:?} moved keys on a crash"
+                );
+            }
+            t.recover(NodeId::new(2)).unwrap();
         }
     }
 
@@ -561,6 +1113,30 @@ mod tests {
                 after == before || after == NodeId::new(10),
                 "key {k} moved {before} -> {after}"
             );
+        }
+    }
+
+    #[test]
+    fn sparse_topologies_keep_stable_ids() {
+        // Nodes 0..9 minus node 4: groups must never name node 4, and
+        // ids above the hole stay stable (no positional renumbering).
+        let mut t = Topology::with_nodes(10).unwrap();
+        t.leave(NodeId::new(4)).unwrap();
+        for kind in PartitionerKind::ALL {
+            let p = PartitionerSpec::new(kind)
+                .topology(t.clone())
+                .replication(3)
+                .seed(8)
+                .items(1000)
+                .build()
+                .unwrap();
+            assert_eq!(p.node_count(), 9, "{kind:?}");
+            assert_eq!(p.index_bound(), 10, "{kind:?}");
+            for k in 0..300u64 {
+                let g = p.replica_group(KeyId::new(k));
+                assert!(!g.contains(NodeId::new(4)), "{kind:?} used a left node");
+                assert!(g.iter().all(|n| n.index() < 10));
+            }
         }
     }
 

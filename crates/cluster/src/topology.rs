@@ -1,0 +1,484 @@
+//! Cluster membership as an explicit, epoch-versioned value.
+//!
+//! The paper's provisioning bound `c* = n·k + 1` is derived for a *fixed*
+//! randomly-partitioned cluster; production clusters churn. A [`Topology`]
+//! makes membership first-class: a sorted set of nodes (with weights and
+//! liveness) plus a **monotonically increasing epoch** that bumps on every
+//! mutation. Partitioners consume topologies through
+//! [`Partitioner::rebuild`], and the delta between two epochs is an
+//! explicit [`MigrationPlan`] (keyspace-crate style: per sampled key,
+//! which replicas move where), so the cost of a membership change is a
+//! measurable artifact instead of an implementation detail.
+//!
+//! Semantics chosen to match real replicated stores:
+//!
+//! * **join/leave** change the node *set* — data moves, the partitioner
+//!   must be rebuilt, and the migration plan is non-empty;
+//! * **crash/recover** change only *liveness* — placement is untouched
+//!   (the data is still on the dead node's disks), routing simply skips
+//!   dead replicas, and the migration plan between the two epochs is
+//!   empty.
+//!
+//! [`Partitioner::rebuild`]: crate::partition::Partitioner::rebuild
+
+use crate::error::ClusterError;
+use crate::ids::{KeyId, NodeId};
+use crate::partition::{Partitioner, ReplicaGroup};
+use crate::Result;
+
+/// One member of a [`Topology`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeInfo {
+    /// Stable node identifier (survives joins/leaves of other nodes).
+    pub id: NodeId,
+    /// Placement weight: a node with weight `w` attracts `w` times the
+    /// keys of a weight-1 node under weight-aware partitioners
+    /// (currently [`MultiProbePartitioner`]); others treat all members
+    /// equally.
+    ///
+    /// [`MultiProbePartitioner`]: crate::multiprobe::MultiProbePartitioner
+    pub weight: u32,
+    /// Whether the node is currently serving. Dead members keep their
+    /// placement (crash ≠ leave); routing skips them.
+    pub alive: bool,
+}
+
+/// An epoch-versioned node set.
+///
+/// Members are kept sorted by id and unique; every mutation bumps
+/// [`Topology::epoch`] exactly once, so two topologies with the same
+/// epoch that originated from the same value are identical.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Topology {
+    nodes: Vec<NodeInfo>,
+    epoch: u64,
+}
+
+impl Topology {
+    /// A fresh epoch-0 topology of `n` uniform live nodes with ids
+    /// `0..n-1` — the shape every fixed-cluster experiment uses.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `n == 0` or `n` exceeds `u32` indexing.
+    pub fn with_nodes(n: usize) -> Result<Self> {
+        if n == 0 {
+            return Err(ClusterError::InvalidParameter {
+                name: "n",
+                reason: "topology must have at least one node".to_owned(),
+            });
+        }
+        if n > u32::MAX as usize {
+            return Err(ClusterError::InvalidParameter {
+                name: "n",
+                reason: format!("{n} nodes exceeds u32 indexing"),
+            });
+        }
+        Ok(Self {
+            nodes: (0..n)
+                .map(|i| NodeInfo {
+                    id: NodeId::from_index(i),
+                    weight: 1,
+                    alive: true,
+                })
+                .collect(),
+            epoch: 0,
+        })
+    }
+
+    /// Current epoch; starts at 0 and bumps on every mutation.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of members (alive or not).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the topology has no members (unreachable through the
+    /// public API, which refuses to empty a topology).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Members in ascending id order.
+    pub fn members(&self) -> &[NodeInfo] {
+        &self.nodes
+    }
+
+    /// Looks up a member by id.
+    pub fn get(&self, id: NodeId) -> Option<&NodeInfo> {
+        self.position(id).and_then(|i| self.nodes.get(i))
+    }
+
+    /// Whether `id` is a member (alive or not).
+    pub fn contains(&self, id: NodeId) -> bool {
+        self.position(id).is_some()
+    }
+
+    /// Number of live members.
+    pub fn live_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.alive).count()
+    }
+
+    /// Sum of member weights (the number of placement points
+    /// weight-aware partitioners will use).
+    pub fn total_weight(&self) -> u64 {
+        self.nodes.iter().map(|n| u64::from(n.weight)).sum()
+    }
+
+    /// Exclusive upper bound on member indices: `max(id.index()) + 1`.
+    /// Load vectors and per-shard state must be at least this long.
+    pub fn index_bound(&self) -> usize {
+        // Members are sorted, so the last one has the largest id.
+        self.nodes.last().map_or(0, |n| n.id.index() + 1)
+    }
+
+    /// Adds a live weight-1 node and bumps the epoch.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `id` is already a member.
+    pub fn join(&mut self, id: NodeId) -> Result<()> {
+        self.join_weighted(id, 1)
+    }
+
+    /// Adds a live node with an explicit weight and bumps the epoch.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `id` is already a member or `weight == 0`.
+    pub fn join_weighted(&mut self, id: NodeId, weight: u32) -> Result<()> {
+        if weight == 0 {
+            return Err(ClusterError::InvalidParameter {
+                name: "weight",
+                reason: format!("{id} cannot join with weight 0"),
+            });
+        }
+        match self.nodes.binary_search_by_key(&id, |n| n.id) {
+            Ok(_) => Err(ClusterError::InvalidParameter {
+                name: "id",
+                reason: format!("{id} is already a member"),
+            }),
+            Err(at) => {
+                self.nodes.insert(
+                    at,
+                    NodeInfo {
+                        id,
+                        weight,
+                        alive: true,
+                    },
+                );
+                self.epoch += 1;
+                Ok(())
+            }
+        }
+    }
+
+    /// Removes a node from the set (its keys move) and bumps the epoch.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `id` is not a member or it is the last one.
+    pub fn leave(&mut self, id: NodeId) -> Result<()> {
+        if self.nodes.len() == 1 {
+            return Err(ClusterError::InvalidParameter {
+                name: "id",
+                reason: format!("{id} is the last member; a topology cannot be emptied"),
+            });
+        }
+        let at = self.position(id).ok_or(ClusterError::UnknownNode(id))?;
+        self.nodes.remove(at);
+        self.epoch += 1;
+        Ok(())
+    }
+
+    /// Marks a member dead without moving its keys; bumps the epoch.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `id` is not a member.
+    pub fn crash(&mut self, id: NodeId) -> Result<()> {
+        self.set_alive(id, false)
+    }
+
+    /// Brings a crashed member back; bumps the epoch.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `id` is not a member.
+    pub fn recover(&mut self, id: NodeId) -> Result<()> {
+        self.set_alive(id, true)
+    }
+
+    fn set_alive(&mut self, id: NodeId, alive: bool) -> Result<()> {
+        let at = self.position(id).ok_or(ClusterError::UnknownNode(id))?;
+        match self.nodes.get_mut(at) {
+            Some(node) => {
+                node.alive = alive;
+                self.epoch += 1;
+                Ok(())
+            }
+            None => Err(ClusterError::UnknownNode(id)),
+        }
+    }
+
+    fn position(&self, id: NodeId) -> Option<usize> {
+        self.nodes.binary_search_by_key(&id, |n| n.id).ok()
+    }
+}
+
+/// One key whose replica set changes between two epochs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KeyMove {
+    /// The key.
+    pub key: KeyId,
+    /// Replicas that serve the key only in the old epoch (data sources).
+    pub from: ReplicaGroup,
+    /// Replicas that serve the key only in the new epoch (destinations).
+    pub to: ReplicaGroup,
+    /// Whether the key's primary (first group member) changed.
+    pub primary_moved: bool,
+}
+
+/// The explicit delta between two topology epochs over a sampled key set.
+///
+/// `keyspace`-crate style: for each sampled key whose replica set differs
+/// between the two partitioners, the plan records the source and
+/// destination replicas. Keys whose group is unchanged do not appear.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MigrationPlan {
+    /// Epoch the plan migrates from.
+    pub from_epoch: u64,
+    /// Epoch the plan migrates to.
+    pub to_epoch: u64,
+    /// Number of keys examined.
+    pub keys_sampled: u64,
+    /// Total replica-slot assignments examined (`Σ group size` in the
+    /// new epoch).
+    pub replica_slots: u64,
+    /// Keys whose replica set changed, with their moves.
+    pub moves: Vec<KeyMove>,
+    /// Total destination replicas across all moves (`Σ |to|`).
+    pub replicas_moved: u64,
+    /// Keys whose primary replica changed.
+    pub primary_moves: u64,
+}
+
+impl MigrationPlan {
+    /// Computes the plan between two partitioner states over `keys`.
+    ///
+    /// `old` and `new` are the partitioners of the two epochs (e.g. one
+    /// built before and one after [`Partitioner::rebuild`], or two
+    /// separately built specs).
+    ///
+    /// [`Partitioner::rebuild`]: crate::partition::Partitioner::rebuild
+    pub fn between<I>(
+        old: &dyn Partitioner,
+        from_epoch: u64,
+        new: &dyn Partitioner,
+        to_epoch: u64,
+        keys: I,
+    ) -> Self
+    where
+        I: IntoIterator<Item = KeyId>,
+    {
+        let mut plan = Self {
+            from_epoch,
+            to_epoch,
+            keys_sampled: 0,
+            replica_slots: 0,
+            // `with_capacity`, not `new`: the panic-surface callgraph
+            // resolves `Vec::new()` against every in-scope `new`.
+            moves: Vec::with_capacity(0),
+            replicas_moved: 0,
+            primary_moves: 0,
+        };
+        for key in keys {
+            plan.keys_sampled += 1;
+            let before = old.replica_group(key);
+            let after = new.replica_group(key);
+            plan.replica_slots += after.len() as u64;
+            let from: ReplicaGroup = before
+                .iter()
+                .copied()
+                .filter(|&n| !after.contains(n))
+                .collect();
+            let to: ReplicaGroup = after
+                .iter()
+                .copied()
+                .filter(|&n| !before.contains(n))
+                .collect();
+            let primary_moved = before.as_slice().first() != after.as_slice().first();
+            if from.is_empty() && to.is_empty() && !primary_moved {
+                continue;
+            }
+            plan.replicas_moved += to.len() as u64;
+            if primary_moved {
+                plan.primary_moves += 1;
+            }
+            plan.moves.push(KeyMove {
+                key,
+                from,
+                to,
+                primary_moved,
+            });
+        }
+        plan
+    }
+
+    /// Whether no sampled key moves.
+    pub fn is_empty(&self) -> bool {
+        self.moves.is_empty()
+    }
+
+    /// Fraction of sampled keys whose replica set changed.
+    pub fn moved_key_fraction(&self) -> f64 {
+        if self.keys_sampled == 0 {
+            0.0
+        } else {
+            self.moves.len() as f64 / self.keys_sampled as f64
+        }
+    }
+
+    /// Fraction of sampled keys whose *primary* replica changed — the
+    /// quantity multi-probe consistent hashing bounds by ≈ `1/(n+1)` on
+    /// a single join.
+    pub fn primary_moved_fraction(&self) -> f64 {
+        if self.keys_sampled == 0 {
+            0.0
+        } else {
+            self.primary_moves as f64 / self.keys_sampled as f64
+        }
+    }
+
+    /// Fraction of replica-slot assignments that moved (`Σ|to| / Σ|group|`).
+    pub fn replica_moved_fraction(&self) -> f64 {
+        if self.replica_slots == 0 {
+            0.0
+        } else {
+            self.replicas_moved as f64 / self.replica_slots as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::{HashPartitioner, PartitionerKind, PartitionerSpec};
+
+    #[test]
+    fn with_nodes_builds_dense_epoch_zero() {
+        let t = Topology::with_nodes(4).unwrap();
+        assert_eq!(t.epoch(), 0);
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.live_count(), 4);
+        assert_eq!(t.total_weight(), 4);
+        assert_eq!(t.index_bound(), 4);
+        assert!(t.contains(NodeId::new(3)));
+        assert!(!t.contains(NodeId::new(4)));
+        assert!(Topology::with_nodes(0).is_err());
+    }
+
+    #[test]
+    fn every_mutation_bumps_the_epoch_once() {
+        let mut t = Topology::with_nodes(3).unwrap();
+        t.join(NodeId::new(7)).unwrap();
+        assert_eq!(t.epoch(), 1);
+        assert_eq!(t.index_bound(), 8);
+        t.crash(NodeId::new(1)).unwrap();
+        assert_eq!(t.epoch(), 2);
+        assert_eq!(t.live_count(), 3);
+        assert_eq!(t.len(), 4, "crash keeps membership");
+        t.recover(NodeId::new(1)).unwrap();
+        assert_eq!(t.epoch(), 3);
+        t.leave(NodeId::new(7)).unwrap();
+        assert_eq!(t.epoch(), 4);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.index_bound(), 3);
+    }
+
+    #[test]
+    fn members_stay_sorted_and_unique() {
+        let mut t = Topology::with_nodes(2).unwrap();
+        t.join(NodeId::new(9)).unwrap();
+        t.join(NodeId::new(4)).unwrap();
+        let ids: Vec<u32> = t.members().iter().map(|n| n.id.value()).collect();
+        assert_eq!(ids, vec![0, 1, 4, 9]);
+        assert!(t.join(NodeId::new(4)).is_err(), "duplicate join");
+        assert!(t.join_weighted(NodeId::new(5), 0).is_err(), "zero weight");
+    }
+
+    #[test]
+    fn leave_refuses_unknown_and_last_member() {
+        let mut t = Topology::with_nodes(2).unwrap();
+        assert!(t.leave(NodeId::new(9)).is_err());
+        t.leave(NodeId::new(0)).unwrap();
+        assert!(t.leave(NodeId::new(1)).is_err(), "cannot empty");
+        assert!(t.crash(NodeId::new(0)).is_err(), "gone after leave");
+    }
+
+    #[test]
+    fn weighted_join_records_weight() {
+        let mut t = Topology::with_nodes(1).unwrap();
+        t.join_weighted(NodeId::new(1), 3).unwrap();
+        assert_eq!(t.get(NodeId::new(1)).unwrap().weight, 3);
+        assert_eq!(t.total_weight(), 4);
+    }
+
+    #[test]
+    fn crash_only_epochs_produce_an_empty_plan() {
+        let mut t = Topology::with_nodes(20).unwrap();
+        let old = PartitionerSpec::new(PartitionerKind::Hash)
+            .topology(t.clone())
+            .replication(3)
+            .seed(9)
+            .build()
+            .unwrap();
+        let from = t.epoch();
+        t.crash(NodeId::new(5)).unwrap();
+        let new = PartitionerSpec::new(PartitionerKind::Hash)
+            .topology(t.clone())
+            .replication(3)
+            .seed(9)
+            .build()
+            .unwrap();
+        let plan = MigrationPlan::between(
+            old.as_ref(),
+            from,
+            new.as_ref(),
+            t.epoch(),
+            (0..500).map(KeyId::new),
+        );
+        assert!(plan.is_empty(), "crash must not move placement");
+        assert_eq!(plan.moved_key_fraction(), 0.0);
+        assert_eq!(plan.from_epoch, 0);
+        assert_eq!(plan.to_epoch, 1);
+    }
+
+    #[test]
+    fn identical_partitioners_yield_no_moves() {
+        let p = HashPartitioner::new(10, 3, 7).unwrap();
+        let q = HashPartitioner::new(10, 3, 7).unwrap();
+        let plan = MigrationPlan::between(&p, 0, &q, 0, (0..200).map(KeyId::new));
+        assert!(plan.is_empty());
+        assert_eq!(plan.keys_sampled, 200);
+        assert_eq!(plan.replica_slots, 600);
+    }
+
+    #[test]
+    fn plan_records_sources_and_destinations() {
+        // d = n forces known groups: 2 nodes -> 3 nodes moves nothing
+        // out, only node 2 in.
+        let old = HashPartitioner::new(2, 2, 7).unwrap();
+        let new = HashPartitioner::new(3, 3, 7).unwrap();
+        let plan = MigrationPlan::between(&old, 0, &new, 1, (0..50).map(KeyId::new));
+        for mv in &plan.moves {
+            assert!(mv.from.is_empty(), "no replica leaves a superset group");
+            assert_eq!(mv.to.as_slice(), &[NodeId::new(2)]);
+        }
+        assert_eq!(plan.moves.len(), 50, "every key gains the new replica");
+        assert_eq!(plan.replica_moved_fraction(), 1.0 / 3.0);
+    }
+}

@@ -539,7 +539,8 @@ mod tests {
     #[test]
     fn partitioning_contiguous_attack_dominates() {
         let t = partitioning(&fast_opts(), &mut JournalBook::new()).unwrap();
-        assert_eq!(t.len(), 5);
+        // One scattered-keys row per scheme plus the contiguous flood.
+        assert_eq!(t.len(), PartitionerKind::ALL.len() + 1);
         let csv = t.to_csv();
         // Parse the gains: the contiguous-range row must be the largest.
         let mut gains: Vec<(String, f64)> = csv

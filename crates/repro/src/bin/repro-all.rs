@@ -1,7 +1,7 @@
 //! Regenerates every figure of the paper plus the ablations in one go.
 
 use scp_repro::output::{save_journals, JournalBook};
-use scp_repro::{ablation, fig3, fig4, fig5, gap, Opts};
+use scp_repro::{ablation, fig3, fig4, fig5, gap, reshard, Opts};
 
 fn main() {
     let opts = Opts::from_env();
@@ -86,6 +86,24 @@ fn main() {
         }
         Err(e) => {
             eprintln!("gap failed: {e}");
+            failures += 1;
+        }
+    }
+
+    let cfg_reshard = reshard::ReshardConfig::paper(&opts);
+    match reshard::run(&cfg_reshard, opts.partitioner) {
+        Ok(outcome) => {
+            save(
+                &reshard::table_disruption(&cfg_reshard, &outcome.disruption),
+                "reshard_disruption",
+            );
+            save(
+                &reshard::table_drift(&cfg_reshard, opts.partitioner, &outcome.drift),
+                "reshard_cstar_drift",
+            );
+        }
+        Err(e) => {
+            eprintln!("reshard failed: {e}");
             failures += 1;
         }
     }

@@ -84,7 +84,12 @@ impl GapConfig {
         }
     }
 
-    fn sim(&self, pattern: AccessPattern, admission: AdmissionKind, salt: u64) -> Result<SimConfig> {
+    fn sim(
+        &self,
+        pattern: AccessPattern,
+        admission: AdmissionKind,
+        salt: u64,
+    ) -> Result<SimConfig> {
         SimConfig::builder()
             .nodes(self.nodes)
             .replication(self.replication)
@@ -174,7 +179,12 @@ fn serve_err(e: ServeError) -> SimError {
     }
 }
 
-fn margin_row(cfg: &GapConfig, label: &str, pattern: &AccessPattern, salt: u64) -> Result<MarginRow> {
+fn margin_row(
+    cfg: &GapConfig,
+    label: &str,
+    pattern: &AccessPattern,
+    salt: u64,
+) -> Result<MarginRow> {
     let oracle = run_rate_simulation(&cfg.sim(pattern.clone(), AdmissionKind::Oracle, salt)?)?;
     let online = run_rate_simulation(&cfg.sim(pattern.clone(), AdmissionKind::Online, salt)?)?;
     Ok(MarginRow {
@@ -407,7 +417,10 @@ mod tests {
             "online should be near-oracle on stationary Zipf, margin {}",
             row.margin()
         );
-        assert!(row.margin() <= 1.05, "online cannot beat the oracle by much");
+        assert!(
+            row.margin() <= 1.05,
+            "online cannot beat the oracle by much"
+        );
     }
 
     #[test]
@@ -460,7 +473,11 @@ mod tests {
         let off = pow_row(&cfg, 0).unwrap();
         let on = pow_row(&cfg, 3).unwrap();
         assert_eq!(off.attack_rejected, 0.0);
-        assert!(off.attack_gain > 1.0, "unshielded attack gain {}", off.attack_gain);
+        assert!(
+            off.attack_gain > 1.0,
+            "unshielded attack gain {}",
+            off.attack_gain
+        );
         assert!((off.work_factor - 1.0).abs() < 1e-12);
         // Mean attempts to find a 3-bit-zero digest is 2^3 = 8.
         assert!(

@@ -9,6 +9,7 @@
 //! | `fig5`  | Figure 5(a)+(b) | c-sweep: best achievable gain + chosen x |
 //! | `ablations` | DESIGN.md A1–A8 | selection, partitioning, replication, cache policies, front-end fleets, costs, skew, rebalancing |
 //! | `gap` | oracle-vs-online admission gap + PoW shield (beyond the paper) | stationary margin, rotating attacker, difficulty curve |
+//! | `reshard` | elastic membership (beyond the paper) | per-scheme join/leave disruption vs the `1/(n+1)` ideal; `c*` drift across topology epochs |
 //! | `repro-all` | everything above | |
 //!
 //! Every binary prints aligned tables and writes CSV files under
@@ -25,6 +26,7 @@ pub mod fig5;
 pub mod gap;
 pub mod opts;
 pub mod output;
+pub mod reshard;
 
 pub use opts::Opts;
 

@@ -1,6 +1,7 @@
 //! Serving-engine configuration and errors.
 
 use crate::pow::PowShield;
+use scp_cluster::{NodeId, Topology};
 use scp_sim::{SimConfig, SimError};
 
 /// Errors surfaced by the serving engine.
@@ -47,6 +48,93 @@ impl From<scp_workload::WorkloadError> for ServeError {
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, ServeError>;
+
+/// One topology mutation the serving engine can apply mid-run.
+///
+/// `Join` and `Leave` change placement (keys move); `Crash` and
+/// `Recover` only flip liveness (placement is untouched, routing skips
+/// the dead node — the same semantics as the simulators' fail/recover).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MembershipChange {
+    /// A new node with this id joins the serving set.
+    Join(u32),
+    /// The node with this id leaves; its keys move to the survivors.
+    Leave(u32),
+    /// The node stops serving but keeps its placement.
+    Crash(u32),
+    /// A crashed node resumes serving.
+    Recover(u32),
+}
+
+impl MembershipChange {
+    /// Applies the change to a topology, bumping its epoch on success.
+    pub fn apply(self, topology: &mut Topology) -> scp_cluster::Result<()> {
+        match self {
+            MembershipChange::Join(id) => topology.join(NodeId::new(id)),
+            MembershipChange::Leave(id) => topology.leave(NodeId::new(id)),
+            MembershipChange::Crash(id) => topology.crash(NodeId::new(id)),
+            MembershipChange::Recover(id) => topology.recover(NodeId::new(id)),
+        }
+    }
+}
+
+impl std::fmt::Display for MembershipChange {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MembershipChange::Join(id) => write!(f, "join:{id}"),
+            MembershipChange::Leave(id) => write!(f, "leave:{id}"),
+            MembershipChange::Crash(id) => write!(f, "crash:{id}"),
+            MembershipChange::Recover(id) => write!(f, "recover:{id}"),
+        }
+    }
+}
+
+/// A scheduled membership change: fire `change` when the `at_query`-th
+/// query is about to enter admission (logical-clock ticks, so the event
+/// lands at the identical point of the arrival sequence in both engine
+/// modes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MembershipEvent {
+    /// Submitted-query count at which the change applies.
+    pub at_query: u64,
+    /// The topology mutation.
+    pub change: MembershipChange,
+}
+
+impl std::fmt::Display for MembershipEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.at_query, self.change)
+    }
+}
+
+impl std::str::FromStr for MembershipEvent {
+    type Err = String;
+
+    /// Parses `AT:ACTION:ID`, e.g. `50000:join:8` or `120000:leave:3`.
+    fn from_str(s: &str) -> std::result::Result<Self, Self::Err> {
+        let mut parts = s.splitn(3, ':');
+        let (at, action, id) = match (parts.next(), parts.next(), parts.next()) {
+            (Some(a), Some(b), Some(c)) => (a, b, c),
+            _ => return Err(format!("`{s}` is not AT:ACTION:ID (e.g. 50000:join:8)")),
+        };
+        let at_query: u64 = at
+            .parse()
+            .map_err(|_| format!("`{at}` is not a query count"))?;
+        let id: u32 = id.parse().map_err(|_| format!("`{id}` is not a node id"))?;
+        let change = match action {
+            "join" => MembershipChange::Join(id),
+            "leave" => MembershipChange::Leave(id),
+            "crash" => MembershipChange::Crash(id),
+            "recover" => MembershipChange::Recover(id),
+            other => {
+                return Err(format!(
+                    "unknown action `{other}`; expected join|leave|crash|recover"
+                ))
+            }
+        };
+        Ok(MembershipEvent { at_query, change })
+    }
+}
 
 /// A complete description of one serving run.
 ///
@@ -102,6 +190,9 @@ pub struct ServeConfig {
     /// Length of the per-window gain-tracking window in logical seconds
     /// (`<= 0` disables per-window gain telemetry).
     pub gain_window_secs: f64,
+    /// Scheduled topology changes, ordered by `at_query` (ties apply in
+    /// list order). Empty means the membership is fixed for the run.
+    pub membership: Vec<MembershipEvent>,
 }
 
 impl ServeConfig {
@@ -124,6 +215,7 @@ impl ServeConfig {
             pow: None,
             attack_clients: 0,
             gain_window_secs: 1.0,
+            membership: Vec::with_capacity(0),
         }
     }
 
@@ -144,6 +236,46 @@ impl ServeConfig {
         } else {
             None
         }
+    }
+
+    /// Replays the membership schedule from the initial dense topology,
+    /// returning the final topology and the largest node-index bound any
+    /// epoch reaches (the engine pre-sizes per-shard state to that
+    /// bound, so a mid-run join never reallocates shard vectors).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any event is inapplicable in sequence (e.g.
+    /// leaving an unknown node) or would shrink the serving set below
+    /// the replication factor.
+    pub fn replay_topology(&self) -> Result<(Topology, usize)> {
+        let mut topology =
+            Topology::with_nodes(self.sim.nodes).map_err(|e| ServeError::InvalidConfig {
+                field: "membership",
+                reason: e.to_string(),
+            })?;
+        let mut max_bound = topology.index_bound();
+        for (i, event) in self.membership.iter().enumerate() {
+            event
+                .change
+                .apply(&mut topology)
+                .map_err(|e| ServeError::InvalidConfig {
+                    field: "membership",
+                    reason: format!("event {i} ({event}): {e}"),
+                })?;
+            if topology.len() < self.sim.replication {
+                return Err(ServeError::InvalidConfig {
+                    field: "membership",
+                    reason: format!(
+                        "event {i} ({event}) leaves {} members, below replication {}",
+                        topology.len(),
+                        self.sim.replication
+                    ),
+                });
+            }
+            max_bound = max_bound.max(topology.index_bound());
+        }
+        Ok((topology, max_bound))
     }
 
     /// Validates the serving knobs and the embedded system shape.
@@ -194,6 +326,16 @@ impl ServeConfig {
                 ),
             });
         }
+        if self.membership.windows(2).any(|pair| match pair {
+            [a, b] => a.at_query > b.at_query,
+            _ => false,
+        }) {
+            return Err(ServeError::InvalidConfig {
+                field: "membership",
+                reason: "events must be ordered by at_query".to_owned(),
+            });
+        }
+        self.replay_topology()?;
         if let Some(pow) = &self.pow {
             if pow.difficulty > 30 {
                 return Err(ServeError::InvalidConfig {

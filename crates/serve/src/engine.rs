@@ -19,10 +19,11 @@
 //! loaded laptop and an idle server, and identical between the
 //! deterministic and threaded modes for the same admission order.
 
-use crate::config::{Result, ServeConfig, ServeError};
+use crate::config::{MembershipEvent, Result, ServeConfig, ServeError};
 use crate::pow::{PowVerdict, PowVerifier};
 use scp_cache::Cache;
-use scp_cluster::{Cluster, KeyId};
+use scp_cluster::{Cluster, KeyId, NodeId, Topology};
+use scp_sim::SimError;
 use scp_workload::permute::KeyMapping;
 use scp_workload::rng::mix;
 use scp_workload::stream::QueryStream;
@@ -99,6 +100,15 @@ impl TokenBucket {
     pub fn available(&self) -> f64 {
         self.tokens
     }
+
+    /// Re-provisions the bucket for a new per-shard rate (a topology
+    /// epoch changed `r_i = h·R/n`). Accumulated tokens survive, clamped
+    /// to the new burst, and the refill clock is untouched.
+    pub fn set_rate(&mut self, rate: f64, burst: f64) {
+        self.rate = rate.max(0.0);
+        self.burst = burst.max(1.0);
+        self.tokens = self.tokens.min(self.burst);
+    }
 }
 
 /// Admission-side counters, all exact integers so conservation can be
@@ -144,6 +154,14 @@ pub(crate) struct AdmitStats {
     /// Quota claimed by clients but refunded on early stop (threaded
     /// mode; makes `submitted + quota_unclaimed == total_queries` exact).
     pub quota_unclaimed: u64,
+    /// In-flight queries rerouted off a shard that lost their key at an
+    /// epoch boundary — their own completion class in the conservation
+    /// law, exactly like `pow_rejected`.
+    pub migrated: u64,
+    /// Topology epochs applied mid-run.
+    pub reshards: u64,
+    /// The topology epoch at the end of the run.
+    pub epoch: u64,
 }
 
 /// Per-traffic-class admission counters (legitimate vs modeled-attacker
@@ -208,6 +226,17 @@ pub(crate) struct Admission {
     gain_window_secs: f64,
     gain_window_index: u64,
     window_routed: Vec<u64>,
+    /// The current topology epoch; membership events mutate it in place.
+    topology: Topology,
+    /// Scheduled membership events, ordered by `at_query`.
+    schedule: Vec<MembershipEvent>,
+    next_event: usize,
+    /// Provisioning inputs needed to re-derive `r_i` after an epoch
+    /// change (`r_i = headroom · R / n`, `n` = current member count).
+    headroom: f64,
+    /// In-flight requests displaced by the latest reshard, waiting for
+    /// the driver to acknowledge them (see [`Admission::drain_migrated`]).
+    migrated_out: Vec<Request>,
     pub stats: AdmitStats,
 }
 
@@ -215,7 +244,12 @@ impl Admission {
     /// Builds the stage for `cfg`, seeding the perfect cache with the
     /// pattern's true top-`c` keys exactly like the query engine does.
     pub fn new(cfg: &ServeConfig, mapping: &KeyMapping) -> Result<Self> {
-        let shards = cfg.sim.nodes;
+        // Pre-size every per-shard vector to the largest index bound any
+        // scheduled epoch reaches: a mid-run join then only flips state,
+        // never reallocates (and the threaded mode can pre-spawn its
+        // workers and queues once).
+        let (_, shards) = cfg.replay_topology()?;
+        let topology = Topology::with_nodes(cfg.sim.nodes).map_err(SimError::from)?;
         let top = (cfg.sim.cache_capacity as u64).min(cfg.sim.items);
         let ranked = (0..top).map(|rank| mapping.apply(rank));
         let cache = cfg.sim.build_cache(ranked);
@@ -244,8 +278,19 @@ impl Admission {
             gain_window_secs: cfg.gain_window_secs,
             gain_window_index: 0,
             window_routed: vec![0; shards],
+            topology,
+            schedule: cfg.membership.clone(),
+            next_event: 0,
+            headroom: cfg.capacity_headroom,
+            migrated_out: Vec::with_capacity(0),
             stats: AdmitStats::sized(shards, cfg.queue_capacity),
         })
+    }
+
+    /// Number of shard slots the stage is provisioned for (the largest
+    /// index bound across all scheduled epochs).
+    pub fn shard_slots(&self) -> usize {
+        self.pending.len()
     }
 
     /// Handle for threaded clients to fetch the live server nonce plus
@@ -314,9 +359,91 @@ impl Admission {
         }
     }
 
+    /// Applies every membership event due at the current submitted
+    /// count: mutate the topology, reshard the cluster, re-provision the
+    /// token buckets for the new member count, and reroute in-flight
+    /// (batched but not yet dispatched) requests whose shard lost their
+    /// key — those complete as `migrated`, their own class in the
+    /// conservation law.
+    fn apply_membership(&mut self) {
+        while let Some(event) = self.schedule.get(self.next_event) {
+            if event.at_query > self.stats.submitted {
+                break;
+            }
+            let event = *event;
+            self.next_event += 1;
+            // Config validation replayed the whole schedule, so failures
+            // are unreachable; skipping keeps the run conserved anyway.
+            if event.change.apply(&mut self.topology).is_err() {
+                continue;
+            }
+            if self.cluster.reshard(&self.topology).is_err() {
+                continue;
+            }
+            self.stats.reshards += 1;
+            self.stats.epoch = self.topology.epoch();
+            self.reprovision_buckets();
+            self.reroute_pending();
+        }
+    }
+
+    /// Re-derives `r_i = headroom · R / n` for the current member count
+    /// and applies it to every bucket slot (slots of non-members are
+    /// inert — routing never reaches them).
+    fn reprovision_buckets(&mut self) {
+        let Some(buckets) = &mut self.buckets else {
+            return;
+        };
+        let n = self.topology.len();
+        if self.headroom <= 0.0 || n == 0 {
+            return;
+        }
+        let r = self.headroom / (self.inv_rate * n as f64);
+        let burst = (r * 0.01).max(8.0);
+        for bucket in buckets.iter_mut() {
+            bucket.set_rate(r, burst);
+        }
+    }
+
+    /// Drains-and-reroutes in-flight queries across the epoch boundary:
+    /// a buffered request stays with its shard while that shard is still
+    /// in the key's replica group (the data is still there); otherwise
+    /// it is displaced into `migrated_out` and counted `migrated`.
+    fn reroute_pending(&mut self) {
+        let cluster = &self.cluster;
+        let migrated = &mut self.migrated_out;
+        let mut displaced = 0u64;
+        for (shard, buf) in self.pending.iter_mut().enumerate() {
+            if buf.is_empty() {
+                continue;
+            }
+            let node = NodeId::from_index(shard);
+            buf.retain(|req| {
+                if cluster.replica_group(KeyId::new(req.key)).contains(node) {
+                    true
+                } else {
+                    migrated.push(*req);
+                    displaced += 1;
+                    false
+                }
+            });
+        }
+        self.stats.migrated += displaced;
+    }
+
+    /// Requests displaced by epoch changes since the last call; the
+    /// driver must acknowledge each to its submitting client (they are
+    /// already counted in [`AdmitStats::migrated`]).
+    pub fn drain_migrated(&mut self) -> Vec<Request> {
+        std::mem::take(&mut self.migrated_out)
+    }
+
     /// Pushes one request through shield → cache → routing → capacity →
     /// batching.
     pub fn admit(&mut self, req: Request) -> Admitted {
+        if self.next_event < self.schedule.len() {
+            self.apply_membership();
+        }
         let now = self.stats.submitted as f64 * self.inv_rate;
         self.roll_windows(now);
         self.stats.submitted += 1;
@@ -488,7 +615,7 @@ pub fn run_deterministic(cfg: &ServeConfig) -> Result<crate::report::ServeReport
     let mapping = build_mapping(cfg)?;
     let mut stream = deterministic_stream(cfg, &mapping)?;
     let mut admission = Admission::new(cfg, &mapping)?;
-    let mut workers: Vec<WorkerStats> = vec![WorkerStats::default(); cfg.sim.nodes];
+    let mut workers: Vec<WorkerStats> = vec![WorkerStats::default(); admission.shard_slots()];
 
     let process_inline = |admission: &mut Admission,
                           workers: &mut [WorkerStats],
@@ -517,6 +644,9 @@ pub fn run_deterministic(cfg: &ServeConfig) -> Result<crate::report::ServeReport
         if let Admitted::Buffered(Some((shard, batch))) = admission.admit(req) {
             process_inline(&mut admission, &mut workers, shard, batch);
         }
+        // Displaced in-flight requests are already counted `migrated`;
+        // the deterministic mode has no client windows to acknowledge.
+        admission.drain_migrated();
     }
     for (shard, batch) in admission.flush_all() {
         process_inline(&mut admission, &mut workers, shard, batch);
@@ -674,6 +804,136 @@ mod tests {
         for g in &report.window_gains {
             assert!(*g >= 1.0, "per-window gain below uniform: {g}");
         }
+    }
+
+    #[test]
+    fn mid_run_join_and_leave_reshard_conserves_and_drains() {
+        use crate::config::MembershipEvent;
+        let sim = SimConfig::builder()
+            .nodes(20)
+            .replication(3)
+            .items(20_000)
+            .cache_capacity(10)
+            .attack_x(2_000) // x ≫ c: misses spread across every shard
+            .rate(1e4)
+            .partitioner(scp_sim::config::PartitionerKind::MultiProbe)
+            .seed(42)
+            .build()
+            .unwrap();
+        let mut cfg = ServeConfig::new(sim);
+        cfg.total_queries = 50_000;
+        cfg.capacity_headroom = 2.0; // exercise bucket re-provisioning
+        cfg.batch_size = 256; // keep in-flight buffers full across epochs
+        cfg.membership = vec![
+            "10000:join:20".parse::<MembershipEvent>().unwrap(),
+            "30000:leave:2".parse::<MembershipEvent>().unwrap(),
+        ];
+        let report = run_deterministic(&cfg).unwrap();
+        assert_eq!(report.reshards, 2, "both scheduled epochs must apply");
+        assert_eq!(report.epoch, 2);
+        assert_eq!(report.shards.len(), 21, "pre-sized to the joiner's bound");
+        assert!(
+            report.is_conserved(),
+            "conservation with migrated class: {report:?}"
+        );
+        assert!(report.is_drained());
+        assert!(
+            report.migrated > 0,
+            "a leave with full buffers must displace in-flight queries"
+        );
+        let joiner = &report.shards[20];
+        assert!(
+            joiner.processed > 0,
+            "the joiner must serve after its epoch"
+        );
+        // The leaver took no new work after departing: everything it was
+        // handed drained (is_drained above) and nothing else arrives, so
+        // its routed count is strictly below a surviving shard's share.
+        let leaver_routed = report.shards[2].routed;
+        let max_routed = report.shards.iter().map(|s| s.routed).max().unwrap_or(0);
+        assert!(
+            leaver_routed < max_routed,
+            "leaver kept absorbing load after departure"
+        );
+    }
+
+    #[test]
+    fn crash_and_recover_keep_placement_and_conserve() {
+        use crate::config::MembershipEvent;
+        let mut cfg = small(0.0, 11);
+        cfg.membership = vec![
+            "10000:crash:7".parse::<MembershipEvent>().unwrap(),
+            "30000:recover:7".parse::<MembershipEvent>().unwrap(),
+        ];
+        let report = run_deterministic(&cfg).unwrap();
+        assert_eq!(report.reshards, 2);
+        assert_eq!(
+            report.shards.len(),
+            50,
+            "liveness-only epochs never grow the shard set"
+        );
+        assert!(report.is_conserved());
+        assert!(report.is_drained());
+        assert_eq!(
+            report.migrated, 0,
+            "crash/recover move no data, so nothing migrates"
+        );
+    }
+
+    #[test]
+    fn reshard_runs_are_reproducible() {
+        use crate::config::MembershipEvent;
+        let build = || {
+            let mut cfg = small(1.5, 11);
+            cfg.membership = vec!["20000:join:50".parse::<MembershipEvent>().unwrap()];
+            cfg
+        };
+        let a = run_deterministic(&build()).unwrap();
+        let b = run_deterministic(&build()).unwrap();
+        assert_eq!(a.migrated, b.migrated);
+        assert_eq!(
+            a.shards.iter().map(|s| s.checksum).collect::<Vec<_>>(),
+            b.shards.iter().map(|s| s.checksum).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn invalid_membership_schedules_are_rejected() {
+        use crate::config::MembershipEvent;
+        // Out of order.
+        let mut cfg = small(0.0, 11);
+        cfg.membership = vec![
+            "30000:join:50".parse::<MembershipEvent>().unwrap(),
+            "10000:leave:1".parse::<MembershipEvent>().unwrap(),
+        ];
+        assert!(run_deterministic(&cfg).is_err());
+        // Leaving a node that was never a member.
+        let mut cfg = small(0.0, 11);
+        cfg.membership = vec!["10000:leave:99".parse::<MembershipEvent>().unwrap()];
+        assert!(run_deterministic(&cfg).is_err());
+        // Shrinking below the replication factor.
+        let mut cfg = small(0.0, 11);
+        for (i, id) in (0..48u32).enumerate() {
+            cfg.membership.push(
+                format!("{}:leave:{id}", 1000 * (i as u64 + 1))
+                    .parse()
+                    .unwrap(),
+            );
+        }
+        assert!(run_deterministic(&cfg).is_err(), "d=3 needs 3 members");
+    }
+
+    #[test]
+    fn membership_event_spec_round_trips() {
+        use crate::config::MembershipEvent;
+        for spec in ["0:join:5", "120000:leave:3", "7:crash:0", "9:recover:2"] {
+            let ev: MembershipEvent = spec.parse().unwrap();
+            assert_eq!(ev.to_string(), spec);
+        }
+        assert!("oops".parse::<MembershipEvent>().is_err());
+        assert!("10:explode:3".parse::<MembershipEvent>().is_err());
+        assert!("x:join:3".parse::<MembershipEvent>().is_err());
+        assert!("10:join:y".parse::<MembershipEvent>().is_err());
     }
 
     #[test]

@@ -63,7 +63,7 @@ pub mod pow;
 pub mod report;
 pub mod spsc;
 
-pub use config::{Result, ServeConfig, ServeError};
+pub use config::{MembershipChange, MembershipEvent, Result, ServeConfig, ServeError};
 pub use engine::{run_deterministic, LaneStats, Request, TokenBucket};
 pub use loadgen::run_threaded;
 pub use pow::{PowShield, PowVerdict, PowVerifier};

@@ -318,6 +318,12 @@ fn admission_loop(
                         }
                         Admitted::Buffered(None) => {}
                     }
+                    // An epoch change may have displaced buffered
+                    // requests of *other* clients; acknowledge them or
+                    // their closed-loop windows would stall forever.
+                    for displaced in admission.drain_migrated() {
+                        complete(completions, displaced.client);
+                    }
                 }
             }
             Polled::Idle => {}
@@ -379,7 +385,10 @@ pub fn run_threaded(cfg: &ServeConfig) -> Result<crate::report::ServeReport> {
     let stopwatch = Stopwatch::started();
     let mapping = build_mapping(cfg)?;
     let mut admission = Admission::new(cfg, &mapping)?;
-    let shards = cfg.sim.nodes;
+    // One queue + worker per shard *slot* of the largest scheduled
+    // epoch: a join mid-run then starts routing to an already-running
+    // (idle until now) worker, no thread churn at the boundary.
+    let shards = admission.shard_slots();
 
     let mut producers: Vec<Producer<ShardMsg>> = Vec::with_capacity(shards);
     let mut consumers: Vec<Consumer<ShardMsg>> = Vec::with_capacity(shards);
@@ -614,6 +623,48 @@ mod tests {
         assert!(
             report.pow_attempts >= report.legit.submitted,
             "every honest request costs at least one hash attempt"
+        );
+    }
+
+    #[test]
+    fn threaded_mid_traffic_join_and_leave_conserve_and_drain() {
+        use crate::config::MembershipEvent;
+        // The acceptance case: a node joins and another leaves while
+        // closed-loop clients are mid-traffic. Every displaced in-flight
+        // query lands in the migrated class and is acknowledged back to
+        // its client, so windows never stall and the integer ledger
+        // still balances exactly.
+        let sim = SimConfig::builder()
+            .nodes(8)
+            .replication(3)
+            .items(50_000)
+            .cache_capacity(100)
+            .attack_x(10_000) // x ≫ c: misses reach every shard, joiner included
+            .rate(1e5)
+            .seed(2013)
+            .build()
+            .unwrap();
+        let mut c = ServeConfig::new(sim);
+        c.total_queries = 120_000;
+        c.clients = 3;
+        c.batch_size = 128;
+        c.membership = vec![
+            "30000:join:8".parse::<MembershipEvent>().unwrap(),
+            "70000:leave:1".parse::<MembershipEvent>().unwrap(),
+        ];
+        let report = run_threaded(&c).unwrap();
+        assert_eq!(report.submitted, 120_000);
+        assert_eq!(report.reshards, 2, "both epochs must apply mid-run");
+        assert_eq!(report.epoch, 2);
+        assert_eq!(report.shards.len(), 9, "pre-sized to the joiner's bound");
+        assert!(
+            report.is_conserved(),
+            "conservation with migration: {report:?}"
+        );
+        assert!(report.is_drained(), "reshard must not strand requests");
+        assert!(
+            report.shards[8].processed > 0,
+            "the joining shard must serve traffic after its epoch"
         );
     }
 

@@ -9,7 +9,10 @@
 //!   shards, shedding (not stalling) under the `x = c + 1` attack, and
 //!   deterministic-mode gain agreeing with the rate engine.
 
-use scp_serve::{repeat_serve_journaled, run_deterministic, run_threaded, PowShield, ServeConfig};
+use scp_serve::{
+    repeat_serve_journaled, run_deterministic, run_threaded, MembershipEvent, PowShield,
+    ServeConfig,
+};
 use scp_sim::config::{AdmissionKind, CacheKind, PartitionerKind, SelectorKind};
 use scp_sim::rate_engine::run_rate_simulation;
 use scp_sim::runner::StopRule;
@@ -40,6 +43,7 @@ struct ServeOpts {
     headroom: f64,
     queries: u64,
     duration_ms: u64,
+    membership: Vec<MembershipEvent>,
     runs: usize,
     threads: usize,
     deterministic: bool,
@@ -72,6 +76,7 @@ impl Default for ServeOpts {
             headroom: 0.0,
             queries: 500_000,
             duration_ms: 0,
+            membership: Vec::new(),
             runs: 1,
             threads: 0,
             deterministic: false,
@@ -113,6 +118,10 @@ fn usage(msg: &str) -> ! {
          --headroom H        shard capacity r_i = H*R/n (default 0 = off)\n\
          --queries N         stop after N queries (default 500000)\n\
          --duration-ms MS    stop after MS wall-clock ms (default off)\n\
+         --membership SPEC   schedule a topology change at a logical tick,\n\
+                             SPEC = AT:ACTION:ID with ACTION one of\n\
+                             join|leave|crash|recover (repeatable, e.g.\n\
+                             --membership 100000:join:8)\n\
          \n\
          modes:\n\
          --deterministic     single-threaded reproducible mode\n\
@@ -181,6 +190,7 @@ fn parse_opts<I: IntoIterator<Item = String>>(args: I) -> ServeOpts {
             "--headroom" => o.headroom = expect_parse(&mut it, "--headroom"),
             "--queries" => o.queries = expect_parse(&mut it, "--queries"),
             "--duration-ms" => o.duration_ms = expect_parse(&mut it, "--duration-ms"),
+            "--membership" => o.membership.push(expect_kind(&mut it, "--membership")),
             "--runs" => o.runs = expect_parse(&mut it, "--runs"),
             "--threads" => o.threads = expect_parse(&mut it, "--threads"),
             "--deterministic" => o.deterministic = true,
@@ -240,6 +250,7 @@ fn build_config(o: &ServeOpts) -> ServeConfig {
     cfg.total_queries = o.queries;
     cfg.duration_ms = o.duration_ms;
     cfg.attack_clients = o.attack_clients;
+    cfg.membership = o.membership.clone();
     if o.pow_difficulty > 0 {
         cfg.pow = Some(PowShield::new(o.pow_difficulty));
     }
@@ -285,6 +296,12 @@ fn print_summary(report: &scp_serve::ServeReport) {
         println!(
             "sketch_resets={} cache_rejections={}",
             report.sketch_resets, report.cache_rejections
+        );
+    }
+    if report.reshards > 0 {
+        println!(
+            "reshards={} epoch={} migrated={}",
+            report.reshards, report.epoch, report.migrated
         );
     }
 }
@@ -431,7 +448,11 @@ fn run_smoke(o: &ServeOpts) -> ! {
             );
         }
         (h, w) => {
-            let e = h.err().or(w.err()).map(|e| e.to_string()).unwrap_or_default();
+            let e = h
+                .err()
+                .or(w.err())
+                .map(|e| e.to_string())
+                .unwrap_or_default();
             ok = gate("pow-shield", false, &format!("error: {e}"));
         }
     }
@@ -458,10 +479,7 @@ fn run_smoke(o: &ServeOpts) -> ! {
             let r_hits = r.cache_hits as f64 / r.submitted.max(1) as f64;
             ok &= gate(
                 "online-admission-gap",
-                s.sketch_resets > 0
-                    && s_hits > r_hits
-                    && s.is_conserved()
-                    && r.is_conserved(),
+                s.sketch_resets > 0 && s_hits > r_hits && s.is_conserved() && r.is_conserved(),
                 &format!(
                     "static hit ratio {s_hits:.4} vs rotating {r_hits:.4} \
                      ({} sketch resets)",
@@ -470,9 +488,61 @@ fn run_smoke(o: &ServeOpts) -> ! {
             );
         }
         (s, r) => {
-            let e = s.err().or(r.err()).map(|e| e.to_string()).unwrap_or_default();
+            let e = s
+                .err()
+                .or(r.err())
+                .map(|e| e.to_string())
+                .unwrap_or_default();
             ok = gate("online-admission-gap", false, &format!("error: {e}"));
         }
+    }
+
+    // Gate 6: a mid-traffic reshard — one join, then one leave — keeps
+    // exact conservation (migrated is its own completion class), drains
+    // cleanly, and the joiner actually serves traffic after its epoch.
+    let mut reshard = ServeOpts {
+        shards: 16,
+        cache_capacity: 50,
+        items: 100_000,
+        queries: 120_000,
+        // x ≫ c so cache misses spread over every shard: the joiner must
+        // see traffic, and a leave must displace buffered requests.
+        attack_x: 20_000,
+        headroom: 2.0,
+        seed: o.seed,
+        ..ServeOpts::default()
+    };
+    reshard.partitioner = PartitionerKind::MultiProbe;
+    reshard.deterministic = true;
+    reshard.membership = vec![
+        "40000:join:16"
+            .parse()
+            .unwrap_or_else(|e: String| usage(&e)),
+        "80000:leave:3"
+            .parse()
+            .unwrap_or_else(|e: String| usage(&e)),
+    ];
+    let cfg = build_config(&reshard);
+    match run_deterministic(&cfg) {
+        Ok(report) => {
+            let joiner_served = report.shards.get(16).map_or(0, |s| s.processed);
+            ok &= gate(
+                "live-reshard",
+                report.reshards == 2
+                    && report.is_conserved()
+                    && report.is_drained()
+                    && joiner_served > 0,
+                &format!(
+                    "2 epochs applied={} migrated={} joiner_processed={joiner_served} \
+                     (conserved={}, drained={})",
+                    report.reshards,
+                    report.migrated,
+                    report.is_conserved(),
+                    report.is_drained()
+                ),
+            );
+        }
+        Err(e) => ok = gate("live-reshard", false, &format!("error: {e}")),
     }
 
     std::process::exit(if ok { 0 } else { 1 });

@@ -107,7 +107,13 @@ pub fn solve(server_nonce: u64, client: u32, key: u64, difficulty: u32) -> (u64,
 /// from a per-client sequence number) — a fixed start would rediscover
 /// the same winning nonce, whose digest the replay cache has already
 /// seen and would reject.
-pub fn solve_from(server_nonce: u64, client: u32, key: u64, difficulty: u32, start: u64) -> (u64, u64) {
+pub fn solve_from(
+    server_nonce: u64,
+    client: u32,
+    key: u64,
+    difficulty: u32,
+    start: u64,
+) -> (u64, u64) {
     let mut nonce = start;
     let mut attempts = 1u64;
     loop {
@@ -345,9 +351,7 @@ mod tests {
         // meaning (work factor) without flaking.
         let v = verifier(6);
         let nonce_seed = v.server_nonce(0);
-        let total: u64 = (0..200u64)
-            .map(|key| solve(nonce_seed, 0, key, 6).1)
-            .sum();
+        let total: u64 = (0..200u64).map(|key| solve(nonce_seed, 0, key, 6).1).sum();
         let mean = total as f64 / 200.0;
         assert!(
             mean > 16.0 && mean < 256.0,

@@ -156,6 +156,15 @@ pub struct ServeReport {
     /// Quota clients claimed but refunded on early stop; whenever a quota
     /// is set, `submitted + quota_unclaimed == total_queries` exactly.
     pub quota_unclaimed: u64,
+    /// In-flight queries displaced at an epoch boundary (their shard
+    /// lost the key); a completion class of its own in the conservation
+    /// law, like `pow_rejected`.
+    pub migrated: u64,
+    /// Topology epochs applied mid-run (joins, leaves, crashes,
+    /// recoveries that took effect).
+    pub reshards: u64,
+    /// The topology epoch at the end of the run (0 = never resharded).
+    pub epoch: u64,
     /// Wall-clock duration of the run in seconds (metadata only).
     pub duration_secs: f64,
     /// Whether the run used the deterministic single-threaded mode.
@@ -207,6 +216,9 @@ impl ServeReport {
             cache_rejections: stats.cache_rejections,
             sketch_resets: stats.sketch_resets,
             quota_unclaimed: stats.quota_unclaimed,
+            migrated: stats.migrated,
+            reshards: stats.reshards,
+            epoch: stats.epoch,
             duration_secs,
             deterministic,
         }
@@ -252,12 +264,17 @@ impl ServeReport {
     }
 
     /// Exact-integer conservation: every submitted query is accounted
-    /// for exactly once across hits, worker hand-offs, sheds, unserved
-    /// and proof-of-work rejections.
+    /// for exactly once across hits, worker hand-offs, sheds, unserved,
+    /// proof-of-work rejections and epoch-boundary migrations.
     pub fn is_conserved(&self) -> bool {
         let enqueued: u64 = self.shards.iter().map(|s| s.enqueued).sum();
         self.submitted
-            == self.cache_hits + enqueued + self.shed() + self.unserved + self.pow_rejected
+            == self.cache_hits
+                + enqueued
+                + self.shed()
+                + self.unserved
+                + self.pow_rejected
+                + self.migrated
     }
 
     /// Whether shutdown drained every shard losslessly (see
@@ -308,6 +325,9 @@ impl ServeReport {
             ("cache_rejections", Json::Num(self.cache_rejections as f64)),
             ("sketch_resets", Json::Num(self.sketch_resets as f64)),
             ("quota_unclaimed", Json::Num(self.quota_unclaimed as f64)),
+            ("migrated", Json::Num(self.migrated as f64)),
+            ("reshards", Json::Num(self.reshards as f64)),
+            ("epoch", Json::Num(self.epoch as f64)),
             ("duration_secs", Json::Num(self.duration_secs)),
             ("throughput_qps", Json::Num(self.throughput_qps())),
             ("gain", Json::Num(self.gain())),

@@ -7,9 +7,7 @@ use scp_cache::{
     lfu::LfuCache, lru::LruCache, nocache::NoCache, perfect::PerfectCache, slru::SlruCache,
     tinylfu::TinyLfuCache, Cache,
 };
-use scp_cluster::partition::{
-    ConsistentHashRing, HashPartitioner, Partitioner, RangePartitioner, RendezvousPartitioner,
-};
+use scp_cluster::partition::{Partitioner, PartitionerSpec};
 use scp_cluster::select::{
     LeastLoadedSelector, PerQueryLeastLoaded, RandomSelector, ReplicaSelector, RoundRobinSelector,
 };
@@ -49,41 +47,10 @@ macro_rules! kind_text {
     };
 }
 
-/// Which partitioning scheme maps keys to replica groups.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum PartitionerKind {
-    /// Independent random placement (the paper's model).
-    Hash,
-    /// Consistent-hashing ring with virtual nodes.
-    Ring,
-    /// Rendezvous / highest-random-weight hashing.
-    Rendezvous,
-    /// Contiguous ranges — violates the randomized-partitioning
-    /// assumption; kept as the paper's excluded counter-example.
-    Range,
-}
-
-impl PartitionerKind {
-    /// All kinds, for ablation sweeps.
-    pub const ALL: [PartitionerKind; 4] = [
-        PartitionerKind::Hash,
-        PartitionerKind::Ring,
-        PartitionerKind::Rendezvous,
-        PartitionerKind::Range,
-    ];
-
-    /// Short name for reports.
-    pub fn name(self) -> &'static str {
-        match self {
-            PartitionerKind::Hash => "hash",
-            PartitionerKind::Ring => "ring",
-            PartitionerKind::Rendezvous => "rendezvous",
-            PartitionerKind::Range => "range",
-        }
-    }
-}
-
-kind_text!(PartitionerKind, "partitioner");
+// The partitioner kind lives with the partitioners themselves (its
+// `Display`/`FromStr` belong next to `PartitionerSpec`); re-exported
+// here so `scp_sim::config::PartitionerKind` call sites keep compiling.
+pub use scp_cluster::partition::PartitionerKind;
 
 /// Which rule picks the serving replica within a group.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -555,26 +522,20 @@ impl SimConfig {
     ///
     /// Returns an error if the substrate rejects the parameters.
     pub fn build_partitioner(&self) -> Result<Box<dyn Partitioner>> {
-        let seed = mix(&[self.seed, 1]);
-        let p: Box<dyn Partitioner> = match self.partitioner {
-            PartitionerKind::Hash => {
-                Box::new(HashPartitioner::new(self.nodes, self.replication, seed)?)
-            }
-            PartitionerKind::Ring => {
-                Box::new(ConsistentHashRing::new(self.nodes, self.replication, seed)?)
-            }
-            PartitionerKind::Rendezvous => Box::new(RendezvousPartitioner::new(
-                self.nodes,
-                self.replication,
-                seed,
-            )?),
-            PartitionerKind::Range => Box::new(RangePartitioner::new(
-                self.nodes,
-                self.replication,
-                self.items,
-            )?),
-        };
-        Ok(p)
+        Ok(self.partitioner_spec().build()?)
+    }
+
+    /// The [`PartitionerSpec`] this configuration resolves to — the one
+    /// construction surface shared by the sweep engine, the rate engine
+    /// and `scp-serve`. The placement seed is derived from the master
+    /// seed exactly as `build_partitioner` always has, so specs stay
+    /// bit-identical with historical runs.
+    pub fn partitioner_spec(&self) -> PartitionerSpec {
+        PartitionerSpec::new(self.partitioner)
+            .nodes(self.nodes)
+            .replication(self.replication)
+            .seed(mix(&[self.seed, 1]))
+            .items(self.items)
     }
 
     /// Builds the configured replica selector.
@@ -734,6 +695,7 @@ mod tests {
     #[test]
     fn names_are_stable() {
         assert_eq!(PartitionerKind::Hash.name(), "hash");
+        assert_eq!(PartitionerKind::MultiProbe.name(), "multi-probe");
         assert_eq!(SelectorKind::LeastLoaded.name(), "least-loaded");
         assert_eq!(CacheKind::TinyLfu.name(), "tinylfu");
     }

@@ -94,7 +94,9 @@ where
     // before any thread spawns, so no synchronization is needed to write.
     let mut stripes: Vec<Vec<(usize, &mut Option<T>)>> = (0..workers).map(|_| Vec::new()).collect();
     for (i, slot) in slots.iter_mut().enumerate() {
-        stripes[i % workers].push((i, slot));
+        if let Some(stripe) = stripes.get_mut(i % workers) {
+            stripe.push((i, slot));
+        }
     }
 
     let job = &job;
@@ -130,12 +132,14 @@ where
         first
     });
     if let Some((i, msg)) = first_panic {
-        panic!("simulation run {i} panicked: {msg}");
+        // Re-raise with context. The original panic already printed via the
+        // hook inside the worker; a String payload keeps the
+        // `should_panic(expected = ...)` substring contract intact.
+        resume_unwind(Box::new(format!("simulation run {i} panicked: {msg}")));
     }
-    slots
-        .into_iter()
-        .map(|slot| slot.expect("every surviving run produced a result"))
-        .collect()
+    let results: Vec<T> = slots.into_iter().flatten().collect();
+    assert_eq!(results.len(), runs, "every surviving run produces a result");
+    results
 }
 
 /// When to stop repeating a simulation.

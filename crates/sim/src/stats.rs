@@ -112,11 +112,14 @@ pub fn quantile(values: &[f64], q: f64) -> f64 {
     let pos = q * (sorted.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;
+    // The asserts above guarantee `lo` and `hi` are in range, so the
+    // NaN fallback is unreachable.
+    let at = |i: usize| sorted.get(i).copied().unwrap_or(f64::NAN);
     if lo == hi {
-        sorted[lo]
+        at(lo)
     } else {
         let frac = pos - lo as f64;
-        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+        at(lo) * (1.0 - frac) + at(hi) * frac
     }
 }
 

@@ -45,10 +45,10 @@ impl MixturePattern {
     /// invalid, the weights sum to zero, or the patterns disagree on the
     /// key-space size.
     pub fn new(components: Vec<(f64, AccessPattern)>) -> Result<Self> {
-        if components.is_empty() {
+        let Some((_, first)) = components.first() else {
             return Err(WorkloadError::EmptyDistribution);
-        }
-        let key_space = components[0].1.key_space();
+        };
+        let key_space = first.key_space();
         let mut total = 0.0;
         for (index, (w, pattern)) in components.iter().enumerate() {
             if !w.is_finite() || *w < 0.0 {

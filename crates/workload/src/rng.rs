@@ -94,7 +94,7 @@ impl Xoshiro256StarStar {
         // The all-zero state is invalid; SplitMix64 cannot produce four
         // zero outputs in a row, but guard anyway.
         if s == [0, 0, 0, 0] {
-            s[0] = 0x1;
+            s = [0x1, 0, 0, 0];
         }
         Self { s }
     }

@@ -52,10 +52,10 @@ impl PhasedPattern {
     /// Returns an error if the list is empty, any duration is not finite
     /// and positive, or the patterns disagree on key-space size.
     pub fn new(phases: Vec<Phase>) -> Result<Self> {
-        if phases.is_empty() {
+        let Some(first) = phases.first() else {
             return Err(WorkloadError::EmptyDistribution);
-        }
-        let key_space = phases[0].pattern.key_space();
+        };
+        let key_space = first.pattern.key_space();
         for (i, phase) in phases.iter().enumerate() {
             if !phase.duration.is_finite() || phase.duration <= 0.0 {
                 return Err(WorkloadError::InvalidParameter {

@@ -34,7 +34,7 @@ fn drive(pattern: &AccessPattern, c: usize, seed: u64, draws: u64) -> (TinyLfuCa
 fn online_tinylfu_converges_to_top_c_on_stationary_zipf() {
     let mut overlap_sum = 0.0f64;
     for case in 0..CASES {
-        let seed = mix(&[0xAD_1, case]);
+        let seed = mix(&[0x0AD1, case]);
         let c = 4 + (case % 13) as usize; // 4..=16
         let m = 500 + (seed % 1_500); // 500..2000 items
         let alpha = 1.0 + 0.1 * (case % 5) as f64; // 1.0..1.4
@@ -64,8 +64,8 @@ fn rotating_attacker_degrades_hits_below_the_static_floor() {
     let mut static_sum = 0.0f64;
     let mut rotating_sum = 0.0f64;
     for case in 0..CASES {
-        let seed = mix(&[0xAD_2, case]);
-        let c = 4 + (case % 13) as u64; // 4..=16
+        let seed = mix(&[0x0AD2, case]);
+        let c = 4 + (case % 13); // 4..=16
         let x = 4 * c;
         let m = 40 * x; // plenty of fresh keys to rotate into
         let stationary = AccessPattern::uniform_subset(x, m).expect("valid subset");
