@@ -140,6 +140,7 @@ const CALL_NAME_NOISE: &[&str] = &[
     "last",
     "len",
     "ln",
+    "load",
     "log2",
     "map",
     "map_err",
@@ -149,6 +150,7 @@ const CALL_NAME_NOISE: &[&str] = &[
     "min",
     "min_by",
     "min_by_key",
+    "new",
     "next",
     "ok",
     "ok_or",
@@ -511,14 +513,32 @@ impl NameIndex {
                 candidates.into_iter().filter(|i| in_scope(i)).collect()
             }
             Call::Qualified(prefix, name) => {
-                if let Some(hits) = self.by_pair.get(&(prefix.clone(), name.clone())) {
+                // `Self::f(...)` names the caller's own impl type: swap in
+                // that type (second-to-last id segment) so the pair lookup
+                // stays precise instead of falling back workspace-wide.
+                let prefix = if prefix == "Self" {
+                    let mut segs = caller.id.rsplit("::");
+                    segs.next();
+                    match segs.next() {
+                        Some(ty) if !ty.ends_with(".rs") => ty,
+                        _ => prefix.as_str(),
+                    }
+                } else {
+                    prefix.as_str()
+                };
+                if let Some(hits) = self.by_pair.get(&(prefix.to_owned(), name.clone())) {
                     return hits.clone();
                 }
                 // Unknown pair: the prefix was probably a module, or a
                 // `std` type. Fall back to crate-scoped name resolution so
                 // `bounds::upper_bound(...)` still links, while
                 // `String::from(...)` links only if a workspace `from`
-                // exists in scope.
+                // exists in scope. Noise names are excluded here too —
+                // `Arc::new(...)` or `AtomicBool::new(...)` on a `std`
+                // type must not link to every workspace constructor.
+                if CALL_NAME_NOISE.contains(&name.as_str()) {
+                    return Vec::new();
+                }
                 all(name).into_iter().filter(|i| in_scope(i)).collect()
             }
             Call::Method(name) => {

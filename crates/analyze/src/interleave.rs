@@ -75,6 +75,11 @@ pub struct Config {
     pub pushes: usize,
     /// Consumer program: `try_pop` calls.
     pub pops: usize,
+    /// `Some(max)` switches the consumer program to the batch-amortized
+    /// pop: each of its `pops` calls is a `try_pop_many_core(max, ..)`
+    /// sweep (the serve intake's drain path) instead of a scalar
+    /// `try_pop_core`. `None` keeps the scalar program.
+    pub consumer_batch: Option<usize>,
     /// Stop after this many schedules (`None` = run to exhaustion).
     pub budget: Option<usize>,
     /// Fault injection: demote the producer's `Release` store of `tail`
@@ -82,6 +87,11 @@ pub struct Config {
     /// only the modeled ordering weakens — and the explorer must then
     /// find a data race.
     pub weaken_tail_release: bool,
+    /// Fault injection: demote the consumer's `Release` store of `head`
+    /// to `Relaxed` — the batch half of the protocol, where one store
+    /// frees a whole sweep of slots for producer reuse. The explorer
+    /// must catch the producer's unordered overwrite of a recycled slot.
+    pub weaken_head_release: bool,
 }
 
 /// What one exploration covered and whether it found a violation.
@@ -156,6 +166,7 @@ struct Model {
     accepted: Vec<u64>,
     popped: Vec<u64>,
     weaken_tail_release: bool,
+    weaken_head_release: bool,
 }
 
 struct Ctl {
@@ -238,7 +249,8 @@ impl AtomicWord for ShimAtomic {
 
     fn store(&self, val: u64, order: Ordering) {
         access(&self.ctl, |m, tid| {
-            let weakened = m.weaken_tail_release && self.var == TAIL;
+            let weakened = (m.weaken_tail_release && self.var == TAIL)
+                || (m.weaken_head_release && self.var == HEAD);
             let publish = releaseish(order) && !weakened;
             let msg = match tid.filter(|_| publish) {
                 Some(t) => m.clocks.get(t).cloned().unwrap_or_default(),
@@ -355,9 +367,10 @@ fn producer_loop(ctl: &Arc<Ctl>, ring: &Arc<ShimRing>, pushes: u64) {
     }
 }
 
-/// Consumer program: waits for each replay epoch, attempts `pops` pops,
-/// records the observed tokens, and signals completion.
-fn consumer_loop(ctl: &Arc<Ctl>, ring: &Arc<ShimRing>, pops: u64) {
+/// Consumer program: waits for each replay epoch, attempts `pops` pop
+/// calls (scalar, or batch-amortized sweeps of up to `batch` elements
+/// when configured), records the observed tokens, and signals completion.
+fn consumer_loop(ctl: &Arc<Ctl>, ring: &Arc<ShimRing>, pops: u64, batch: Option<usize>) {
     CURRENT_TID.with(|c| c.set(Some(CONSUMER)));
     let mut epoch_seen = 0u64;
     loop {
@@ -373,8 +386,15 @@ fn consumer_loop(ctl: &Arc<Ctl>, ring: &Arc<ShimRing>, pops: u64) {
         }
         let mut popped = Vec::new();
         for _ in 0..pops {
-            if let Some(token) = ring.try_pop_core() {
-                popped.push(token);
+            match batch {
+                Some(max) => {
+                    ring.try_pop_many_core(max, &mut |token| popped.push(token));
+                }
+                None => {
+                    if let Some(token) = ring.try_pop_core() {
+                        popped.push(token);
+                    }
+                }
             }
         }
         let mut m = lock(ctl);
@@ -399,6 +419,7 @@ pub fn explore(cfg: &Config) -> Stats {
         state: Mutex::new(Model {
             slots: vec![SlotModel::default(); capacity],
             weaken_tail_release: cfg.weaken_tail_release,
+            weaken_head_release: cfg.weaken_head_release,
             ..Model::default()
         }),
         cv: Condvar::new(),
@@ -428,7 +449,8 @@ pub fn explore(cfg: &Config) -> Stats {
     let consumer = {
         let (ctl, ring) = (Arc::clone(&ctl), Arc::clone(&ring));
         let pops = cfg.pops as u64;
-        std::thread::spawn(move || consumer_loop(&ctl, &ring, pops))
+        let batch = cfg.consumer_batch;
+        std::thread::spawn(move || consumer_loop(&ctl, &ring, pops, batch))
     };
 
     let mut stats = Stats::default();
@@ -436,7 +458,7 @@ pub fn explore(cfg: &Config) -> Stats {
     // that step. Backtracking bumps the deepest non-exhausted choice.
     let mut prefix: Vec<(usize, usize)> = Vec::new();
     'search: loop {
-        reset_replay(&ctl, capacity, cfg.weaken_tail_release);
+        reset_replay(&ctl, capacity, cfg);
         let depth = run_one_schedule(&ctl, &mut prefix, &mut stats);
         stats.schedules += 1;
         stats.max_depth = stats.max_depth.max(depth);
@@ -475,7 +497,7 @@ fn choices(prefix: &[(usize, usize)]) -> Vec<usize> {
 }
 
 /// Rearms the model for the next replay and releases the workers.
-fn reset_replay(ctl: &Ctl, capacity: usize, weaken: bool) {
+fn reset_replay(ctl: &Ctl, capacity: usize, cfg: &Config) {
     let mut m = lock(ctl);
     m.epoch += 1;
     m.granted = None;
@@ -488,7 +510,8 @@ fn reset_replay(ctl: &Ctl, capacity: usize, weaken: bool) {
     m.race = None;
     m.accepted = Vec::new();
     m.popped = Vec::new();
-    m.weaken_tail_release = weaken;
+    m.weaken_tail_release = cfg.weaken_tail_release;
+    m.weaken_head_release = cfg.weaken_head_release;
     ctl.cv.notify_all();
 }
 
@@ -573,8 +596,10 @@ mod tests {
             capacity,
             pushes,
             pops,
+            consumer_batch: None,
             budget: None,
             weaken_tail_release: false,
+            weaken_head_release: false,
         }
     }
 
@@ -615,6 +640,49 @@ mod tests {
     }
 
     #[test]
+    fn batched_consumer_is_clean_across_twelve_thousand_schedules() {
+        // The batch-amortized pop (`try_pop_many_core`) is the serve
+        // intake's drain path; explore it over wraparound-forcing shapes
+        // (capacity < pushes) so sweeps cross the index fold.
+        let mut total = 0usize;
+        for c in [
+            Config {
+                consumer_batch: Some(2),
+                ..cfg(1, 2, 2)
+            },
+            Config {
+                consumer_batch: Some(2),
+                budget: Some(8000),
+                ..cfg(2, 4, 3)
+            },
+            Config {
+                consumer_batch: Some(3),
+                budget: Some(8000),
+                ..cfg(3, 4, 2)
+            },
+        ] {
+            let stats = explore(&c);
+            assert_eq!(
+                stats.violation, None,
+                "correct batch core must verify clean under {c:?}"
+            );
+            total += stats.schedules;
+        }
+        assert!(total >= 12_000, "only {total} schedules explored");
+        // Determinism of the batched program, like the scalar one.
+        let a = explore(&Config {
+            consumer_batch: Some(2),
+            ..cfg(1, 2, 2)
+        });
+        let b = explore(&Config {
+            consumer_batch: Some(2),
+            ..cfg(1, 2, 2)
+        });
+        assert_eq!(a.schedules, b.schedules);
+        assert_eq!(a.steps, b.steps);
+    }
+
+    #[test]
     fn weakening_the_tail_release_is_caught() {
         // The production ring's `tail` publication is a Release store;
         // this run models it as Relaxed instead. The explorer must find
@@ -625,6 +693,24 @@ mod tests {
             ..cfg(1, 2, 2)
         });
         let v = stats.violation.expect("weakened ordering must be caught");
+        assert!(v.contains("data race"), "unexpected violation: {v}");
+    }
+
+    #[test]
+    fn weakening_the_batched_head_release_is_caught() {
+        // The batch pop frees a whole sweep of slots with one Release
+        // store of `head`; this run models that store as Relaxed. With
+        // capacity 1 and two pushes the producer must reuse slot 0, and
+        // without the head edge its overwrite is unordered against the
+        // consumer's take — the explorer must flag the race.
+        let stats = explore(&Config {
+            consumer_batch: Some(1),
+            weaken_head_release: true,
+            ..cfg(1, 2, 2)
+        });
+        let v = stats
+            .violation
+            .expect("weakened head ordering must be caught");
         assert!(v.contains("data race"), "unexpected violation: {v}");
     }
 

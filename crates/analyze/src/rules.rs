@@ -19,7 +19,7 @@
 //! | `invalid-pragma` | deny | malformed `scp-allow` comment |
 //! | `unused-allow` | deny | `scp-allow` that suppressed nothing |
 //! | `ordering-comment` | deny | atomic `Ordering::` use without an `// ORDERING:` justification |
-//! | `concurrency-primitive` | deny | `Mutex`/`RwLock`/`Condvar`/`spawn`/`static mut` outside the whitelist |
+//! | `concurrency-primitive` | deny | locks outside the lock whitelist, `spawn` outside the spawn whitelist, `static mut` anywhere |
 //! | `narrow-cast` | deny | narrowing `as` cast (`as u32` & co.) in library code |
 //! | `panic-path` | ratcheted | `unwrap`/`expect`/`panic!`-family in library code |
 //! | `slice-index` | ratcheted | `expr[...]` indexing in library code |
@@ -89,7 +89,7 @@ pub const RULES: &[RuleInfo] = &[
         name: "concurrency-primitive",
         enforcement: Enforcement::Deny,
         description:
-            "threads/locks (`spawn`, `Mutex`, `RwLock`, `static mut`) outside the whitelist",
+            "locks/threads (`Mutex`, `RwLock`, `spawn`) outside their whitelists; `static mut` anywhere",
     },
     RuleInfo {
         name: "narrow-cast",
@@ -144,17 +144,26 @@ const WALL_CLOCK_WHITELIST: &[&str] = &[
     "crates/serve/src/clock.rs",
 ];
 
-/// Files allowed to use concurrency primitives (`thread::spawn`,
-/// `Mutex`, `RwLock`, `Condvar`, `static mut`). Everything else must be
-/// single-threaded or built on the SPSC ring: the determinism claims
-/// hinge on thread interactions being confined to the few audited sites
-/// below (the sweep/runner fan-out, the load generator's pipeline, the
-/// ring itself, and the interleaving explorer that model-checks it).
-const CONCURRENCY_WHITELIST: &[&str] = &[
+/// Files allowed to use blocking lock types (`Mutex`, `RwLock`,
+/// `Condvar`). Only the interleaving explorer, which *models* a
+/// scheduler and needs a real lock/condvar pair to sequence its shim
+/// threads. The serving pipeline (loadgen, the SPSC ring, the batch
+/// rings) is lock-free by design — PR 8 removed the
+/// `Mutex<VecDeque> + Condvar` intake funnel, and this list is what
+/// keeps a lock from quietly coming back: a `Mutex` reappearing in
+/// `crates/serve/src/loadgen.rs` fires `concurrency-primitive`.
+const LOCK_WHITELIST: &[&str] = &["crates/analyze/src/interleave.rs"];
+
+/// Files allowed to start threads (`thread::spawn` / scoped spawns).
+/// Everything else must be single-threaded: the determinism claims
+/// hinge on thread interactions being confined to the audited fan-out
+/// sites (the sweep/runner pool, the load generator's pipeline, and the
+/// interleaving explorer's shim threads). `static mut` is never
+/// whitelisted — an unsynchronized global is wrong everywhere.
+const SPAWN_WHITELIST: &[&str] = &[
     "crates/sim/src/runner.rs",
     "crates/sim/src/sweep.rs",
     "crates/serve/src/loadgen.rs",
-    "crates/serve/src/spsc.rs",
     "crates/analyze/src/interleave.rs",
 ];
 
@@ -223,9 +232,12 @@ pub fn check_file(file: &SourceFile) -> Vec<Finding> {
             {
                 check_wall_clock(line, &mut emit);
             }
-            if !CONCURRENCY_WHITELIST.contains(&file.rel_path.as_str()) {
-                check_concurrency(line, &mut emit);
-            }
+            check_concurrency(
+                line,
+                LOCK_WHITELIST.contains(&file.rel_path.as_str()),
+                SPAWN_WHITELIST.contains(&file.rel_path.as_str()),
+                &mut emit,
+            );
             if !ORDERING_COMMENT_EXEMPT.contains(&file.rel_path.as_str()) {
                 check_ordering_comment(line, idx, &code_lines, &comment_lines, &mut emit);
             }
@@ -708,24 +720,34 @@ fn ordering_documented(idx: usize, code_lines: &[&str], comment_lines: &[&str]) 
     false
 }
 
-fn check_concurrency(line: &str, emit: &mut impl FnMut(&'static str, String)) {
-    for ty in ["Mutex", "RwLock", "Condvar"] {
-        if !token_positions(line, ty).is_empty() {
-            emit(
-                "concurrency-primitive",
-                format!("`{ty}` outside the concurrency whitelist"),
-            );
-        }
-    }
-    for method in ["spawn", "scope"] {
-        for pos in token_positions(line, method) {
-            let before = line.get(..pos).unwrap_or("");
-            let after = line.get(pos + method.len()..).unwrap_or("");
-            if after.starts_with('(') && (before.ends_with("thread::") || before.ends_with('.')) {
+fn check_concurrency(
+    line: &str,
+    locks_allowed: bool,
+    spawns_allowed: bool,
+    emit: &mut impl FnMut(&'static str, String),
+) {
+    if !locks_allowed {
+        for ty in ["Mutex", "RwLock", "Condvar"] {
+            if !token_positions(line, ty).is_empty() {
                 emit(
                     "concurrency-primitive",
-                    format!("`{method}` spawns threads outside the concurrency whitelist"),
+                    format!("`{ty}` outside the lock whitelist"),
                 );
+            }
+        }
+    }
+    if !spawns_allowed {
+        for method in ["spawn", "scope"] {
+            for pos in token_positions(line, method) {
+                let before = line.get(..pos).unwrap_or("");
+                let after = line.get(pos + method.len()..).unwrap_or("");
+                if after.starts_with('(') && (before.ends_with("thread::") || before.ends_with('.'))
+                {
+                    emit(
+                        "concurrency-primitive",
+                        format!("`{method}` spawns threads outside the spawn whitelist"),
+                    );
+                }
             }
         }
     }

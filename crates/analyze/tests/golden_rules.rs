@@ -283,11 +283,58 @@ fn golden_concurrency_static_mut() {
 }
 
 #[test]
-fn golden_concurrency_whitelisted_file() {
+fn golden_concurrency_lock_whitelisted_file() {
+    // The interleaving explorer models a scheduler with a real
+    // Mutex/Condvar pair; it is the only file on the lock whitelist.
     let src = "use std::sync::Mutex;\n\
                fn f() { let _m = Mutex::new(0u64); }\n";
-    let f = check_file(&SourceFile::from_source("crates/sim/src/runner.rs", src));
+    let f = check_file(&SourceFile::from_source(
+        "crates/analyze/src/interleave.rs",
+        src,
+    ));
     assert!(f.iter().all(|f| f.rule != "concurrency-primitive"), "{f:?}");
+}
+
+#[test]
+fn golden_concurrency_mutex_in_loadgen_fires() {
+    // PR 8 replaced the loadgen's `Mutex<VecDeque> + Condvar` intake with
+    // lock-free batch rings; the spawn whitelist still covers its worker
+    // fan-out, but a returning lock must fire.
+    let src = "use std::sync::Mutex;\n\
+               fn f() { let _m = Mutex::new(0u64); }\n";
+    let f = check_file(&SourceFile::from_source("crates/serve/src/loadgen.rs", src));
+    assert!(
+        f.iter().any(|f| f.rule == "concurrency-primitive"),
+        "a Mutex returning to loadgen.rs must fire: {f:?}"
+    );
+}
+
+#[test]
+fn golden_concurrency_spawn_in_loadgen_allowed() {
+    let src = "fn f() { std::thread::spawn(|| {}); }\n";
+    let f = check_file(&SourceFile::from_source("crates/serve/src/loadgen.rs", src));
+    assert!(f.iter().all(|f| f.rule != "concurrency-primitive"), "{f:?}");
+}
+
+#[test]
+fn golden_concurrency_spawn_whitelist_does_not_cover_locks() {
+    // The runner fans out worker threads but holds no locks; its spawn
+    // whitelisting must not quietly license lock types.
+    let src = "use std::sync::RwLock;\n\
+               fn f() { let _m = RwLock::new(0u64); }\n";
+    let f = check_file(&SourceFile::from_source("crates/sim/src/runner.rs", src));
+    assert!(f.iter().any(|f| f.rule == "concurrency-primitive"), "{f:?}");
+}
+
+#[test]
+fn golden_concurrency_static_mut_fires_everywhere() {
+    // `static mut` has no whitelist — even the explorer may not use it.
+    let src = "static mut COUNTER: u64 = 0;\n";
+    let f = check_file(&SourceFile::from_source(
+        "crates/analyze/src/interleave.rs",
+        src,
+    ));
+    assert!(f.iter().any(|f| f.rule == "concurrency-primitive"), "{f:?}");
 }
 
 #[test]

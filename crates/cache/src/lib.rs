@@ -31,6 +31,7 @@
 pub mod arc;
 pub mod clock;
 pub mod estimated;
+pub mod fasthash;
 pub mod fifo;
 pub mod lfu;
 pub mod list;

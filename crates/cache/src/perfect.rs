@@ -1,5 +1,6 @@
 //! The paper's perfect popularity cache.
 
+use crate::fasthash::FastBuildHasher;
 use crate::stats::CacheStats;
 use crate::{Cache, CacheOutcome};
 use std::collections::HashSet;
@@ -26,7 +27,12 @@ use std::hash::Hash;
 /// ```
 #[derive(Clone)]
 pub struct PerfectCache<K> {
-    cached: HashSet<K>,
+    /// The top-`c` key set. Keyed by [`FastBuildHasher`]: membership is
+    /// the per-query cost of the serving hot path, and the set's contents
+    /// are experiment-chosen (never attacker-controlled), so the
+    /// deterministic three-multiply hash is safe and ~3× cheaper than
+    /// SipHash per lookup.
+    cached: HashSet<K, FastBuildHasher>,
     capacity: usize,
     stats: CacheStats,
 }
@@ -35,7 +41,7 @@ impl<K: Copy + Eq + Hash> PerfectCache<K> {
     /// Builds the cache from keys listed in decreasing popularity order;
     /// only the first `capacity` keys are retained.
     pub fn new<I: IntoIterator<Item = K>>(capacity: usize, ranked_keys: I) -> Self {
-        let cached: HashSet<K> = ranked_keys.into_iter().take(capacity).collect();
+        let cached: HashSet<K, FastBuildHasher> = ranked_keys.into_iter().take(capacity).collect();
         Self {
             cached,
             capacity,
@@ -46,7 +52,7 @@ impl<K: Copy + Eq + Hash> PerfectCache<K> {
     /// Builds an empty oracle (capacity 0 or unknown ranking).
     pub fn empty(capacity: usize) -> Self {
         Self {
-            cached: HashSet::new(),
+            cached: HashSet::default(),
             capacity,
             stats: CacheStats::new(),
         }

@@ -144,6 +144,31 @@ impl Cluster {
         Ok(node)
     }
 
+    /// Routes one unit-cost query whose replica group the caller already
+    /// fetched with [`Cluster::replica_group`]. Batch admission hashes
+    /// keys in unrolled strides (several independent partitioner lookups
+    /// in flight at once), then feeds the groups here one by one — the
+    /// observable outcome is identical to [`Cluster::route_query`] on the
+    /// same key sequence, each key partitioned exactly once.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::NoLiveReplica`] if the whole group is down
+    /// (the query is counted as unserved).
+    pub fn route_prefetched(&mut self, key: KeyId, group: &ReplicaGroup) -> Result<NodeId> {
+        let live = group.filtered(|n| self.alive.get(n.index()).copied().unwrap_or(false));
+        if live.is_empty() {
+            self.unserved += 1.0;
+            return Err(ClusterError::NoLiveReplica(key));
+        }
+        let node = self.selector.select(key, live.as_slice(), &self.loads);
+        if let Some(load) = self.loads.get_mut(node.index()) {
+            *load += 1.0;
+        }
+        self.queries_served += 1;
+        Ok(node)
+    }
+
     /// Attributes a steady per-key rate to the cluster (rate-propagation
     /// mode): sticky selectors put the whole rate on the pinned node,
     /// memoryless selectors split it evenly over the live group.
@@ -317,6 +342,49 @@ mod tests {
         }
         assert_eq!(c.queries_served(), 100);
         assert!((c.snapshot().total() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn route_prefetched_matches_route_query_under_failures() {
+        // Twin clusters, same key sequence, one using the prefetched
+        // path: every routing decision and counter must agree, including
+        // across node failures and recoveries.
+        let mut direct = small_cluster(Box::new(LeastLoadedSelector::new()));
+        let mut prefetched = small_cluster(Box::new(LeastLoadedSelector::new()));
+        let victim = NodeId::from_index(3);
+        for round in 0..3u64 {
+            if round == 1 {
+                direct.fail_node(victim).unwrap();
+                prefetched.fail_node(victim).unwrap();
+            }
+            if round == 2 {
+                direct.recover_node(victim).unwrap();
+                prefetched.recover_node(victim).unwrap();
+            }
+            for k in 0..500u64 {
+                let key = KeyId::new(k);
+                let group = prefetched.replica_group(key);
+                let a = direct.route_query(key);
+                let b = prefetched.route_prefetched(key, &group);
+                assert_eq!(a.ok(), b.ok(), "diverged at round {round} key {k}");
+            }
+        }
+        assert_eq!(direct.queries_served(), prefetched.queries_served());
+        assert!((direct.unserved() - prefetched.unserved()).abs() < 1e-12);
+        assert_eq!(direct.snapshot().loads(), prefetched.snapshot().loads());
+    }
+
+    #[test]
+    fn route_prefetched_counts_dead_group_unserved() {
+        let mut c = small_cluster(Box::new(LeastLoadedSelector::new()));
+        let key = KeyId::new(9);
+        let group = c.replica_group(key);
+        for &n in group.as_slice() {
+            c.fail_node(n).unwrap();
+        }
+        let err = c.route_prefetched(key, &group).unwrap_err();
+        assert_eq!(err, ClusterError::NoLiveReplica(key));
+        assert!((c.unserved() - 1.0).abs() < 1e-12);
     }
 
     #[test]

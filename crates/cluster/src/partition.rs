@@ -94,7 +94,9 @@ impl ReplicaGroup {
 
     /// The group as a slice of node ids.
     pub fn as_slice(&self) -> &[NodeId] {
-        &self.nodes[..self.len as usize]
+        // `len <= MAX_REPLICATION` by construction, so the range is
+        // always in bounds; the fallback keeps the accessor panic-free.
+        self.nodes.get(..self.len as usize).unwrap_or(&[])
     }
 
     /// Iterates over member nodes.

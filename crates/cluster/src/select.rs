@@ -42,10 +42,17 @@ pub trait ReplicaSelector: Send + fmt::Debug {
 
 fn argmin_load(group: &[NodeId], loads: &[f64]) -> NodeId {
     debug_assert!(!group.is_empty(), "selector invoked with empty group");
-    let mut best = group[0];
-    let mut best_load = loads[best.index()];
-    for &n in &group[1..] {
-        let l = loads[n.index()];
+    // A node missing from `loads` scores infinity so it is never chosen
+    // over a tracked node; callers pass cluster-wide load vectors that
+    // cover every NodeId, so the fallback never fires in practice.
+    let load_of = |n: NodeId| loads.get(n.index()).copied().unwrap_or(f64::INFINITY);
+    let mut iter = group.iter().copied();
+    let Some(mut best) = iter.next() else {
+        return NodeId::new(0);
+    };
+    let mut best_load = load_of(best);
+    for n in iter {
+        let l = load_of(n);
         if l < best_load {
             best = n;
             best_load = l;
@@ -71,7 +78,10 @@ impl RandomSelector {
 
 impl ReplicaSelector for RandomSelector {
     fn select(&mut self, _key: KeyId, group: &[NodeId], _loads: &[f64]) -> NodeId {
-        group[next_below(&mut self.rng, group.len() as u64) as usize]
+        // `next_below(len)` is always `< len`, so the fallback only
+        // covers the contract-violating empty group.
+        let idx = next_below(&mut self.rng, group.len() as u64) as usize;
+        group.get(idx).copied().unwrap_or(NodeId::new(0))
     }
 
     fn rate_assignment(
@@ -106,7 +116,10 @@ impl RoundRobinSelector {
 impl ReplicaSelector for RoundRobinSelector {
     fn select(&mut self, key: KeyId, group: &[NodeId], _loads: &[f64]) -> NodeId {
         let counter = self.counters.entry(key).or_insert(0);
-        let node = group[(*counter as usize) % group.len()];
+        // `max(1)` keeps the modulus total; the `get` fallback only
+        // covers the contract-violating empty group.
+        let idx = (*counter as usize) % group.len().max(1);
+        let node = group.get(idx).copied().unwrap_or(NodeId::new(0));
         *counter = counter.wrapping_add(1);
         node
     }
@@ -211,13 +224,18 @@ impl WeightedLeastLoadedSelector {
 
     fn relative_argmin(&self, group: &[NodeId], loads: &[f64]) -> NodeId {
         debug_assert!(!group.is_empty(), "selector invoked with empty group");
+        // Untracked nodes score infinity (never chosen over a tracked
+        // node); weights are validated positive, so the ratio is finite.
         let score = |n: NodeId| {
             let w = self.weights.get(n.index()).copied().unwrap_or(1.0);
-            loads[n.index()] / w
+            loads.get(n.index()).copied().unwrap_or(f64::INFINITY) / w
         };
-        let mut best = group[0];
+        let mut iter = group.iter().copied();
+        let Some(mut best) = iter.next() else {
+            return NodeId::new(0);
+        };
         let mut best_score = score(best);
-        for &n in &group[1..] {
+        for n in iter {
             let s = score(n);
             if s < best_score {
                 best = n;

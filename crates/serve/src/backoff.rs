@@ -1,0 +1,90 @@
+//! Bounded spin-then-park backoff for the lock-free pipeline.
+//!
+//! The old intake woke the admission thread through a `Condvar`; the
+//! lock-free rewrite replaces every wait with polling plus this backoff.
+//! The escalation ladder is the usual three-stage one:
+//!
+//! 1. **spin** — a handful of `spin_loop` hints, cheapest when the other
+//!    side is about to produce (the common case under load);
+//! 2. **yield** — give the scheduler a chance; on a machine with fewer
+//!    cores than pipeline threads this is what actually lets the
+//!    counterpart run;
+//! 3. **park** — short fixed sleeps so a long-idle thread stops burning
+//!    the CPU other threads need.
+//!
+//! Nothing here reads a clock: the ladder is driven purely by how many
+//! times the caller came back empty-handed, so determinism claims about
+//! logical time are untouched.
+
+use std::time::Duration;
+
+/// Rounds of exponential `spin_loop` hints before yielding (2^0..2^4).
+const SPIN_LIMIT: u32 = 4;
+/// Rounds of `yield_now` after spinning, before parking.
+const YIELD_LIMIT: u32 = 14;
+/// Park length once the ladder is exhausted. Short enough that shutdown
+/// latency stays invisible next to any realistic run duration.
+const PARK_MICROS: u64 = 50;
+
+/// Escalating wait ladder; one per polling loop, reset on progress.
+#[derive(Debug, Clone, Default)]
+pub struct Backoff {
+    step: u32,
+}
+
+impl Backoff {
+    /// A fresh ladder, starting at the cheapest rung.
+    pub const fn new() -> Self {
+        Self { step: 0 }
+    }
+
+    /// Back to the cheapest rung; call after making progress.
+    pub fn reset(&mut self) {
+        self.step = 0;
+    }
+
+    /// Waits one rung and escalates: spin, then yield, then park.
+    pub fn snooze(&mut self) {
+        if self.step < SPIN_LIMIT {
+            for _ in 0..(1u32 << self.step) {
+                std::hint::spin_loop();
+            }
+        } else if self.step < YIELD_LIMIT {
+            std::thread::yield_now();
+        } else {
+            std::thread::sleep(Duration::from_micros(PARK_MICROS));
+        }
+        self.step = self.step.saturating_add(1);
+    }
+
+    /// Whether the ladder has escalated past spinning (diagnostics only).
+    pub fn is_yielding(&self) -> bool {
+        self.step >= SPIN_LIMIT
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_escalates_and_resets() {
+        let mut b = Backoff::new();
+        assert!(!b.is_yielding());
+        for _ in 0..SPIN_LIMIT {
+            b.snooze();
+        }
+        assert!(b.is_yielding());
+        b.reset();
+        assert!(!b.is_yielding());
+    }
+
+    #[test]
+    fn saturates_instead_of_overflowing() {
+        let mut b = Backoff::new();
+        b.step = u32::MAX - 1;
+        b.snooze();
+        b.snooze();
+        assert_eq!(b.step, u32::MAX);
+    }
+}

@@ -165,6 +165,11 @@ pub struct ServeConfig {
     pub client_window: usize,
     /// Keys a client submits per intake push.
     pub submit_batch: usize,
+    /// Depth, in batches, of each client's lock-free intake ring (and of
+    /// its buffer-recycling freelist). Small on purpose: the ring is a
+    /// handoff lane, not a buffer — the closed-loop window is what bounds
+    /// outstanding work.
+    pub intake_depth: usize,
     /// Max requests the admission stage packs into one shard batch.
     pub batch_size: usize,
     /// Per-shard queue capacity, in batches.
@@ -206,6 +211,7 @@ impl ServeConfig {
             clients: 4,
             client_window: 1024,
             submit_batch: 64,
+            intake_depth: 16,
             batch_size: 64,
             queue_capacity: 64,
             capacity_headroom: 0.0,
@@ -311,6 +317,12 @@ impl ServeConfig {
                 reason: "shard queues need room for at least one batch".to_owned(),
             });
         }
+        if self.intake_depth == 0 {
+            return Err(ServeError::InvalidConfig {
+                field: "intake_depth",
+                reason: "client intake rings need room for at least one batch".to_owned(),
+            });
+        }
         if self.total_queries == 0 && self.duration_ms == 0 {
             return Err(ServeError::InvalidConfig {
                 field: "total_queries",
@@ -404,6 +416,10 @@ mod tests {
 
         let mut cfg = ServeConfig::new(shape());
         cfg.queue_capacity = 0;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = ServeConfig::new(shape());
+        cfg.intake_depth = 0;
         assert!(cfg.validate().is_err());
 
         let mut cfg = ServeConfig::new(shape());

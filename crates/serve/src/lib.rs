@@ -9,11 +9,12 @@
 //! capacity enforcement:
 //!
 //! ```text
-//!  clients ─▶ intake ─▶ admission ──▶ SPSC queues ──▶ shard workers
-//!                      cache (c entries)        (one per backend node)
-//!                      route (partitioner + selector)
-//!                      shed if shard over r_i = h·R/n
-//!                      batch up to `batch_size`
+//!  clients ──▶ per-client SPSC batch rings ──▶ admission ──▶ SPSC queues ──▶ shard workers
+//!         ◀── freelist rings (recycled bufs) ◀─┘   │    (one per backend node, run-to-completion)
+//!                                                  ├ cache (c entries)
+//!                                                  ├ route (partitioner + selector, 4-wide)
+//!                                                  ├ shed if shard over r_i = h·R/n
+//!                                                  └ batch up to `batch_size`
 //! ```
 //!
 //! Two execution modes share every admission decision:
@@ -55,10 +56,13 @@
 
 #![warn(missing_docs)]
 
+pub mod backoff;
+pub mod batch_ring;
 pub mod clock;
 pub mod config;
 pub mod engine;
 pub mod loadgen;
+pub mod pad;
 pub mod pow;
 pub mod report;
 pub mod spsc;

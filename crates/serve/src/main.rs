@@ -38,6 +38,7 @@ struct ServeOpts {
     clients: usize,
     window: usize,
     submit_batch: usize,
+    intake_depth: usize,
     batch: usize,
     queue_capacity: usize,
     headroom: f64,
@@ -71,6 +72,7 @@ impl Default for ServeOpts {
             clients: 4,
             window: 1024,
             submit_batch: 64,
+            intake_depth: 16,
             batch: 64,
             queue_capacity: 64,
             headroom: 0.0,
@@ -113,6 +115,7 @@ fn usage(msg: &str) -> ! {
          --clients K         closed-loop client threads (default 4)\n\
          --window W          per-client outstanding window (default 1024)\n\
          --submit-batch B    keys per client submission (default 64)\n\
+         --intake-depth D    per-client intake ring depth, in batches (default 16)\n\
          --batch B           admission batch size (default 64)\n\
          --queue-capacity Q  shard queue depth, in batches (default 64)\n\
          --headroom H        shard capacity r_i = H*R/n (default 0 = off)\n\
@@ -185,6 +188,7 @@ fn parse_opts<I: IntoIterator<Item = String>>(args: I) -> ServeOpts {
             "--clients" => o.clients = expect_parse(&mut it, "--clients"),
             "--window" => o.window = expect_parse(&mut it, "--window"),
             "--submit-batch" => o.submit_batch = expect_parse(&mut it, "--submit-batch"),
+            "--intake-depth" => o.intake_depth = expect_parse(&mut it, "--intake-depth"),
             "--batch" => o.batch = expect_parse(&mut it, "--batch"),
             "--queue-capacity" => o.queue_capacity = expect_parse(&mut it, "--queue-capacity"),
             "--headroom" => o.headroom = expect_parse(&mut it, "--headroom"),
@@ -244,6 +248,7 @@ fn build_config(o: &ServeOpts) -> ServeConfig {
     cfg.clients = o.clients;
     cfg.client_window = o.window;
     cfg.submit_batch = o.submit_batch;
+    cfg.intake_depth = o.intake_depth;
     cfg.batch_size = o.batch;
     cfg.queue_capacity = o.queue_capacity;
     cfg.capacity_headroom = o.headroom;
@@ -302,6 +307,12 @@ fn print_summary(report: &scp_serve::ServeReport) {
         println!(
             "reshards={} epoch={} migrated={}",
             report.reshards, report.epoch, report.migrated
+        );
+    }
+    if report.intake_batches > 0 {
+        println!(
+            "intake_batches={} recycled={}",
+            report.intake_batches, report.intake_recycled
         );
     }
 }

@@ -156,6 +156,13 @@ pub struct ServeReport {
     /// Quota clients claimed but refunded on early stop; whenever a quota
     /// is set, `submitted + quota_unclaimed == total_queries` exactly.
     pub quota_unclaimed: u64,
+    /// Batches the admission sweep pulled off client intake rings (zero
+    /// in deterministic replay, which has no rings).
+    pub intake_batches: u64,
+    /// Swept intake buffers returned to a client freelist for reuse;
+    /// the gap to `intake_batches` (beyond the freelists' fill depth)
+    /// measures steady-state allocation on the intake path.
+    pub intake_recycled: u64,
     /// In-flight queries displaced at an epoch boundary (their shard
     /// lost the key); a completion class of its own in the conservation
     /// law, like `pow_rejected`.
@@ -216,6 +223,8 @@ impl ServeReport {
             cache_rejections: stats.cache_rejections,
             sketch_resets: stats.sketch_resets,
             quota_unclaimed: stats.quota_unclaimed,
+            intake_batches: stats.intake_batches,
+            intake_recycled: stats.intake_recycled,
             migrated: stats.migrated,
             reshards: stats.reshards,
             epoch: stats.epoch,
@@ -325,6 +334,8 @@ impl ServeReport {
             ("cache_rejections", Json::Num(self.cache_rejections as f64)),
             ("sketch_resets", Json::Num(self.sketch_resets as f64)),
             ("quota_unclaimed", Json::Num(self.quota_unclaimed as f64)),
+            ("intake_batches", Json::Num(self.intake_batches as f64)),
+            ("intake_recycled", Json::Num(self.intake_recycled as f64)),
             ("migrated", Json::Num(self.migrated as f64)),
             ("reshards", Json::Num(self.reshards as f64)),
             ("epoch", Json::Num(self.epoch as f64)),

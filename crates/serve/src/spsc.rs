@@ -28,10 +28,17 @@
 //! by the explorer is byte-for-byte the code running in production — no
 //! `cfg`-forked copy that could drift.
 
+use crate::pad::CachePadded;
 use std::cell::UnsafeCell;
+use std::fmt;
 use std::marker::PhantomData;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Largest accepted ring capacity (slots). Far beyond any sane queue
+/// (a ring is sized in batches, not queries), but low enough that the
+/// slot allocation can never approach address-space limits.
+pub const MAX_CAPACITY: u64 = 1 << 32;
 
 /// An atomic 64-bit counter as the ring algorithm sees it: real
 /// [`AtomicU64`] in production, an instrumented shim under the
@@ -225,10 +232,59 @@ impl<T, A: AtomicWord, S: SlotCell<T>> RingCore<T, A, S> {
         self.head.store(head + 1, Ordering::Release);
         item
     }
+
+    /// The batch-amortized consumer: pops up to `max` elements into
+    /// `sink`, paying **one** atomic acquire/release pair for the whole
+    /// sweep instead of one per element. Returns how many were taken.
+    ///
+    /// Must only ever be called from one thread at a time (enforced by
+    /// [`Consumer`] taking `&mut self`), like [`try_pop_core`].
+    ///
+    /// [`try_pop_core`]: RingCore::try_pop_core
+    pub fn try_pop_many_core(&self, max: usize, sink: &mut impl FnMut(T)) -> usize {
+        // ORDERING: relaxed is enough — `head` is written only by this
+        // thread, so it always reads its own latest value.
+        let head = self.head.load(Ordering::Relaxed);
+        // ORDERING: acquire pairs with the producer's release store of
+        // `tail`: every slot published at or before the observed `tail`
+        // is visible to the takes below.
+        let tail = self.tail.load(Ordering::Acquire);
+        let available = tail.saturating_sub(head).min(max as u64);
+        let mut taken = 0u64;
+        while taken < available {
+            let Some(slot) = self.slots.get(((head + taken) % self.capacity()) as usize) else {
+                // Unreachable (`x % len < len`); stopping early keeps the
+                // head publication below exact.
+                break;
+            };
+            // Indices `head..tail` are published and the producer cannot
+            // reuse any of them until `head` advances past them, which
+            // only the store below does.
+            // SAFETY: we are the only consumer of a published slot.
+            let Some(item) = (unsafe { slot.take() }) else {
+                break;
+            };
+            taken += 1;
+            sink(item);
+        }
+        if taken > 0 {
+            // ORDERING: release publishes every take() of this sweep in a
+            // single store — the batch half of the protocol: the
+            // producer's acquire load of `head` that observes it knows
+            // all `taken` slots are free for reuse at once. Weakening
+            // this to relaxed is the exact bug the interleaving
+            // explorer's batch regression test injects.
+            self.head.store(head + taken, Ordering::Release);
+        }
+        usize::try_from(taken).unwrap_or(usize::MAX)
+    }
 }
 
-/// The production ring: `std` atomics, `UnsafeCell` slots.
-type Ring<T> = RingCore<T, AtomicU64, StdSlot<T>>;
+/// The production ring: `std` atomics, `UnsafeCell` slots. The head and
+/// tail each get their own cache line ([`CachePadded`]) — they are
+/// written by different threads, and sharing a line would make every
+/// push invalidate the consumer's pops and vice versa.
+type Ring<T> = RingCore<T, CachePadded<AtomicU64>, StdSlot<T>>;
 
 /// The sending half; owned by exactly one thread.
 pub struct Producer<T> {
@@ -240,24 +296,78 @@ pub struct Consumer<T> {
     ring: Arc<Ring<T>>,
 }
 
-/// Creates a bounded SPSC queue holding at most `capacity` elements.
+/// A rejected queue capacity (see [`try_channel`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CapacityError {
+    /// The capacity the caller asked for.
+    pub requested: usize,
+}
+
+impl fmt::Display for CapacityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "spsc capacity {} invalid: must be in 1..={MAX_CAPACITY}",
+            self.requested
+        )
+    }
+}
+
+impl std::error::Error for CapacityError {}
+
+/// Creates a bounded SPSC queue holding at most `capacity` elements,
+/// rejecting degenerate sizes: zero (a queue that cannot hold anything)
+/// and anything above [`MAX_CAPACITY`].
 ///
-/// A zero capacity is rounded up to one so the queue can always make
-/// progress.
-pub fn channel<T>(capacity: usize) -> (Producer<T>, Consumer<T>) {
-    let capacity = capacity.max(1);
+/// # Errors
+///
+/// Returns [`CapacityError`] when `capacity` is outside
+/// `1..=MAX_CAPACITY`.
+pub fn try_channel<T>(capacity: usize) -> Result<(Producer<T>, Consumer<T>), CapacityError> {
+    if capacity == 0 || capacity as u64 > MAX_CAPACITY {
+        return Err(CapacityError {
+            requested: capacity,
+        });
+    }
     let slots: Vec<StdSlot<T>> = (0..capacity).map(|_| StdSlot::default()).collect();
     let ring = Arc::new(Ring::from_parts(
-        AtomicU64::new(0),
-        AtomicU64::new(0),
+        CachePadded::new(AtomicU64::new(0)),
+        CachePadded::new(AtomicU64::new(0)),
         slots,
     ));
-    (
+    Ok((
         Producer {
             ring: Arc::clone(&ring),
         },
         Consumer { ring },
-    )
+    ))
+}
+
+/// Creates a bounded SPSC queue holding at most `capacity` elements.
+///
+/// The forgiving construction path: a zero capacity is rounded up to one
+/// so the queue can always make progress (validated callers should
+/// prefer [`try_channel`], which rejects instead of clamping).
+pub fn channel<T>(capacity: usize) -> (Producer<T>, Consumer<T>) {
+    let capacity = capacity.clamp(1, usize::try_from(MAX_CAPACITY).unwrap_or(usize::MAX));
+    // The clamp above makes the capacity valid by construction, so the
+    // error arm is unreachable; building directly keeps this infallible.
+    match try_channel(capacity) {
+        Ok(pair) => pair,
+        Err(_) => {
+            let ring = Arc::new(Ring::from_parts(
+                CachePadded::new(AtomicU64::new(0)),
+                CachePadded::new(AtomicU64::new(0)),
+                vec![StdSlot::default()],
+            ));
+            (
+                Producer {
+                    ring: Arc::clone(&ring),
+                },
+                Consumer { ring },
+            )
+        }
+    }
 }
 
 impl<T> Producer<T> {
@@ -287,6 +397,13 @@ impl<T> Consumer<T> {
     /// Dequeues the oldest element, or `None` when the queue is empty.
     pub fn try_pop(&mut self) -> Option<T> {
         self.ring.try_pop_core()
+    }
+
+    /// Dequeues up to `max` elements into `sink` with a single atomic
+    /// acquire/release pair (see [`RingCore::try_pop_many_core`]).
+    /// Returns how many elements were taken.
+    pub fn try_pop_many(&mut self, max: usize, sink: &mut impl FnMut(T)) -> usize {
+        self.ring.try_pop_many_core(max, sink)
     }
 
     /// Elements currently queued.
@@ -373,6 +490,99 @@ mod tests {
         }
         producer.join().unwrap();
         assert!(rx.is_empty());
+    }
+
+    #[test]
+    fn try_channel_validates_capacity() {
+        assert_eq!(
+            super::try_channel::<u64>(0).err(),
+            Some(CapacityError { requested: 0 })
+        );
+        let too_big = usize::try_from(MAX_CAPACITY).map(|m| m + 1);
+        if let Ok(n) = too_big {
+            assert_eq!(
+                super::try_channel::<u64>(n).err(),
+                Some(CapacityError { requested: n })
+            );
+        }
+        let (mut tx, mut rx) = super::try_channel(2).unwrap();
+        tx.try_push(1u64).unwrap();
+        assert_eq!(rx.try_pop(), Some(1));
+        let msg = CapacityError { requested: 0 }.to_string();
+        assert!(msg.contains("capacity 0"), "unhelpful error: {msg}");
+    }
+
+    #[test]
+    fn pop_many_drains_fifo_and_respects_max() {
+        let (mut tx, mut rx) = channel(8);
+        for i in 0..6u64 {
+            tx.try_push(i).unwrap();
+        }
+        let mut got = Vec::new();
+        assert_eq!(rx.try_pop_many(4, &mut |v| got.push(v)), 4);
+        assert_eq!(got, vec![0, 1, 2, 3]);
+        assert_eq!(rx.try_pop_many(4, &mut |v| got.push(v)), 2);
+        assert_eq!(got, vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(rx.try_pop_many(4, &mut |v| got.push(v)), 0);
+        assert!(rx.is_empty());
+    }
+
+    #[test]
+    fn pop_many_wraps_around_and_mixes_with_single_pops() {
+        let (mut tx, mut rx) = channel(3);
+        let mut expected = 0u64;
+        let mut next = 0u64;
+        for _ in 0..100 {
+            while tx.try_push(next).is_ok() {
+                next += 1;
+            }
+            let mut got = Vec::new();
+            rx.try_pop_many(2, &mut |v| got.push(v));
+            for v in got {
+                assert_eq!(v, expected);
+                expected += 1;
+            }
+            if let Some(v) = rx.try_pop() {
+                assert_eq!(v, expected);
+                expected += 1;
+            }
+        }
+        assert!(expected > 100, "wraparound exercised many revolutions");
+    }
+
+    #[test]
+    fn pop_many_cross_thread_is_lossless() {
+        const N: u64 = 100_000;
+        let (mut tx, mut rx) = channel(16);
+        let producer = std::thread::spawn(move || {
+            let mut next = 0u64;
+            while next < N {
+                match tx.try_push(next) {
+                    Ok(()) => next += 1,
+                    Err(_) => std::hint::spin_loop(),
+                }
+            }
+        });
+        let mut expected = 0u64;
+        while expected < N {
+            let before = expected;
+            rx.try_pop_many(8, &mut |got| {
+                assert_eq!(got, expected);
+                expected += 1;
+            });
+            if expected == before {
+                std::hint::spin_loop();
+            }
+        }
+        producer.join().unwrap();
+        assert!(rx.is_empty());
+    }
+
+    #[test]
+    fn ring_counters_do_not_share_a_cache_line() {
+        // The head/tail pair is padded: the ring struct must span at
+        // least two full 128-byte blocks plus the slot box.
+        assert!(std::mem::size_of::<super::Ring<u64>>() >= 256);
     }
 
     #[test]

@@ -5,12 +5,23 @@ use crate::permute::KeyMapping;
 use crate::rng::{next_exponential, Xoshiro256StarStar};
 use crate::Result;
 
+/// Slots in the rank→key memo (a power of two; direct-mapped).
+const MEMO_SLOTS: u64 = 512;
+
 /// An infinite, deterministic stream of key identifiers drawn from an
 /// [`AccessPattern`].
 ///
 /// The stream samples popularity *ranks* and pushes them through a
 /// [`KeyMapping`], so callers observe realistic scattered key ids rather
 /// than `0, 1, 2, ...`.
+///
+/// Feistel mappings cycle-walk (several `mix` rounds per lookup), which
+/// dominates the cost of drawing a key, so the stream keeps a small
+/// direct-mapped memo of recent rank→key translations: access patterns
+/// are head-heavy by construction (that is the paper's whole premise),
+/// so the hot ranks hit the memo almost always. The memo is invisible in
+/// the output — the mapping is a pure function, a hit returns exactly
+/// what `apply` would.
 ///
 /// # Example
 ///
@@ -28,6 +39,17 @@ use crate::Result;
 pub struct QueryStream {
     sampler: PatternSampler,
     mapping: KeyMapping,
+    /// Direct-mapped `(rank + 1, key)` pairs; tag 0 means empty. `None`
+    /// for identity mappings (nothing to amortize).
+    memo: Option<Box<[(u64, u64)]>>,
+}
+
+/// A memo for `mapping`, or `None` when lookups are already free.
+fn rank_memo(mapping: &KeyMapping) -> Option<Box<[(u64, u64)]>> {
+    match mapping {
+        KeyMapping::Identity => None,
+        KeyMapping::Feistel(_) => Some(vec![(0, 0); MEMO_SLOTS as usize].into_boxed_slice()),
+    }
 }
 
 impl QueryStream {
@@ -40,6 +62,7 @@ impl QueryStream {
         Ok(Self {
             sampler: pattern.sampler(seed)?,
             mapping: KeyMapping::Identity,
+            memo: None,
         })
     }
 
@@ -51,9 +74,11 @@ impl QueryStream {
     /// Returns an error if the pattern cannot build a sampler or the key
     /// space is empty.
     pub fn scattered(pattern: &AccessPattern, seed: u64) -> Result<Self> {
+        let mapping = KeyMapping::scattered(pattern.key_space(), seed ^ 0xF00D_F00D)?;
         Ok(Self {
             sampler: pattern.sampler(seed)?,
-            mapping: KeyMapping::scattered(pattern.key_space(), seed ^ 0xF00D_F00D)?,
+            memo: rank_memo(&mapping),
+            mapping,
         })
     }
 
@@ -65,13 +90,27 @@ impl QueryStream {
     pub fn with_mapping(pattern: &AccessPattern, seed: u64, mapping: KeyMapping) -> Result<Self> {
         Ok(Self {
             sampler: pattern.sampler(seed)?,
+            memo: rank_memo(&mapping),
             mapping,
         })
     }
 
     /// Draws the next key id.
     pub fn next_key(&mut self) -> u64 {
-        self.mapping.apply(self.sampler.sample())
+        let rank = self.sampler.sample();
+        let Some(memo) = &mut self.memo else {
+            return self.mapping.apply(rank);
+        };
+        let tag = rank + 1;
+        match memo.get_mut((rank & (MEMO_SLOTS - 1)) as usize) {
+            Some(slot) if slot.0 == tag => slot.1,
+            Some(slot) => {
+                let key = self.mapping.apply(rank);
+                *slot = (tag, key);
+                key
+            }
+            None => self.mapping.apply(rank),
+        }
     }
 }
 
@@ -159,6 +198,21 @@ mod tests {
         assert!(keys.iter().any(|&k| k > 10_000));
         let distinct: std::collections::HashSet<u64> = keys.iter().copied().collect();
         assert_eq!(distinct.len(), 5);
+    }
+
+    #[test]
+    fn memoized_stream_matches_unmemoized_mapping() {
+        // The memo must be invisible: every drawn key equals a direct
+        // `mapping.apply(rank)` on a twin stream whose memo never hits
+        // (reconstructed fresh per draw). Zipf over a non-power-of-two
+        // domain exercises tag collisions in the direct-mapped table.
+        let p = AccessPattern::zipf(1.01, 70_001).unwrap();
+        let mut memoized = QueryStream::scattered(&p, 1234).unwrap();
+        let mut twin = QueryStream::scattered(&p, 1234).unwrap();
+        twin.memo = None;
+        for i in 0..20_000 {
+            assert_eq!(memoized.next_key(), twin.next_key(), "diverged at {i}");
+        }
     }
 
     #[test]
