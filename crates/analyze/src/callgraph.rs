@@ -1,11 +1,12 @@
 //! An intra-workspace call graph over the [`crate::syntax`] item trees.
 //!
-//! The graph exists for one consumer — the panic-surface report
-//! ([`crate::surface`]) — so its design goal is *sound reachability*, not
-//! precise name resolution: when a call site could plausibly target a
-//! workspace function, the edge is added. Overapproximation makes the
-//! surface larger, never smaller, which is the safe direction for a
-//! ratchet that only allows the surface to shrink.
+//! The graph exists for two consumers — the panic-surface report and the
+//! determinism-surface report ([`crate::surface`], [`crate::taint`]) — so
+//! its design goal is *sound reachability*, not precise name resolution:
+//! when a call site could plausibly target a workspace function, the edge
+//! is added. Overapproximation makes the surfaces larger, never smaller,
+//! which is the safe direction for ratchets that only allow a surface to
+//! shrink.
 //!
 //! Resolution is name-based and deterministic:
 //!
@@ -20,16 +21,23 @@
 //!   in the same crate or an imported crate, *except* names on the
 //!   [`CALL_NAME_NOISE`] list (ubiquitous `std` method names like `len`,
 //!   `push`, `get` whose receiver is almost always a standard type —
-//!   linking those would connect everything to everything).
+//!   linking those would connect everything to everything). When the
+//!   surviving candidates include `impl`-associated methods owned by
+//!   exactly one type, the free functions and trait declarations sharing
+//!   the name are dropped: a `.name(...)` call must dispatch to *some*
+//!   inherent or trait impl, and with a single implementing type in scope
+//!   that impl is the only possible target.
 //!
 //! Test code is excluded entirely (functions *and* call sites): the
 //! surface describes what shipping code can reach, and a test helper can
 //! never be called from a non-test path.
 
 use crate::files::{FileKind, SourceFile};
+use crate::pragma;
 use crate::rules;
 use crate::syntax;
 use crate::syntax::{at, sub};
+use crate::taint;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// One function node of the graph.
@@ -46,12 +54,32 @@ pub struct FnNode {
     pub rel_path: String,
     /// Whether the function carries a `pub` modifier.
     pub is_pub: bool,
+    /// Nearest enclosing `impl`/`trait` name when the fn is associated.
+    pub owner: Option<String>,
+    /// Whether [`FnNode::owner`] is an `impl` (a concrete type) rather
+    /// than a `trait` declaration.
+    pub owner_is_impl: bool,
+    /// 1-based line the declaration starts on.
+    pub decl_line: usize,
     /// Number of panic-capable sites (`panic-path` / `slice-index`
     /// findings, pre-suppression) lexically inside this function.
     pub local_sites: usize,
     /// Whether the function can transitively reach a panic-capable site
     /// (including its own).
     pub reaches_panic: bool,
+    /// Number of nondeterminism source sites
+    /// ([`rules::taint_site_lines`]) lexically inside this function.
+    pub taint_sites: usize,
+    /// First local source site, as `(line, what)` — used by taint traces.
+    pub first_taint: Option<(usize, String)>,
+    /// Whether a `// DETERMINISM: <reason>` pragma inside this function
+    /// marks it as a justified laundering point (see [`crate::taint`]).
+    pub launders: bool,
+    /// Lines of the `DETERMINISM:` pragmas inside this function.
+    pub launder_lines: Vec<usize>,
+    /// Whether nondeterminism can transitively reach this function's
+    /// results (see [`crate::taint`]).
+    pub tainted: bool,
     /// Indices (into [`CallGraph::fns`]) of resolved callees.
     pub callees: Vec<usize>,
 }
@@ -64,6 +92,10 @@ pub struct CallGraph {
     pub fns: Vec<FnNode>,
     /// Total resolved call edges.
     pub edge_count: usize,
+    /// Hygiene findings for `DETERMINISM:` pragmas (`invalid-pragma` for
+    /// a missing reason or a pragma outside any function, `unused-allow`
+    /// for a pragma that launders nothing), raw/pre-suppression.
+    pub determinism_findings: Vec<rules::Finding>,
 }
 
 /// Method-call names so common on `std` types that linking them by name
@@ -246,18 +278,75 @@ pub fn build(sources: &[SourceFile]) -> CallGraph {
                 }
             }
         }
+        // Count nondeterminism sources per innermost enclosing fn and
+        // remember the first one for taint traces.
+        let mut taint_per_fn = vec![0usize; parsed.fns.len()];
+        let mut first_taint: Vec<Option<(usize, String)>> = vec![None; parsed.fns.len()];
+        for site in rules::taint_site_lines(file) {
+            if let Some(Some(fi)) = fn_of_line.get(site.line.saturating_sub(1)) {
+                if let Some(n) = taint_per_fn.get_mut(*fi) {
+                    *n += 1;
+                }
+                if let Some(slot) = first_taint.get_mut(*fi) {
+                    if slot.is_none() {
+                        *slot = Some((site.line, site.what));
+                    }
+                }
+            }
+        }
+        // Map `DETERMINISM:` pragmas onto their innermost fn; a pragma
+        // outside every function has nothing to launder and is invalid.
+        let (det_pragmas, det_errors) = pragma::parse_determinism(file);
+        let mut launder_lines_per_fn: Vec<Vec<usize>> = vec![Vec::new(); parsed.fns.len()];
+        for p in det_pragmas {
+            match fn_of_line.get(p.line.saturating_sub(1)) {
+                Some(Some(fi)) => {
+                    if let Some(lines) = launder_lines_per_fn.get_mut(*fi) {
+                        lines.push(p.line);
+                    }
+                }
+                _ => graph.determinism_findings.push(rules::Finding {
+                    file: file.rel_path.clone(),
+                    line: p.line,
+                    rule: "invalid-pragma",
+                    message: "DETERMINISM: pragma outside any function has nothing to launder"
+                        .to_owned(),
+                    snippet: snippet_at(file, p.line),
+                    suppressed: false,
+                }),
+            }
+        }
+        for e in det_errors {
+            graph.determinism_findings.push(rules::Finding {
+                file: file.rel_path.clone(),
+                line: e.line,
+                rule: "invalid-pragma",
+                message: e.message,
+                snippet: snippet_at(file, e.line),
+                suppressed: false,
+            });
+        }
         for (fi, f) in parsed.fns.iter().enumerate() {
             if f.cfg_test {
                 continue;
             }
+            let launder_lines = launder_lines_per_fn.get(fi).cloned().unwrap_or_default();
             graph.fns.push(FnNode {
                 id: format!("{}::{}", file.rel_path, f.qualified),
                 name: f.name.clone(),
                 crate_name: file.crate_name.clone(),
                 rel_path: file.rel_path.clone(),
                 is_pub: f.is_pub,
+                owner: f.owner.clone(),
+                owner_is_impl: f.owner_is_impl,
+                decl_line: f.lines.0,
                 local_sites: sites_per_fn.get(fi).copied().unwrap_or(0),
                 reaches_panic: false,
+                taint_sites: taint_per_fn.get(fi).copied().unwrap_or(0),
+                first_taint: first_taint.get_mut(fi).and_then(Option::take),
+                launders: !launder_lines.is_empty(),
+                launder_lines,
+                tainted: false,
                 callees: Vec::new(),
             });
         }
@@ -318,7 +407,52 @@ pub fn build(sources: &[SourceFile]) -> CallGraph {
     }
 
     propagate_reachability(&mut graph);
+    taint::propagate(&mut graph);
+
+    // A `DETERMINISM:` pragma that launders nothing — no local source
+    // site and no tainted callee — is stale and must be removed, exactly
+    // like an unused `scp-allow`.
+    let mut unused: Vec<(String, usize)> = Vec::new();
+    for f in &graph.fns {
+        if !f.launders {
+            continue;
+        }
+        let any_tainted_callee = f
+            .callees
+            .iter()
+            .any(|&c| graph.fns.get(c).is_some_and(|cf| cf.tainted));
+        if f.taint_sites == 0 && !any_tainted_callee {
+            for &line in &f.launder_lines {
+                unused.push((f.rel_path.clone(), line));
+            }
+        }
+    }
+    for (rel_path, line) in unused {
+        let snippet = sources
+            .iter()
+            .find(|s| s.rel_path == rel_path)
+            .map(|s| snippet_at(s, line))
+            .unwrap_or_default();
+        graph.determinism_findings.push(rules::Finding {
+            file: rel_path,
+            line,
+            rule: "unused-allow",
+            message: "DETERMINISM: pragma launders nothing (no nondeterminism reaches this \
+                      function) — remove it"
+                .to_owned(),
+            snippet,
+            suppressed: false,
+        });
+    }
     graph
+}
+
+/// Trimmed source text of a 1-based line, for finding snippets.
+fn snippet_at(file: &SourceFile, line: usize) -> String {
+    file.lines
+        .get(line.saturating_sub(1))
+        .map(|l| l.trim().to_owned())
+        .unwrap_or_default()
 }
 
 /// For each 0-based line, the index (into `fns`) of the innermost
@@ -545,7 +679,27 @@ impl NameIndex {
                 if CALL_NAME_NOISE.contains(&name.as_str()) {
                     return Vec::new();
                 }
-                all(name).into_iter().filter(|i| in_scope(i)).collect()
+                let candidates: Vec<usize> =
+                    all(name).into_iter().filter(|i| in_scope(i)).collect();
+                // A method call dispatches to an impl. When the in-scope
+                // candidates include impl-associated methods owned by
+                // exactly one type, that impl is the only possible target:
+                // drop same-named free fns and trait declarations. With
+                // zero impl candidates (or several owner types) keep the
+                // full over-approximate set.
+                let impl_owners: BTreeSet<&str> = candidates
+                    .iter()
+                    .filter_map(|&i| fns.get(i))
+                    .filter(|f| f.owner_is_impl)
+                    .filter_map(|f| f.owner.as_deref())
+                    .collect();
+                if impl_owners.len() == 1 {
+                    return candidates
+                        .into_iter()
+                        .filter(|&i| fns.get(i).is_some_and(|f| f.owner_is_impl))
+                        .collect();
+                }
+                candidates
             }
         }
     }

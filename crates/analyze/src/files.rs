@@ -6,6 +6,7 @@
 //! sit inside `#[cfg(test)]` items. This module computes all three.
 
 use crate::lexer::{mask, MaskedSource};
+use crate::syntax::{at, sub, tail};
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -138,9 +139,12 @@ fn classify(rel: &str) -> (String, FileKind) {
     let parts: Vec<&str> = rel.split('/').collect();
     let (crate_name, rest): (String, &[&str]) =
         if parts.first() == Some(&"crates") && parts.len() > 2 {
-            (format!("scp-{}", parts[1]), &parts[2..])
+            (
+                format!("scp-{}", parts.get(1).copied().unwrap_or_default()),
+                parts.get(2..).unwrap_or(&[]),
+            )
         } else {
-            ("secure-cache-provision".to_owned(), &parts[..])
+            ("secure-cache-provision".to_owned(), parts.as_slice())
         };
     let kind = match rest.first().copied() {
         Some("tests") => FileKind::Test,
@@ -166,17 +170,17 @@ pub(crate) fn cfg_test_lines(masked: &MaskedSource) -> Vec<bool> {
     let mut in_test = vec![false; n_lines];
     let bytes = code.as_bytes();
     let mut search_from = 0usize;
-    while let Some(off) = code[search_from..]
+    while let Some(off) = tail(code, search_from)
         .find("#[cfg(test)]")
-        .or_else(|| code[search_from..].find("#![cfg(test)]"))
+        .or_else(|| tail(code, search_from).find("#![cfg(test)]"))
     {
         let start = search_from + off;
-        let attr_end = start + code[start..].find(']').map_or(0, |p| p + 1);
+        let attr_end = start + tail(code, start).find(']').map_or(0, |p| p + 1);
         // Find the item body: first `{` before a `;` at the same level.
         let mut i = attr_end;
         let mut open = None;
         while i < bytes.len() {
-            match bytes[i] {
+            match at(bytes, i) {
                 b'{' => {
                     open = Some(i);
                     break;
@@ -193,7 +197,7 @@ pub(crate) fn cfg_test_lines(masked: &MaskedSource) -> Vec<bool> {
                     if j >= bytes.len() {
                         break bytes.len();
                     }
-                    match bytes[j] {
+                    match at(bytes, j) {
                         b'{' => depth += 1,
                         b'}' => {
                             depth -= 1;
@@ -208,8 +212,8 @@ pub(crate) fn cfg_test_lines(masked: &MaskedSource) -> Vec<bool> {
             }
             None => i.min(bytes.len()),
         };
-        let first_line = code[..start].matches('\n').count();
-        let last_line = code[..end].matches('\n').count();
+        let first_line = sub(code, 0, start).matches('\n').count();
+        let last_line = sub(code, 0, end).matches('\n').count();
         for line in in_test.iter_mut().take(last_line + 1).skip(first_line) {
             *line = true;
         }

@@ -54,6 +54,20 @@ fn is_ident(b: u8) -> bool {
     b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
 }
 
+/// Byte at `i`, or `0` past the end — total, so scanning loops need no
+/// panicking indexing.
+fn byte_at(bytes: &[u8], i: usize) -> u8 {
+    bytes.get(i).copied().unwrap_or(0)
+}
+
+/// Classifies byte `i`, ignoring out-of-range indices — total, so mask
+/// writers need no panicking indexing.
+fn set(region: &mut [Region], i: usize, r: Region) {
+    if let Some(slot) = region.get_mut(i) {
+        *slot = r;
+    }
+}
+
 /// Masks one source file. Total: unterminated constructs simply run to the
 /// end of input rather than erroring (the compiler owns syntax errors).
 pub fn mask(src: &str) -> MaskedSource {
@@ -61,11 +75,11 @@ pub fn mask(src: &str) -> MaskedSource {
     let mut region = vec![Region::Code; bytes.len()];
     let mut i = 0usize;
     while i < bytes.len() {
-        let b = bytes[i];
+        let b = byte_at(bytes, i);
         // Line comment.
         if b == b'/' && bytes.get(i + 1) == Some(&b'/') {
-            while i < bytes.len() && bytes[i] != b'\n' {
-                region[i] = Region::Comment;
+            while i < bytes.len() && byte_at(bytes, i) != b'\n' {
+                set(&mut region, i, Region::Comment);
                 i += 1;
             }
             continue;
@@ -74,21 +88,21 @@ pub fn mask(src: &str) -> MaskedSource {
         if b == b'/' && bytes.get(i + 1) == Some(&b'*') {
             let mut depth = 0usize;
             while i < bytes.len() {
-                if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                if byte_at(bytes, i) == b'/' && bytes.get(i + 1) == Some(&b'*') {
                     depth += 1;
-                    region[i] = Region::Comment;
-                    region[i + 1] = Region::Comment;
+                    set(&mut region, i, Region::Comment);
+                    set(&mut region, i + 1, Region::Comment);
                     i += 2;
-                } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                } else if byte_at(bytes, i) == b'*' && bytes.get(i + 1) == Some(&b'/') {
                     depth -= 1;
-                    region[i] = Region::Comment;
-                    region[i + 1] = Region::Comment;
+                    set(&mut region, i, Region::Comment);
+                    set(&mut region, i + 1, Region::Comment);
                     i += 2;
                     if depth == 0 {
                         break;
                     }
                 } else {
-                    region[i] = Region::Comment;
+                    set(&mut region, i, Region::Comment);
                     i += 1;
                 }
             }
@@ -96,7 +110,7 @@ pub fn mask(src: &str) -> MaskedSource {
         }
         // Possible raw / byte string prefix: (b|c)? r #* "  — only when the
         // prefix letter does not continue a longer identifier.
-        let prev_ident = i > 0 && is_ident(bytes[i - 1]);
+        let prev_ident = i > 0 && is_ident(byte_at(bytes, i - 1));
         if !prev_ident && (b == b'r' || b == b'b' || b == b'c') {
             if let Some(end) = try_raw_string(bytes, i) {
                 // Keep the prefix and delimiters as code, blank the content.
@@ -138,13 +152,13 @@ pub fn mask(src: &str) -> MaskedSource {
 
     let mut code = Vec::with_capacity(bytes.len());
     let mut comments = Vec::with_capacity(bytes.len());
-    for (idx, &b) in bytes.iter().enumerate() {
+    for (&b, &r) in bytes.iter().zip(&region) {
         if b == b'\n' || b == b'\r' {
             code.push(b);
             comments.push(b);
             continue;
         }
-        match region[idx] {
+        match r {
             Region::Code => {
                 code.push(b);
                 comments.push(b' ');
@@ -174,7 +188,7 @@ fn try_raw_string(bytes: &[u8], i: usize) -> Option<usize> {
     let mut j = i + open_len;
     let closer_hashes = hashes;
     while j < bytes.len() {
-        if bytes[j] == b'"' {
+        if byte_at(bytes, j) == b'"' {
             let mut k = 0usize;
             while k < closer_hashes && bytes.get(j + 1 + k) == Some(&b'#') {
                 k += 1;
@@ -219,17 +233,15 @@ fn raw_open_len_checked(bytes: &[u8], i: usize) -> Option<(usize, usize)> {
 fn mask_string(bytes: &[u8], region: &mut [Region], start: usize) -> usize {
     let mut j = start + 1;
     while j < bytes.len() {
-        match bytes[j] {
+        match byte_at(bytes, j) {
             b'\\' => {
-                region[j] = Region::Literal;
-                if j + 1 < bytes.len() {
-                    region[j + 1] = Region::Literal;
-                }
+                set(region, j, Region::Literal);
+                set(region, j + 1, Region::Literal);
                 j += 2;
             }
             b'"' => return j + 1,
             _ => {
-                region[j] = Region::Literal;
+                set(region, j, Region::Literal);
                 j += 1;
             }
         }
@@ -247,10 +259,10 @@ fn mask_char(bytes: &[u8], region: &mut [Region], start: usize) -> usize {
     if next == b'\\' {
         // Escaped char literal: blank until the closing quote.
         let mut j = start + 1;
-        while j < bytes.len() && bytes[j] != b'\'' {
-            region[j] = Region::Literal;
-            if bytes[j] == b'\\' {
-                region[j + 1.min(bytes.len() - 1 - j)] = Region::Literal;
+        while j < bytes.len() && byte_at(bytes, j) != b'\'' {
+            set(region, j, Region::Literal);
+            if byte_at(bytes, j) == b'\\' {
+                set(region, j + 1, Region::Literal);
                 j += 1;
             }
             j += 1;

@@ -10,8 +10,8 @@
 
 use scp_analyze::baseline::BASELINE_FILE;
 use scp_analyze::files::find_workspace_root;
-use scp_analyze::surface::SURFACE_FILE;
-use scp_analyze::{analyze_panic_surface, analyze_workspace, store_baseline, store_surface};
+use scp_analyze::surface::{DET_SURFACE_FILE, SURFACE_FILE};
+use scp_analyze::{analyze_all, store_baseline, store_det_surface, store_surface};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -73,20 +73,16 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     };
 
-    let report = match analyze_workspace(&root) {
-        Ok(r) => r,
+    let analysis = match analyze_all(&root) {
+        Ok(a) => a,
         Err(e) => {
             eprintln!("scp-analyze: {e}");
             return ExitCode::from(2);
         }
     };
-    let surface = match analyze_panic_surface(&root) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("scp-analyze: {e}");
-            return ExitCode::from(2);
-        }
-    };
+    let report = analysis.report;
+    let surface = analysis.panic_surface;
+    let det = analysis.det_surface;
 
     if opts.update_baseline {
         if let Err(e) = store_baseline(&root, &report.observed) {
@@ -106,6 +102,15 @@ fn main() -> ExitCode {
             "scp-analyze: wrote {} ({} panic-reachable pub fns)",
             SURFACE_FILE,
             surface.observed.functions.len()
+        );
+        if let Err(e) = store_det_surface(&root, &det) {
+            eprintln!("scp-analyze: writing {DET_SURFACE_FILE}: {e}");
+            return ExitCode::from(2);
+        }
+        println!(
+            "scp-analyze: wrote {} ({} taint-reachable pub fns)",
+            DET_SURFACE_FILE,
+            det.observed.functions.len()
         );
         // Violations of deny rules still gate below even after an update.
     }
@@ -145,6 +150,25 @@ fn main() -> ExitCode {
         for id in &surface.removed {
             println!("  left the panic surface (re-lock with --update-baseline): {id}");
         }
+        println!(
+            "determinism surface: {} of {} pub fns reachable by nondeterminism",
+            det.observed.functions.len(),
+            det.per_crate.values().map(|c| c.pub_fns).sum::<u64>(),
+        );
+        if opts.verbose {
+            for (name, c) in &det.per_crate {
+                println!(
+                    "  {:28} {:3} tainted   / {:3} pub",
+                    name, c.reachable, c.pub_fns
+                );
+            }
+        }
+        // Entries into the determinism surface already gate through
+        // `--deny` as `nondet-taint` findings; only drift is reported
+        // here.
+        for id in &det.removed {
+            println!("  left the determinism surface (re-lock with --update-baseline): {id}");
+        }
     }
 
     let mut failed = false;
@@ -173,6 +197,13 @@ fn main() -> ExitCode {
         eprintln!(
             "scp-analyze: --check-baseline: {SURFACE_FILE} out of sync ({} difference(s))",
             surface.added.len() + surface.removed.len()
+        );
+        failed = true;
+    }
+    if opts.check_baseline && !opts.update_baseline && !det.in_sync() {
+        eprintln!(
+            "scp-analyze: --check-baseline: {DET_SURFACE_FILE} out of sync ({} difference(s))",
+            det.added.len() + det.removed.len()
         );
         failed = true;
     }

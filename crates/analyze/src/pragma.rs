@@ -23,9 +23,68 @@
 //! too (`unused-allow`), so stale annotations cannot accumulate.
 
 use crate::files::SourceFile;
+use crate::syntax::{sub, tail};
 
 /// The marker looked for inside comments.
 pub const MARKER: &str = "scp-allow(";
+
+/// The marker that cuts nondeterminism-taint propagation (see
+/// [`crate::taint`]). Unlike `scp-allow`, which targets a *line*, a
+/// `// DETERMINISM: <reason>` comment marks the innermost function that
+/// lexically contains it as a justified laundering point: taint seeded
+/// inside it, or flowing into it through calls, does not propagate to its
+/// callers, and the function itself stays out of the determinism surface.
+pub const DETERMINISM_MARKER: &str = "DETERMINISM:";
+
+/// One parsed `DETERMINISM:` laundering pragma.
+#[derive(Debug, Clone)]
+pub struct DeterminismPragma {
+    /// 1-based line the pragma comment sits on.
+    pub line: usize,
+    /// Mandatory justification (non-empty).
+    pub reason: String,
+}
+
+/// Extracts all `// DETERMINISM: <reason>` pragmas from a file's comment
+/// mask. Same discipline as [`parse_pragmas`]: only plain `//` comments
+/// count (doc comments are prose), the marker cannot be smuggled in
+/// through a string literal, and pragmas inside test code are ignored.
+/// The comment's content must *start* with the marker so ordinary prose
+/// mentioning determinism never parses as a directive.
+pub fn parse_determinism(file: &SourceFile) -> (Vec<DeterminismPragma>, Vec<PragmaError>) {
+    let comment_lines = file.masked.comment_lines();
+    let mut pragmas = Vec::new();
+    let mut errors = Vec::new();
+    for (idx, comment) in comment_lines.iter().enumerate() {
+        let line = idx + 1;
+        if file.is_test_line(line) {
+            continue;
+        }
+        let trimmed = comment.trim_start();
+        if trimmed.starts_with("///") || trimmed.starts_with("//!") || trimmed.starts_with("/**") {
+            continue;
+        }
+        let Some(content) = trimmed.strip_prefix("//") else {
+            continue;
+        };
+        let Some(rest) = content.trim_start().strip_prefix(DETERMINISM_MARKER) else {
+            continue;
+        };
+        let reason = rest.trim();
+        if reason.is_empty() {
+            errors.push(PragmaError {
+                line,
+                message: "DETERMINISM: needs a non-empty reason".to_owned(),
+            });
+            continue;
+        }
+        pragmas.push(DeterminismPragma {
+            line,
+            reason: reason.to_owned(),
+        });
+    }
+    (pragmas, errors)
+}
 
 /// One parsed suppression.
 #[derive(Debug, Clone)]
@@ -72,7 +131,7 @@ pub fn parse_pragmas(file: &SourceFile, known_rules: &[&str]) -> (Vec<Pragma>, V
         let Some(pos) = comment.find(MARKER) else {
             continue;
         };
-        let after = &comment[pos + MARKER.len()..];
+        let after = tail(comment, pos + MARKER.len());
         let Some(close) = after.find(')') else {
             errors.push(PragmaError {
                 line,
@@ -80,8 +139,8 @@ pub fn parse_pragmas(file: &SourceFile, known_rules: &[&str]) -> (Vec<Pragma>, V
             });
             continue;
         };
-        let rule = after[..close].trim().to_owned();
-        let rest = after[close + 1..].trim_start();
+        let rule = sub(after, 0, close).trim().to_owned();
+        let rest = tail(after, close + 1).trim_start();
         if !known_rules.contains(&rule.as_str()) {
             errors.push(PragmaError {
                 line,
@@ -108,7 +167,7 @@ pub fn parse_pragmas(file: &SourceFile, known_rules: &[&str]) -> (Vec<Pragma>, V
         } else {
             // Comment-only line: applies to the next line containing code.
             let mut t = idx + 1;
-            while t < code_lines.len() && code_lines[t].trim().is_empty() {
+            while code_lines.get(t).is_some_and(|c| c.trim().is_empty()) {
                 t += 1;
             }
             t + 1

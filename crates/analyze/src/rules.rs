@@ -24,9 +24,12 @@
 //! | `panic-path` | ratcheted | `unwrap`/`expect`/`panic!`-family in library code |
 //! | `slice-index` | ratcheted | `expr[...]` indexing in library code |
 //! | `float-eq` | ratcheted | `==`/`!=` against a float literal |
+//! | `nondet-taint` | deny | a `pub` fn entering the determinism surface (see [`crate::taint`]) |
+//! | `atomic-unpaired` | deny | unpaired Release/Acquire (or mixed SeqCst/Relaxed) on one atomic field (see [`crate::atomics`]) |
 
 use crate::files::{FileKind, SourceFile};
 use crate::pragma::parse_pragmas;
+use crate::syntax::{at, sub, tail};
 
 /// Enforcement class of a rule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -111,6 +114,17 @@ pub const RULES: &[RuleInfo] = &[
         enforcement: Enforcement::Ratcheted,
         description: "exact ==/!= comparison against a float literal",
     },
+    RuleInfo {
+        name: "nondet-taint",
+        enforcement: Enforcement::Deny,
+        description:
+            "pub fn entered the determinism surface (nondeterminism can transitively reach it)",
+    },
+    RuleInfo {
+        name: "atomic-unpaired",
+        enforcement: Enforcement::Deny,
+        description: "atomic field with unpaired Release/Acquire (or mixed SeqCst/Relaxed) orderings",
+    },
 ];
 
 /// Rules a pragma may name (everything except the pragma meta-rules,
@@ -190,9 +204,20 @@ pub struct Finding {
     pub suppressed: bool,
 }
 
-/// Runs every rule over one file, applies its pragmas, and reports
-/// pragma-hygiene findings alongside the code findings.
+/// Runs every line rule over one file, applies its pragmas, and reports
+/// pragma-hygiene findings alongside the code findings. The full
+/// workspace pipeline ([`crate::analyze_workspace`]) instead collects
+/// raw findings from every pass ([`check_file_raw`], the atomics and
+/// taint passes) and applies pragmas once over the merged set, so a
+/// pragma can target any rule's finding and unused-pragma detection sees
+/// everything.
 pub fn check_file(file: &SourceFile) -> Vec<Finding> {
+    apply_pragmas(file, check_file_raw(file))
+}
+
+/// Runs every line rule over one file, returning raw findings with no
+/// pragma processing.
+pub(crate) fn check_file_raw(file: &SourceFile) -> Vec<Finding> {
     let mut findings = Vec::new();
     let code_lines = file.masked.code_lines();
     let comment_lines = file.masked.comment_lines();
@@ -246,7 +271,7 @@ pub fn check_file(file: &SourceFile) -> Vec<Finding> {
         check_unsafe(line, idx, &comment_lines, &mut emit);
     }
 
-    apply_pragmas(file, findings)
+    findings
 }
 
 fn library_code(kind: FileKind) -> bool {
@@ -279,7 +304,63 @@ pub fn panic_site_lines(file: &SourceFile) -> Vec<usize> {
     out
 }
 
-fn apply_pragmas(file: &SourceFile, mut findings: Vec<Finding>) -> Vec<Finding> {
+/// One nondeterminism source site (see [`crate::taint`]).
+#[derive(Debug, Clone)]
+pub struct TaintSite {
+    /// 1-based line of the source.
+    pub line: usize,
+    /// What kind of nondeterminism it injects (for traces and messages).
+    pub what: String,
+}
+
+/// Files whose sources never seed taint: the interleaving explorer
+/// *models* atomics and schedules — its nondeterminism is the explored
+/// schedule space, which it enumerates deterministically.
+const TAINT_EXEMPT: &[&str] = &["crates/analyze/src/interleave.rs"];
+
+/// 1-based nondeterminism source sites of `file`, **before** suppression
+/// and **ignoring the wall-clock whitelist and hash-iteration crate
+/// scoping**. The line rules answer "is this site justified where it
+/// stands"; the taint pass answers "where do its values flow", and a
+/// whitelisted clock read is still a real source whose flow must be cut
+/// by a `// DETERMINISM:` pragma (or end at a non-`pub` sink) to stay
+/// out of the determinism surface.
+pub(crate) fn taint_site_lines(file: &SourceFile) -> Vec<TaintSite> {
+    let mut out = Vec::new();
+    if !library_code(file.kind) || TAINT_EXEMPT.contains(&file.rel_path.as_str()) {
+        return out;
+    }
+    let code_lines = file.masked.code_lines();
+    let hash_names = hash_bound_names(&code_lines);
+    for (idx, line) in code_lines.iter().enumerate() {
+        let lineno = idx + 1;
+        if file.is_test_line(lineno) {
+            continue;
+        }
+        let mut emit = |_rule: &'static str, msg: String| {
+            out.push(TaintSite {
+                line: lineno,
+                what: msg,
+            });
+        };
+        check_wall_clock(line, &mut emit);
+        check_env_entropy(line, &mut emit);
+        check_hash_iteration(line, &hash_names, &mut emit);
+    }
+    for line in crate::atomics::relaxed_load_lines(file) {
+        out.push(TaintSite {
+            line,
+            what: "`Relaxed` atomic load: the value read depends on thread interleaving".to_owned(),
+        });
+    }
+    out.sort_by_key(|s| s.line);
+    out
+}
+
+/// Applies one file's `scp-allow` pragmas to `findings` (which may come
+/// from any mix of passes), appending `invalid-pragma`/`unused-allow`
+/// hygiene findings, and returns the merged, line-sorted set.
+pub(crate) fn apply_pragmas(file: &SourceFile, mut findings: Vec<Finding>) -> Vec<Finding> {
     let suppressible = suppressible_rules();
     let (pragmas, errors) = parse_pragmas(file, &suppressible);
     let mut used = vec![false; pragmas.len()];
@@ -287,7 +368,9 @@ fn apply_pragmas(file: &SourceFile, mut findings: Vec<Finding>) -> Vec<Finding> 
         for (pi, p) in pragmas.iter().enumerate() {
             if p.rule == f.rule && p.target_line == f.line {
                 f.suppressed = true;
-                used[pi] = true;
+                if let Some(u) = used.get_mut(pi) {
+                    *u = true;
+                }
             }
         }
     }
@@ -339,11 +422,12 @@ fn token_positions(line: &str, tok: &str) -> Vec<usize> {
     let bytes = line.as_bytes();
     let mut out = Vec::new();
     let mut from = 0usize;
-    while let Some(off) = line[from..].find(tok) {
+    while let Some(off) = tail(line, from).find(tok) {
         let start = from + off;
         let end = start + tok.len();
-        let left_ok = start == 0 || !is_ident(bytes[start - 1]);
-        let right_ok = end >= bytes.len() || !is_ident(bytes[end]);
+        let left_ok = start == 0 || !is_ident(at(bytes, start - 1));
+        // `at` yields NUL past the end, which is not an identifier byte.
+        let right_ok = !is_ident(at(bytes, end));
         if left_ok && right_ok {
             out.push(start);
         }
@@ -359,12 +443,12 @@ fn call_is_tried(line: &str, open: usize) -> bool {
     let mut depth = 0usize;
     let mut j = open;
     while j < bytes.len() {
-        match bytes[j] {
+        match at(bytes, j) {
             b'(' => depth += 1,
             b')' => {
                 depth -= 1;
                 if depth == 0 {
-                    let rest = line[j + 1..].trim_start();
+                    let rest = tail(line, j + 1).trim_start();
                     return rest.starts_with('?');
                 }
             }
@@ -381,24 +465,24 @@ fn call_is_tried(line: &str, open: usize) -> bool {
 fn check_panic_path(line: &str, emit: &mut impl FnMut(&'static str, String)) {
     for method in ["unwrap", "unwrap_err"] {
         for pos in token_positions(line, method) {
-            let prefixed = pos > 0 && line.as_bytes()[pos - 1] == b'.';
-            if prefixed && line[pos + method.len()..].starts_with("()") {
+            let prefixed = pos > 0 && at(line.as_bytes(), pos - 1) == b'.';
+            if prefixed && tail(line, pos + method.len()).starts_with("()") {
                 emit("panic-path", format!(".{method}() can panic"));
             }
         }
     }
     for method in ["expect", "expect_err"] {
         for pos in token_positions(line, method) {
-            let prefixed = pos > 0 && line.as_bytes()[pos - 1] == b'.';
+            let prefixed = pos > 0 && at(line.as_bytes(), pos - 1) == b'.';
             let open = pos + method.len();
-            if prefixed && line[open..].starts_with('(') && !call_is_tried(line, open) {
+            if prefixed && tail(line, open).starts_with('(') && !call_is_tried(line, open) {
                 emit("panic-path", format!(".{method}(...) can panic"));
             }
         }
     }
     for mac in ["panic", "unreachable", "todo", "unimplemented"] {
         for pos in token_positions(line, mac) {
-            if line[pos + mac.len()..].starts_with("!(") {
+            if tail(line, pos + mac.len()).starts_with("!(") {
                 emit("panic-path", format!("{mac}! aborts this path"));
             }
         }
@@ -411,7 +495,7 @@ fn check_slice_index(line: &str, emit: &mut impl FnMut(&'static str, String)) {
         if b != b'[' || i == 0 {
             continue;
         }
-        let prev = bytes[i - 1];
+        let prev = at(bytes, i - 1);
         if is_ident(prev) || prev == b')' || prev == b']' {
             emit(
                 "slice-index",
@@ -425,18 +509,18 @@ fn check_float_eq(line: &str, emit: &mut impl FnMut(&'static str, String)) {
     let bytes = line.as_bytes();
     for op in ["==", "!="] {
         let mut from = 0usize;
-        while let Some(off) = line[from..].find(op) {
-            let at = from + off;
-            from = at + op.len();
+        while let Some(off) = tail(line, from).find(op) {
+            let opos = from + off;
+            from = opos + op.len();
             // Exclude `<=`/`>=`-style composites and pattern `=>`.
-            if at > 0 && matches!(bytes[at - 1], b'<' | b'>' | b'=' | b'!') {
+            if opos > 0 && matches!(at(bytes, opos - 1), b'<' | b'>' | b'=' | b'!') {
                 continue;
             }
-            if bytes.get(at + op.len()) == Some(&b'=') {
+            if bytes.get(opos + op.len()) == Some(&b'=') {
                 continue;
             }
-            let right = line[at + op.len()..].trim_start();
-            let left = line[..at].trim_end();
+            let right = tail(line, opos + op.len()).trim_start();
+            let left = sub(line, 0, opos).trim_end();
             if is_float_literal_prefix(right) || is_float_literal_suffix(left) {
                 emit(
                     "float-eq",
@@ -455,13 +539,16 @@ fn is_float_literal_prefix(s: &str) -> bool {
         return false;
     }
     let mut i = 0usize;
-    while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'_') {
+    while bytes
+        .get(i)
+        .is_some_and(|&b| b.is_ascii_digit() || b == b'_')
+    {
         i += 1;
     }
     match bytes.get(i) {
         Some(b'.') => bytes.get(i + 1).is_some_and(u8::is_ascii_digit),
         Some(b'e') | Some(b'E') => true,
-        Some(b'f') => s[i..].starts_with("f32") || s[i..].starts_with("f64"),
+        Some(b'f') => tail(s, i).starts_with("f32") || tail(s, i).starts_with("f64"),
         _ => false,
     }
 }
@@ -470,15 +557,15 @@ fn is_float_literal_prefix(s: &str) -> bool {
 fn is_float_literal_suffix(s: &str) -> bool {
     let bytes = s.as_bytes();
     let mut i = bytes.len();
-    while i > 0 && (is_ident(bytes[i - 1]) || bytes[i - 1] == b'.') {
+    while i > 0 && (is_ident(at(bytes, i - 1)) || at(bytes, i - 1) == b'.') {
         i -= 1;
     }
-    is_float_literal_prefix(&s[i..])
+    is_float_literal_prefix(tail(s, i))
 }
 
 /// Names in this file bound to a `HashMap`/`HashSet` (let bindings with
 /// or without type ascription, struct fields, fn parameters).
-pub fn hash_bound_names(code_lines: &[&str]) -> Vec<String> {
+fn hash_bound_names(code_lines: &[&str]) -> Vec<String> {
     let mut names: Vec<String> = Vec::new();
     for line in code_lines {
         for ty in ["HashMap", "HashSet"] {
@@ -494,20 +581,21 @@ pub fn hash_bound_names(code_lines: &[&str]) -> Vec<String> {
     names
 }
 
-/// Walks left from a `HashMap`/`HashSet` token through `std::collections::`
-/// paths, `&`/`mut`, a `:` type ascription or an `=` initializer, to the
-/// identifier being bound. Returns `None` for appearances that bind
-/// nothing (e.g. a bare `use` item).
-fn binding_before(line: &str, ty_pos: usize) -> Option<String> {
+/// Walks left from a type token (`HashMap`, `AtomicU64`, ...) through
+/// `std::collections::`-style paths, `&`/`mut`, a `:` type ascription or
+/// an `=` initializer, to the identifier being bound. Returns `None` for
+/// appearances that bind nothing (e.g. a bare `use` item). Shared with
+/// [`crate::atomics`], which peels generic wrappers first.
+pub(crate) fn binding_before(line: &str, ty_pos: usize) -> Option<String> {
     let bytes = line.as_bytes();
     let mut i = ty_pos;
     // Skip the path prefix (`std::collections::`) and reference sigils.
     loop {
-        let before = line[..i].trim_end();
+        let before = sub(line, 0, i).trim_end();
         i = before.len();
         if before.ends_with("::") {
             let mut j = i - 2;
-            while j > 0 && (is_ident(bytes[j - 1]) || bytes[j - 1] == b':') {
+            while j > 0 && (is_ident(at(bytes, j - 1)) || at(bytes, j - 1) == b':') {
                 j -= 1;
             }
             i = j;
@@ -517,35 +605,35 @@ fn binding_before(line: &str, ty_pos: usize) -> Option<String> {
             break;
         }
     }
-    let before = line[..i].trim_end();
+    let before = sub(line, 0, i).trim_end();
     let sep = before.as_bytes().last().copied()?;
     let ident_end = match sep {
         b':' => before.len() - 1,
         b'=' => {
             // `let name = HashMap::new()` — or `name: Ty = HashMap::new()`.
-            let lhs = before[..before.len() - 1].trim_end();
+            let lhs = sub(before, 0, before.len() - 1).trim_end();
             let lhs = match lhs.rfind(':') {
-                Some(c) if !lhs[..c].ends_with(':') => lhs[..c].trim_end(),
+                Some(c) if !sub(lhs, 0, c).ends_with(':') => sub(lhs, 0, c).trim_end(),
                 _ => lhs,
             };
             return last_ident(lhs);
         }
         _ => return None,
     };
-    last_ident(&before[..ident_end])
+    last_ident(sub(before, 0, ident_end))
 }
 
 fn last_ident(s: &str) -> Option<String> {
     let s = s.trim_end();
     let bytes = s.as_bytes();
     let mut i = s.len();
-    while i > 0 && is_ident(bytes[i - 1]) {
+    while i > 0 && is_ident(at(bytes, i - 1)) {
         i -= 1;
     }
     if i == s.len() {
         return None;
     }
-    let name = &s[i..];
+    let name = tail(s, i);
     if name.as_bytes().first().is_some_and(u8::is_ascii_digit) {
         return None;
     }
@@ -578,10 +666,10 @@ fn check_hash_iteration(
     let bytes = line.as_bytes();
     for name in hash_names {
         for pos in token_positions(line, name) {
-            let after = &line[pos + name.len()..];
+            let after = tail(line, pos + name.len());
             if let Some(rest) = after.strip_prefix('.') {
                 for m in ITERATING_METHODS {
-                    if rest.starts_with(m) && rest[m.len()..].starts_with('(') {
+                    if rest.starts_with(m) && tail(rest, m.len()).starts_with('(') {
                         emit(
                             "hash-iteration",
                             format!("`{name}.{m}()` iterates a hash collection in nondeterministic order"),
@@ -590,7 +678,7 @@ fn check_hash_iteration(
                 }
             }
             // `for x in name` / `for x in &name` / `for x in &mut name`.
-            let before = line[..pos].trim_end();
+            let before = sub(line, 0, pos).trim_end();
             let before = before
                 .strip_suffix("&mut")
                 .unwrap_or(before.strip_suffix('&').unwrap_or(before))
@@ -615,7 +703,7 @@ fn check_hash_iteration(
 fn check_wall_clock(line: &str, emit: &mut impl FnMut(&'static str, String)) {
     for tok in ["Instant", "SystemTime"] {
         for pos in token_positions(line, tok) {
-            let after = &line[pos + tok.len()..];
+            let after = tail(line, pos + tok.len());
             // Imports and type positions are fine; *reads* are not.
             if after.starts_with("::now") {
                 emit(
@@ -626,8 +714,8 @@ fn check_wall_clock(line: &str, emit: &mut impl FnMut(&'static str, String)) {
         }
     }
     for pos in token_positions(line, "elapsed") {
-        let prefixed = pos > 0 && line.as_bytes()[pos - 1] == b'.';
-        if prefixed && line[pos + "elapsed".len()..].starts_with('(') {
+        let prefixed = pos > 0 && at(line.as_bytes(), pos - 1) == b'.';
+        if prefixed && tail(line, pos + "elapsed".len()).starts_with('(') {
             emit(
                 "wall-clock",
                 "`.elapsed()` reads a wall clock outside the timing whitelist".to_owned(),
@@ -653,8 +741,8 @@ fn check_env_entropy(line: &str, emit: &mut impl FnMut(&'static str, String)) {
     }
     for tok in ["var", "var_os", "vars", "vars_os"] {
         for pos in token_positions(line, tok) {
-            let prefixed = line[..pos].ends_with("env::");
-            if prefixed && line[pos + tok.len()..].starts_with('(') {
+            let prefixed = sub(line, 0, pos).ends_with("env::");
+            if prefixed && tail(line, pos + tok.len()).starts_with('(') {
                 emit(
                     "env-entropy",
                     format!("`env::{tok}` makes behavior depend on the environment"),
@@ -794,7 +882,9 @@ fn check_unsafe(
         return;
     }
     let lo = idx.saturating_sub(2);
-    let documented = comment_lines[lo..=idx.min(comment_lines.len() - 1)]
+    let documented = comment_lines
+        .get(lo..=idx.min(comment_lines.len().saturating_sub(1)))
+        .unwrap_or(&[])
         .iter()
         .any(|c| c.contains("SAFETY:"));
     if !documented {

@@ -1,12 +1,19 @@
-//! The ratcheted panic-surface report.
+//! Ratcheted call-graph surface reports.
 //!
 //! Where [`crate::baseline`] ratchets per-line finding *counts*, this
-//! module ratchets a *set*: the identities of every `pub` library
-//! function that can transitively reach a panic-capable site
-//! (`unwrap`/`expect`/`panic!`/indexing — the `panic-path` and
-//! `slice-index` rules, counted pre-suppression) through the
-//! [`crate::callgraph`]. The set is committed as `panic-surface.json`;
-//! the gate enforces that it can only shrink:
+//! module ratchets *sets* of `pub` function identities computed over the
+//! [`crate::callgraph`]. Two surfaces share the machinery:
+//!
+//! * the **panic surface** (`panic-surface.json`) — every `pub` library
+//!   function that can transitively reach a panic-capable site
+//!   (`unwrap`/`expect`/`panic!`/indexing — the `panic-path` and
+//!   `slice-index` rules, counted pre-suppression);
+//! * the **determinism surface** (`determinism-surface.json`) — every
+//!   `pub` library function whose results nondeterminism can transitively
+//!   reach (see [`crate::taint`]).
+//!
+//! Each set is committed at the workspace root; the gate enforces that it
+//! can only shrink:
 //!
 //! * a `pub` function **entering** the surface fails `--deny` (new
 //!   panic-reachable API is rejected);
@@ -20,12 +27,17 @@
 //! polarity for a ratchet: false edges can only keep a function *in* the
 //! surface, never silently drop it.
 
-use crate::callgraph::CallGraph;
+use crate::callgraph::{CallGraph, FnNode};
 use scp_json::Json;
 use std::collections::{BTreeMap, BTreeSet};
 
-/// File name of the committed surface, relative to the workspace root.
+/// File name of the committed panic surface, relative to the workspace
+/// root.
 pub const SURFACE_FILE: &str = "panic-surface.json";
+
+/// File name of the committed determinism surface, relative to the
+/// workspace root.
+pub const DET_SURFACE_FILE: &str = "determinism-surface.json";
 
 /// Schema version written into the file.
 pub const SURFACE_VERSION: u64 = 1;
@@ -41,7 +53,7 @@ pub struct Surface {
 /// Per-crate aggregates, for reports and EXPERIMENTS.md.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CrateSurface {
-    /// `pub` library functions that can reach a panic site.
+    /// `pub` library functions in the surface.
     pub reachable: u64,
     /// All `pub` library functions seen.
     pub pub_fns: u64,
@@ -68,13 +80,19 @@ pub struct SurfaceReport {
 }
 
 impl Surface {
-    /// Extracts the surface from a built call graph: `pub` functions in
-    /// library files that reach a panic site.
+    /// Extracts the panic surface from a built call graph: `pub`
+    /// functions in library files that reach a panic site.
     pub fn from_graph(graph: &CallGraph) -> Self {
+        Self::from_graph_by(graph, |f| f.reaches_panic)
+    }
+
+    /// Extracts a surface from a built call graph: `pub` functions for
+    /// which `member` holds.
+    pub fn from_graph_by(graph: &CallGraph, member: impl Fn(&FnNode) -> bool) -> Self {
         let functions = graph
             .fns
             .iter()
-            .filter(|f| f.is_pub && f.reaches_panic)
+            .filter(|f| f.is_pub && member(f))
             .map(|f| f.id.clone())
             .collect();
         Self { functions }
@@ -138,9 +156,18 @@ impl Surface {
 }
 
 impl SurfaceReport {
-    /// Classifies `graph`'s surface against the committed one.
+    /// Classifies `graph`'s panic surface against the committed one.
     pub fn build(graph: &CallGraph, committed: &Surface) -> Self {
-        let observed = Surface::from_graph(graph);
+        Self::build_by(graph, committed, |f| f.reaches_panic)
+    }
+
+    /// Classifies the surface selected by `member` against `committed`.
+    pub fn build_by(
+        graph: &CallGraph,
+        committed: &Surface,
+        member: impl Fn(&FnNode) -> bool,
+    ) -> Self {
+        let observed = Surface::from_graph_by(graph, &member);
         let added: Vec<String> = observed
             .functions
             .difference(&committed.functions)
@@ -158,7 +185,7 @@ impl SurfaceReport {
             }
             let entry = per_crate.entry(f.crate_name.clone()).or_default();
             entry.pub_fns += 1;
-            if f.reaches_panic {
+            if member(f) {
                 entry.reachable += 1;
             }
         }

@@ -50,8 +50,10 @@ pub struct Item {
     /// The item's own name (type name for `impl` blocks; empty when no
     /// name could be recovered).
     pub name: String,
-    /// Whether the prelude carries any `pub` modifier (including
-    /// restricted forms like `pub(crate)`).
+    /// Whether the prelude carries an *unrestricted* `pub` modifier.
+    /// Restricted forms (`pub(crate)`, `pub(super)`, `pub(in ...)`)
+    /// export nothing outside the crate, so surface accounting treats
+    /// them as private.
     pub is_pub: bool,
     /// Whether the prelude carries `#[cfg(test)]`, or an ancestor does.
     pub cfg_test: bool,
@@ -89,6 +91,13 @@ pub struct FnItem {
     pub is_pub: bool,
     /// Whether the function or any ancestor is `#[cfg(test)]`.
     pub cfg_test: bool,
+    /// Name of the nearest enclosing `impl` or `trait` item, when the
+    /// function is associated. `None` for free functions (including free
+    /// functions nested in `mod`s).
+    pub owner: Option<String>,
+    /// Whether [`FnItem::owner`] names an `impl` block (a concrete
+    /// implementing type) rather than a `trait` declaration.
+    pub owner_is_impl: bool,
     /// Byte span of the whole item (prelude through closing brace).
     pub span: (usize, usize),
     /// Byte span of the body interior, when the function has one.
@@ -114,7 +123,7 @@ pub fn parse(masked: &MaskedSource) -> ParsedFile {
     let code = masked.code.as_str();
     let items = parse_region(code, 0, code.len(), false);
     let mut fns = Vec::new();
-    flatten_fns(code, &items, &mut Vec::new(), &mut fns);
+    flatten_fns(code, &items, &mut Vec::new(), None, &mut fns);
     let uses = parse_uses(code);
     ParsedFile { items, fns, uses }
 }
@@ -287,7 +296,7 @@ fn parse_item(
     };
 
     let prelude = sub(code, boundary, kw_start);
-    let is_pub = has_token(prelude, "pub");
+    let is_pub = has_pub_unrestricted(prelude);
     let attr_from = attr_window_start(code, boundary, kw_start);
     let cfg_test = parent_test || sub(code, attr_from, kw_start).contains("#[cfg(test)]");
 
@@ -383,19 +392,23 @@ fn trailing_modifiers(prelude: &str) -> usize {
     keep
 }
 
-/// Whether `text` contains `tok` as a standalone word.
-fn has_token(text: &str, tok: &str) -> bool {
+/// Whether `text` carries an unrestricted `pub` token: a standalone
+/// `pub` word not immediately followed by a `(restriction)`.
+fn has_pub_unrestricted(text: &str) -> bool {
     let bytes = text.as_bytes();
     let mut from = 0usize;
-    while let Some(off) = tail(text, from).find(tok) {
+    while let Some(off) = tail(text, from).find("pub") {
         let start = from + off;
-        let end = start + tok.len();
-        let left_ok = start == 0 || !is_ident(at(bytes, start - 1));
-        let right_ok = end >= bytes.len() || !is_ident(at(bytes, end));
-        if left_ok && right_ok {
-            return true;
-        }
+        let end = start + 3;
         from = start + 1;
+        let left_ok = start == 0 || !is_ident(at(bytes, start - 1));
+        if !left_ok || is_ident(at(bytes, end)) {
+            continue;
+        }
+        if tail(text, end).trim_start().starts_with('(') {
+            continue; // `pub(crate)` / `pub(super)` / `pub(in ...)`
+        }
+        return true;
     }
     false
 }
@@ -467,7 +480,15 @@ fn split_last_for(header: &str) -> Option<String> {
 }
 
 /// Flattens the tree into [`FnItem`]s, accumulating context names.
-fn flatten_fns(code: &str, items: &[Item], ctx: &mut Vec<String>, out: &mut Vec<FnItem>) {
+/// `assoc` carries the nearest enclosing `impl`/`trait` (kind, name) so
+/// associated functions know which type owns them.
+fn flatten_fns(
+    code: &str,
+    items: &[Item],
+    ctx: &mut Vec<String>,
+    assoc: Option<(ItemKind, &str)>,
+    out: &mut Vec<FnItem>,
+) {
     for item in items {
         if item.kind == ItemKind::Fn {
             let qualified = if ctx.is_empty() {
@@ -480,6 +501,10 @@ fn flatten_fns(code: &str, items: &[Item], ctx: &mut Vec<String>, out: &mut Vec<
                 qualified,
                 is_pub: item.is_pub,
                 cfg_test: item.cfg_test,
+                owner: assoc
+                    .filter(|(_, n)| !n.is_empty())
+                    .map(|(_, n)| n.to_owned()),
+                owner_is_impl: matches!(assoc, Some((ItemKind::Impl, n)) if !n.is_empty()),
                 span: item.span,
                 body: item.body,
                 lines: line_span(code, item.span),
@@ -489,7 +514,13 @@ fn flatten_fns(code: &str, items: &[Item], ctx: &mut Vec<String>, out: &mut Vec<
         if named {
             ctx.push(item.name.clone());
         }
-        flatten_fns(code, &item.children, ctx, out);
+        let child_assoc = match item.kind {
+            ItemKind::Impl | ItemKind::Trait => Some((item.kind, item.name.as_str())),
+            // A fn nested inside an associated fn is itself free; a mod
+            // resets association too.
+            _ => None,
+        };
+        flatten_fns(code, &item.children, ctx, child_assoc, out);
         if named {
             ctx.pop();
         }

@@ -44,6 +44,8 @@ impl Bencher {
     /// Times `routine`, recording per-iteration nanoseconds over
     /// `sample_size` batches (batch size auto-calibrated).
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // DETERMINISM: a bench harness — measured wall time IS the
+        // deliverable, not a result any journal replays.
         // Calibrate: double the batch until one batch is slow enough to
         // time reliably.
         let mut batch: u64 = 1;

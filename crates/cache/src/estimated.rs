@@ -76,6 +76,8 @@ impl<K: Copy + Eq + Hash + Ord> EstimatedOracleCache<K> {
         // Account churn as insertions/evictions for observability.
         // scp-allow(hash-iteration): only the cardinality of the
         // intersection is used, which is invariant to iteration order
+        // DETERMINISM: the intersection is reduced to its cardinality,
+        // which does not depend on hash iteration order.
         let kept = next.intersection(&self.resident).count();
         for _ in 0..(next.len() - kept) {
             self.stats.record_insertion();

@@ -24,6 +24,8 @@ pub struct Stopwatch {
 impl Stopwatch {
     /// Starts timing now.
     pub fn started() -> Self {
+        // DETERMINISM: wall time here is run-duration metadata only;
+        // results are driven by logical time (see the module docs).
         Self {
             origin: Instant::now(),
         }
@@ -31,6 +33,8 @@ impl Stopwatch {
 
     /// Seconds elapsed since [`Stopwatch::started`].
     pub fn elapsed_secs(&self) -> f64 {
+        // DETERMINISM: elapsed wall time feeds duration/throughput
+        // metadata fields, never a result the journals replay.
         self.origin.elapsed().as_secs_f64()
     }
 }

@@ -105,6 +105,10 @@ fn complete_batch(completions: &Completions, batch: &[Request]) {
 fn claim_quota(quota: &AtomicU64, want: u64) -> u64 {
     // ORDERING: Relaxed is enough for the optimistic first read; the
     // compare-exchange below revalidates it.
+    // DETERMINISM: the Relaxed read is only an optimistic hint — a stale
+    // value costs one CAS retry; the claimed amount is decided by the
+    // AcqRel compare-exchange, and the aggregate claimed total is the
+    // fixed configured quota regardless of interleaving.
     let mut current = quota.load(Ordering::Relaxed);
     loop {
         if current == 0 {
@@ -190,6 +194,10 @@ fn client_loop(
                 // ORDERING: Relaxed — the published nonce is
                 // self-validating; a stale read is covered by the
                 // verifier's one-window grace.
+                // DETERMINISM: a stale nonce read changes which digest is
+                // submitted, never whether it verifies — the one-window
+                // grace accepts both the current and previous nonce, so
+                // admission outcomes and report totals are unaffected.
                 let server_nonce = published.load(Ordering::Relaxed);
                 // A fresh scan start per request: re-solving the same
                 // key must yield a new digest or the replay cache
@@ -197,9 +205,10 @@ fn client_loop(
                 let start = crate::pow::scan_start(id, submitted + offset);
                 let (nonce, attempts) =
                     crate::pow::solve_from(server_nonce, id, key, difficulty, start);
-                // ORDERING: Relaxed — a statistics counter folded in
-                // only after every thread has joined.
-                pow_attempts.fetch_add(attempts, Ordering::Relaxed);
+                // ORDERING: Release pairs with the Acquire load after
+                // join so every solver's attempts are visible in the
+                // report total.
+                pow_attempts.fetch_add(attempts, Ordering::Release);
                 nonce
             });
             batch.push(Request {
@@ -549,9 +558,10 @@ pub fn run_threaded(cfg: &ServeConfig) -> Result<crate::report::ServeReport> {
         // claims; every client has joined, so this is the final balance.
         stats.quota_unclaimed = quota.load(Ordering::Acquire);
     }
-    // ORDERING: Relaxed — all solver threads have joined; this is a
-    // plain read of a statistics counter.
-    stats.pow_attempts += pow_attempts.load(Ordering::Relaxed);
+    // ORDERING: Acquire pairs with the solvers' Release fetch_adds so
+    // the report total carries every attempt, not just the ones the
+    // join's synchronization happened to flush.
+    stats.pow_attempts += pow_attempts.load(Ordering::Acquire);
 
     Ok(crate::report::ServeReport::assemble(
         stats,

@@ -180,6 +180,9 @@ impl<T, A: AtomicWord, S: SlotCell<T>> RingCore<T, A, S> {
     pub fn try_push_core(&self, item: T) -> Result<(), T> {
         // ORDERING: relaxed is enough — `tail` is written only by this
         // thread, so it always reads its own latest value.
+        // DETERMINISM: a single-writer self-read — the producer is the
+        // only thread that stores `tail`, so the value never depends on
+        // interleaving.
         let tail = self.tail.load(Ordering::Relaxed);
         // ORDERING: acquire pairs with the consumer's release store of
         // `head`, making the consumer's take() of the recycled slot
@@ -212,6 +215,9 @@ impl<T, A: AtomicWord, S: SlotCell<T>> RingCore<T, A, S> {
     pub fn try_pop_core(&self) -> Option<T> {
         // ORDERING: relaxed is enough — `head` is written only by this
         // thread, so it always reads its own latest value.
+        // DETERMINISM: a single-writer self-read — the consumer is the
+        // only thread that stores `head`, so the value never depends on
+        // interleaving.
         let head = self.head.load(Ordering::Relaxed);
         // ORDERING: acquire pairs with the producer's release store of
         // `tail`, making the producer's slot write happen-before our
@@ -244,6 +250,9 @@ impl<T, A: AtomicWord, S: SlotCell<T>> RingCore<T, A, S> {
     pub fn try_pop_many_core(&self, max: usize, sink: &mut impl FnMut(T)) -> usize {
         // ORDERING: relaxed is enough — `head` is written only by this
         // thread, so it always reads its own latest value.
+        // DETERMINISM: a single-writer self-read — the consumer is the
+        // only thread that stores `head`, so the value never depends on
+        // interleaving.
         let head = self.head.load(Ordering::Relaxed);
         // ORDERING: acquire pairs with the producer's release store of
         // `tail`: every slot published at or before the observed `tail`

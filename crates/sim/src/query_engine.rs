@@ -103,6 +103,8 @@ pub fn run_trace_simulation(
     }
     // scp-allow(hash-iteration): the sort below imposes a total order
     // (count desc, then key asc), so hash order cannot leak into results
+    // DETERMINISM: the collected pairs are immediately sorted by a total
+    // order (count desc, key asc), erasing hash iteration order.
     let mut ranked: Vec<(u64, u64)> = counts.into_iter().collect();
     ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
     let mut cache = cfg.build_cache(ranked.into_iter().map(|(k, _)| k));

@@ -62,6 +62,9 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// confined to this module by the repo's determinism lint: results must
 /// never depend on time, only observability records may.
 pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    // DETERMINISM: the measured seconds are observability metadata
+    // (progress display, journal duration fields); `f`'s value is
+    // returned untouched and never depends on the clock.
     let started = Instant::now();
     let value = f();
     (value, started.elapsed().as_secs_f64())

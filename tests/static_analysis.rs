@@ -4,7 +4,8 @@
 //! the rule set and README for the ratchet workflow.
 
 use scp_analyze::analyze_workspace;
-use scp_analyze::files::find_workspace_root;
+use scp_analyze::files::{find_workspace_root, SourceFile};
+use scp_analyze::{analyze_sources, baseline::Baseline, surface::Surface};
 use std::path::Path;
 
 #[test]
@@ -22,4 +23,71 @@ fn static_analysis_gate() {
          `cargo run -p scp-analyze -- --update-baseline`:\n{}",
         report.baseline_diff.join("\n")
     );
+}
+
+#[test]
+fn determinism_surface_gate() {
+    // The taint-pass twin of the gate above: the committed
+    // `determinism-surface.json` must match what the call graph observes,
+    // and nothing may have entered it.
+    let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("workspace root");
+    let surface = scp_analyze::analyze_det_surface(&root).expect("call graph builds");
+    assert!(
+        surface.no_regressions(),
+        "pub fns entered the determinism surface:\n{}",
+        surface.added.join("\n")
+    );
+    assert!(
+        surface.in_sync(),
+        "determinism-surface.json out of sync; run \
+         `cargo run -p scp-analyze -- --update-baseline`:\nadded: {}\nremoved: {}",
+        surface.added.join(", "),
+        surface.removed.join(", ")
+    );
+}
+
+#[test]
+fn a_new_tainted_pub_fn_would_fail_the_deny_gate() {
+    // Synthetic proof the gate has teeth: a pub fn reading a clock,
+    // checked against the committed (empty) surface, is a deny-class
+    // `nondet-taint` violation.
+    let sources = vec![SourceFile::from_source(
+        "crates/cluster/src/synthetic.rs",
+        "pub fn leaky() -> f64 { std::time::Instant::now().elapsed().as_secs_f64() }\n",
+    )];
+    let analysis = analyze_sources(
+        &sources,
+        &Baseline::default(),
+        &Surface::default(),
+        &Surface::default(),
+    );
+    assert!(
+        !analysis.report.deny_clean(),
+        "a fresh tainted pub fn must fail --deny"
+    );
+    assert!(analysis
+        .report
+        .violations
+        .iter()
+        .any(|f| f.rule == "nondet-taint"));
+    assert!(!analysis.det_surface.no_regressions());
+}
+
+#[test]
+fn a_ghost_surface_entry_would_fail_the_sync_gate() {
+    // The reverse direction: a committed entry no function justifies
+    // (e.g. left over after a fix) is drift, which --check-baseline
+    // rejects until the surface is re-locked.
+    let sources = vec![SourceFile::from_source(
+        "crates/cluster/src/synthetic.rs",
+        "pub fn clean() -> u64 { 1 }\n",
+    )];
+    let mut ghost = Surface::default();
+    ghost
+        .functions
+        .insert("crates/cluster/src/synthetic.rs::gone".to_owned());
+    let analysis = analyze_sources(&sources, &Baseline::default(), &Surface::default(), &ghost);
+    assert!(analysis.report.deny_clean(), "removals alone are not deny");
+    assert!(!analysis.det_surface.in_sync(), "drift must fail sync");
+    assert_eq!(analysis.det_surface.removed.len(), 1);
 }
